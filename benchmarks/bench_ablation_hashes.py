@@ -1,0 +1,21 @@
+"""Ablation A2 benchmark: HASHFU algorithms (coverage / area / delay)."""
+
+from repro.eval.ablation_hashes import run_hash_ablation
+
+
+def test_hash_ablation(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_hash_ablation,
+        kwargs={"workload": "dijkstra", "scale": "small", "pair_count": 40},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("ablation_hashes", result.table().render())
+    # Position-dependent hashes catch what XOR cannot...
+    assert result.row("crc32").adversarial_coverage == 1.0
+    assert result.row("rotxor").adversarial_coverage == 1.0
+    assert result.row("xor").adversarial_coverage < 1.0
+    # ...and the cryptographic option cannot keep up with the pipeline
+    # (the paper's argument for checksums).
+    assert not result.row("sha1").fits_if_stage
+    assert result.row("xor").fits_if_stage

@@ -1,0 +1,14 @@
+"""Ablation A1 benchmark: replacement policies across the suite."""
+
+from repro.eval.ablation_policies import run_policy_ablation
+
+
+def test_policy_ablation(benchmark, save_result):
+    result = benchmark.pedantic(run_policy_ablation, rounds=1, iterations=1)
+    save_result("ablation_policies", result.table().render())
+    # Sanity: every (policy, size) average is a valid rate, and growing the
+    # table never hurts under any policy.
+    for policy in result.policies:
+        for size in result.sizes:
+            assert 0.0 <= result.average(policy, size) <= 1.0
+        assert result.average(policy, 16) <= result.average(policy, 8) + 0.01

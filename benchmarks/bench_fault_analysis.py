@@ -1,0 +1,22 @@
+"""Section 6.3 benchmark: fault-injection detection coverage."""
+
+from repro.eval.fault_analysis import run_fault_analysis
+
+
+def test_fault_analysis_xor(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_fault_analysis,
+        kwargs={
+            "workload": "dijkstra",
+            "scale": "small",
+            "single_bit_count": 150,
+            "multi_bit_count": 60,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fault_analysis_xor", result.table().render())
+    # Paper §6.3: every single-bit flip in executed code is detected.
+    assert result.scenario("single-bit (executed code)").coverage == 1.0
+    # The adversarial same-column pattern escapes the XOR checksum.
+    assert result.scenario("2-bit, same column, same block").coverage < 1.0

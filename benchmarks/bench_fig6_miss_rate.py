@@ -1,0 +1,32 @@
+"""Figure 6 benchmark: IHT miss rate vs table size, all nine workloads.
+
+Regenerates the paper's Figure 6 series (sizes 1/8/16/32, LRU replace-half)
+and times the trace-driven sweep.  A second benchmark measures raw IHT
+replay throughput, the kernel the sweep is built on.
+"""
+
+from repro.cic.replay import replay_trace
+from repro.eval.common import baseline_run, workload_fht
+from repro.eval.fig6_miss_rate import run_fig6
+from repro.osmodel.policies import get_policy
+
+
+def test_fig6_full_grid(benchmark, save_result):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    save_result("fig6_miss_rate", result.table().render())
+    # Sanity: the paper's headline orderings hold at full scale.
+    assert result.miss_rate("stringsearch", 16) > result.miss_rate("bitcount", 16)
+    assert result.miss_rate("bitcount", 8) < 0.01
+    for row in result.rows:
+        assert row.miss_rates[32] <= row.miss_rates[1]
+
+
+def test_iht_replay_throughput(benchmark):
+    trace = baseline_run("dijkstra", "default").block_trace
+    fht = workload_fht("dijkstra", "default")
+
+    def replay():
+        return replay_trace(trace, fht, 8, get_policy("lru_half"))
+
+    stats = benchmark(replay)
+    assert stats.lookups == len(trace)

@@ -1,0 +1,84 @@
+"""Simulator and component micro-benchmarks.
+
+Not a paper artifact — these track the performance of the substrate itself
+(instructions/second of each engine, hash/CAM kernel throughput), which is
+what bounds how large an evaluation sweep can get.
+"""
+
+from repro.cic.hashes import get_hash
+from repro.cic.iht import InternalHashTable
+from repro.isa.encoding import decode
+from repro.pipeline.cpu import PipelineCPU
+from repro.pipeline.funcsim import FuncSim
+from repro.workloads.suite import build, workload_inputs
+
+
+def test_funcsim_throughput(benchmark):
+    program = build("sha", "tiny")
+
+    def run():
+        return FuncSim(program, inputs=workload_inputs("sha", "tiny")).run()
+
+    result = benchmark(run)
+    benchmark.extra_info["instructions"] = result.instructions
+    assert result.exit_code == 0
+
+
+def test_pipeline_throughput(benchmark):
+    program = build("sha", "tiny")
+
+    def run():
+        return PipelineCPU(program, inputs=workload_inputs("sha", "tiny")).run()
+
+    result = benchmark(run)
+    benchmark.extra_info["cycles"] = result.cycles
+    assert result.exit_code == 0
+
+
+def test_decode_throughput(benchmark):
+    program = build("rijndael", "tiny")
+    words = [program.text.word_at(a) for a in program.text_addresses()]
+
+    def decode_all():
+        return [decode(word) for word in words]
+
+    decoded = benchmark(decode_all)
+    assert len(decoded) == len(words)
+
+
+def test_xor_hash_throughput(benchmark):
+    algorithm = get_hash("xor")
+    words = list(range(0, 4000))
+
+    def fold():
+        state = algorithm.initial()
+        for word in words:
+            state = algorithm.update(state, word)
+        return algorithm.finalize(state)
+
+    benchmark(fold)
+
+
+def test_sha1_hash_throughput(benchmark):
+    algorithm = get_hash("sha1")
+    words = list(range(0, 400))
+
+    def fold():
+        state = algorithm.initial()
+        for word in words:
+            state = algorithm.update(state, word)
+        return algorithm.finalize(state)
+
+    benchmark(fold)
+
+
+def test_iht_lookup_throughput(benchmark):
+    iht = InternalHashTable(16)
+    for index in range(16):
+        iht.insert(index * 16, index * 16 + 12, index)
+
+    def lookups():
+        for index in range(16):
+            iht.lookup(index * 16, index * 16 + 12, index)
+
+    benchmark(lookups)

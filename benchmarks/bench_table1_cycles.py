@@ -1,0 +1,21 @@
+"""Table 1 benchmark: monitored-execution cycle overheads.
+
+Runs every workload unmonitored and with 8/16-entry IHTs on the functional
+ISS (cross-validated against the cycle-level pipeline by the integration
+tests) and regenerates the paper's Table 1 rows.
+"""
+
+from repro.eval.table1_cycles import run_table1
+
+
+def test_table1_cycle_overheads(benchmark, save_result):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    save_result("table1_cycles", result.table().render())
+    # Paper shape: overhead shrinks (weakly) from 8 to 16 entries...
+    for row in result.rows:
+        assert row.overhead(16) <= row.overhead(8) + 1e-9
+    # ...bitcount and susan are negligible, stringsearch is the worst.
+    assert result.row("bitcount").normalized_overhead(8) < 1.0
+    assert result.row("susan").normalized_overhead(8) < 1.0
+    worst = max(result.rows, key=lambda row: row.normalized_overhead(16))
+    assert worst.workload in ("stringsearch", "blowfish")

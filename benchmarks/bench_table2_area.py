@@ -1,0 +1,20 @@
+"""Table 2 benchmark: synthesis (area/timing model) of every configuration."""
+
+from repro.area.synthesis import synthesize
+from repro.eval.table2_area import run_table2
+
+
+def test_table2_synthesis(benchmark, save_result):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    save_result("table2_area", result.table().render())
+    baseline = result.row(None)
+    assert baseline.report.cell_area == 2_136_594
+    assert abs(result.row(1).area_overhead - 2.7) < 0.1
+    assert abs(result.row(16).area_overhead - 28.8) < 0.1
+    for entries in (1, 8, 16):
+        assert result.row(entries).period_overhead == 0.0
+
+
+def test_synthesis_throughput(benchmark):
+    report = benchmark(synthesize, 16)
+    assert report.critical_stage == "EX"

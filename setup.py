@@ -1,0 +1,6 @@
+"""Setup shim: this environment lacks the `wheel` package, so PEP-517
+editable installs fail; the legacy setup.py path works offline."""
+
+from setuptools import setup
+
+setup()

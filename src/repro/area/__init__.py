@@ -1,0 +1,36 @@
+"""Standard-cell area and timing model (the synthesis substitute).
+
+The paper synthesizes its processors with Synopsys DC against TSMC's 0.18 µ
+library and reports cell area and minimum period (Table 2).  This package
+replaces that flow with an explicit component-level cost model:
+
+* :mod:`repro.area.cells` — unit areas/delays of a 0.18 µ-class cell
+  library, with the calibration points documented.
+* :mod:`repro.area.components` — the processor's component inventory
+  (register file, ALU, multiplier, control, ...) and the CIC's components
+  (STA/RHASH registers, HASHFU variants, comparator, CAM entries).
+* :mod:`repro.area.synthesis` — "synthesize" a processor configuration into
+  a :class:`SynthesisReport` of cell area and minimum period.
+
+The *structure* of the model carries the result: CIC area is a fixed part
+plus a per-entry CAM part (hence near-linear growth, Table 2), and the
+cycle time is set by the EX-stage critical path, which the IF/ID monitoring
+logic never touches (hence zero cycle-time overhead).
+"""
+
+from repro.area.cells import CellLibrary
+from repro.area.components import (
+    baseline_inventory,
+    cic_inventory,
+    hashfu_area,
+)
+from repro.area.synthesis import SynthesisReport, synthesize
+
+__all__ = [
+    "CellLibrary",
+    "SynthesisReport",
+    "baseline_inventory",
+    "cic_inventory",
+    "hashfu_area",
+    "synthesize",
+]

@@ -1,0 +1,108 @@
+"""Component inventories: the baseline core and the Code Integrity Checker.
+
+``baseline_inventory`` itemises the unmodified single-issue PISA-style core;
+its total is calibrated to the paper's 2 136 594 µm² baseline (an ASIP
+Meister-generated, unoptimized netlist).  ``cic_inventory`` itemises the
+monitor: fixed logic (STA/RHASH registers, HASHFU, comparator, control) plus
+a per-entry CAM cost, the structure behind Table 2's near-linear growth.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.area.cells import DEFAULT_LIBRARY, CellLibrary
+
+#: Width of one IHT entry's CAM tag+data: Addst(32) + Addend(32) + Hash(32)
+#: + valid(1).
+IHT_ENTRY_BITS = 97
+#: LRU timestamp bits per entry (replacement bookkeeping hardware).
+LRU_BITS = 16
+
+
+def baseline_inventory(library: CellLibrary = DEFAULT_LIBRARY) -> dict[str, float]:
+    """Cell area (µm²) of every baseline-core component.
+
+    Component proportions are typical of an unoptimized standard-cell flow;
+    the total is calibrated to the paper's baseline (see cells.py).
+    """
+    scale = library.nand2 / 10.0  # track gate-equivalent scaling
+    return {
+        "register_file_32x32": 185_000.0 * scale,
+        "alu_32": 95_000.0 * scale,
+        "barrel_shifter": 45_000.0 * scale,
+        "muldiv_unit": 520_000.0 * scale,
+        "pc_unit": 22_000.0 * scale,
+        "pipeline_latches": 96_000.0 * scale,
+        "instruction_decoder": 72_000.0 * scale,
+        "control_unit": 260_000.0 * scale,
+        "imem_interface": 210_000.0 * scale,
+        "dmem_interface": 230_000.0 * scale,
+        "exception_unit": 65_000.0 * scale,
+        "forwarding_muxes": 120_000.0 * scale,
+        "trap_logic": 48_000.0 * scale,
+        "clock_tree_buffers": 168_594.0 * scale,
+    }
+
+
+#: HASHFU gate complexity per algorithm (NAND2-equivalent gate counts).
+_HASHFU_GATES = {
+    "xor": 64,        # 32 XOR2 cells (2 gates each)
+    "rotxor": 68,     # XOR tree + rotate wiring
+    "add": 420,       # 32-bit carry-propagate adder
+    "fletcher": 960,  # two 16-bit adders, mod-65535 correction, registers
+    "crc32": 880,     # 32-bit parallel CRC XOR network (word-at-a-time)
+    "sha1": 48_000,   # 80-round datapath: far beyond single-cycle budget
+}
+
+#: HASHFU update-path delay in ns (must fit under the IF stage's slack).
+_HASHFU_DELAY = {
+    "xor": 0.35,
+    "rotxor": 0.40,
+    "add": 3.10,
+    "fletcher": 4.60,
+    "crc32": 2.80,
+    "sha1": 160.0,   # would need ~80 cycles; reported for the ablation
+}
+
+
+def hashfu_area(hash_name: str, library: CellLibrary = DEFAULT_LIBRARY) -> float:
+    """HASHFU cell area for the given algorithm."""
+    try:
+        gates = _HASHFU_GATES[hash_name]
+    except KeyError:
+        raise ConfigurationError(f"no area model for hash {hash_name!r}") from None
+    return library.gates(gates)
+
+
+def hashfu_delay(hash_name: str) -> float:
+    """HASHFU update-path delay (ns)."""
+    try:
+        return _HASHFU_DELAY[hash_name]
+    except KeyError:
+        raise ConfigurationError(f"no delay model for hash {hash_name!r}") from None
+
+
+def iht_entry_area(library: CellLibrary = DEFAULT_LIBRARY) -> float:
+    """Area of one IHT entry: CAM bits + LRU counter + entry control."""
+    cam = IHT_ENTRY_BITS * library.cam_bit
+    lru = LRU_BITS * library.counter_bit
+    control = library.gates(306)  # match-line sense, refill mux, valid logic
+    return cam + lru + control
+
+
+def cic_inventory(
+    iht_entries: int,
+    hash_name: str = "xor",
+    library: CellLibrary = DEFAULT_LIBRARY,
+) -> dict[str, float]:
+    """Cell area of every CIC component for a given configuration."""
+    if iht_entries < 1:
+        raise ConfigurationError("IHT needs at least one entry")
+    return {
+        "sta_register": 32 * library.dff,
+        "rhash_register": 32 * library.dff,
+        f"hashfu_{hash_name}": hashfu_area(hash_name, library),
+        "comparator": 96 * library.comparator_bit,
+        "cic_control": library.gates(1_319),
+        f"iht_{iht_entries}_entries": iht_entries * iht_entry_area(library),
+    }

@@ -1,0 +1,138 @@
+"""The "synthesis" step: processor configuration → area and timing report.
+
+Timing is a per-stage critical-path model.  The EX stage (forwarding muxes,
+32-bit ALU with carry chain, latch setup) dominates at 37.90 ns — the
+paper's observation that "normally the critical path of a single-issue
+pipeline processor is in the execution stage".  The monitoring additions sit
+in IF (one XOR level, in parallel with the IReg write) and ID (CAM tag
+match, in parallel with decode+register read), so the minimum period does
+not change until the CAM grows by orders of magnitude beyond the paper's
+sizes — :func:`iht_scaling_limit` reports the crossover.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.area.cells import DEFAULT_LIBRARY, CellLibrary
+from repro.area.components import (
+    baseline_inventory,
+    cic_inventory,
+    hashfu_delay,
+)
+
+#: Baseline per-stage critical paths (ns), EX dominating at the paper's
+#: 37.90 ns minimum period.
+_BASE_STAGE_DELAY = {
+    "IF": 27.90,   # imem access + IReg setup
+    "ID": 27.50,   # decode + register read + branch compare + bypass mux
+    "EX": 37.90,   # bypass mux + 32-bit ALU + latch setup
+    "MEM": 28.40,  # dmem access
+    "WB": 8.00,    # write-back mux
+}
+
+
+@dataclass(slots=True)
+class SynthesisReport:
+    """Area/timing results for one processor configuration."""
+
+    name: str
+    cell_area: float
+    min_period: float
+    stage_delays: dict[str, float]
+    inventory: dict[str, float] = field(default_factory=dict)
+
+    def area_overhead(self, baseline: "SynthesisReport") -> float:
+        """Percent cell-area overhead relative to *baseline*."""
+        return 100.0 * (self.cell_area - baseline.cell_area) / baseline.cell_area
+
+    def period_overhead(self, baseline: "SynthesisReport") -> float:
+        """Percent minimum-period overhead relative to *baseline*."""
+        return 100.0 * (self.min_period - baseline.min_period) / baseline.min_period
+
+    @property
+    def critical_stage(self) -> str:
+        return max(self.stage_delays, key=self.stage_delays.get)
+
+
+def _monitor_if_path(hash_name: str, library: CellLibrary) -> float:
+    """IF-stage monitoring path: RHASH read → HASHFU → RHASH setup.
+
+    Runs in parallel with the fetch path; only a longer-than-fetch hash unit
+    (e.g. the SHA-1 datapath) would stretch the stage.
+    """
+    return library.dff_clk_to_q + hashfu_delay(hash_name) + library.dff_setup
+
+
+def _monitor_id_path(iht_entries: int, hash_name: str, library: CellLibrary) -> float:
+    """ID-stage monitoring path: CAM tag match + hit reduction + exception.
+
+    The 64-bit tag comparison is constant; the hit-reduction OR tree grows
+    with log2(entries).
+    """
+    tag_compare = 7 * library.gate_delay            # 64-bit XNOR/AND tree
+    reduction = math.ceil(math.log2(max(iht_entries, 2))) * library.gate_delay
+    wire_loading = 0.002 * iht_entries              # hit-line RC growth
+    hash_compare = 6 * library.gate_delay           # 32-bit hash equality
+    exception_logic = 2 * library.gate_delay
+    finalize = hashfu_delay(hash_name) if hash_name in ("crc32",) else 0.0
+    return (
+        library.dff_clk_to_q
+        + tag_compare
+        + reduction
+        + wire_loading
+        + hash_compare
+        + exception_logic
+        + finalize
+        + library.dff_setup
+    )
+
+
+def synthesize(
+    iht_entries: int | None,
+    hash_name: str = "xor",
+    library: CellLibrary = DEFAULT_LIBRARY,
+    name: str | None = None,
+) -> SynthesisReport:
+    """Produce the synthesis report for a processor configuration.
+
+    ``iht_entries=None`` is the unmodified baseline; any integer >= 1 adds a
+    CIC with that many IHT entries and the given HASHFU algorithm.
+    """
+    inventory = dict(baseline_inventory(library))
+    stage_delays = dict(_BASE_STAGE_DELAY)
+    if iht_entries is None:
+        report_name = name or "baseline"
+    else:
+        report_name = name or f"cic_{iht_entries}_{hash_name}"
+        inventory.update(cic_inventory(iht_entries, hash_name, library))
+        stage_delays["IF"] = max(
+            stage_delays["IF"], _monitor_if_path(hash_name, library)
+        )
+        stage_delays["ID"] = max(
+            stage_delays["ID"], _monitor_id_path(iht_entries, hash_name, library)
+        )
+    return SynthesisReport(
+        name=report_name,
+        cell_area=sum(inventory.values()),
+        min_period=max(stage_delays.values()),
+        stage_delays=stage_delays,
+        inventory=inventory,
+    )
+
+
+def iht_scaling_limit(
+    hash_name: str = "xor", library: CellLibrary = DEFAULT_LIBRARY
+) -> int:
+    """Largest IHT size whose CAM match still hides under the EX stage.
+
+    Confirms the paper's claim structurally: for any realistic table size
+    the monitoring logic is off the critical path.
+    """
+    entries = 1
+    while entries < 1 << 30:
+        if _monitor_id_path(entries * 2, hash_name, library) > _BASE_STAGE_DELAY["EX"]:
+            return entries
+        entries *= 2
+    return entries  # pragma: no cover - unreachable for sane libraries

@@ -1,0 +1,25 @@
+"""Assembler toolchain for the PISA-like ISA.
+
+The toolchain turns assembly source into a :class:`~repro.asm.program.Program`
+image that both simulators execute and the static analyser consumes:
+
+* :mod:`repro.asm.lexer` — line tokenizer.
+* :mod:`repro.asm.parser` — statements (labels, directives, instructions).
+* :mod:`repro.asm.assembler` — two-pass assembly with pseudo-instruction
+  expansion and symbol resolution.
+* :mod:`repro.asm.disassembler` — canonical text for decoded instructions.
+* :mod:`repro.asm.program` — the loadable image (segments + symbols).
+"""
+
+from repro.asm.assembler import Assembler, assemble
+from repro.asm.disassembler import disassemble_word, format_instruction
+from repro.asm.program import Program, Segment
+
+__all__ = [
+    "Assembler",
+    "Program",
+    "Segment",
+    "assemble",
+    "disassemble_word",
+    "format_instruction",
+]

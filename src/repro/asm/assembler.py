@@ -1,0 +1,569 @@
+"""Two-pass assembler.
+
+Pass 1 lays out sections, expands pseudo-instructions (with sizes fixed at
+parse time so layout is deterministic), and collects the symbol table.
+Pass 2 encodes machine instructions, resolving symbolic operands against the
+symbol table.
+
+Supported directives: ``.text``, ``.data``, ``.globl`` (recorded, no effect),
+``.word``, ``.half``, ``.byte``, ``.space``, ``.align``, ``.ascii``,
+``.asciiz``.
+
+Supported pseudo-instructions: ``nop``, ``move``, ``li``, ``la``, ``b``,
+``beqz``, ``bnez``, ``bgt``, ``blt``, ``bge``, ``ble``, ``neg``, ``not``,
+``mul``, 3-operand ``div``/``rem``, ``subi``, ``ret``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import AssemblerError, LinkError
+from repro.asm.parser import (
+    DirectiveStatement,
+    InstructionStatement,
+    LabelStatement,
+    Operand,
+    parse,
+)
+from repro.asm.program import DATA_BASE, TEXT_BASE, Program, Segment
+from repro.isa import opcodes
+from repro.isa.encoding import encode_fields
+from repro.isa.opcodes import Mnemonic
+from repro.isa.registers import AT, RA, ZERO
+from repro.utils.bitops import MASK32, sign_extend
+
+# Operand signature of every machine instruction, used for validation.
+_SIGNATURES: dict[str, str] = {
+    "add": "rd,rs,rt", "addu": "rd,rs,rt", "sub": "rd,rs,rt", "subu": "rd,rs,rt",
+    "and": "rd,rs,rt", "or": "rd,rs,rt", "xor": "rd,rs,rt", "nor": "rd,rs,rt",
+    "slt": "rd,rs,rt", "sltu": "rd,rs,rt",
+    "sllv": "rd,rt,rs", "srlv": "rd,rt,rs", "srav": "rd,rt,rs",
+    "sll": "rd,rt,shamt", "srl": "rd,rt,shamt", "sra": "rd,rt,shamt",
+    "mult": "rs,rt", "multu": "rs,rt", "div2": "rs,rt", "divu": "rs,rt",
+    "mfhi": "rd", "mflo": "rd", "mthi": "rs", "mtlo": "rs",
+    "jr": "rs", "jalr": "jalr", "syscall": "none", "break": "none",
+    "addi": "rt,rs,imm", "addiu": "rt,rs,imm", "slti": "rt,rs,imm",
+    "sltiu": "rt,rs,imm", "andi": "rt,rs,imm", "ori": "rt,rs,imm",
+    "xori": "rt,rs,imm", "lui": "rt,imm",
+    "lb": "rt,mem", "lh": "rt,mem", "lw": "rt,mem", "lbu": "rt,mem",
+    "lhu": "rt,mem", "sb": "rt,mem", "sh": "rt,mem", "sw": "rt,mem",
+    "beq": "rs,rt,label", "bne": "rs,rt,label",
+    "blez": "rs,label", "bgtz": "rs,label", "bltz": "rs,label", "bgez": "rs,label",
+    "j": "label", "jal": "label",
+}
+
+_LOADS_STORES = {"lb", "lh", "lw", "lbu", "lhu", "sb", "sh", "sw"}
+
+
+def _reg(value: int) -> Operand:
+    return Operand("reg", value)
+
+
+def _imm(value: int) -> Operand:
+    return Operand("imm", value)
+
+
+class Assembler:
+    """Two-pass assembler producing :class:`~repro.asm.program.Program`."""
+
+    def __init__(self, text_base: int = TEXT_BASE, data_base: int = DATA_BASE):
+        self.text_base = text_base
+        self.data_base = data_base
+
+    def assemble(self, source: str, name: str = "a.out") -> Program:
+        statements = parse(source)
+        expanded = self._expand_all(statements)
+        symbols = self._layout(expanded)
+        return self._emit(expanded, symbols, name)
+
+    # ------------------------------------------------------------------
+    # Pseudo-instruction expansion
+    # ------------------------------------------------------------------
+
+    def _expand_all(self, statements: list) -> list:
+        out: list = []
+        for statement in statements:
+            if isinstance(statement, InstructionStatement):
+                out.extend(self._expand(statement))
+            else:
+                out.append(statement)
+        return out
+
+    def _expand(self, stmt: InstructionStatement) -> list[InstructionStatement]:
+        m = stmt.mnemonic
+        ops = stmt.operands
+        line = stmt.line
+
+        def instr(mnemonic: str, *operands: Operand) -> InstructionStatement:
+            return InstructionStatement(mnemonic, list(operands), line)
+
+        if m == "nop":
+            return [instr("sll", _reg(0), _reg(0), _imm(0))]
+        if m == "ret":
+            return [instr("jr", _reg(RA))]
+        if m == "move":
+            self._expect(stmt, 2, ("reg", "reg"))
+            return [instr("addu", ops[0], ops[1], _reg(ZERO))]
+        if m == "neg":
+            self._expect(stmt, 2, ("reg", "reg"))
+            return [instr("sub", ops[0], _reg(ZERO), ops[1])]
+        if m == "not":
+            self._expect(stmt, 2, ("reg", "reg"))
+            return [instr("nor", ops[0], ops[1], _reg(ZERO))]
+        if m == "li":
+            self._expect(stmt, 2, ("reg", "imm"))
+            return self._expand_li(ops[0], ops[1].value, line)
+        if m == "la":
+            if len(ops) != 2 or ops[0].kind != "reg" or ops[1].kind not in ("sym", "imm"):
+                raise AssemblerError("la expects register, symbol", line=line)
+            if ops[1].kind == "imm":
+                return self._expand_li(ops[0], ops[1].value, line)
+            symbol = ops[1].symbol
+            return [
+                instr("lui", _reg(AT), Operand("sym", symbol=symbol, value=1)),
+                instr("ori", ops[0], _reg(AT), Operand("sym", symbol=symbol, value=2)),
+            ]
+        if m == "b":
+            return [instr("beq", _reg(ZERO), _reg(ZERO), *ops)]
+        if m == "beqz":
+            self._expect_min(stmt, 2)
+            return [instr("beq", ops[0], _reg(ZERO), ops[1])]
+        if m == "bnez":
+            self._expect_min(stmt, 2)
+            return [instr("bne", ops[0], _reg(ZERO), ops[1])]
+        if m in ("bgt", "blt", "bge", "ble"):
+            self._expect_min(stmt, 3)
+            a, b, label = ops
+            prologue = []
+            if b.kind == "imm":
+                if not -32768 <= b.value <= 32767:
+                    raise AssemblerError(
+                        f"branch comparison immediate {b.value} out of range",
+                        line=line,
+                    )
+                prologue.append(instr("addiu", _reg(AT), _reg(ZERO), b))
+                b = _reg(AT)
+            if m in ("bgt", "ble"):
+                compare = instr("slt", _reg(AT), b, a)
+            else:
+                compare = instr("slt", _reg(AT), a, b)
+            branch = "bne" if m in ("bgt", "blt") else "beq"
+            return prologue + [compare, instr(branch, _reg(AT), _reg(ZERO), label)]
+        if m in ("beq", "bne") and len(ops) == 3 and ops[1].kind == "imm":
+            if not -32768 <= ops[1].value <= 32767:
+                raise AssemblerError(
+                    f"branch comparison immediate {ops[1].value} out of range",
+                    line=line,
+                )
+            return [
+                instr("addiu", _reg(AT), _reg(ZERO), ops[1]),
+                instr(m, ops[0], _reg(AT), ops[2]),
+            ]
+        if m == "mul":
+            self._expect(stmt, 3, ("reg", "reg", "reg"))
+            return [instr("mult", ops[1], ops[2]), instr("mflo", ops[0])]
+        if m == "div" and len(ops) == 3:
+            return [instr("div2", ops[1], ops[2]), instr("mflo", ops[0])]
+        if m == "div" and len(ops) == 2:
+            return [instr("div2", ops[0], ops[1])]
+        if m == "divu" and len(ops) == 3:
+            return [instr("divu", ops[1], ops[2]), instr("mflo", ops[0])]
+        if m == "rem":
+            self._expect(stmt, 3, ("reg", "reg", "reg"))
+            return [instr("div2", ops[1], ops[2]), instr("mfhi", ops[0])]
+        if m == "remu":
+            self._expect(stmt, 3, ("reg", "reg", "reg"))
+            return [instr("divu", ops[1], ops[2]), instr("mfhi", ops[0])]
+        if m == "subi":
+            self._expect(stmt, 3, ("reg", "reg", "imm"))
+            return [instr("addi", ops[0], ops[1], _imm(-ops[2].value))]
+        if m in _LOADS_STORES and len(ops) == 2 and ops[1].kind == "sym":
+            # lw $t0, label  ->  lui $at, %hi(label); lw $t0, %lo(label)($at)
+            symbol = ops[1].symbol
+            return [
+                instr("lui", _reg(AT), Operand("sym", symbol=symbol, value=3)),
+                instr(m, ops[0], Operand("mem", 0, symbol=symbol, base=AT)),
+            ]
+        if m in _SIGNATURES or m == "div2":
+            return [stmt]
+        raise AssemblerError(f"unknown mnemonic {m!r}", line=line)
+
+    def _expand_li(
+        self, dest: Operand, value: int, line: int
+    ) -> list[InstructionStatement]:
+        value &= MASK32
+        signed = sign_extend(value, 32)
+        if -32768 <= signed <= 32767:
+            return [
+                InstructionStatement(
+                    "addiu", [dest, _reg(ZERO), _imm(signed)], line
+                )
+            ]
+        if 0 <= value <= 0xFFFF:
+            return [
+                InstructionStatement("ori", [dest, _reg(ZERO), _imm(value)], line)
+            ]
+        sequence = [
+            InstructionStatement("lui", [dest, _imm(value >> 16)], line)
+        ]
+        if value & 0xFFFF:
+            sequence.append(
+                InstructionStatement(
+                    "ori", [dest, dest, _imm(value & 0xFFFF)], line
+                )
+            )
+        return sequence
+
+    @staticmethod
+    def _expect(stmt: InstructionStatement, count: int, kinds: tuple[str, ...]) -> None:
+        if len(stmt.operands) != count or any(
+            op.kind != kind for op, kind in zip(stmt.operands, kinds)
+        ):
+            raise AssemblerError(
+                f"{stmt.mnemonic} expects operands {', '.join(kinds)}",
+                line=stmt.line,
+            )
+
+    @staticmethod
+    def _expect_min(stmt: InstructionStatement, count: int) -> None:
+        if len(stmt.operands) < count:
+            raise AssemblerError(
+                f"{stmt.mnemonic} expects {count} operands", line=stmt.line
+            )
+
+    # ------------------------------------------------------------------
+    # Pass 1: layout
+    # ------------------------------------------------------------------
+
+    def _layout(self, statements: list) -> dict[str, int]:
+        symbols: dict[str, int] = {}
+        counters = {"text": self.text_base, "data": self.data_base}
+        section = "text"
+        # Labels bind to the address of the *next emitted byte*, which may be
+        # past alignment padding inserted by .word/.half/.align.  They are
+        # therefore held pending until the next size-affecting statement.
+        pending: list[LabelStatement] = []
+
+        def bind(address: int) -> None:
+            for label in pending:
+                if label.name in symbols:
+                    raise AssemblerError(
+                        f"duplicate label {label.name!r}", line=label.line
+                    )
+                symbols[label.name] = address
+            pending.clear()
+
+        for statement in statements:
+            if isinstance(statement, LabelStatement):
+                pending.append(statement)
+            elif isinstance(statement, DirectiveStatement):
+                before = counters[section]
+                new_section, new_counter = self._layout_directive(
+                    statement, section, counters
+                )
+                if new_section != section:
+                    bind(before)  # labels before .text/.data bind in the old section
+                    section = new_section
+                else:
+                    aligned_start = self._directive_aligned_start(statement, before)
+                    bind(aligned_start)
+                    counters[section] = new_counter
+            elif isinstance(statement, InstructionStatement):
+                if section != "text":
+                    raise AssemblerError(
+                        "instruction outside .text section", line=statement.line
+                    )
+                bind(counters["text"])
+                counters["text"] += 4
+        bind(counters[section])
+        return symbols
+
+    @staticmethod
+    def _directive_aligned_start(stmt: DirectiveStatement, counter: int) -> int:
+        """Address of the first byte the directive will emit at *counter*."""
+        if stmt.name == ".word":
+            return _align(counter, 4)
+        if stmt.name == ".half":
+            return _align(counter, 2)
+        if stmt.name == ".align":
+            return _align(counter, 1 << int(stmt.args[0]) if stmt.args else 1)
+        return counter
+
+    def _layout_directive(
+        self, stmt: DirectiveStatement, section: str, counters: dict[str, int]
+    ) -> tuple[str, int]:
+        name = stmt.name
+        counter = counters[section]
+        if name == ".text":
+            return "text", counters["text"]
+        if name == ".data":
+            return "data", counters["data"]
+        if name == ".globl":
+            return section, counter
+        if name == ".word":
+            counter = _align(counter, 4) + 4 * len(stmt.args)
+        elif name == ".half":
+            counter = _align(counter, 2) + 2 * len(stmt.args)
+        elif name == ".byte":
+            counter += len(stmt.args)
+        elif name == ".space":
+            counter += int(self._single_int(stmt))
+        elif name == ".align":
+            counter = _align(counter, 1 << int(self._single_int(stmt)))
+        elif name in (".ascii", ".asciiz"):
+            total = sum(
+                len(arg) + (1 if name == ".asciiz" else 0)
+                for arg in stmt.args
+                if isinstance(arg, str)
+            )
+            counter += total
+        else:
+            raise AssemblerError(f"unknown directive {name!r}", line=stmt.line)
+        return section, counter
+
+    @staticmethod
+    def _single_int(stmt: DirectiveStatement) -> int:
+        if len(stmt.args) != 1 or not isinstance(stmt.args[0], int):
+            raise AssemblerError(
+                f"{stmt.name} expects one integer argument", line=stmt.line
+            )
+        return stmt.args[0]
+
+    # ------------------------------------------------------------------
+    # Pass 2: emission
+    # ------------------------------------------------------------------
+
+    def _emit(self, statements: list, symbols: dict[str, int], name: str) -> Program:
+        text = Segment(self.text_base)
+        data = Segment(self.data_base)
+        source_map: dict[int, str] = {}
+        section = "text"
+        segments = {"text": text, "data": data}
+        for statement in statements:
+            if isinstance(statement, LabelStatement):
+                continue
+            if isinstance(statement, DirectiveStatement):
+                if statement.name == ".text":
+                    section = "text"
+                elif statement.name == ".data":
+                    section = "data"
+                elif statement.name != ".globl":
+                    self._emit_directive(statement, segments[section], symbols)
+                continue
+            address = text.end
+            word = self._encode(statement, address, symbols)
+            text.data.extend(struct.pack("<I", word))
+            source_map[address] = (
+                f"{statement.mnemonic} "
+                f"{', '.join(op.describe() for op in statement.operands)}"
+            ).strip()
+        entry = symbols.get("main", self.text_base)
+        return Program(
+            text=text,
+            data=data,
+            symbols=symbols,
+            entry=entry,
+            source_map=source_map,
+            name=name,
+        )
+
+    def _emit_directive(
+        self, stmt: DirectiveStatement, segment: Segment, symbols: dict[str, int]
+    ) -> None:
+        name = stmt.name
+
+        def pad_to(alignment: int) -> None:
+            address = segment.end
+            aligned = _align(address, alignment)
+            segment.data.extend(b"\0" * (aligned - address))
+
+        if name == ".word":
+            pad_to(4)
+            for arg in stmt.args:
+                value = self._directive_value(arg, symbols, stmt)
+                segment.data.extend(struct.pack("<I", value & MASK32))
+        elif name == ".half":
+            pad_to(2)
+            for arg in stmt.args:
+                value = self._directive_value(arg, symbols, stmt)
+                segment.data.extend(struct.pack("<H", value & 0xFFFF))
+        elif name == ".byte":
+            for arg in stmt.args:
+                value = self._directive_value(arg, symbols, stmt)
+                segment.data.append(value & 0xFF)
+        elif name == ".space":
+            segment.data.extend(b"\0" * int(self._single_int(stmt)))
+        elif name == ".align":
+            pad_to(1 << int(self._single_int(stmt)))
+        elif name in (".ascii", ".asciiz"):
+            for arg in stmt.args:
+                if not isinstance(arg, str):
+                    raise AssemblerError(
+                        f"{name} expects string arguments", line=stmt.line
+                    )
+                segment.data.extend(arg.encode("latin-1"))
+                if name == ".asciiz":
+                    segment.data.append(0)
+
+    @staticmethod
+    def _directive_value(
+        arg: object, symbols: dict[str, int], stmt: DirectiveStatement
+    ) -> int:
+        if isinstance(arg, int):
+            return arg
+        if isinstance(arg, Operand) and arg.kind == "sym":
+            try:
+                return symbols[arg.symbol or ""]
+            except KeyError:
+                raise AssemblerError(
+                    f"undefined symbol {arg.symbol!r}", line=stmt.line
+                ) from None
+        raise AssemblerError(f"bad directive value {arg!r}", line=stmt.line)
+
+    def _encode(
+        self, stmt: InstructionStatement, address: int, symbols: dict[str, int]
+    ) -> int:
+        mnemonic = stmt.mnemonic
+        signature = _SIGNATURES.get(mnemonic)
+        if signature is None:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line=stmt.line)
+        ops = stmt.operands
+        enum_name = "div" if mnemonic == "div2" else mnemonic
+        m = Mnemonic(enum_name)
+
+        def resolve_sym(op: Operand) -> int:
+            try:
+                value = symbols[op.symbol or ""]
+            except KeyError:
+                raise AssemblerError(
+                    f"undefined symbol {op.symbol!r}", line=stmt.line
+                ) from None
+            if op.value == 1:  # %hi for la (pairs with ori)
+                return value >> 16
+            if op.value == 2:  # %lo for la
+                return value & 0xFFFF
+            if op.value == 3:  # %hi for load/store (pairs with signed offset)
+                return ((value + 0x8000) >> 16) & 0xFFFF
+            return value
+
+        try:
+            if signature == "rd,rs,rt":
+                return encode_fields(m, rd=ops[0].value, rs=ops[1].value, rt=ops[2].value)
+            if signature == "rd,rt,rs":
+                return encode_fields(m, rd=ops[0].value, rt=ops[1].value, rs=ops[2].value)
+            if signature == "rd,rt,shamt":
+                shamt = ops[2].value
+                if not 0 <= shamt < 32:
+                    raise AssemblerError(
+                        f"shift amount {shamt} out of range", line=stmt.line
+                    )
+                return encode_fields(m, rd=ops[0].value, rt=ops[1].value, shamt=shamt)
+            if signature == "rs,rt":
+                return encode_fields(m, rs=ops[0].value, rt=ops[1].value)
+            if signature == "rd":
+                return encode_fields(m, rd=ops[0].value)
+            if signature == "rs":
+                return encode_fields(m, rs=ops[0].value)
+            if signature == "jalr":
+                if len(ops) == 1:
+                    return encode_fields(m, rd=RA, rs=ops[0].value)
+                return encode_fields(m, rd=ops[0].value, rs=ops[1].value)
+            if signature == "none":
+                code = ops[0].value if ops else 0
+                return encode_fields(m, code=code)
+            if signature == "rt,rs,imm":
+                imm_op = ops[2]
+                imm = resolve_sym(imm_op) if imm_op.kind == "sym" else imm_op.value
+                return encode_fields(m, rt=ops[0].value, rs=ops[1].value, imm=imm)
+            if signature == "rt,imm":
+                imm_op = ops[1]
+                imm = resolve_sym(imm_op) if imm_op.kind == "sym" else imm_op.value
+                return encode_fields(m, rt=ops[0].value, imm=imm & 0xFFFF)
+            if signature == "rt,mem":
+                mem = ops[1]
+                if mem.kind != "mem":
+                    raise AssemblerError(
+                        f"{mnemonic} expects offset($reg) operand", line=stmt.line
+                    )
+                offset = mem.value
+                if mem.symbol is not None:
+                    symbol_value = symbols.get(mem.symbol)
+                    if symbol_value is None:
+                        raise AssemblerError(
+                            f"undefined symbol {mem.symbol!r}", line=stmt.line
+                        )
+                    offset = sign_extend(symbol_value & 0xFFFF, 16)
+                return encode_fields(m, rt=ops[0].value, rs=mem.base or 0, imm=offset)
+            if signature == "rs,rt,label":
+                return encode_fields(
+                    m,
+                    rs=ops[0].value,
+                    rt=ops[1].value,
+                    imm=self._branch_offset(ops[2], address, symbols, stmt),
+                )
+            if signature == "rs,label":
+                return encode_fields(
+                    m,
+                    rs=ops[0].value,
+                    imm=self._branch_offset(ops[1], address, symbols, stmt),
+                )
+            if signature == "label":
+                target = self._absolute_target(ops[0], symbols, stmt)
+                if target & 3:
+                    raise AssemblerError(
+                        f"jump target {target:#x} not word aligned", line=stmt.line
+                    )
+                return encode_fields(m, target=(target >> 2) & 0x03FF_FFFF)
+        except IndexError:
+            raise AssemblerError(
+                f"{mnemonic} expects operands {signature}", line=stmt.line
+            ) from None
+        raise AssemblerError(f"unhandled signature {signature!r}", line=stmt.line)
+
+    def _branch_offset(
+        self,
+        op: Operand,
+        address: int,
+        symbols: dict[str, int],
+        stmt: InstructionStatement,
+    ) -> int:
+        target = self._absolute_target(op, symbols, stmt)
+        delta = target - (address + 4)
+        if delta & 3:
+            raise AssemblerError(
+                f"branch target {target:#x} not word aligned", line=stmt.line
+            )
+        offset = delta >> 2
+        if not -32768 <= offset <= 32767:
+            raise AssemblerError(
+                f"branch target {target:#x} out of range", line=stmt.line
+            )
+        return offset
+
+    @staticmethod
+    def _absolute_target(
+        op: Operand, symbols: dict[str, int], stmt: InstructionStatement
+    ) -> int:
+        if op.kind == "sym":
+            try:
+                return symbols[op.symbol or ""]
+            except KeyError:
+                raise AssemblerError(
+                    f"undefined symbol {op.symbol!r}", line=stmt.line
+                ) from None
+        if op.kind == "imm":
+            return op.value & MASK32
+        raise AssemblerError(
+            f"bad control-flow target {op.describe()!r}", line=stmt.line
+        )
+
+
+def _align(value: int, alignment: int) -> int:
+    remainder = value % alignment
+    return value + (alignment - remainder) % alignment
+
+
+def assemble(source: str, name: str = "a.out") -> Program:
+    """Assemble *source* with default bases; convenience wrapper."""
+    return Assembler().assemble(source, name)

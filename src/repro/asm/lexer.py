@@ -1,0 +1,96 @@
+"""Line-oriented tokenizer for assembly source.
+
+The assembler's grammar is line based, so the lexer yields a token list per
+source line.  Comments start with ``#`` or ``;`` and run to end of line.
+String literals (for ``.asciiz``) keep their quotes so the parser can apply
+escape processing in one place.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import AssemblerError
+
+TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<STRING>"(?:[^"\\]|\\.)*")        # quoted string
+  | (?P<CHAR>'(?:[^'\\]|\\.)')           # character literal
+  | (?P<HEX>[+-]?0[xX][0-9a-fA-F]+)      # hex number
+  | (?P<NUM>[+-]?\d+)                    # decimal number
+  | (?P<REG>\$[a-zA-Z0-9]+)              # register
+  | (?P<IDENT>\.?[A-Za-z_][A-Za-z0-9_.$]*)  # identifier / directive
+  | (?P<COLON>:)
+  | (?P<COMMA>,)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<WS>[ \t]+)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A single lexical token with its source line for diagnostics."""
+
+    kind: str
+    text: str
+    line: int
+
+
+def strip_comment(line: str) -> str:
+    """Remove ``#``/``;`` comments, respecting string and char literals."""
+    out = []
+    in_string: str | None = None
+    index = 0
+    while index < len(line):
+        char = line[index]
+        if in_string:
+            out.append(char)
+            if char == "\\" and index + 1 < len(line):
+                out.append(line[index + 1])
+                index += 2
+                continue
+            if char == in_string:
+                in_string = None
+        elif char in "\"'":
+            in_string = char
+            out.append(char)
+        elif char in "#;":
+            break
+        else:
+            out.append(char)
+        index += 1
+    return "".join(out)
+
+
+def tokenize_line(line: str, line_number: int) -> list[Token]:
+    """Tokenize one source line (comments already permitted in input)."""
+    text = strip_comment(line)
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = TOKEN_PATTERN.match(text, position)
+        if match is None:
+            raise AssemblerError(
+                f"unexpected character {text[position]!r}", line=line_number
+            )
+        kind = match.lastgroup or ""
+        if kind != "WS":
+            tokens.append(Token(kind, match.group(), line_number))
+        position = match.end()
+    return tokens
+
+
+def tokenize(source: str) -> list[list[Token]]:
+    """Tokenize a whole source text into per-line token lists.
+
+    Blank/comment-only lines yield empty lists so line numbers stay aligned
+    with the original source.
+    """
+    return [
+        tokenize_line(line, number)
+        for number, line in enumerate(source.splitlines(), start=1)
+    ]

@@ -1,0 +1,213 @@
+"""Parser: token lines → statements.
+
+Statements are the assembler's intermediate form.  A line may carry any
+number of labels followed by at most one directive or instruction.  Operands
+are parsed into a small algebra (:class:`Operand`) covering registers,
+literal values, symbols, and register-indirect ``offset($reg)`` forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblerError
+from repro.asm.lexer import Token, tokenize
+from repro.isa.registers import register_number
+
+ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    '"': '"',
+    "'": "'",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Operand:
+    """One parsed operand.
+
+    ``kind`` is one of:
+
+    * ``reg`` — ``value`` holds the register number.
+    * ``imm`` — ``value`` holds a literal integer.
+    * ``sym`` — ``symbol`` holds a label name, ``value`` an addend.
+    * ``mem`` — register-indirect: ``value`` = offset (or ``symbol`` set),
+      ``base`` = base register number.
+    """
+
+    kind: str
+    value: int = 0
+    symbol: str | None = None
+    base: int | None = None
+
+    def describe(self) -> str:
+        if self.kind == "reg":
+            return f"${self.value}"
+        if self.kind == "imm":
+            return str(self.value)
+        if self.kind == "sym":
+            return self.symbol or "?"
+        return f"{self.symbol or self.value}(${self.base})"
+
+
+@dataclass(slots=True)
+class LabelStatement:
+    name: str
+    line: int
+
+
+@dataclass(slots=True)
+class DirectiveStatement:
+    name: str
+    args: list[object]  # ints, strings, or Operand('sym')
+    line: int
+
+
+@dataclass(slots=True)
+class InstructionStatement:
+    mnemonic: str
+    operands: list[Operand] = field(default_factory=list)
+    line: int = 0
+
+
+Statement = LabelStatement | DirectiveStatement | InstructionStatement
+
+
+def parse(source: str) -> list[Statement]:
+    """Parse assembly source text into a statement list."""
+    statements: list[Statement] = []
+    for tokens in tokenize(source):
+        statements.extend(_parse_line(tokens))
+    return statements
+
+
+def _parse_line(tokens: list[Token]) -> list[Statement]:
+    statements: list[Statement] = []
+    index = 0
+    # Leading labels: IDENT ':' pairs.
+    while (
+        index + 1 < len(tokens)
+        and tokens[index].kind in ("IDENT", "NUM")
+        and tokens[index + 1].kind == "COLON"
+    ):
+        statements.append(LabelStatement(tokens[index].text, tokens[index].line))
+        index += 2
+    if index >= len(tokens):
+        return statements
+    head = tokens[index]
+    rest = tokens[index + 1 :]
+    if head.kind != "IDENT":
+        raise AssemblerError(f"expected mnemonic, found {head.text!r}", line=head.line)
+    if head.text.startswith("."):
+        statements.append(_parse_directive(head, rest))
+    else:
+        statements.append(_parse_instruction(head, rest))
+    return statements
+
+
+def _parse_directive(head: Token, rest: list[Token]) -> DirectiveStatement:
+    args: list[object] = []
+    for token in rest:
+        if token.kind == "COMMA":
+            continue
+        if token.kind in ("NUM", "HEX"):
+            args.append(int(token.text, 0))
+        elif token.kind == "CHAR":
+            args.append(_char_value(token))
+        elif token.kind == "STRING":
+            args.append(_string_value(token))
+        elif token.kind == "IDENT":
+            args.append(Operand("sym", symbol=token.text))
+        else:
+            raise AssemblerError(
+                f"bad directive argument {token.text!r}", line=token.line
+            )
+    return DirectiveStatement(head.text.lower(), args, head.line)
+
+
+def _parse_instruction(head: Token, rest: list[Token]) -> InstructionStatement:
+    operands: list[Operand] = []
+    index = 0
+    while index < len(rest):
+        token = rest[index]
+        if token.kind == "COMMA":
+            index += 1
+            continue
+        if token.kind == "REG":
+            operands.append(Operand("reg", register_number(token.text)))
+            index += 1
+        elif token.kind in ("NUM", "HEX", "CHAR", "IDENT"):
+            if token.kind == "CHAR":
+                value: int | None = _char_value(token)
+                symbol = None
+            elif token.kind == "IDENT":
+                value = None
+                symbol = token.text
+            else:
+                value = int(token.text, 0)
+                symbol = None
+            # Look ahead for the register-indirect form: value ( $reg )
+            if index + 1 < len(rest) and rest[index + 1].kind == "LPAREN":
+                if index + 3 >= len(rest) or rest[index + 2].kind != "REG" or rest[
+                    index + 3
+                ].kind != "RPAREN":
+                    raise AssemblerError("malformed address operand", line=token.line)
+                base = register_number(rest[index + 2].text)
+                operands.append(
+                    Operand("mem", value or 0, symbol=symbol, base=base)
+                )
+                index += 4
+            elif symbol is not None:
+                operands.append(Operand("sym", symbol=symbol))
+                index += 1
+            else:
+                operands.append(Operand("imm", value or 0))
+                index += 1
+        elif token.kind == "LPAREN":
+            # Bare "($reg)" means offset 0.
+            if index + 2 >= len(rest) or rest[index + 1].kind != "REG" or rest[
+                index + 2
+            ].kind != "RPAREN":
+                raise AssemblerError("malformed address operand", line=token.line)
+            operands.append(
+                Operand("mem", 0, base=register_number(rest[index + 1].text))
+            )
+            index += 3
+        else:
+            raise AssemblerError(f"bad operand {token.text!r}", line=token.line)
+    return InstructionStatement(head.text.lower(), operands, head.line)
+
+
+def _char_value(token: Token) -> int:
+    body = token.text[1:-1]
+    if body.startswith("\\"):
+        try:
+            return ord(ESCAPES[body[1]])
+        except KeyError:
+            raise AssemblerError(
+                f"unknown escape {body!r}", line=token.line
+            ) from None
+    return ord(body)
+
+
+def _string_value(token: Token) -> str:
+    body = token.text[1:-1]
+    out = []
+    index = 0
+    while index < len(body):
+        char = body[index]
+        if char == "\\" and index + 1 < len(body):
+            escape = body[index + 1]
+            if escape not in ESCAPES:
+                raise AssemblerError(
+                    f"unknown escape \\{escape}", line=token.line
+                )
+            out.append(ESCAPES[escape])
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)

@@ -1,0 +1,104 @@
+"""The loadable program image.
+
+A :class:`Program` is what the assembler emits and what loaders consume: a
+text segment, a data segment, the symbol table, and the entry point.  Memory
+layout follows the SPIM convention the workloads assume:
+
+* text at ``0x0040_0000``
+* static data at ``0x1001_0000``
+* stack top at ``0x7FFF_EFFC`` (grows down)
+
+Addresses are byte addresses; all words are little-endian.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import LinkError
+
+TEXT_BASE = 0x0040_0000
+DATA_BASE = 0x1001_0000
+STACK_TOP = 0x7FFF_EFFC
+
+
+@dataclass(slots=True)
+class Segment:
+    """A contiguous byte range at a fixed base address."""
+
+    base: int
+    data: bytearray = field(default_factory=bytearray)
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the segment."""
+        return self.base + len(self.data)
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+    def word_at(self, address: int) -> int:
+        """Little-endian 32-bit word at *address* (must be in range)."""
+        offset = address - self.base
+        return struct.unpack_from("<I", self.data, offset)[0]
+
+    def set_word(self, address: int, value: int) -> None:
+        offset = address - self.base
+        struct.pack_into("<I", self.data, offset, value & 0xFFFFFFFF)
+
+
+@dataclass(slots=True)
+class Program:
+    """An assembled, linked program image."""
+
+    text: Segment
+    data: Segment
+    symbols: dict[str, int] = field(default_factory=dict)
+    entry: int = TEXT_BASE
+    #: Map from text address to the source line that produced it (listing).
+    source_map: dict[int, str] = field(default_factory=dict)
+    name: str = "a.out"
+
+    @property
+    def text_start(self) -> int:
+        return self.text.base
+
+    @property
+    def text_end(self) -> int:
+        """Address one past the last text word."""
+        return self.text.end
+
+    def text_addresses(self) -> range:
+        """All instruction addresses in the text segment."""
+        return range(self.text.base, self.text.end, 4)
+
+    def word_at(self, address: int) -> int:
+        """Read a word from whichever segment holds *address*."""
+        if self.text.contains(address):
+            return self.text.word_at(address)
+        if self.data.contains(address):
+            return self.data.word_at(address)
+        raise LinkError(f"address {address:#010x} not in any segment")
+
+    def symbol(self, name: str) -> int:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise LinkError(f"undefined symbol {name!r}") from None
+
+    def listing(self) -> str:
+        """Human-readable listing of the text segment (for debugging)."""
+        from repro.asm.disassembler import disassemble_word
+
+        lines = []
+        for address in self.text_addresses():
+            word = self.text.word_at(address)
+            try:
+                text = disassemble_word(word, address)
+            except Exception:  # invalid word placed intentionally (tests)
+                text = f".word {word:#010x}"
+            source = self.source_map.get(address, "")
+            suffix = f"  ; {source}" if source else ""
+            lines.append(f"{address:#010x}: {word:08x}  {text}{suffix}")
+        return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Static program analysis: basic blocks, CFG, expected-hash generation.
+
+This package is the paper's "special program" that computes expected hashes
+"after binary code is generated" (Section 3.3).  It enumerates every
+dynamic-block identity the monitor can observe and produces the full hash
+table the OS attaches to the process.
+"""
+
+from repro.cfg.basic_blocks import (
+    StaticBlock,
+    enumerate_monitored_blocks,
+    entry_points,
+    leaders,
+    partition_blocks,
+)
+from repro.cfg.graph import control_flow_graph
+from repro.cfg.hashgen import build_fht
+
+__all__ = [
+    "StaticBlock",
+    "build_fht",
+    "control_flow_graph",
+    "entry_points",
+    "enumerate_monitored_blocks",
+    "leaders",
+    "partition_blocks",
+]

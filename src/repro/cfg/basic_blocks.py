@@ -1,0 +1,143 @@
+"""Basic-block enumeration.
+
+Two views of the text segment coexist:
+
+* **Monitored blocks** (:func:`enumerate_monitored_blocks`) — the blocks the
+  run-time monitor actually observes.  A dynamic block starts immediately
+  after any control transfer and ends at the next flow-control instruction
+  *inclusive*.  Possible start addresses are therefore: the program entry,
+  every branch/jump target, the fall-through of every flow-control
+  instruction (covers untaken branches and returns from traps), and — to
+  cover targets materialised through ``la``/``jalr`` function pointers —
+  every text-segment symbol.  Distinct entry points flowing into the same
+  terminator yield *overlapping* blocks with separate FHT records, exactly
+  as a post-binary hash generator would emit them.
+
+* **Canonical partition** (:func:`partition_blocks`) — the classic
+  compiler-style partition at leaders, used to build the CFG and to report
+  per-program block counts (the paper quotes "25 basic blocks executed" for
+  stringsearch and "93" for susan in this sense).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.program import Program
+from repro.errors import DecodingError
+from repro.isa.encoding import decode
+from repro.isa.instruction import Instruction
+from repro.isa.properties import (
+    BRANCHES,
+    DIRECT_JUMPS,
+    branch_target,
+    is_control_flow,
+    jump_target,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class StaticBlock:
+    """A statically enumerated block: [start, end] inclusive, plus words."""
+
+    start: int
+    end: int
+    words: tuple[int, ...]
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.start, self.end)
+
+    @property
+    def length(self) -> int:
+        return len(self.words)
+
+
+def _decode_text(program: Program) -> dict[int, Instruction]:
+    """Decode every text word; undecodable words are simply not blocks."""
+    instructions: dict[int, Instruction] = {}
+    for address in program.text_addresses():
+        word = program.text.word_at(address)
+        try:
+            instructions[address] = decode(word, address)
+        except DecodingError:
+            continue
+    return instructions
+
+
+def entry_points(program: Program) -> set[int]:
+    """All addresses at which a dynamic basic block can begin."""
+    instructions = _decode_text(program)
+    points: set[int] = {program.entry}
+    text_start, text_end = program.text_start, program.text_end
+    for address, instruction in instructions.items():
+        if instruction.mnemonic in DIRECT_JUMPS:
+            target = jump_target(instruction, address)
+            if text_start <= target < text_end:
+                points.add(target)
+        elif instruction.mnemonic in BRANCHES:
+            target = branch_target(instruction, address)
+            if text_start <= target < text_end:
+                points.add(target)
+        if is_control_flow(instruction):
+            fall_through = address + 4
+            if text_start <= fall_through < text_end:
+                points.add(fall_through)
+    # Text symbols: conservative cover for la/jalr-materialised targets.
+    for value in program.symbols.values():
+        if text_start <= value < text_end and value % 4 == 0:
+            points.add(value)
+    return points
+
+
+def enumerate_monitored_blocks(program: Program) -> list[StaticBlock]:
+    """Every block identity the monitor can observe at run time."""
+    instructions = _decode_text(program)
+    blocks = []
+    for start in sorted(entry_points(program)):
+        block = _walk_block(program, instructions, start)
+        if block is not None:
+            blocks.append(block)
+    return blocks
+
+
+def _walk_block(
+    program: Program, instructions: dict[int, Instruction], start: int
+) -> StaticBlock | None:
+    words = []
+    address = start
+    while address < program.text_end:
+        instruction = instructions.get(address)
+        if instruction is None:
+            return None  # ran into a non-decodable word: not executable
+        words.append(instruction.word)
+        if is_control_flow(instruction):
+            return StaticBlock(start, address, tuple(words))
+        address += 4
+    return None  # ran off the end of text without a terminator
+
+
+def leaders(program: Program) -> set[int]:
+    """Leader addresses of the canonical basic-block partition."""
+    return entry_points(program)
+
+
+def partition_blocks(program: Program) -> list[StaticBlock]:
+    """Classic partition: blocks end at flow control *or* the next leader."""
+    instructions = _decode_text(program)
+    leader_set = sorted(leaders(program))
+    blocks = []
+    leader_lookup = set(leader_set)
+    for start in leader_set:
+        words = []
+        address = start
+        while address < program.text_end:
+            instruction = instructions.get(address)
+            if instruction is None:
+                break
+            words.append(instruction.word)
+            if is_control_flow(instruction) or (address + 4) in leader_lookup:
+                blocks.append(StaticBlock(start, address, tuple(words)))
+                break
+            address += 4
+    return blocks

@@ -1,0 +1,23 @@
+"""Expected-hash generation (the post-binary "special program").
+
+Builds the full hash table for a program image: one record per monitored
+block identity, hashed with the processor's HASHFU algorithm.  Because the
+generator folds exactly the same instruction words the IF stage will fetch,
+an untampered execution can never produce a hash mismatch — a property the
+integration tests assert over every workload.
+"""
+
+from __future__ import annotations
+
+from repro.asm.program import Program
+from repro.cfg.basic_blocks import enumerate_monitored_blocks
+from repro.cic.fht import FullHashTable
+from repro.cic.hashes import HashAlgorithm, block_hash
+
+
+def build_fht(program: Program, algorithm: HashAlgorithm) -> FullHashTable:
+    """Enumerate monitored blocks and hash each with *algorithm*."""
+    fht = FullHashTable()
+    for block in enumerate_monitored_blocks(program):
+        fht.add(block.start, block.end, block_hash(algorithm, block.words))
+    return fht

@@ -1,0 +1,46 @@
+"""Code Integrity Checker (CIC).
+
+The hardware monitor of the paper's Figure 2: a hash functional unit
+(``HASHFU``), the internal hash table CAM (``IHTbb``), the comparator, and
+the ``STA``/``RHASH`` bookkeeping registers.  The fast behavioural model
+(:class:`~repro.cic.checker.CodeIntegrityChecker`) and the
+microoperation-level pipeline integration share the same
+:class:`~repro.cic.iht.InternalHashTable` and hash algorithms, so both paths
+are checked against each other by the differential tests.
+"""
+
+from repro.cic.checker import CodeIntegrityChecker, MonitorStats
+from repro.cic.fht import FullHashTable
+from repro.cic.hashes import (
+    HASH_ALGORITHMS,
+    AddChecksum,
+    Crc32,
+    Fletcher32,
+    HashAlgorithm,
+    RotXorChecksum,
+    Sha1Trunc,
+    XorChecksum,
+    block_hash,
+    get_hash,
+)
+from repro.cic.iht import InternalHashTable, TableStats
+from repro.cic.replay import replay_trace
+
+__all__ = [
+    "AddChecksum",
+    "CodeIntegrityChecker",
+    "Crc32",
+    "Fletcher32",
+    "FullHashTable",
+    "HASH_ALGORITHMS",
+    "HashAlgorithm",
+    "InternalHashTable",
+    "MonitorStats",
+    "RotXorChecksum",
+    "Sha1Trunc",
+    "TableStats",
+    "XorChecksum",
+    "block_hash",
+    "get_hash",
+    "replay_trace",
+]

@@ -1,0 +1,114 @@
+"""Behavioural model of the Code Integrity Checker.
+
+This is the fast-path equivalent of the monitoring microoperations of
+Figures 3 and 4: it maintains the ``STA`` (block start address) and
+``RHASH`` (running hash) registers, performs the IHT lookup at every block
+end, and dispatches hash-miss / hash-mismatch exceptions to the OS handler.
+
+The microoperation-level pipeline executes the *same* ``InternalHashTable``
+and OS handler through parsed microprograms; the differential tests assert
+that both paths produce identical statistics and verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cic.hashes import HashAlgorithm
+from repro.cic.iht import InternalHashTable, TableStats
+
+
+@dataclass(slots=True)
+class MonitorStats:
+    """Aggregated monitor statistics reported in a RunResult."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    mismatches: int = 0
+    os_cycles: int = 0
+    blocks_hashed: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.misses / self.lookups
+
+
+class CodeIntegrityChecker:
+    """The CIC of Figure 2, behavioural form.
+
+    Parameters
+    ----------
+    iht:
+        The internal hash table CAM (shared with the OS handler).
+    handler:
+        OS exception handler; must expose ``on_miss(start, end, hash) -> int``
+        (extra cycles) and ``on_mismatch(start, end, hash) -> NoReturn``.
+    algorithm:
+        The HASHFU hash algorithm.
+    """
+
+    def __init__(self, iht: InternalHashTable, handler, algorithm: HashAlgorithm):
+        self.iht = iht
+        self.handler = handler
+        self.algorithm = algorithm
+        # STA register: None is the hardware's "cleared" state (the paper
+        # encodes it as zero; text never starts at address 0 in our layout,
+        # and None makes the sentinel explicit).
+        self._sta: int | None = None
+        self._rhash: object = algorithm.initial()
+        self._os_cycles = 0
+        self._blocks = 0
+
+    # ------------------------------------------------------------------
+    # Monitor protocol (called by the simulators)
+    # ------------------------------------------------------------------
+
+    def on_instruction(self, address: int, word: int) -> None:
+        """The IF-stage extension of Figure 3: latch STA, fold RHASH."""
+        if self._sta is None:
+            self._sta = address
+        self._rhash = self.algorithm.update(self._rhash, word)
+
+    def on_block_end(self, end_address: int) -> int:
+        """The ID-stage extension of Figure 4: look up, raise, reset."""
+        start = self._sta if self._sta is not None else 0
+        hash_value = self.algorithm.finalize(self._rhash)
+        found, match = self.iht.lookup(start, end_address, hash_value)
+        extra_cycles = 0
+        if not found:
+            extra_cycles = self.handler.on_miss(start, end_address, hash_value)
+            self._os_cycles += extra_cycles
+        elif not match:
+            self.handler.on_mismatch(start, end_address, hash_value)
+        self._sta = None
+        self._rhash = self.algorithm.initial()
+        self._blocks += 1
+        return extra_cycles
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def sta(self) -> int | None:
+        return self._sta
+
+    @property
+    def rhash_value(self) -> int:
+        """Finalized view of the running hash (for tests/debugging)."""
+        return self.algorithm.finalize(self._rhash)
+
+    @property
+    def stats(self) -> MonitorStats:
+        table: TableStats = self.iht.stats
+        return MonitorStats(
+            lookups=table.lookups,
+            hits=table.hits,
+            misses=table.misses,
+            mismatches=table.mismatches,
+            os_cycles=self._os_cycles,
+            blocks_hashed=self._blocks,
+        )

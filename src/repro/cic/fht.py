@@ -1,0 +1,100 @@
+"""The full hash table (FHT) — all expected hashes, resident in memory.
+
+The FHT is "analogous to memory" while the IHT "acts like a cache of
+expected hashes" (Section 3.3).  It is generated after binary code is
+produced (by :mod:`repro.cfg.hashgen`, standing in for the paper's "special
+program or the OS application loader") and attached to the application.
+
+Records are kept sorted by ``(start, end)``; the OS refill policies use
+:meth:`records_from` to prefetch the records that statically follow a missed
+block, modelling spatial locality of the table layout.
+
+``to_bytes``/``from_bytes`` give the on-disk/in-memory representation the
+paper describes — "all the hash values are simply attached to the
+application code and data" — used by the OS loader example.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import LinkError
+
+_RECORD = struct.Struct("<III")
+_MAGIC = 0x46485431  # "FHT1"
+
+
+class FullHashTable:
+    """Sorted map from block identity ``(start, end)`` to expected hash."""
+
+    def __init__(self, records: dict[tuple[int, int], int] | None = None):
+        self._records: dict[tuple[int, int], int] = dict(records or {})
+        self._ordered: list[tuple[int, int]] = sorted(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._records
+
+    def get(self, start: int, end: int) -> int | None:
+        return self._records.get((start, end))
+
+    def add(self, start: int, end: int, hash_value: int) -> None:
+        key = (start, end)
+        if key not in self._records:
+            self._ordered = []  # rebuilt lazily
+        self._records[key] = hash_value
+
+    def items(self):
+        return self._records.items()
+
+    def keys_sorted(self) -> list[tuple[int, int]]:
+        if len(self._ordered) != len(self._records):
+            self._ordered = sorted(self._records)
+        return self._ordered
+
+    def records_from(self, key: tuple[int, int], count: int):
+        """Yield up to *count* records starting at *key*, wrapping around.
+
+        The missed block's record comes first; subsequent records follow the
+        static table order (sequential prefetch on refill).
+        """
+        ordered = self.keys_sorted()
+        if not ordered or count <= 0:
+            return
+        try:
+            position = ordered.index(key)
+        except ValueError:
+            raise LinkError(f"block {key[0]:#x}..{key[1]:#x} not in FHT") from None
+        total = min(count, len(ordered))
+        for offset in range(total):
+            record_key = ordered[(position + offset) % len(ordered)]
+            yield record_key[0], record_key[1], self._records[record_key]
+
+    # ------------------------------------------------------------------
+    # Serialized form (attached to the application image)
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize: magic, record count, then (start, end, hash) triples."""
+        out = bytearray(struct.pack("<II", _MAGIC, len(self._records)))
+        for (start, end) in self.keys_sorted():
+            out.extend(_RECORD.pack(start, end, self._records[(start, end)]))
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "FullHashTable":
+        if len(blob) < 8:
+            raise LinkError("FHT blob too short")
+        magic, count = struct.unpack_from("<II", blob, 0)
+        if magic != _MAGIC:
+            raise LinkError(f"bad FHT magic {magic:#010x}")
+        expected = 8 + count * _RECORD.size
+        if len(blob) < expected:
+            raise LinkError(f"FHT blob truncated: {len(blob)} < {expected}")
+        records = {}
+        for index in range(count):
+            start, end, hash_value = _RECORD.unpack_from(blob, 8 + index * _RECORD.size)
+            records[(start, end)] = hash_value
+        return cls(records)

@@ -1,0 +1,247 @@
+"""Hash algorithms for the HASHFU.
+
+The paper evaluates a 32-bit XOR checksum and names stronger candidates
+(MD5, SHA-1) as future work; Section 6.3 analyses the XOR checksum's error
+model.  This module implements the evaluated function plus the design-space
+neighbours used by the ablation study — all from scratch:
+
+========  =====================================  ======================
+name      update                                 error-detection notes
+========  =====================================  ======================
+xor       ``h ^= w``                             misses any pattern with
+                                                 even flips per column;
+                                                 order-independent
+add       ``h = (h + w) mod 2^32``               misses compensating
+                                                 flips; order-independent
+rotxor    ``h = rotl(h, 1) ^ w``                 position-dependent,
+                                                 catches reorderings
+fletcher  Fletcher-32 over 16-bit halves         position-dependent
+crc32     reflected CRC-32 (poly 0xEDB88320)     detects all single-bit
+                                                 and burst < 32 errors
+sha1      SHA-1 truncated to 32 bits             cryptographic; collision
+                                                 probability ~2^-32 at
+                                                 this truncation
+========  =====================================  ======================
+
+Every algorithm follows the same streaming interface: ``initial()`` →
+repeated ``update(state, word)`` → ``finalize(state)`` producing the 32-bit
+value stored in the hash tables.  For the XOR-family, state *is* the
+finalized value, matching the RHASH register semantics of Figure 3.
+"""
+
+from __future__ import annotations
+
+import struct
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigurationError
+from repro.utils.bitops import MASK32, rotl32
+
+
+class HashAlgorithm(ABC):
+    """Streaming hash over a sequence of 32-bit instruction words."""
+
+    #: Registry key and display name.
+    name: str = ""
+    #: Width in bits of the finalized value (always 32 in this design).
+    width: int = 32
+
+    @abstractmethod
+    def initial(self) -> object:
+        """State of RHASH after reset."""
+
+    @abstractmethod
+    def update(self, state: object, word: int) -> object:
+        """Fold one instruction word into the running state."""
+
+    def finalize(self, state: object) -> int:
+        """Reduce the state to the 32-bit value compared against the IHT."""
+        assert isinstance(state, int)
+        return state & MASK32
+
+
+class XorChecksum(HashAlgorithm):
+    """The paper's evaluated hash: word-wise XOR."""
+
+    name = "xor"
+
+    def initial(self) -> int:
+        return 0
+
+    def update(self, state: int, word: int) -> int:
+        return (state ^ word) & MASK32
+
+
+class AddChecksum(HashAlgorithm):
+    """Modular addition checksum."""
+
+    name = "add"
+
+    def initial(self) -> int:
+        return 0
+
+    def update(self, state: int, word: int) -> int:
+        return (state + word) & MASK32
+
+
+class RotXorChecksum(HashAlgorithm):
+    """Rotate-left-then-XOR: position-dependent variant of XOR.
+
+    A one-gate-deeper HASHFU that additionally detects instruction
+    *reordering* within a block, which plain XOR cannot (XOR is
+    commutative).  Ablation A2 quantifies the coverage difference.
+    """
+
+    name = "rotxor"
+
+    def initial(self) -> int:
+        return 0
+
+    def update(self, state: int, word: int) -> int:
+        return (rotl32(state, 1) ^ word) & MASK32
+
+
+class Fletcher32(HashAlgorithm):
+    """Fletcher-32 over the two 16-bit halves of each word."""
+
+    name = "fletcher"
+
+    def initial(self) -> tuple[int, int]:
+        return (0, 0)
+
+    def update(self, state: tuple[int, int], word: int) -> tuple[int, int]:
+        sum1, sum2 = state
+        for half in (word & 0xFFFF, (word >> 16) & 0xFFFF):
+            sum1 = (sum1 + half) % 65535
+            sum2 = (sum2 + sum1) % 65535
+        return (sum1, sum2)
+
+    def finalize(self, state: tuple[int, int]) -> int:
+        sum1, sum2 = state
+        return ((sum2 << 16) | sum1) & MASK32
+
+
+def _build_crc_table() -> tuple[int, ...]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ 0xEDB88320 if crc & 1 else crc >> 1
+        table.append(crc)
+    return tuple(table)
+
+
+class Crc32(HashAlgorithm):
+    """Reflected CRC-32 (IEEE 802.3 polynomial), bytes in memory order."""
+
+    name = "crc32"
+    _TABLE = _build_crc_table()
+
+    def initial(self) -> int:
+        return 0xFFFFFFFF
+
+    def update(self, state: int, word: int) -> int:
+        crc = state
+        for shift in (0, 8, 16, 24):  # little-endian byte order
+            byte = (word >> shift) & 0xFF
+            crc = (crc >> 8) ^ self._TABLE[(crc ^ byte) & 0xFF]
+        return crc & MASK32
+
+    def finalize(self, state: int) -> int:
+        return (state ^ 0xFFFFFFFF) & MASK32
+
+
+def _sha1_compress(h: tuple[int, int, int, int, int], chunk: bytes):
+    words = list(struct.unpack(">16I", chunk))
+    for index in range(16, 80):
+        words.append(
+            rotl32(
+                words[index - 3]
+                ^ words[index - 8]
+                ^ words[index - 14]
+                ^ words[index - 16],
+                1,
+            )
+        )
+    a, b, c, d, e = h
+    for index in range(80):
+        if index < 20:
+            f, k = (b & c) | (~b & d), 0x5A827999
+        elif index < 40:
+            f, k = b ^ c ^ d, 0x6ED9EBA1
+        elif index < 60:
+            f, k = (b & c) | (b & d) | (c & d), 0x8F1BBCDC
+        else:
+            f, k = b ^ c ^ d, 0xCA62C1D6
+        temp = (rotl32(a, 5) + f + e + k + words[index]) & MASK32
+        a, b, c, d, e = temp, a, rotl32(b, 30), c & MASK32, d
+    return (
+        (h[0] + a) & MASK32,
+        (h[1] + b) & MASK32,
+        (h[2] + c) & MASK32,
+        (h[3] + d) & MASK32,
+        (h[4] + e) & MASK32,
+    )
+
+
+_SHA1_IV = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+
+
+class Sha1Trunc(HashAlgorithm):
+    """Streaming SHA-1 (implemented from scratch), truncated to 32 bits.
+
+    State is ``(h0..h4, buffered bytes, total length)``.  The paper cites
+    SHA-1's 2^-80 undetected-error probability at full width; truncation to
+    the 32-bit table format gives ~2^-32, still far below the checksums for
+    multi-bit faults — ablation A2 measures this.
+    """
+
+    name = "sha1"
+
+    def initial(self) -> tuple:
+        return (_SHA1_IV, b"", 0)
+
+    def update(self, state: tuple, word: int) -> tuple:
+        h, buffer, length = state
+        buffer += struct.pack("<I", word & MASK32)
+        length += 4
+        while len(buffer) >= 64:
+            h = _sha1_compress(h, buffer[:64])
+            buffer = buffer[64:]
+        return (h, buffer, length)
+
+    def finalize(self, state: tuple) -> int:
+        h, buffer, length = state
+        buffer += b"\x80"
+        while len(buffer) % 64 != 56:
+            buffer += b"\x00"
+        buffer += struct.pack(">Q", length * 8)
+        for offset in range(0, len(buffer), 64):
+            h = _sha1_compress(h, buffer[offset : offset + 64])
+        return h[0] & MASK32
+
+
+#: Registry of all HASHFU algorithms, keyed by name.
+HASH_ALGORITHMS: dict[str, type[HashAlgorithm]] = {
+    cls.name: cls
+    for cls in (XorChecksum, AddChecksum, RotXorChecksum, Fletcher32, Crc32, Sha1Trunc)
+}
+
+
+def get_hash(name: str) -> HashAlgorithm:
+    """Instantiate a registered hash algorithm by name."""
+    try:
+        return HASH_ALGORITHMS[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown hash algorithm {name!r}; "
+            f"available: {', '.join(sorted(HASH_ALGORITHMS))}"
+        ) from None
+
+
+def block_hash(algorithm: HashAlgorithm, words) -> int:
+    """Hash of a whole basic block (sequence of instruction words)."""
+    state = algorithm.initial()
+    for word in words:
+        state = algorithm.update(state, word)
+    return algorithm.finalize(state)

@@ -1,0 +1,42 @@
+"""Trace-driven IHT replay.
+
+Figure 6 sweeps the IHT size over nine applications.  Re-simulating each
+application for every table size would repeat identical instruction
+execution; since the IHT's behaviour depends only on the *block trace*, the
+sweep replays a recorded trace through a fresh IHT + refill policy per
+configuration.  The integration tests verify that replay statistics equal
+the statistics of a full monitored simulation for every workload and size.
+"""
+
+from __future__ import annotations
+
+from repro.cic.fht import FullHashTable
+from repro.cic.iht import InternalHashTable, TableStats
+from repro.pipeline.trace import BlockTrace
+
+
+def replay_trace(
+    trace: BlockTrace,
+    fht: FullHashTable,
+    iht_size: int,
+    policy,
+) -> TableStats:
+    """Replay *trace* through an IHT of *iht_size* using *policy*.
+
+    The trace is assumed untampered (hashes match the FHT), so every lookup
+    is either a hit or a capacity/cold miss — exactly the Figure 6 regime.
+    Returns the table statistics after the full replay.
+    """
+    iht = InternalHashTable(iht_size)
+    for event in trace:
+        expected = fht.get(event.start, event.end)
+        if expected is None:
+            raise ValueError(
+                f"trace block {event.start:#x}..{event.end:#x} missing from FHT"
+            )
+        found, match = iht.lookup(event.start, event.end, expected)
+        if found and not match:
+            raise ValueError("mismatch during untampered replay — corrupt FHT?")
+        if not found:
+            policy.refill(iht, fht, (event.start, event.end))
+    return iht.stats

@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``asm FILE``
+    Assemble a source file and print the listing (address, encoding,
+    disassembly).
+
+``run FILE``
+    Assemble and execute unmonitored on the functional ISS; print console
+    output and cycle statistics.  ``--engine pipeline`` uses the
+    cycle-level pipeline; ``--input N`` queues integers for ``read_int``.
+
+``monitor FILE``
+    Execute under the OS-managed integrity monitor; report monitor
+    statistics.  ``--iht N``, ``--hash NAME``, ``--policy NAME`` select the
+    configuration; ``--flip ADDR:BIT`` injects a persistent fault before
+    the run to exercise detection.
+
+``workload NAME``
+    Run one of the nine built-in workloads monitored and report statistics
+    (``--scale tiny|small|default``).
+
+``experiments``
+    Regenerate every paper table/figure into ``results/`` (equivalent to
+    ``examples/paper_experiments.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.asm.assembler import assemble
+from repro.errors import MonitorViolation, ReproError
+from repro.osmodel.loader import load_process
+from repro.pipeline.cpu import PipelineCPU
+from repro.pipeline.funcsim import FuncSim
+
+
+def _engine(name: str):
+    return PipelineCPU if name == "pipeline" else FuncSim
+
+
+def _read_source(path: str) -> str:
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def cmd_asm(args: argparse.Namespace) -> int:
+    program = assemble(_read_source(args.file), name=args.file)
+    print(program.listing())
+    print(f"; entry {program.entry:#010x}, "
+          f"{len(program.text.data) // 4} instructions, "
+          f"{len(program.data.data)} data bytes")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = assemble(_read_source(args.file), name=args.file)
+    simulator = _engine(args.engine)(program, inputs=args.input or None)
+    result = simulator.run()
+    if result.console:
+        print(result.console, end="" if result.console.endswith("\n") else "\n")
+    print(f"; exit {result.exit_code}, {result.instructions} instructions, "
+          f"{result.cycles} cycles ({args.engine})", file=sys.stderr)
+    return result.exit_code
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    program = assemble(_read_source(args.file), name=args.file)
+    process = load_process(
+        program,
+        iht_size=args.iht,
+        hash_name=args.hash,
+        policy_name=args.policy,
+    )
+    simulator = _engine(args.engine)(
+        program, monitor=process.monitor, inputs=args.input or None
+    )
+    for spec in args.flip or []:
+        address_text, _, bit_text = spec.partition(":")
+        simulator.state.memory.flip_bit(int(address_text, 0), int(bit_text))
+    try:
+        result = simulator.run()
+    except MonitorViolation as violation:
+        print(f"VIOLATION: {violation}", file=sys.stderr)
+        return 2
+    stats = result.monitor_stats
+    if result.console:
+        print(result.console, end="" if result.console.endswith("\n") else "\n")
+    print(
+        f"; cycles {result.cycles}, lookups {stats.lookups}, "
+        f"hits {stats.hits}, misses {stats.misses} "
+        f"(miss rate {100 * stats.miss_rate:.2f}%), "
+        f"OS cycles {stats.os_cycles}",
+        file=sys.stderr,
+    )
+    return result.exit_code
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    from repro.workloads.suite import WORKLOAD_NAMES, build, workload_inputs
+
+    if args.name not in WORKLOAD_NAMES:
+        print(f"unknown workload {args.name!r}; "
+              f"choose from: {', '.join(WORKLOAD_NAMES)}", file=sys.stderr)
+        return 1
+    program = build(args.name, args.scale)
+    process = load_process(program, iht_size=args.iht, hash_name=args.hash)
+    simulator = _engine(args.engine)(
+        program,
+        monitor=process.monitor,
+        inputs=workload_inputs(args.name, args.scale),
+    )
+    result = simulator.run()
+    stats = result.monitor_stats
+    print(result.console, end="" if result.console.endswith("\n") else "\n")
+    print(
+        f"; {args.name}[{args.scale}]: {result.instructions} instructions, "
+        f"{result.cycles} cycles, miss rate {100 * stats.miss_rate:.2f}% "
+        f"@ IHT {args.iht}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    import importlib.util
+    import pathlib
+
+    script = (
+        pathlib.Path(__file__).resolve().parent.parent.parent
+        / "examples" / "paper_experiments.py"
+    )
+    if script.exists():
+        spec = importlib.util.spec_from_file_location("paper_experiments", script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main(["--scale", args.scale])
+        return 0
+    # Installed without the examples tree: drive the harnesses directly.
+    from repro.eval import run_fig6, run_table1, run_table2
+
+    for result in (run_fig6(scale=args.scale), run_table1(scale=args.scale),
+                   run_table2()):
+        print(result.table().render())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Fei & Shi (DATE 2007) reproduction toolkit"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    asm_command = commands.add_parser("asm", help="assemble and list")
+    asm_command.add_argument("file")
+    asm_command.set_defaults(handler=cmd_asm)
+
+    def _common_run_flags(sub):
+        sub.add_argument("--engine", choices=("func", "pipeline"), default="func")
+        sub.add_argument(
+            "--input", type=int, action="append",
+            help="queue an integer for read_int (repeatable)",
+        )
+
+    run_command = commands.add_parser("run", help="execute unmonitored")
+    run_command.add_argument("file")
+    _common_run_flags(run_command)
+    run_command.set_defaults(handler=cmd_run)
+
+    monitor_command = commands.add_parser("monitor", help="execute monitored")
+    monitor_command.add_argument("file")
+    _common_run_flags(monitor_command)
+    monitor_command.add_argument("--iht", type=int, default=8)
+    monitor_command.add_argument("--hash", default="xor")
+    monitor_command.add_argument("--policy", default="lru_half")
+    monitor_command.add_argument(
+        "--flip", action="append", metavar="ADDR:BIT",
+        help="flip a bit of a stored word before running (repeatable)",
+    )
+    monitor_command.set_defaults(handler=cmd_monitor)
+
+    workload_command = commands.add_parser("workload", help="run a workload")
+    workload_command.add_argument("name")
+    workload_command.add_argument(
+        "--scale", choices=("tiny", "small", "default"), default="small"
+    )
+    workload_command.add_argument("--engine", choices=("func", "pipeline"),
+                                  default="func")
+    workload_command.add_argument("--iht", type=int, default=8)
+    workload_command.add_argument("--hash", default="xor")
+    workload_command.set_defaults(handler=cmd_workload)
+
+    experiments_command = commands.add_parser(
+        "experiments", help="regenerate paper tables/figures"
+    )
+    experiments_command.add_argument(
+        "--scale", choices=("tiny", "small", "default"), default="default"
+    )
+    experiments_command.set_defaults(handler=cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Evaluation harnesses — one driver per paper table/figure.
+
+Each module exposes a ``run(...)`` function returning a result object with
+typed rows plus a rendered :class:`~repro.utils.tables.TextTable`, and the
+paper's reported numbers for side-by-side comparison.  The benchmark
+harnesses under ``benchmarks/`` and the ``examples/paper_experiments.py``
+script drive these and write the outputs under ``results/``.
+
+* :mod:`repro.eval.fig6_miss_rate` — Figure 6: IHT miss rate vs table size.
+* :mod:`repro.eval.table1_cycles` — Table 1: cycle counts and overheads.
+* :mod:`repro.eval.table2_area` — Table 2: synthesis area/period.
+* :mod:`repro.eval.fault_analysis` — Section 6.3: detection coverage.
+* :mod:`repro.eval.ablation_policies` — replacement-policy ablation (A1).
+* :mod:`repro.eval.ablation_hashes` — hash-algorithm ablation (A2).
+"""
+
+from repro.eval.fig6_miss_rate import run_fig6
+from repro.eval.table1_cycles import run_table1
+from repro.eval.table2_area import run_table2
+from repro.eval.fault_analysis import run_fault_analysis
+from repro.eval.ablation_policies import run_policy_ablation
+from repro.eval.ablation_hashes import run_hash_ablation
+
+__all__ = [
+    "run_fault_analysis",
+    "run_fig6",
+    "run_hash_ablation",
+    "run_policy_ablation",
+    "run_table1",
+    "run_table2",
+]

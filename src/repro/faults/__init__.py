@@ -1,0 +1,28 @@
+"""Fault injection and detection-coverage analysis.
+
+Models the two threat classes of the paper's introduction with one
+mechanism — at the instruction level, both manifest as bit flips:
+
+* **security attacks**: persistent modification of program words in memory
+  after the load-time checkpoint (:class:`~repro.faults.models.BitFlipFault`);
+* **transient soft errors**: bit flips on the memory-to-processor transfer
+  path (:class:`~repro.faults.models.TransientFetchFault`), which the
+  in-pipeline monitor catches but an in-cache checker would not
+  (Section 3.2).
+
+:mod:`repro.faults.campaign` runs fault campaigns against monitored
+programs and classifies outcomes for the Section 6.3 fault analysis.
+"""
+
+from repro.faults.campaign import CampaignReport, FaultCampaign, FaultResult, Outcome
+from repro.faults.models import BitFlipFault, TransientFetchFault, make_fetch_hook
+
+__all__ = [
+    "BitFlipFault",
+    "CampaignReport",
+    "FaultCampaign",
+    "FaultResult",
+    "Outcome",
+    "TransientFetchFault",
+    "make_fetch_hook",
+]

@@ -1,0 +1,253 @@
+"""Fault campaigns: inject, run, classify.
+
+A campaign first runs the pristine program unmonitored to capture the
+*golden* console output and the set of executed instruction addresses.
+Each fault is then injected into a freshly loaded monitored simulation and
+the run's outcome is classified:
+
+=====================  ====================================================
+outcome                meaning
+=====================  ====================================================
+``DETECTED_CIC``       the Code Integrity Checker raised a violation
+``DETECTED_BASELINE``  a baseline machine check fired: the decoder rejected
+                       the word (invalid opcode/operand combination) or a
+                       misaligned access trapped — paper §6.3's "some errors
+                       can be detected by baseline microarchitecture itself"
+``CRASHED``            some other simulator-level failure
+``HANG``               the run exceeded its instruction budget
+``SDC``                silent data corruption: run completed, wrong output
+``BENIGN``             run completed with correct output (fault masked or
+                       in never-executed code)
+=====================  ====================================================
+
+The headline coverage metric counts CIC + baseline detections over faults
+injected into *executed* code, matching the paper's scope ("only the errors
+on the executed instructions/basic blocks can be detected").
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.errors import DecodingError, MemoryAccessError, MonitorViolation, SimulationError
+from repro.asm.program import Program
+from repro.faults.models import BitFlipFault, TransientFetchFault, make_fetch_hook
+from repro.osmodel.loader import load_process
+from repro.pipeline.funcsim import FuncSim
+
+
+class Outcome(enum.Enum):
+    DETECTED_CIC = "detected-cic"
+    DETECTED_BASELINE = "detected-baseline"
+    CRASHED = "crashed"
+    HANG = "hang"
+    SDC = "silent-corruption"
+    BENIGN = "benign"
+
+
+#: Outcomes that count as successful detection.
+DETECTED = frozenset({Outcome.DETECTED_CIC, Outcome.DETECTED_BASELINE})
+
+
+@dataclass(slots=True)
+class FaultResult:
+    fault: object
+    outcome: Outcome
+    detail: str = ""
+
+
+@dataclass(slots=True)
+class CampaignReport:
+    """Aggregated campaign statistics."""
+
+    results: list[FaultResult] = field(default_factory=list)
+
+    def counts(self) -> Counter:
+        return Counter(result.outcome for result in self.results)
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    @property
+    def detected(self) -> int:
+        return sum(1 for result in self.results if result.outcome in DETECTED)
+
+    @property
+    def detection_rate(self) -> float:
+        """Detections over all injected faults."""
+        if not self.results:
+            return 0.0
+        return self.detected / self.total
+
+    @property
+    def sdc_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        silent = sum(1 for result in self.results if result.outcome is Outcome.SDC)
+        return silent / self.total
+
+    def summary(self) -> str:
+        counts = self.counts()
+        parts = [f"{self.total} faults"]
+        for outcome in Outcome:
+            if counts[outcome]:
+                parts.append(f"{outcome.value}={counts[outcome]}")
+        parts.append(f"coverage={100 * self.detection_rate:.1f}%")
+        return ", ".join(parts)
+
+
+class FaultCampaign:
+    """Run fault-injection campaigns against one program."""
+
+    def __init__(
+        self,
+        program: Program,
+        iht_size: int = 8,
+        hash_name: str = "xor",
+        policy_name: str = "lru_half",
+        inputs: list[int] | None = None,
+        instruction_budget_factor: int = 20,
+    ):
+        self.program = program
+        self.iht_size = iht_size
+        self.hash_name = hash_name
+        self.policy_name = policy_name
+        self.inputs = list(inputs) if inputs else None
+        golden = FuncSim(program, collect_trace=True, inputs=self.inputs).run()
+        self.golden_console = golden.console
+        self.golden_exit = golden.exit_code
+        self.executed_addresses = self._expand_trace(golden)
+        self.instruction_budget = max(
+            10_000, golden.instructions * instruction_budget_factor
+        )
+
+    @staticmethod
+    def _expand_trace(golden) -> tuple[int, ...]:
+        addresses: set[int] = set()
+        for event in golden.block_trace:
+            addresses.update(range(event.start, event.end + 4, 4))
+        return tuple(sorted(addresses))
+
+    # ------------------------------------------------------------------
+    # Fault generation
+    # ------------------------------------------------------------------
+
+    def random_single_bit(
+        self, count: int, seed: int = 1, executed_only: bool = True
+    ) -> list[BitFlipFault]:
+        """Uniformly random single-bit persistent faults."""
+        rng = random.Random(seed)
+        pool = (
+            self.executed_addresses
+            if executed_only
+            else tuple(self.program.text_addresses())
+        )
+        return [
+            BitFlipFault(rng.choice(pool), (rng.randrange(32),))
+            for _ in range(count)
+        ]
+
+    def random_multi_bit(
+        self,
+        count: int,
+        flips: int,
+        seed: int = 2,
+        executed_only: bool = True,
+        same_column: bool = False,
+    ) -> list[BitFlipFault | tuple[BitFlipFault, ...]]:
+        """Random *flips*-bit faults.
+
+        With ``same_column=True`` the flips hit the same bit position of
+        *flips* distinct words inside one executed basic block — the
+        column-aligned pattern the XOR checksum provably cannot see.
+        Multi-word faults are returned as tuples of single-word faults.
+        """
+        rng = random.Random(seed)
+        pool = (
+            self.executed_addresses
+            if executed_only
+            else tuple(self.program.text_addresses())
+        )
+        faults: list[BitFlipFault | tuple[BitFlipFault, ...]] = []
+        for _ in range(count):
+            if same_column:
+                bit = rng.randrange(32)
+                addresses = rng.sample(pool, min(flips, len(pool)))
+                faults.append(
+                    tuple(BitFlipFault(address, (bit,)) for address in addresses)
+                )
+            else:
+                address = rng.choice(pool)
+                bits = tuple(rng.sample(range(32), flips))
+                faults.append(BitFlipFault(address, bits))
+        return faults
+
+    def exhaustive_single_bit(
+        self, addresses: tuple[int, ...] | None = None
+    ) -> list[BitFlipFault]:
+        """Every single-bit flip over the given (default: executed) words."""
+        pool = addresses if addresses is not None else self.executed_addresses
+        return [
+            BitFlipFault(address, (bit,)) for address in pool for bit in range(32)
+        ]
+
+    # ------------------------------------------------------------------
+    # Execution and classification
+    # ------------------------------------------------------------------
+
+    def run_single(self, fault) -> FaultResult:
+        """Inject one fault (or tuple of faults) into a monitored run."""
+        process = load_process(
+            self.program,
+            iht_size=self.iht_size,
+            hash_name=self.hash_name,
+            policy_name=self.policy_name,
+        )
+        transients: list[TransientFetchFault] = []
+        persistents: list[BitFlipFault] = []
+        parts = fault if isinstance(fault, tuple) else (fault,)
+        for part in parts:
+            if isinstance(part, TransientFetchFault):
+                part.reset()
+                transients.append(part)
+            else:
+                persistents.append(part)
+        simulator = FuncSim(
+            self.program,
+            monitor=process.monitor,
+            fetch_hook=make_fetch_hook(transients) if transients else None,
+            inputs=self.inputs,
+            max_instructions=self.instruction_budget,
+        )
+        for part in persistents:
+            part.apply_to_memory(simulator.state.memory)
+        try:
+            result = simulator.run()
+        except MonitorViolation as error:
+            return FaultResult(fault, Outcome.DETECTED_CIC, str(error))
+        except DecodingError as error:
+            return FaultResult(fault, Outcome.DETECTED_BASELINE, str(error))
+        except MemoryAccessError as error:
+            # Alignment/access machine checks are baseline hardware
+            # detections, the same class as invalid-opcode traps.
+            return FaultResult(fault, Outcome.DETECTED_BASELINE, str(error))
+        except SimulationError as error:
+            if "instruction limit" in str(error):
+                return FaultResult(fault, Outcome.HANG, str(error))
+            return FaultResult(fault, Outcome.CRASHED, str(error))
+        if (
+            result.console == self.golden_console
+            and result.exit_code == self.golden_exit
+        ):
+            return FaultResult(fault, Outcome.BENIGN, "")
+        return FaultResult(fault, Outcome.SDC, "output differs from golden run")
+
+    def run_campaign(self, faults) -> CampaignReport:
+        report = CampaignReport()
+        for fault in faults:
+            report.results.append(self.run_single(fault))
+        return report

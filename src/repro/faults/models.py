@@ -1,0 +1,88 @@
+"""Fault models.
+
+Both models identify a text-segment word and a set of bit positions:
+
+* :class:`BitFlipFault` — persistent: the stored word is altered before
+  execution begins (memory-resident attack or storage-cell upset).
+* :class:`TransientFetchFault` — transient: the stored word is intact, but
+  the *n*-th fetch of that address delivers flipped bits to the pipeline
+  (bus/queue soft error).  Later fetches see the correct word again —
+  exactly the case that defeats load-time-only integrity checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.utils.bitops import MASK32
+
+
+@dataclass(frozen=True, slots=True)
+class BitFlipFault:
+    """Persistent bit flips in one stored instruction word."""
+
+    address: int
+    bits: tuple[int, ...]
+
+    @property
+    def mask(self) -> int:
+        value = 0
+        for bit in self.bits:
+            value |= 1 << bit
+        return value & MASK32
+
+    def describe(self) -> str:
+        bit_list = ",".join(str(bit) for bit in self.bits)
+        return f"persistent flip @{self.address:#010x} bits[{bit_list}]"
+
+    def apply_to_memory(self, memory) -> None:
+        memory.write_word(self.address, memory.read_word(self.address) ^ self.mask)
+
+
+@dataclass(slots=True)
+class TransientFetchFault:
+    """Bit flips delivered on the *n*-th fetch of one address (1-based)."""
+
+    address: int
+    bits: tuple[int, ...]
+    occurrence: int = 1
+    _seen: int = field(default=0, repr=False)
+
+    @property
+    def mask(self) -> int:
+        value = 0
+        for bit in self.bits:
+            value |= 1 << bit
+        return value & MASK32
+
+    def describe(self) -> str:
+        bit_list = ",".join(str(bit) for bit in self.bits)
+        return (
+            f"transient flip @{self.address:#010x} bits[{bit_list}] "
+            f"on fetch #{self.occurrence}"
+        )
+
+    def transform(self, address: int, word: int) -> int:
+        if address != self.address:
+            return word
+        self._seen += 1
+        if self._seen == self.occurrence:
+            return word ^ self.mask
+        return word
+
+    def reset(self) -> None:
+        self._seen = 0
+
+
+def make_fetch_hook(
+    faults: list[TransientFetchFault],
+) -> Callable[[int, int], int]:
+    """Compose transient faults into a simulator ``fetch_hook``."""
+
+    def hook(address: int, word: int) -> int:
+        for fault in faults:
+            word = fault.transform(address, word)
+        return word
+
+    return hook

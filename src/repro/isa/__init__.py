@@ -1,0 +1,51 @@
+"""PISA-like 32-bit RISC instruction set architecture.
+
+This package defines the target ISA of the reproduced ASIP: a MIPS-I-style
+load/store architecture with fixed 32-bit instruction words, the register
+file and ABI names, the three instruction formats (R/I/J), and the
+encode/decode machinery shared by the assembler, disassembler, and both
+simulators.
+
+The paper's processor is generated from SimpleScalar's PISA; PISA itself is a
+MIPS derivative, so this ISA preserves the properties the evaluation depends
+on — single-issue 32-bit instructions, explicit control-flow opcodes that
+delimit basic blocks, and a flat word-addressable memory.
+"""
+
+from repro.isa.encoding import decode, encode_fields
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, Mnemonic
+from repro.isa.properties import (
+    is_branch,
+    is_control_flow,
+    is_jump,
+    is_load,
+    is_store,
+    static_successors,
+)
+from repro.isa.registers import (
+    NUM_REGISTERS,
+    REGISTER_ALIASES,
+    REGISTER_NAMES,
+    register_name,
+    register_number,
+)
+
+__all__ = [
+    "Format",
+    "Instruction",
+    "Mnemonic",
+    "NUM_REGISTERS",
+    "REGISTER_ALIASES",
+    "REGISTER_NAMES",
+    "decode",
+    "encode_fields",
+    "is_branch",
+    "is_control_flow",
+    "is_jump",
+    "is_load",
+    "is_store",
+    "register_name",
+    "register_number",
+    "static_successors",
+]

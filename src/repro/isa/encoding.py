@@ -1,0 +1,161 @@
+"""Binary encoding and decoding of instruction words.
+
+``encode_fields`` assembles a 32-bit word from named fields; ``decode``
+recovers an :class:`~repro.isa.instruction.Instruction` from a word.  The two
+functions are exact inverses for every valid instruction, a property pinned
+down by round-trip tests (including hypothesis-generated instructions).
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecodingError, EncodingError
+from repro.isa import opcodes
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, Mnemonic
+from repro.utils.bitops import MASK32, bits, sign_extend
+
+
+def _check_field(name: str, value: int, width: int) -> int:
+    if not 0 <= value < (1 << width):
+        raise EncodingError(f"field {name}={value} does not fit in {width} bits")
+    return value
+
+
+def encode_fields(
+    mnemonic: Mnemonic,
+    rs: int = 0,
+    rt: int = 0,
+    rd: int = 0,
+    shamt: int = 0,
+    imm: int = 0,
+    target: int = 0,
+    code: int = 0,
+) -> int:
+    """Encode an instruction from its fields into a 32-bit word.
+
+    ``imm`` accepts signed values in [-32768, 65535]; ``target`` is the
+    26-bit word-index field of J-type instructions.  ``code`` fills the
+    20-bit field of ``syscall``/``break``.
+    """
+    fmt = opcodes.MNEMONIC_FORMAT[mnemonic]
+    if fmt is Format.R:
+        funct = opcodes.FUNCT_CODES[mnemonic]
+        if mnemonic in (Mnemonic.SYSCALL, Mnemonic.BREAK):
+            _check_field("code", code, 20)
+            return (code << 6) | funct
+        _check_field("rs", rs, 5)
+        _check_field("rt", rt, 5)
+        _check_field("rd", rd, 5)
+        _check_field("shamt", shamt, 5)
+        return (rs << 21) | (rt << 16) | (rd << 11) | (shamt << 6) | funct
+    if fmt is Format.J:
+        opcode = opcodes.PRIMARY_OPCODES[mnemonic]
+        _check_field("target", target, 26)
+        return (opcode << 26) | target
+    # I format (including REGIMM).
+    if not -32768 <= imm <= 0xFFFF:
+        raise EncodingError(f"immediate {imm} does not fit in 16 bits")
+    imm &= 0xFFFF
+    if mnemonic in opcodes.REGIMM_CODES:
+        _check_field("rs", rs, 5)
+        selector = opcodes.REGIMM_CODES[mnemonic]
+        return (opcodes.OPCODE_REGIMM << 26) | (rs << 21) | (selector << 16) | imm
+    opcode = opcodes.PRIMARY_OPCODES[mnemonic]
+    _check_field("rs", rs, 5)
+    _check_field("rt", rt, 5)
+    return (opcode << 26) | (rs << 21) | (rt << 16) | imm
+
+
+def decode(word: int, address: int | None = None) -> Instruction:
+    """Decode a 32-bit word into an :class:`Instruction`.
+
+    Raises :class:`~repro.errors.DecodingError` for invalid opcodes or
+    function codes — the behaviour a real decoder would signal as an illegal
+    instruction exception.  This matters for the fault-injection study: some
+    bit flips are caught by the *baseline* decoder before the CIC ever sees
+    a hash mismatch (Section 6.3 of the paper).
+    """
+    word &= MASK32
+    opcode = bits(word, 31, 26)
+    if opcode == opcodes.OPCODE_SPECIAL:
+        funct = bits(word, 5, 0)
+        mnemonic = opcodes.FUNCT_TO_MNEMONIC.get(funct)
+        if mnemonic is None:
+            raise DecodingError(word, address, f"invalid funct {funct}")
+        if mnemonic in (Mnemonic.SYSCALL, Mnemonic.BREAK):
+            return Instruction(
+                mnemonic=mnemonic,
+                format=Format.R,
+                word=word,
+                code=bits(word, 25, 6),
+            )
+        instruction = Instruction(
+            mnemonic=mnemonic,
+            format=Format.R,
+            word=word,
+            rs=bits(word, 25, 21),
+            rt=bits(word, 20, 16),
+            rd=bits(word, 15, 11),
+            shamt=bits(word, 10, 6),
+        )
+        _validate_r_type(instruction, word, address)
+        return instruction
+    if opcode == opcodes.OPCODE_REGIMM:
+        selector = bits(word, 20, 16)
+        mnemonic = opcodes.REGIMM_TO_MNEMONIC.get(selector)
+        if mnemonic is None:
+            raise DecodingError(word, address, f"invalid regimm selector {selector}")
+        return Instruction(
+            mnemonic=mnemonic,
+            format=Format.I,
+            word=word,
+            rs=bits(word, 25, 21),
+            imm=sign_extend(bits(word, 15, 0), 16),
+        )
+    mnemonic = opcodes.OPCODE_TO_MNEMONIC.get(opcode)
+    if mnemonic is None:
+        raise DecodingError(word, address, f"invalid opcode {opcode}")
+    if opcodes.MNEMONIC_FORMAT[mnemonic] is Format.J:
+        return Instruction(
+            mnemonic=mnemonic,
+            format=Format.J,
+            word=word,
+            target=bits(word, 25, 0),
+        )
+    imm_raw = bits(word, 15, 0)
+    # Logical immediates are zero-extended; everything else sign-extends.
+    if mnemonic in (Mnemonic.ANDI, Mnemonic.ORI, Mnemonic.XORI, Mnemonic.LUI):
+        imm = imm_raw
+    else:
+        imm = sign_extend(imm_raw, 16)
+    return Instruction(
+        mnemonic=mnemonic,
+        format=Format.I,
+        word=word,
+        rs=bits(word, 25, 21),
+        rt=bits(word, 20, 16),
+        imm=imm,
+    )
+
+
+def _validate_r_type(instruction: Instruction, word: int, address: int | None) -> None:
+    """Reject R-type encodings whose unused fields are non-zero.
+
+    Strict decoding widens the class of bit flips the baseline machine
+    detects on its own (invalid opcode/operand combinations), mirroring the
+    paper's note that some errors are caught by the unmodified datapath.
+    """
+    m = instruction.mnemonic
+    shift_ops = (Mnemonic.SLL, Mnemonic.SRL, Mnemonic.SRA)
+    if m in shift_ops and instruction.rs != 0:
+        raise DecodingError(word, address, f"{m} with non-zero rs field")
+    if m not in shift_ops and instruction.shamt != 0:
+        raise DecodingError(word, address, f"{m} with non-zero shamt field")
+    if m is Mnemonic.JR and (instruction.rt or instruction.rd):
+        raise DecodingError(word, address, "jr with non-zero rt/rd fields")
+    if m in (Mnemonic.MULT, Mnemonic.MULTU, Mnemonic.DIV, Mnemonic.DIVU) and instruction.rd:
+        raise DecodingError(word, address, f"{m} with non-zero rd field")
+    if m in (Mnemonic.MFHI, Mnemonic.MFLO) and (instruction.rs or instruction.rt):
+        raise DecodingError(word, address, f"{m} with non-zero rs/rt fields")
+    if m in (Mnemonic.MTHI, Mnemonic.MTLO) and (instruction.rt or instruction.rd):
+        raise DecodingError(word, address, f"{m} with non-zero rt/rd fields")

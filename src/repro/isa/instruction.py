@@ -1,0 +1,106 @@
+"""The decoded :class:`Instruction` value object.
+
+An ``Instruction`` is an immutable record of a decoded 32-bit word.  It
+carries the raw word (needed by the hash unit, which folds *encoded* words),
+the mnemonic, and the decoded fields.  Operand-dependency helpers used by the
+pipeline's hazard logic live here too, close to the field definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import Format, Mnemonic
+
+# Mnemonic groups used by source/destination queries.
+_SHIFT_IMMEDIATE = frozenset({Mnemonic.SLL, Mnemonic.SRL, Mnemonic.SRA})
+_READS_RS_RT_R = frozenset(
+    {
+        Mnemonic.SLLV, Mnemonic.SRLV, Mnemonic.SRAV,
+        Mnemonic.MULT, Mnemonic.MULTU, Mnemonic.DIV, Mnemonic.DIVU,
+        Mnemonic.ADD, Mnemonic.ADDU, Mnemonic.SUB, Mnemonic.SUBU,
+        Mnemonic.AND, Mnemonic.OR, Mnemonic.XOR, Mnemonic.NOR,
+        Mnemonic.SLT, Mnemonic.SLTU,
+    }
+)
+_WRITES_RD = _READS_RS_RT_R - {
+    Mnemonic.MULT, Mnemonic.MULTU, Mnemonic.DIV, Mnemonic.DIVU
+} | _SHIFT_IMMEDIATE | {Mnemonic.MFHI, Mnemonic.MFLO, Mnemonic.JALR}
+_IMM_ALU = frozenset(
+    {
+        Mnemonic.ADDI, Mnemonic.ADDIU, Mnemonic.SLTI, Mnemonic.SLTIU,
+        Mnemonic.ANDI, Mnemonic.ORI, Mnemonic.XORI,
+    }
+)
+_LOADS = frozenset({Mnemonic.LB, Mnemonic.LH, Mnemonic.LW, Mnemonic.LBU, Mnemonic.LHU})
+_STORES = frozenset({Mnemonic.SB, Mnemonic.SH, Mnemonic.SW})
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """A decoded machine instruction.
+
+    Field semantics follow the encoding format: R-type instructions use
+    ``rs``/``rt``/``rd``/``shamt``, I-type use ``rs``/``rt``/``imm`` (already
+    sign- or zero-extended as appropriate), J-type use ``target`` (a 26-bit
+    word index).  ``word`` always holds the exact encoded bits.
+    """
+
+    mnemonic: Mnemonic
+    format: Format
+    word: int
+    rs: int = 0
+    rt: int = 0
+    rd: int = 0
+    shamt: int = 0
+    imm: int = 0
+    target: int = 0
+    code: int = field(default=0)  # syscall/break code field
+
+    def source_registers(self) -> tuple[int, ...]:
+        """GPR numbers this instruction reads, in operand order."""
+        m = self.mnemonic
+        if m in _SHIFT_IMMEDIATE:
+            return (self.rt,)
+        if m in _READS_RS_RT_R:
+            return (self.rs, self.rt)
+        if m in (Mnemonic.JR, Mnemonic.JALR, Mnemonic.MTHI, Mnemonic.MTLO):
+            return (self.rs,)
+        if m in (Mnemonic.BEQ, Mnemonic.BNE):
+            return (self.rs, self.rt)
+        if m in (Mnemonic.BLEZ, Mnemonic.BGTZ, Mnemonic.BLTZ, Mnemonic.BGEZ):
+            return (self.rs,)
+        if m in _IMM_ALU or m in _LOADS:
+            return (self.rs,)
+        if m in _STORES:
+            return (self.rs, self.rt)
+        return ()
+
+    def destination_register(self) -> int | None:
+        """The GPR this instruction writes, or ``None``.
+
+        Writes to register 0 are architectural no-ops and reported as
+        ``None`` so hazard logic never stalls on them.
+        """
+        m = self.mnemonic
+        dest: int | None = None
+        if m in _WRITES_RD:
+            dest = self.rd
+        elif m in _IMM_ALU or m in _LOADS or m is Mnemonic.LUI:
+            dest = self.rt
+        elif m is Mnemonic.JAL:
+            dest = 31
+        if dest == 0:
+            dest = None
+        return dest
+
+    def is_load(self) -> bool:
+        return self.mnemonic in _LOADS
+
+    def is_store(self) -> bool:
+        return self.mnemonic in _STORES
+
+    def __str__(self) -> str:
+        from repro.asm.disassembler import format_instruction
+
+        return format_instruction(self)

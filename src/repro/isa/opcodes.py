@@ -1,0 +1,173 @@
+"""Opcode and function-code tables for the PISA-like ISA.
+
+The numeric values follow the MIPS-I encoding so that the instruction words
+produced here are recognisable and the decoder can be validated against
+well-known encodings.  Three instruction formats exist:
+
+* ``R`` — opcode 0, operation selected by the ``funct`` field.
+* ``I`` — 16-bit immediate; covers ALU-immediate, loads/stores and branches.
+* ``J`` — 26-bit pseudo-absolute jump target.
+
+``REGIMM`` (opcode 1) is a sub-format of ``I`` where the ``rt`` field selects
+the comparison (``bltz``/``bgez``).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Format(enum.Enum):
+    """Instruction encoding format."""
+
+    R = "R"
+    I = "I"  # noqa: E741 - the MIPS format really is called "I"
+    J = "J"
+
+
+class Mnemonic(str, enum.Enum):
+    """All machine (non-pseudo) instruction mnemonics of the ISA."""
+
+    # R-type ALU
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    SLLV = "sllv"
+    SRLV = "srlv"
+    SRAV = "srav"
+    JR = "jr"
+    JALR = "jalr"
+    SYSCALL = "syscall"
+    BREAK = "break"
+    MFHI = "mfhi"
+    MTHI = "mthi"
+    MFLO = "mflo"
+    MTLO = "mtlo"
+    MULT = "mult"
+    MULTU = "multu"
+    DIV = "div"
+    DIVU = "divu"
+    ADD = "add"
+    ADDU = "addu"
+    SUB = "sub"
+    SUBU = "subu"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOR = "nor"
+    SLT = "slt"
+    SLTU = "sltu"
+    # I-type
+    BLTZ = "bltz"
+    BGEZ = "bgez"
+    BEQ = "beq"
+    BNE = "bne"
+    BLEZ = "blez"
+    BGTZ = "bgtz"
+    ADDI = "addi"
+    ADDIU = "addiu"
+    SLTI = "slti"
+    SLTIU = "sltiu"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    LUI = "lui"
+    LB = "lb"
+    LH = "lh"
+    LW = "lw"
+    LBU = "lbu"
+    LHU = "lhu"
+    SB = "sb"
+    SH = "sh"
+    SW = "sw"
+    # J-type
+    J = "j"
+    JAL = "jal"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+# Primary opcode values (bits 31..26).
+OPCODE_SPECIAL = 0
+OPCODE_REGIMM = 1
+
+#: I/J-type primary opcodes.
+PRIMARY_OPCODES: dict[Mnemonic, int] = {
+    Mnemonic.J: 2,
+    Mnemonic.JAL: 3,
+    Mnemonic.BEQ: 4,
+    Mnemonic.BNE: 5,
+    Mnemonic.BLEZ: 6,
+    Mnemonic.BGTZ: 7,
+    Mnemonic.ADDI: 8,
+    Mnemonic.ADDIU: 9,
+    Mnemonic.SLTI: 10,
+    Mnemonic.SLTIU: 11,
+    Mnemonic.ANDI: 12,
+    Mnemonic.ORI: 13,
+    Mnemonic.XORI: 14,
+    Mnemonic.LUI: 15,
+    Mnemonic.LB: 32,
+    Mnemonic.LH: 33,
+    Mnemonic.LW: 35,
+    Mnemonic.LBU: 36,
+    Mnemonic.LHU: 37,
+    Mnemonic.SB: 40,
+    Mnemonic.SH: 41,
+    Mnemonic.SW: 43,
+}
+
+#: R-type function codes (bits 5..0 when opcode == 0).
+FUNCT_CODES: dict[Mnemonic, int] = {
+    Mnemonic.SLL: 0,
+    Mnemonic.SRL: 2,
+    Mnemonic.SRA: 3,
+    Mnemonic.SLLV: 4,
+    Mnemonic.SRLV: 6,
+    Mnemonic.SRAV: 7,
+    Mnemonic.JR: 8,
+    Mnemonic.JALR: 9,
+    Mnemonic.SYSCALL: 12,
+    Mnemonic.BREAK: 13,
+    Mnemonic.MFHI: 16,
+    Mnemonic.MTHI: 17,
+    Mnemonic.MFLO: 18,
+    Mnemonic.MTLO: 19,
+    Mnemonic.MULT: 24,
+    Mnemonic.MULTU: 25,
+    Mnemonic.DIV: 26,
+    Mnemonic.DIVU: 27,
+    Mnemonic.ADD: 32,
+    Mnemonic.ADDU: 33,
+    Mnemonic.SUB: 34,
+    Mnemonic.SUBU: 35,
+    Mnemonic.AND: 36,
+    Mnemonic.OR: 37,
+    Mnemonic.XOR: 38,
+    Mnemonic.NOR: 39,
+    Mnemonic.SLT: 42,
+    Mnemonic.SLTU: 43,
+}
+
+#: REGIMM selector values stored in the ``rt`` field (opcode == 1).
+REGIMM_CODES: dict[Mnemonic, int] = {
+    Mnemonic.BLTZ: 0,
+    Mnemonic.BGEZ: 1,
+}
+
+# Reverse maps used by the decoder.
+OPCODE_TO_MNEMONIC: dict[int, Mnemonic] = {v: k for k, v in PRIMARY_OPCODES.items()}
+FUNCT_TO_MNEMONIC: dict[int, Mnemonic] = {v: k for k, v in FUNCT_CODES.items()}
+REGIMM_TO_MNEMONIC: dict[int, Mnemonic] = {v: k for k, v in REGIMM_CODES.items()}
+
+#: Format of each mnemonic.
+MNEMONIC_FORMAT: dict[Mnemonic, Format] = {}
+for _m in FUNCT_CODES:
+    MNEMONIC_FORMAT[_m] = Format.R
+for _m in PRIMARY_OPCODES:
+    MNEMONIC_FORMAT[_m] = Format.J if _m in (Mnemonic.J, Mnemonic.JAL) else Format.I
+for _m in REGIMM_CODES:
+    MNEMONIC_FORMAT[_m] = Format.I
+
+ALL_MNEMONICS: tuple[Mnemonic, ...] = tuple(Mnemonic)

@@ -1,0 +1,55 @@
+"""General-purpose register file layout and ABI naming.
+
+The ISA has 32 general-purpose registers.  Register 0 is hardwired to zero,
+as on MIPS/PISA.  The conventional ABI aliases are accepted by the assembler
+(``$t0``, ``$sp``, ...) and produced by the disassembler.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+
+NUM_REGISTERS = 32
+
+#: Canonical ABI alias for each register number.
+REGISTER_NAMES: tuple[str, ...] = (
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+)
+
+#: Every accepted spelling (without the ``$`` sigil) mapped to its number.
+REGISTER_ALIASES: dict[str, int] = {}
+for _index, _name in enumerate(REGISTER_NAMES):
+    REGISTER_ALIASES[_name] = _index
+    REGISTER_ALIASES[f"r{_index}"] = _index
+    REGISTER_ALIASES[str(_index)] = _index
+REGISTER_ALIASES["s8"] = 30  # fp is also called s8 in the MIPS ABI
+
+
+def register_number(name: str) -> int:
+    """Resolve a register spelling (with or without ``$``) to its number."""
+    text = name.lower().lstrip("$")
+    try:
+        return REGISTER_ALIASES[text]
+    except KeyError:
+        raise EncodingError(f"unknown register name {name!r}") from None
+
+
+def register_name(number: int) -> str:
+    """Canonical ``$``-prefixed ABI alias for a register number."""
+    if not 0 <= number < NUM_REGISTERS:
+        raise EncodingError(f"register number {number} out of range 0..31")
+    return f"${REGISTER_NAMES[number]}"
+
+
+# Fixed-role registers used by the toolchain and OS model.
+ZERO = 0
+AT = 1       # assembler temporary (used by pseudo-instruction expansion)
+V0, V1 = 2, 3
+A0, A1, A2, A3 = 4, 5, 6, 7
+GP = 28
+SP = 29
+FP = 30
+RA = 31

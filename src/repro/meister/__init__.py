@@ -1,0 +1,35 @@
+"""ASIP design flow (the paper's Figure 5, programmatic form).
+
+The paper designs self-monitoring ASIPs with ASIP Meister: select resources
+from a library, define the target instructions, specify the monitoring
+microoperations, embed them into the right instructions, and generate the
+synthesizable processor plus its software toolset.  This package reproduces
+that flow:
+
+* :mod:`repro.meister.resource_library` — the hardware resource catalog.
+* :mod:`repro.meister.isa_spec` — the target ISA specification, including
+  each instruction's per-stage microoperation listing.
+* :mod:`repro.meister.monitor_spec` — the monitoring specification: hash
+  algorithm, IHT size, replacement policy, and the IF/ID extension
+  microprograms.
+* :mod:`repro.meister.generator` — :class:`AsipMeister`, which checks the
+  specs against the library, embeds the monitoring microoperations, and
+  emits a :class:`GeneratedProcessor` whose simulators, loader, and
+  synthesis report are all derived from the same specification.
+"""
+
+from repro.meister.generator import AsipMeister, GeneratedProcessor
+from repro.meister.isa_spec import ISASpec, InstructionSpec, default_isa_spec
+from repro.meister.monitor_spec import MonitorSpec
+from repro.meister.resource_library import ResourceEntry, default_library
+
+__all__ = [
+    "AsipMeister",
+    "GeneratedProcessor",
+    "ISASpec",
+    "InstructionSpec",
+    "MonitorSpec",
+    "ResourceEntry",
+    "default_isa_spec",
+    "default_library",
+]

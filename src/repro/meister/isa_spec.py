@@ -1,0 +1,172 @@
+"""Target-ISA specification: per-instruction microoperation listings.
+
+Each :class:`InstructionSpec` records, per pipeline stage, the textual
+microoperation listing of the instruction (Figure 1 style).  The generator
+validates every listing against the resource library; the test suite
+executes selected listings through the micro framework and checks them
+against the behavioural semantics.
+
+The instruction-fetch sequence shared by every instruction is Figure 1's
+listing plus the ``PPC`` update (the IF/ID latch carrying the PC of the
+instruction in decode, which Figure 4 reads as ``PPC.read()``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa import opcodes
+from repro.isa.opcodes import Format, Mnemonic
+from repro.isa.properties import (
+    BRANCHES,
+    CONTROL_FLOW,
+    DIRECT_JUMPS,
+    INDIRECT_JUMPS,
+    TRAPS,
+)
+
+#: Figure 1, plus the PPC (IF/ID latch) update the ID extension relies on.
+IFETCH_TEXT = """
+current_pc = CPC.read();
+instr = IMAU.read(current_pc);
+null = IReg.write(instr);
+null = PPC.write(current_pc);
+null = CPC.inc();
+"""
+
+_SHIFTS = {Mnemonic.SLL, Mnemonic.SRL, Mnemonic.SRA,
+           Mnemonic.SLLV, Mnemonic.SRLV, Mnemonic.SRAV}
+_MULDIV = {Mnemonic.MULT, Mnemonic.MULTU, Mnemonic.DIV, Mnemonic.DIVU}
+_HILO_MOVES = {Mnemonic.MFHI, Mnemonic.MFLO, Mnemonic.MTHI, Mnemonic.MTLO}
+
+
+@dataclass(frozen=True, slots=True)
+class InstructionSpec:
+    """One instruction's specification entry."""
+
+    mnemonic: Mnemonic
+    format: Format
+    #: Pipeline-stage name -> microoperation listing (text, Figure-1 style).
+    stage_programs: dict[str, str] = field(default_factory=dict)
+    control_flow: bool = False
+
+    def listing(self) -> str:
+        """Full per-stage listing for documentation."""
+        parts = [f"; {self.mnemonic.value} ({self.format.value}-type)"]
+        for stage in ("IF", "ID", "EX", "MEM", "WB"):
+            text = self.stage_programs.get(stage, "").strip()
+            if text:
+                parts.append(f"[{stage}]")
+                parts.extend(line.strip() for line in text.splitlines() if line.strip())
+        return "\n".join(parts)
+
+
+def _stage_programs(mnemonic: Mnemonic) -> dict[str, str]:
+    """Build the per-stage microoperation listing for *mnemonic*."""
+    programs: dict[str, str] = {"IF": IFETCH_TEXT.strip()}
+    if mnemonic in BRANCHES:
+        reads = "a = GPR.read(rs);"
+        if mnemonic in (Mnemonic.BEQ, Mnemonic.BNE):
+            reads += "\nb = GPR.read(rt);"
+        programs["ID"] = (
+            f"{reads}\ntaken = COMP.ope(a, b);\n"
+            "null = [taken==1]CPC.write(target);"
+        )
+    elif mnemonic in DIRECT_JUMPS:
+        body = "null = CPC.write(target);"
+        if mnemonic is Mnemonic.JAL:
+            body += "\nlink = CPC.read();"
+            programs["WB"] = "null = GPR.write(31, link);"
+        programs["ID"] = body
+    elif mnemonic in INDIRECT_JUMPS:
+        body = "target = GPR.read(rs);\nnull = CPC.write(target);"
+        if mnemonic is Mnemonic.JALR:
+            programs["WB"] = "null = GPR.write(rd, link);"
+        programs["ID"] = body
+    elif mnemonic in TRAPS:
+        programs["ID"] = "null = CPC.read();"  # trap control takes over
+    elif mnemonic in _MULDIV:
+        programs["ID"] = "a = GPR.read(rs);\nb = GPR.read(rt);"
+        programs["EX"] = "null = MULDIV.ope(a, b);"
+    elif mnemonic in _HILO_MOVES:
+        if mnemonic in (Mnemonic.MFHI, Mnemonic.MFLO):
+            programs["EX"] = "result = MULDIV.ope();"
+            programs["WB"] = "null = GPR.write(rd, result);"
+        else:
+            programs["ID"] = "a = GPR.read(rs);"
+            programs["EX"] = "null = MULDIV.ope(a);"
+    elif mnemonic in _SHIFTS:
+        programs["ID"] = "b = GPR.read(rt);"
+        programs["EX"] = "result = SHIFT.ope(b, shamt);"
+        programs["WB"] = "null = GPR.write(rd, result);"
+    elif opcodes.MNEMONIC_FORMAT[mnemonic] is Format.R:
+        programs["ID"] = "a = GPR.read(rs);\nb = GPR.read(rt);"
+        programs["EX"] = "result = ALU.ope(a, b);"
+        programs["WB"] = "null = GPR.write(rd, result);"
+    else:  # I-type ALU / loads / stores / lui
+        instruction_format = opcodes.MNEMONIC_FORMAT[mnemonic]
+        assert instruction_format is Format.I
+        is_load = mnemonic in (
+            Mnemonic.LB, Mnemonic.LH, Mnemonic.LW, Mnemonic.LBU, Mnemonic.LHU
+        )
+        is_store = mnemonic in (Mnemonic.SB, Mnemonic.SH, Mnemonic.SW)
+        if is_load:
+            programs["ID"] = "base = GPR.read(rs);"
+            programs["EX"] = "addr = ALU.ope(base, imm);"
+            programs["MEM"] = "value = DMAU.read(addr);"
+            programs["WB"] = "null = GPR.write(rt, value);"
+        elif is_store:
+            programs["ID"] = "base = GPR.read(rs);\ndata = GPR.read(rt);"
+            programs["EX"] = "addr = ALU.ope(base, imm);"
+            programs["MEM"] = "null = DMAU.write(addr, data);"
+        elif mnemonic is Mnemonic.LUI:
+            programs["EX"] = "result = SHIFT.ope(imm, 16);"
+            programs["WB"] = "null = GPR.write(rt, result);"
+        else:
+            programs["ID"] = "a = GPR.read(rs);"
+            programs["EX"] = "result = ALU.ope(a, imm);"
+            programs["WB"] = "null = GPR.write(rt, result);"
+    return programs
+
+
+@dataclass(slots=True)
+class ISASpec:
+    """The complete target-ISA specification."""
+
+    name: str
+    instructions: dict[Mnemonic, InstructionSpec]
+
+    def __contains__(self, mnemonic: Mnemonic) -> bool:
+        return mnemonic in self.instructions
+
+    def __getitem__(self, mnemonic: Mnemonic) -> InstructionSpec:
+        return self.instructions[mnemonic]
+
+    def control_flow_instructions(self) -> tuple[Mnemonic, ...]:
+        return tuple(
+            m for m, spec in self.instructions.items() if spec.control_flow
+        )
+
+    def resources_used(self) -> set[str]:
+        """All resource names referenced by any stage listing."""
+        from repro.micro.parser import parse_microprogram
+
+        used: set[str] = set()
+        for spec in self.instructions.values():
+            for text in spec.stage_programs.values():
+                used.update(parse_microprogram(text).resources_used())
+        return used
+
+
+def default_isa_spec() -> ISASpec:
+    """Specification of the full PISA-like ISA."""
+    instructions = {
+        mnemonic: InstructionSpec(
+            mnemonic=mnemonic,
+            format=opcodes.MNEMONIC_FORMAT[mnemonic],
+            stage_programs=_stage_programs(mnemonic),
+            control_flow=mnemonic in CONTROL_FLOW,
+        )
+        for mnemonic in opcodes.ALL_MNEMONICS
+    }
+    return ISASpec(name="pisa-like", instructions=instructions)

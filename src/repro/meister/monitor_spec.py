@@ -1,0 +1,62 @@
+"""Monitoring specification (Figure 5's "Specification of monitoring
+microoperations" box).
+
+A :class:`MonitorSpec` bundles everything that defines one monitoring
+configuration: the hash algorithm the HASHFU implements, the IHT size, the
+OS replacement policy and exception cost, and the IF/ID extension
+microprograms to embed.  The defaults are exactly the paper's evaluated
+design: 32-bit XOR checksum, LRU replace-half, 100-cycle OS handling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cic.hashes import HASH_ALGORITHMS, HashAlgorithm, get_hash
+from repro.cic.micromonitor import ID_EXTENSION_TEXT, IF_EXTENSION_TEXT
+from repro.errors import ConfigurationError
+from repro.micro.parser import parse_microprogram
+from repro.micro.program import MicroProgram
+from repro.osmodel.policies import POLICIES
+
+
+@dataclass(frozen=True, slots=True)
+class MonitorSpec:
+    """One code-integrity-monitoring configuration."""
+
+    hash_name: str = "xor"
+    iht_entries: int = 8
+    policy_name: str = "lru_half"
+    miss_penalty: int = 100
+    if_extension_text: str = IF_EXTENSION_TEXT
+    id_extension_text: str = ID_EXTENSION_TEXT
+
+    def validate(self) -> None:
+        """Static specification checks (run by the generator)."""
+        if self.hash_name not in HASH_ALGORITHMS:
+            raise ConfigurationError(f"unknown hash {self.hash_name!r}")
+        if self.policy_name not in POLICIES:
+            raise ConfigurationError(f"unknown policy {self.policy_name!r}")
+        if self.iht_entries < 1:
+            raise ConfigurationError("IHT needs at least one entry")
+        if self.miss_penalty < 0:
+            raise ConfigurationError("negative miss penalty")
+        # Both extension listings must parse.
+        self.if_program()
+        self.id_program()
+
+    def algorithm(self) -> HashAlgorithm:
+        return get_hash(self.hash_name)
+
+    def if_program(self) -> MicroProgram:
+        return parse_microprogram(self.if_extension_text, "monitor-IF")
+
+    def id_program(self) -> MicroProgram:
+        return parse_microprogram(self.id_extension_text, "monitor-ID")
+
+    def describe(self) -> str:
+        return (
+            f"monitor spec: hash={self.hash_name}, "
+            f"IHT={self.iht_entries} entries, policy={self.policy_name}, "
+            f"OS penalty={self.miss_penalty} cycles"
+        )

@@ -1,0 +1,135 @@
+"""The hardware resource library (Figure 5's "Resource Library").
+
+Each :class:`ResourceEntry` names a selectable datapath module, the
+microoperation-level operations it provides, and which pipeline stages may
+use it.  The generator validates every microoperation in the ISA and
+monitor specifications against this catalog — an unknown resource or
+operation is a specification error caught at design time, not at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceEntry:
+    """One selectable hardware resource."""
+
+    name: str
+    kind: str  # register | regfile | memory-port | functional-unit | cam
+    operations: tuple[str, ...]
+    stages: tuple[str, ...]
+    description: str = ""
+    #: True for modules added by the monitoring extension.
+    monitoring: bool = False
+
+
+_BASE_ENTRIES = (
+    ResourceEntry(
+        "CPC", "register", ("read", "write", "inc", "reset"),
+        ("IF", "ID"), "current program counter",
+    ),
+    ResourceEntry(
+        "PPC", "register", ("read", "write", "reset"),
+        ("IF", "ID"), "previous program counter (PC of the instruction in ID)",
+    ),
+    ResourceEntry(
+        "IReg", "register", ("read", "write"),
+        ("IF", "ID"), "fetched-instruction register (IF/ID latch)",
+    ),
+    ResourceEntry(
+        "IMAU", "memory-port", ("read",),
+        ("IF",), "instruction memory access unit",
+    ),
+    ResourceEntry(
+        "DMAU", "memory-port", ("read", "write"),
+        ("MEM",), "data memory access unit",
+    ),
+    ResourceEntry(
+        "GPR", "regfile", ("read", "write"),
+        ("ID", "WB"), "32 x 32-bit general purpose register file",
+    ),
+    ResourceEntry(
+        "ALU", "functional-unit", ("ope",),
+        ("EX",), "32-bit arithmetic/logic unit",
+    ),
+    ResourceEntry(
+        "SHIFT", "functional-unit", ("ope",),
+        ("EX",), "32-bit barrel shifter",
+    ),
+    ResourceEntry(
+        "MULDIV", "functional-unit", ("ope",),
+        ("EX",), "multi-cycle multiply/divide unit with HI/LO",
+    ),
+)
+
+_MONITOR_ENTRIES = (
+    ResourceEntry(
+        "STA", "register", ("read", "write", "reset"),
+        ("IF", "ID"), "basic-block start address register", monitoring=True,
+    ),
+    ResourceEntry(
+        "RHASH", "register", ("read", "write", "reset"),
+        ("IF", "ID"), "running hash register", monitoring=True,
+    ),
+    ResourceEntry(
+        "HASHFU", "functional-unit", ("ope", "fin"),
+        ("IF", "ID"), "hash functional unit", monitoring=True,
+    ),
+    ResourceEntry(
+        "IHTbb", "cam", ("lookup",),
+        ("ID",), "internal hash table (basic-block CAM)", monitoring=True,
+    ),
+    ResourceEntry(
+        "COMP", "functional-unit", ("ope",),
+        ("ID",), "expected/dynamic hash comparator", monitoring=True,
+    ),
+)
+
+
+class ResourceLibrary:
+    """Catalog of selectable resources, queried by the generator."""
+
+    def __init__(self, entries: tuple[ResourceEntry, ...]):
+        self._entries = {entry.name: entry for entry in entries}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __getitem__(self, name: str) -> ResourceEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"resource {name!r} not in the library"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._entries)
+
+    def monitoring_names(self) -> tuple[str, ...]:
+        return tuple(
+            name for name, entry in self._entries.items() if entry.monitoring
+        )
+
+    def validate_operation(self, resource: str, operation: str, stage: str) -> None:
+        """Raise if *operation* on *resource* is illegal in *stage*."""
+        entry = self[resource]
+        if operation not in entry.operations:
+            raise ConfigurationError(
+                f"resource {resource!r} has no operation {operation!r} "
+                f"(has: {', '.join(entry.operations)})"
+            )
+        if stage not in entry.stages:
+            raise ConfigurationError(
+                f"resource {resource!r} is not available in stage {stage!r} "
+                f"(available: {', '.join(entry.stages)})"
+            )
+
+
+def default_library() -> ResourceLibrary:
+    """The full catalog: baseline datapath plus monitoring modules."""
+    return ResourceLibrary(_BASE_ENTRIES + _MONITOR_ENTRIES)

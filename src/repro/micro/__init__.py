@@ -1,0 +1,49 @@
+"""Microoperation framework.
+
+Microoperations are "elementary operations performed on data stored in
+datapath registers" (paper, Section 4.1).  This package makes them a
+first-class, executable artifact:
+
+* :mod:`repro.micro.microop` — the :class:`MicroOp` value object with guard
+  conditions (``[start==0]``), argument references, and tuple destinations.
+* :mod:`repro.micro.resources` — datapath resources (registers, register
+  files, memory access units, functional units, the CAM hash table) that
+  microoperations invoke operations on.
+* :mod:`repro.micro.program` — :class:`MicroProgram`, an ordered sequence of
+  microoperations executed against a resource set and a value context.
+* :mod:`repro.micro.parser` — parses the paper's textual microoperation
+  syntax, so the test suite can execute the *literal text of Figures 1, 3,
+  and 4* and check it against the behavioural model.
+"""
+
+from repro.micro.microop import Const, Guard, MicroOp, Ref, TupleArg
+from repro.micro.parser import parse_microop, parse_microprogram
+from repro.micro.program import MicroContext, MicroProgram
+from repro.micro.resources import (
+    FunctionalUnit,
+    HashTableResource,
+    MemoryAccessUnit,
+    Register,
+    RegisterFileResource,
+    Resource,
+    ResourceSet,
+)
+
+__all__ = [
+    "Const",
+    "FunctionalUnit",
+    "Guard",
+    "HashTableResource",
+    "MemoryAccessUnit",
+    "MicroContext",
+    "MicroOp",
+    "MicroProgram",
+    "Ref",
+    "Register",
+    "RegisterFileResource",
+    "Resource",
+    "ResourceSet",
+    "TupleArg",
+    "parse_microop",
+    "parse_microprogram",
+]

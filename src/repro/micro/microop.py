@@ -1,0 +1,95 @@
+"""The microoperation value objects.
+
+A microoperation has the general form::
+
+    <dest1, dest2> = [var==K & var2==M] RESOURCE.operation(arg, ...)
+
+* The destination is ``null`` (discard), a single variable, or a tuple.
+* The optional guard is a conjunction of equality tests on context
+  variables; when it evaluates false the operation is *not* performed and
+  any destinations are bound to 0 (the hardware reads de-asserted signals).
+* Arguments are variable references, integer literals (the paper writes
+  them as ``'1'``), or tuples (for the CAM lookup key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, slots=True)
+class Ref:
+    """Reference to a context variable or instruction field (rs, imm, ...)."""
+
+    name: str
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Const:
+    """Literal operand."""
+
+    value: int
+
+    def describe(self) -> str:
+        return f"'{self.value}'"
+
+
+@dataclass(frozen=True, slots=True)
+class TupleArg:
+    """Tuple operand, e.g. the ``<start, end, hashv>`` CAM key."""
+
+    items: tuple[Union[Ref, Const], ...]
+
+    def describe(self) -> str:
+        return "<" + ",".join(item.describe() for item in self.items) + ">"
+
+
+Arg = Union[Ref, Const, TupleArg]
+
+
+@dataclass(frozen=True, slots=True)
+class Guard:
+    """Conjunction of equality tests: ``[found==1 & match==0]``."""
+
+    terms: tuple[tuple[str, int], ...]
+
+    def describe(self) -> str:
+        body = " & ".join(f"{name}=={value}" for name, value in self.terms)
+        return f"[{body}]"
+
+
+@dataclass(frozen=True, slots=True)
+class MicroOp:
+    """One microoperation.
+
+    ``resource``/``operation`` are ``None`` for pure assignments such as
+    ``exception0 = [found==0] '1'`` where the right-hand side is a literal.
+    """
+
+    dests: tuple[str, ...]
+    resource: str | None
+    operation: str | None
+    args: tuple[Arg, ...]
+    guard: Guard | None = None
+
+    def describe(self) -> str:
+        """Render back to the paper's textual syntax."""
+        if not self.dests:
+            dest_text = "null"
+        elif len(self.dests) == 1:
+            dest_text = self.dests[0]
+        else:
+            dest_text = "<" + ",".join(self.dests) + ">"
+        guard_text = self.guard.describe() if self.guard else ""
+        if self.resource is None:
+            value = self.args[0].describe() if self.args else "'0'"
+            return f"{dest_text} = {guard_text}{value}"
+        arg_text = ", ".join(arg.describe() for arg in self.args)
+        return f"{dest_text} = {guard_text}{self.resource}.{self.operation}({arg_text})"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

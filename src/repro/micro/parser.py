@@ -1,0 +1,151 @@
+"""Parser for the paper's textual microoperation syntax.
+
+The accepted grammar covers every line in Figures 1, 3(b) and 4 verbatim::
+
+    current_pc = CPC.read();
+    null = [start==0]STA.write(current_pc);
+    nhashv = HASHFU.ope(ohashv, instr);
+    <found,match> = IHTbb.lookup(<start,end,hashv>);
+    exception0 = [found==0] '1';
+    exception1 = [found==1 & match==0] '1';
+
+so the test suite can feed the figures' literal text into the framework and
+check the resulting behaviour against the fast behavioural checker.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ConfigurationError
+from repro.micro.microop import Arg, Const, Guard, MicroOp, Ref, TupleArg
+from repro.micro.program import MicroProgram
+
+_LINE = re.compile(
+    r"""
+    ^\s*
+    (?P<dest> null | <\s*\w+(?:\s*,\s*\w+)*\s*> | \w+ )
+    \s*=\s*
+    (?P<guard> \[ [^\]]+ \] )? \s*
+    (?P<rhs> .+? )
+    \s*;?\s*$
+    """,
+    re.VERBOSE,
+)
+_CALL = re.compile(r"^(?P<resource>\w+)\.(?P<operation>\w+)\((?P<args>.*)\)$")
+_LITERAL = re.compile(r"^'(?P<value>-?\d+)'$")
+_GUARD_TERM = re.compile(r"^\s*(?P<name>\w+)\s*==\s*(?P<value>-?\d+)\s*$")
+
+
+def parse_microop(text: str) -> MicroOp:
+    """Parse one microoperation line."""
+    match = _LINE.match(text)
+    if match is None:
+        raise ConfigurationError(f"cannot parse microoperation {text!r}")
+    dests = _parse_dest(match.group("dest"))
+    guard = _parse_guard(match.group("guard"))
+    rhs = match.group("rhs").strip()
+    literal = _LITERAL.match(rhs)
+    if literal is not None:
+        return MicroOp(
+            dests=dests,
+            resource=None,
+            operation=None,
+            args=(Const(int(literal.group("value"))),),
+            guard=guard,
+        )
+    call = _CALL.match(rhs)
+    if call is None:
+        raise ConfigurationError(f"cannot parse right-hand side {rhs!r}")
+    args = _parse_args(call.group("args"))
+    return MicroOp(
+        dests=dests,
+        resource=call.group("resource"),
+        operation=call.group("operation"),
+        args=args,
+        guard=guard,
+    )
+
+
+def parse_microprogram(text: str, name: str = "") -> MicroProgram:
+    """Parse a multi-line microoperation listing into a program.
+
+    Blank lines and ``//``/``#`` comment lines are skipped.
+    """
+    ops = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith(("//", "#")):
+            continue
+        ops.append(parse_microop(stripped))
+    return MicroProgram(ops, name)
+
+
+def _parse_dest(text: str) -> tuple[str, ...]:
+    text = text.strip()
+    if text == "null":
+        return ()
+    if text.startswith("<"):
+        inner = text[1:-1]
+        return tuple(part.strip() for part in inner.split(","))
+    return (text,)
+
+
+def _parse_guard(text: str | None) -> Guard | None:
+    if text is None:
+        return None
+    body = text.strip()[1:-1]
+    terms = []
+    for part in body.split("&"):
+        term = _GUARD_TERM.match(part)
+        if term is None:
+            raise ConfigurationError(f"cannot parse guard term {part!r}")
+        terms.append((term.group("name"), int(term.group("value"))))
+    return Guard(tuple(terms))
+
+
+def _parse_args(text: str) -> tuple[Arg, ...]:
+    text = text.strip()
+    if not text:
+        return ()
+    args: list[Arg] = []
+    for part in _split_args(text):
+        args.append(_parse_arg(part))
+    return tuple(args)
+
+
+def _split_args(text: str) -> list[str]:
+    """Split on commas not nested inside ``<...>`` tuples."""
+    parts = []
+    depth = 0
+    current = []
+    for char in text:
+        if char == "<":
+            depth += 1
+        elif char == ">":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current))
+    return [part.strip() for part in parts if part.strip()]
+
+
+def _parse_arg(text: str) -> Arg:
+    if text.startswith("<"):
+        inner = text[1:-1]
+        items = tuple(_parse_arg(part) for part in _split_args(inner))
+        for item in items:
+            if isinstance(item, TupleArg):
+                raise ConfigurationError("nested tuples are not supported")
+        return TupleArg(items)  # type: ignore[arg-type]
+    literal = _LITERAL.match(text)
+    if literal is not None:
+        return Const(int(literal.group("value")))
+    if re.fullmatch(r"-?\d+", text):
+        return Const(int(text))
+    if re.fullmatch(r"\w+", text):
+        return Ref(text)
+    raise ConfigurationError(f"cannot parse argument {text!r}")

@@ -1,0 +1,111 @@
+"""Microprogram execution.
+
+A :class:`MicroProgram` is the ordered microoperation sequence attached to
+one pipeline stage of one instruction (class).  Execution is sequential
+within a stage; assignments bind variables in a :class:`MicroContext`, whose
+name lookup falls back to the current instruction's decoded fields (``rs``,
+``rt``, ``imm``...), which is how ``GPR.read(rs)`` in Figure 4 resolves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.micro.microop import Const, Guard, MicroOp, Ref, TupleArg
+from repro.micro.resources import ResourceSet
+
+
+@dataclass(slots=True)
+class MicroContext:
+    """Variable bindings for one microprogram activation."""
+
+    fields: dict[str, int] = field(default_factory=dict)
+    vars: dict[str, object] = field(default_factory=dict)
+
+    def value(self, name: str) -> object:
+        if name in self.vars:
+            return self.vars[name]
+        if name in self.fields:
+            return self.fields[name]
+        raise ConfigurationError(f"unbound microoperation variable {name!r}")
+
+    def bind(self, name: str, value: object) -> None:
+        self.vars[name] = value
+
+
+class MicroProgram:
+    """An executable sequence of microoperations."""
+
+    def __init__(self, ops: tuple[MicroOp, ...] | list[MicroOp], name: str = ""):
+        self.ops = tuple(ops)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def __add__(self, other: "MicroProgram") -> "MicroProgram":
+        """Concatenation — how monitoring microoperations are *embedded*."""
+        combined_name = f"{self.name}+{other.name}" if self.name else other.name
+        return MicroProgram(self.ops + other.ops, combined_name)
+
+    def describe(self) -> str:
+        """The paper-style textual listing of the program."""
+        return "\n".join(f"{op.describe()};" for op in self.ops)
+
+    def execute(self, resources: ResourceSet, context: MicroContext) -> MicroContext:
+        """Run every microoperation in order against *resources*."""
+        for op in self.ops:
+            if op.guard is not None and not _guard_holds(op.guard, context):
+                # De-asserted: destinations read as 0, no side effect occurs.
+                for dest in op.dests:
+                    if dest not in context.vars:
+                        context.bind(dest, 0)
+                continue
+            if op.resource is None:
+                result: object = _resolve(op.args[0], context) if op.args else 0
+            else:
+                resolved = tuple(_resolve(arg, context) for arg in op.args)
+                result = resources[op.resource].invoke(op.operation or "", resolved)
+            _bind_result(op, result, context)
+        return context
+
+    def resources_used(self) -> tuple[str, ...]:
+        """Resource names referenced by this program (for area accounting)."""
+        seen: dict[str, None] = {}
+        for op in self.ops:
+            if op.resource is not None:
+                seen.setdefault(op.resource)
+        return tuple(seen)
+
+
+def _guard_holds(guard: Guard, context: MicroContext) -> bool:
+    return all(context.value(name) == value for name, value in guard.terms)
+
+
+def _resolve(arg, context: MicroContext):
+    if isinstance(arg, Ref):
+        return context.value(arg.name)
+    if isinstance(arg, Const):
+        return arg.value
+    if isinstance(arg, TupleArg):
+        return tuple(_resolve(item, context) for item in arg.items)
+    raise ConfigurationError(f"unknown argument type {arg!r}")
+
+
+def _bind_result(op: MicroOp, result: object, context: MicroContext) -> None:
+    if not op.dests:
+        return
+    if len(op.dests) == 1:
+        context.bind(op.dests[0], result)
+        return
+    if not isinstance(result, tuple) or len(result) != len(op.dests):
+        raise ConfigurationError(
+            f"operation {op.resource}.{op.operation} returned {result!r}, "
+            f"expected a {len(op.dests)}-tuple"
+        )
+    for dest, value in zip(op.dests, result):
+        context.bind(dest, value)

@@ -1,0 +1,175 @@
+"""Datapath resources that microoperations operate on.
+
+A :class:`Resource` exposes named operations (``read``, ``write``, ``inc``,
+``ope``, ``lookup``, ...).  The concrete resources mirror the hardware
+modules of the paper's Figure 2: ``CPC``/``PPC``/``STA``/``RHASH`` registers,
+the ``GPR`` register file, the ``IMAU`` instruction memory access unit, the
+``HASHFU`` hash functional unit, and the ``IHTbb`` CAM.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.utils.bitops import MASK32
+
+
+class Resource:
+    """Base class: a named hardware resource with invocable operations."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def invoke(self, operation: str, args: tuple) -> object:
+        method = getattr(self, f"op_{operation}", None)
+        if method is None:
+            raise ConfigurationError(
+                f"resource {self.name!r} has no operation {operation!r}"
+            )
+        return method(*args)
+
+    def operations(self) -> tuple[str, ...]:
+        """Names of the operations this resource supports."""
+        return tuple(
+            name[3:] for name in dir(self) if name.startswith("op_")
+        )
+
+
+class Register(Resource):
+    """A single datapath register.
+
+    ``width`` bits wide for integer values; hash state registers may hold
+    opaque (non-integer) state when a wide hash algorithm is attached, in
+    which case masking is skipped — the finalized value compared against the
+    CAM is still ``width`` bits.
+    """
+
+    def __init__(self, name: str, width: int = 32, reset_value: object = 0):
+        super().__init__(name)
+        self.width = width
+        self.reset_value = reset_value
+        self.value: object = reset_value
+
+    def _mask(self, value: object) -> object:
+        if isinstance(value, int):
+            return value & ((1 << self.width) - 1)
+        return value
+
+    def op_read(self) -> object:
+        return self.value
+
+    def op_write(self, value: object) -> None:
+        self.value = self._mask(value)
+
+    def op_reset(self) -> None:
+        self.value = self.reset_value
+
+    def op_inc(self, step: int = 4) -> None:
+        if not isinstance(self.value, int):
+            raise ConfigurationError(f"cannot increment non-integer {self.name}")
+        self.value = (self.value + step) & ((1 << self.width) - 1)
+
+
+class RegisterFileResource(Resource):
+    """The general-purpose register file (GPR).
+
+    Wraps the simulator's register list so microoperations and the
+    behavioural model observe the same state.  Register 0 stays zero.
+    """
+
+    def __init__(self, name: str, registers: list[int]):
+        super().__init__(name)
+        self.registers = registers
+
+    def op_read(self, index: int) -> int:
+        return self.registers[index]
+
+    def op_write(self, index: int, value: int) -> None:
+        if index:
+            self.registers[index] = value & MASK32
+
+
+class MemoryAccessUnit(Resource):
+    """Instruction/data memory port (IMAU / DMAU).
+
+    ``fetch_hook`` models transient faults on the memory-to-processor
+    transfer path; the monitor hashes the word *after* the hook, i.e. the
+    word that actually enters the pipeline — exactly the coverage argument
+    of Section 3.2.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        memory,
+        fetch_hook: Callable[[int, int], int] | None = None,
+    ):
+        super().__init__(name)
+        self.memory = memory
+        self.fetch_hook = fetch_hook
+
+    def op_read(self, address: int) -> int:
+        word = self.memory.read_word(address)
+        if self.fetch_hook is not None:
+            word = self.fetch_hook(address, word)
+        return word
+
+    def op_write(self, address: int, value: int) -> None:
+        self.memory.write_word(address, value)
+
+
+class FunctionalUnit(Resource):
+    """A combinational functional unit with a single ``ope`` operation."""
+
+    def __init__(self, name: str, function: Callable[..., object]):
+        super().__init__(name)
+        self.function = function
+
+    def op_ope(self, *args: object) -> object:
+        return self.function(*args)
+
+
+class HashTableResource(Resource):
+    """The IHTbb CAM, as seen from the microoperation level.
+
+    ``lookup`` takes the ``<start, end, hashv>`` key tuple and returns the
+    ``<found, match>`` pair of Figure 4.  The underlying
+    :class:`~repro.cic.iht.InternalHashTable` is shared with the OS model so
+    exception handling and microoperations observe one table.
+    """
+
+    def __init__(self, name: str, table):
+        super().__init__(name)
+        self.table = table
+
+    def op_lookup(self, key: tuple) -> tuple[int, int]:
+        start, end, hashv = key
+        found, match = self.table.lookup(start, end, hashv)
+        return (int(found), int(match))
+
+
+class ResourceSet:
+    """Named collection of resources a microprogram executes against."""
+
+    def __init__(self, *resources: Resource):
+        self._by_name: dict[str, Resource] = {}
+        for resource in resources:
+            self.add(resource)
+
+    def add(self, resource: Resource) -> None:
+        if resource.name in self._by_name:
+            raise ConfigurationError(f"duplicate resource {resource.name!r}")
+        self._by_name[resource.name] = resource
+
+    def __getitem__(self, name: str) -> Resource:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown resource {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._by_name)

@@ -1,0 +1,32 @@
+"""Operating-system model.
+
+The paper's monitoring scheme is OS-managed (Section 3.3): the loader
+computes expected hashes and attaches the full hash table to the process;
+hash-miss exceptions invoke an OS handler that searches the FHT and refills
+the IHT under a replacement policy; hash mismatches terminate the program.
+"""
+
+from repro.osmodel.handler import OSExceptionHandler
+from repro.osmodel.loader import LoadedProcess, load_process
+from repro.osmodel.policies import (
+    POLICIES,
+    FifoPolicy,
+    LruHalfPolicy,
+    LruOnePolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    get_policy,
+)
+
+__all__ = [
+    "FifoPolicy",
+    "LoadedProcess",
+    "LruHalfPolicy",
+    "LruOnePolicy",
+    "OSExceptionHandler",
+    "POLICIES",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "get_policy",
+    "load_process",
+]

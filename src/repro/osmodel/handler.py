@@ -1,0 +1,70 @@
+"""OS monitoring-exception handler.
+
+The CIC raises two exception signals (Figure 4):
+
+* **exception0 — hash miss**: the block's ``(start, end)`` range is not in
+  the IHT.  The OS searches the FHT; if the record exists and the dynamic
+  hash matches, the IHT is refilled under the replacement policy and
+  execution continues, at a flat cost of ``miss_penalty`` cycles (the
+  paper assumes 100).  If the record is absent, or present with a different
+  hash, the code was altered — the process is terminated.
+* **exception1 — hash mismatch**: the range is in the IHT but the dynamic
+  hash differs: definite corruption, immediate termination.
+
+Termination is modelled by raising :class:`~repro.errors.MonitorViolation`,
+which fault campaigns catch and classify as a successful detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import NoReturn
+
+from repro.errors import MonitorViolation
+from repro.cic.fht import FullHashTable
+from repro.cic.iht import InternalHashTable
+from repro.osmodel.policies import ReplacementPolicy
+
+#: The paper's assumed cost of one OS exception handling episode.
+DEFAULT_MISS_PENALTY = 100
+
+
+@dataclass(slots=True)
+class HandlerStats:
+    """Counters of OS-level monitoring activity."""
+
+    miss_exceptions: int = 0
+    fht_searches: int = 0
+    refills: int = 0
+    cycles: int = 0
+
+
+@dataclass(slots=True)
+class OSExceptionHandler:
+    """Handles CIC exceptions against one process's FHT."""
+
+    fht: FullHashTable
+    iht: InternalHashTable
+    policy: ReplacementPolicy
+    miss_penalty: int = DEFAULT_MISS_PENALTY
+    stats: HandlerStats = field(default_factory=HandlerStats)
+
+    def on_miss(self, start: int, end: int, hash_value: int) -> int:
+        """Hash-miss exception: search the FHT, refill or terminate."""
+        self.stats.miss_exceptions += 1
+        self.stats.fht_searches += 1
+        expected = self.fht.get(start, end)
+        if expected is None:
+            raise MonitorViolation(start, end, None, hash_value)
+        if expected != hash_value:
+            raise MonitorViolation(start, end, expected, hash_value)
+        self.policy.refill(self.iht, self.fht, (start, end))
+        self.stats.refills += 1
+        self.stats.cycles += self.miss_penalty
+        return self.miss_penalty
+
+    def on_mismatch(self, start: int, end: int, hash_value: int) -> NoReturn:
+        """Hash-mismatch exception: unconditional termination."""
+        entry = self.iht.probe(start, end)
+        expected = entry.hash_value if entry is not None else self.fht.get(start, end)
+        raise MonitorViolation(start, end, expected, hash_value)

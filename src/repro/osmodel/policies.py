@@ -1,0 +1,121 @@
+"""IHT refill / replacement policies.
+
+The paper's evaluation uses an LRU policy where "on each hash miss, the OS
+replaces half of the entries with hash records from the FHT" (Section 6.1).
+The refill heuristic — which records accompany the missed one — is not
+specified; :class:`LruHalfPolicy` loads the missed record plus the records
+that statically follow it in FHT order (sequential prefetch), which is the
+natural software implementation of a block refill.
+
+The alternatives (:class:`LruOnePolicy`, :class:`FifoPolicy`,
+:class:`RandomPolicy`) exist for the replacement-policy ablation the paper
+lists as future work ("refining the entry replacement policy for the IHT").
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigurationError
+from repro.cic.fht import FullHashTable
+from repro.cic.iht import InternalHashTable, TableEntry
+
+
+class ReplacementPolicy(ABC):
+    """Strategy invoked by the OS handler on a hash miss."""
+
+    name: str = ""
+
+    @abstractmethod
+    def _victims(self, iht: InternalHashTable, needed: int) -> list[TableEntry]:
+        """Choose entries to invalidate so *needed* slots become free."""
+
+    def _refill_count(self, iht: InternalHashTable) -> int:
+        """How many records to load on a miss (missed record included)."""
+        return max(1, iht.size // 2)
+
+    def refill(
+        self,
+        iht: InternalHashTable,
+        fht: FullHashTable,
+        missing_key: tuple[int, int],
+    ) -> None:
+        """Make room and load *missing_key* (plus prefetched records)."""
+        count = min(self._refill_count(iht), iht.size, len(fht))
+        shortfall = count - iht.free_slots()
+        if shortfall > 0:
+            victims = self._victims(iht, shortfall)
+            iht.evict(victims)
+        loaded = 0
+        for start, end, hash_value in fht.records_from(missing_key, count):
+            if iht.probe(start, end) is not None:
+                continue  # prefetch target already cached
+            if iht.free_slots() == 0:
+                break
+            iht.insert(start, end, hash_value)
+            loaded += 1
+        if iht.probe(*missing_key) is None:  # pragma: no cover - invariant
+            raise ConfigurationError("refill failed to load the missed block")
+
+
+class LruHalfPolicy(ReplacementPolicy):
+    """The paper's policy: evict the least-recently-used half, block refill."""
+
+    name = "lru_half"
+
+    def _victims(self, iht: InternalHashTable, needed: int) -> list[TableEntry]:
+        by_recency = sorted(iht.valid_entries(), key=lambda entry: entry.last_used)
+        return by_recency[:needed]
+
+
+class LruOnePolicy(ReplacementPolicy):
+    """Classic cache behaviour: evict one LRU entry, load only the miss."""
+
+    name = "lru_one"
+
+    def _refill_count(self, iht: InternalHashTable) -> int:
+        return 1
+
+    def _victims(self, iht: InternalHashTable, needed: int) -> list[TableEntry]:
+        by_recency = sorted(iht.valid_entries(), key=lambda entry: entry.last_used)
+        return by_recency[:needed]
+
+
+class FifoPolicy(ReplacementPolicy):
+    """Evict the oldest-inserted half (no recency tracking hardware)."""
+
+    name = "fifo"
+
+    def _victims(self, iht: InternalHashTable, needed: int) -> list[TableEntry]:
+        by_insertion = sorted(iht.valid_entries(), key=lambda entry: entry.inserted)
+        return by_insertion[:needed]
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a random half — the cheapest possible replacement hardware."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0x5EED):
+        self._rng = random.Random(seed)
+
+    def _victims(self, iht: InternalHashTable, needed: int) -> list[TableEntry]:
+        valid = iht.valid_entries()
+        return self._rng.sample(valid, min(needed, len(valid)))
+
+
+POLICIES: dict[str, type[ReplacementPolicy]] = {
+    cls.name: cls for cls in (LruHalfPolicy, LruOnePolicy, FifoPolicy, RandomPolicy)
+}
+
+
+def get_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a replacement policy by registry name."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown replacement policy {name!r}; "
+            f"available: {', '.join(sorted(POLICIES))}"
+        ) from None

@@ -1,0 +1,355 @@
+"""Functional instruction-set simulator with an analytical cycle model.
+
+``FuncSim`` executes instructions one at a time against the architected
+state, while a scoreboard replays the 5-stage pipeline's timing exactly.
+It is the golden model: the cycle-level
+:class:`~repro.pipeline.cpu.PipelineCPU` must produce the same final state,
+console output, block trace, *and cycle count* — asserted by the
+differential tests.
+
+The scoreboard keeps two timelines per instruction, mirroring the stage
+machine:
+
+* ``id_t`` — the cycle the instruction is processed by the decode stage
+  (leaves the IF/ID latch).  Branch operand reads, load-use interlocks,
+  HI/LO interlocks and trap serialization constrain this time.
+* ``issue_t`` — the cycle the instruction is consumed by EX.  The ID/EX
+  latch holds an instruction until EX is free, so
+  ``issue_t = max(id_t + 1, ex_free)``.
+
+Monitoring costs (the flat 100-cycle OS handling of a hash miss) land at
+``id_t`` — the ID stage is where the CIC's exception fires (Figure 4) — and
+push the instruction's own issue and everything behind it.
+
+A monitor object (usually :class:`repro.cic.checker.CodeIntegrityChecker`)
+may be attached; it observes fetched words and block ends *at the ID stage,
+before the instruction executes*, exactly like the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.errors import MemoryAccessError, SimulationError
+from repro.asm.program import Program
+from repro.pipeline import semantics
+from repro.pipeline.hazards import CycleModel
+from repro.pipeline.state import ArchState
+from repro.pipeline.syscalls import SyscallHandler
+from repro.pipeline.trace import BlockTrace
+from repro.isa.encoding import decode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Mnemonic
+from repro.isa.properties import BRANCHES, INDIRECT_JUMPS, is_control_flow
+
+FetchHook = Callable[[int, int], int]
+
+
+class Monitor(Protocol):
+    """Interface the simulators expect from an attached integrity monitor."""
+
+    def on_instruction(self, address: int, word: int) -> None:
+        """Observe one fetched instruction (the IF-stage microoperations)."""
+
+    def on_block_end(self, end_address: int) -> int:
+        """Check the block ending at *end_address*; return extra OS cycles."""
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Everything a finished simulation reports."""
+
+    cycles: int
+    instructions: int
+    exit_code: int
+    console: str
+    block_trace: BlockTrace | None = None
+    #: Populated by the monitor, if one was attached.
+    monitor_stats: object | None = None
+
+
+@dataclass(slots=True)
+class _Scoreboard:
+    """Dual-timeline (ID / issue) model of the 5-stage pipeline.
+
+    Per-register constraint times:
+
+    * ``avail_id[r]`` — earliest ``id_t`` of a consumer that reads ``r`` in
+      ID (branches and indirect jumps): producer's EX result reaches the
+      EX/MEM→ID bypass one cycle after issue (ALU), or the MEM/WB path two
+      cycles after issue (loads).
+    * ``load_guard[r]`` — earliest ``id_t`` of an EX-stage reader after a
+      *load* producer (the classic load-use interlock, enforced in ID).
+    """
+
+    model: CycleModel
+    avail_id: list[int] = field(default_factory=lambda: [0] * 32)
+    load_guard: list[int] = field(default_factory=lambda: [0] * 32)
+    hilo_commit: int = 0
+    ex_free: int = 0
+    prev_issue: int = 0
+    fetch_ready: int = 2  # first instruction decodes in cycle 2
+    last_id: int = 0
+    last_issue: int = 0
+
+    def issue(self, instruction: Instruction, monitor_extra: int = 0) -> int:
+        """Advance the timeline; return the instruction's (pre-penalty) id_t."""
+        model = self.model
+        id_t = self.fetch_ready
+        if self.prev_issue > id_t:
+            id_t = self.prev_issue
+        m = instruction.mnemonic
+        if m in BRANCHES or m in INDIRECT_JUMPS:
+            for source in instruction.source_registers():
+                if self.avail_id[source] > id_t:
+                    id_t = self.avail_id[source]
+        elif m is Mnemonic.MFHI or m is Mnemonic.MFLO:
+            if self.hilo_commit > id_t:
+                id_t = self.hilo_commit
+        elif instruction.is_store():
+            # Address register is read at EX; data register only at MEM,
+            # where the register file already reflects every prior WB.
+            if self.load_guard[instruction.rs] > id_t:
+                id_t = self.load_guard[instruction.rs]
+        else:
+            for source in instruction.source_registers():
+                if self.load_guard[source] > id_t:
+                    id_t = self.load_guard[source]
+        id_used = id_t + monitor_extra
+        issue_t = id_used + 1
+        if self.ex_free > issue_t:
+            issue_t = self.ex_free
+        destination = instruction.destination_register()
+        if destination is not None:
+            if instruction.is_load():
+                self.avail_id[destination] = issue_t + 2
+                self.load_guard[destination] = issue_t + 1
+            else:
+                self.avail_id[destination] = issue_t + 1
+                self.load_guard[destination] = 0
+        if m is Mnemonic.MULT or m is Mnemonic.MULTU:
+            self.ex_free = issue_t + 1 + model.mult_latency
+            self.hilo_commit = issue_t + model.mult_latency
+        elif m is Mnemonic.DIV or m is Mnemonic.DIVU:
+            self.ex_free = issue_t + 1 + model.div_latency
+            self.hilo_commit = issue_t + model.div_latency
+        else:
+            self.ex_free = issue_t + 1
+        if m is Mnemonic.SYSCALL:
+            # Traps serialize: the next instruction decodes only after the
+            # trap has written back (depth - 2 cycles after its ID).
+            self.fetch_ready = id_used + model.depth - 2
+        else:
+            self.fetch_ready = id_used + 1
+        self.prev_issue = issue_t
+        self.last_id = id_used
+        self.last_issue = issue_t
+        return id_t
+
+    def redirect(self) -> None:
+        """A taken control transfer squashes the in-flight fetch slot."""
+        self.fetch_ready = self.last_id + 1 + self.model.redirect_penalty
+
+    def total_cycles(self) -> int:
+        """Cycles until the last issued instruction completes WB."""
+        return self.last_issue + self.model.depth - 3
+
+
+class FuncSim:
+    """Functional ISS + analytical cycle model.
+
+    Parameters
+    ----------
+    program:
+        The assembled image to execute.
+    cycle_model:
+        Pipeline latency parameters (defaults to the paper's single-issue
+        in-order configuration).
+    monitor:
+        Optional integrity monitor (duck-typed :class:`Monitor`).
+    fetch_hook:
+        Optional transform applied to every fetched word — models transient
+        faults on the memory-to-processor transfer path, which the paper's
+        in-pipeline monitor catches but a cache-resident checker would not.
+    collect_trace:
+        Record the dynamic basic-block trace for trace-driven replay.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        cycle_model: CycleModel | None = None,
+        monitor: Monitor | None = None,
+        fetch_hook: FetchHook | None = None,
+        collect_trace: bool = False,
+        inputs: list[int] | None = None,
+        max_instructions: int = 50_000_000,
+    ):
+        self.program = program
+        self.cycle_model = cycle_model or CycleModel()
+        self.monitor = monitor
+        self.fetch_hook = fetch_hook
+        self.collect_trace = collect_trace
+        self.max_instructions = max_instructions
+        self.state = ArchState.boot(program)
+        self.syscalls = SyscallHandler()
+        if inputs:
+            self.syscalls.inputs.extend(inputs)
+        self._decode_cache: dict[int, Instruction] = {}
+        self._text_start = program.text_start
+        self._text_end = program.text_end
+
+    def _fetch(self, address: int) -> int:
+        # Instruction fetch outside the text segment is a bus-error machine
+        # check — the baseline detection that stops run-off execution (e.g.
+        # after a fault removed the program's final control transfer).
+        if not self._text_start <= address < self._text_end:
+            raise MemoryAccessError(
+                f"instruction fetch outside text segment at {address:#010x}",
+                pc=address,
+            )
+        word = self.state.memory.read_word(address)
+        if self.fetch_hook is not None:
+            word = self.fetch_hook(address, word)
+        return word
+
+    def _decode(self, word: int, address: int) -> Instruction:
+        cached = self._decode_cache.get(word)
+        if cached is None:
+            cached = decode(word, address)
+            self._decode_cache[word] = cached
+        return cached
+
+    def run(self) -> RunResult:
+        """Execute until the program exits; return the :class:`RunResult`."""
+        state = self.state
+        monitor = self.monitor
+        scoreboard = _Scoreboard(self.cycle_model)
+        trace = BlockTrace() if self.collect_trace else None
+        block_start: int | None = None
+        executed = 0
+        exit_code = 0
+        while True:
+            if executed >= self.max_instructions:
+                raise SimulationError(
+                    f"instruction limit {self.max_instructions} exceeded",
+                    pc=state.pc,
+                )
+            pc = state.pc
+            word = self._fetch(pc)
+            instruction = self._decode(word, pc)
+            executed += 1
+            if block_start is None:
+                block_start = pc
+            # Monitoring happens at the ID stage, before execution — a
+            # mismatch stops the flow-control instruction from executing.
+            extra = 0
+            if monitor is not None:
+                monitor.on_instruction(pc, word)
+            if is_control_flow(instruction):
+                if trace is not None:
+                    trace.append(block_start, pc)
+                block_start = None
+                if monitor is not None:
+                    extra = monitor.on_block_end(pc)
+            scoreboard.issue(instruction, extra)
+            redirected, exited, exit_code = self._execute(instruction, pc)
+            if redirected:
+                scoreboard.redirect()
+            if exited:
+                break
+        return RunResult(
+            cycles=scoreboard.total_cycles(),
+            instructions=executed,
+            exit_code=exit_code,
+            console=self.syscalls.console_text,
+            block_trace=trace,
+            monitor_stats=getattr(monitor, "stats", None),
+        )
+
+    def _execute(
+        self, instruction: Instruction, pc: int
+    ) -> tuple[bool, bool, int]:
+        """Apply architected semantics; return (redirected, exited, code)."""
+        state = self.state
+        m = instruction.mnemonic
+        next_pc = (pc + 4) & 0xFFFFFFFF
+        redirected = False
+        if m is Mnemonic.SYSCALL:
+            result = self.syscalls.execute(state)
+            if result.exited:
+                state.pc = next_pc
+                return False, True, result.exit_code
+        elif m is Mnemonic.BREAK:
+            raise SimulationError(f"break {instruction.code}", pc=pc)
+        elif m in BRANCHES:
+            rs_value = state.read_reg(instruction.rs)
+            rt_value = state.read_reg(instruction.rt)
+            if semantics.branch_taken(instruction, rs_value, rt_value):
+                next_pc = semantics.control_target(instruction, pc, rs_value)
+                redirected = True
+        elif m is Mnemonic.J:
+            next_pc = semantics.control_target(instruction, pc, 0)
+            redirected = True
+        elif m is Mnemonic.JAL:
+            state.write_reg(31, semantics.link_value(pc))
+            next_pc = semantics.control_target(instruction, pc, 0)
+            redirected = True
+        elif m is Mnemonic.JR:
+            next_pc = state.read_reg(instruction.rs)
+            redirected = True
+        elif m is Mnemonic.JALR:
+            target = state.read_reg(instruction.rs)
+            state.write_reg(instruction.rd, semantics.link_value(pc))
+            next_pc = target
+            redirected = True
+        elif m is Mnemonic.MFHI:
+            state.write_reg(instruction.rd, state.hi)
+        elif m is Mnemonic.MFLO:
+            state.write_reg(instruction.rd, state.lo)
+        elif m is Mnemonic.MTHI:
+            state.hi = state.read_reg(instruction.rs)
+        elif m is Mnemonic.MTLO:
+            state.lo = state.read_reg(instruction.rs)
+        else:
+            rs_value = state.read_reg(instruction.rs)
+            rt_value = state.read_reg(instruction.rt)
+            hilo = semantics.muldiv_result(instruction, rs_value, rt_value)
+            if hilo is not None:
+                state.hi, state.lo = hilo
+            else:
+                result = semantics.alu_result(instruction, rs_value, rt_value)
+                if instruction.is_load():
+                    value = semantics.load_value(instruction, state.memory, result)
+                    state.write_reg(instruction.rt, value)
+                elif instruction.is_store():
+                    semantics.store_value(
+                        instruction, state.memory, result, rt_value
+                    )
+                elif result is not None:
+                    destination = instruction.destination_register()
+                    if destination is not None:
+                        state.write_reg(destination, result)
+        state.pc = next_pc & 0xFFFFFFFF
+        return redirected, False, 0
+
+
+def run_program(
+    program: Program,
+    monitor: Monitor | None = None,
+    collect_trace: bool = False,
+    inputs: list[int] | None = None,
+    cycle_model: CycleModel | None = None,
+    max_instructions: int = 50_000_000,
+) -> RunResult:
+    """One-shot convenience wrapper around :class:`FuncSim`."""
+    simulator = FuncSim(
+        program,
+        cycle_model=cycle_model,
+        monitor=monitor,
+        collect_trace=collect_trace,
+        inputs=inputs,
+        max_instructions=max_instructions,
+    )
+    return simulator.run()

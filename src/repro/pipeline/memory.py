@@ -1,0 +1,136 @@
+"""Paged byte-addressable memory.
+
+Memory is modelled as 4 KiB pages allocated on demand, so sparse layouts
+(text at 0x0040_0000, data at 0x1001_0000, stack below 0x7FFF_F000) cost only
+the pages actually touched.  All multi-byte accesses are little-endian and
+alignment-checked, mirroring the behaviour of the PISA memory interface.
+
+Fault injection uses :meth:`Memory.flip_bit` to alter stored program words —
+the "code modified in memory after the checkpoint" attack of Section 1 and
+the storage-cell soft errors of the fault model.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MemoryAccessError
+from repro.asm.program import Program
+from repro.utils.bitops import MASK32, sign_extend
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class Memory:
+    """Sparse paged memory with word/half/byte access."""
+
+    def __init__(self) -> None:
+        self._pages: dict[int, bytearray] = {}
+
+    def _page(self, address: int) -> bytearray:
+        page_number = address >> PAGE_SHIFT
+        page = self._pages.get(page_number)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_number] = page
+        return page
+
+    # ------------------------------------------------------------------
+    # Bulk operations
+    # ------------------------------------------------------------------
+
+    def load_bytes(self, address: int, data: bytes) -> None:
+        """Copy *data* into memory starting at *address*."""
+        offset = 0
+        while offset < len(data):
+            page = self._page(address + offset)
+            page_offset = (address + offset) & PAGE_MASK
+            chunk = min(PAGE_SIZE - page_offset, len(data) - offset)
+            page[page_offset : page_offset + chunk] = data[offset : offset + chunk]
+            offset += chunk
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        """Read *length* bytes starting at *address*."""
+        out = bytearray()
+        offset = 0
+        while offset < length:
+            page = self._page(address + offset)
+            page_offset = (address + offset) & PAGE_MASK
+            chunk = min(PAGE_SIZE - page_offset, length - offset)
+            out.extend(page[page_offset : page_offset + chunk])
+            offset += chunk
+        return bytes(out)
+
+    def load_program(self, program: Program) -> None:
+        """Place a program image's text and data segments into memory."""
+        self.load_bytes(program.text.base, bytes(program.text.data))
+        self.load_bytes(program.data.base, bytes(program.data.data))
+
+    # ------------------------------------------------------------------
+    # Word / half / byte access
+    # ------------------------------------------------------------------
+
+    def read_word(self, address: int) -> int:
+        if address & 3:
+            raise MemoryAccessError(f"misaligned word read at {address:#010x}")
+        page = self._page(address)
+        offset = address & PAGE_MASK
+        return int.from_bytes(page[offset : offset + 4], "little")
+
+    def write_word(self, address: int, value: int) -> None:
+        if address & 3:
+            raise MemoryAccessError(f"misaligned word write at {address:#010x}")
+        page = self._page(address)
+        offset = address & PAGE_MASK
+        page[offset : offset + 4] = (value & MASK32).to_bytes(4, "little")
+
+    def read_half(self, address: int, signed: bool = False) -> int:
+        if address & 1:
+            raise MemoryAccessError(f"misaligned half read at {address:#010x}")
+        page = self._page(address)
+        offset = address & PAGE_MASK
+        value = int.from_bytes(page[offset : offset + 2], "little")
+        return sign_extend(value, 16) if signed else value
+
+    def write_half(self, address: int, value: int) -> None:
+        if address & 1:
+            raise MemoryAccessError(f"misaligned half write at {address:#010x}")
+        page = self._page(address)
+        offset = address & PAGE_MASK
+        page[offset : offset + 2] = (value & 0xFFFF).to_bytes(2, "little")
+
+    def read_byte(self, address: int, signed: bool = False) -> int:
+        value = self._page(address)[address & PAGE_MASK]
+        return sign_extend(value, 8) if signed else value
+
+    def write_byte(self, address: int, value: int) -> None:
+        self._page(address)[address & PAGE_MASK] = value & 0xFF
+
+    def read_cstring(self, address: int, limit: int = 1 << 16) -> str:
+        """Read a NUL-terminated latin-1 string starting at *address*."""
+        out = bytearray()
+        for index in range(limit):
+            byte = self.read_byte(address + index)
+            if byte == 0:
+                return out.decode("latin-1")
+            out.append(byte)
+        raise MemoryAccessError(f"unterminated string at {address:#010x}")
+
+    # ------------------------------------------------------------------
+    # Fault injection support
+    # ------------------------------------------------------------------
+
+    def flip_bit(self, address: int, bit: int) -> None:
+        """Invert one bit of the word at *address* (0 = LSB of the word)."""
+        if not 0 <= bit < 32:
+            raise ValueError(f"bit index {bit} outside a 32-bit word")
+        word = self.read_word(address)
+        self.write_word(address, word ^ (1 << bit))
+
+    def snapshot_pages(self) -> dict[int, bytes]:
+        """Immutable copy of all allocated pages (for restore after faults)."""
+        return {number: bytes(page) for number, page in self._pages.items()}
+
+    def restore_pages(self, snapshot: dict[int, bytes]) -> None:
+        """Restore memory to a snapshot taken with :meth:`snapshot_pages`."""
+        self._pages = {number: bytearray(page) for number, page in snapshot.items()}

@@ -1,0 +1,206 @@
+"""Architected instruction semantics — the single source of truth.
+
+Both the functional ISS and the cycle-level pipeline call into this module,
+so their architected behaviour cannot diverge.  The functions are organised
+by pipeline stage:
+
+* :func:`branch_taken` / :func:`control_target` — resolved in ID.
+* :func:`alu_result` and :func:`muldiv_result` — the EX stage.
+* :func:`memory_size` + the load/store helpers — the MEM stage.
+
+Arithmetic wraps modulo 2**32.  MIPS's signed-overflow traps on ``add``/
+``addi``/``sub`` are not modelled (the workloads never rely on them and the
+paper's monitor is orthogonal to arithmetic exceptions).  Division by zero
+leaves HI = LO = 0, a defined stand-in for MIPS's "unpredictable".
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Mnemonic
+from repro.isa.properties import BRANCHES, DIRECT_JUMPS, INDIRECT_JUMPS
+from repro.utils.bitops import MASK32, to_signed32
+
+# ---------------------------------------------------------------------------
+# ID stage: control flow resolution
+# ---------------------------------------------------------------------------
+
+
+def branch_taken(instruction: Instruction, rs_value: int, rt_value: int) -> bool:
+    """Whether a conditional branch is taken given its operand values."""
+    m = instruction.mnemonic
+    if m is Mnemonic.BEQ:
+        return rs_value == rt_value
+    if m is Mnemonic.BNE:
+        return rs_value != rt_value
+    signed = to_signed32(rs_value)
+    if m is Mnemonic.BLEZ:
+        return signed <= 0
+    if m is Mnemonic.BGTZ:
+        return signed > 0
+    if m is Mnemonic.BLTZ:
+        return signed < 0
+    if m is Mnemonic.BGEZ:
+        return signed >= 0
+    raise ValueError(f"{m} is not a conditional branch")
+
+
+def control_target(
+    instruction: Instruction, address: int, rs_value: int
+) -> int | None:
+    """Redirect target of the control-flow instruction at *address*.
+
+    Returns ``None`` for non-control-flow instructions and for traps
+    (syscall/break continue at PC+4 after the OS returns).  For conditional
+    branches this is the *taken* target; the caller combines it with
+    :func:`branch_taken`.
+    """
+    m = instruction.mnemonic
+    if m in BRANCHES:
+        return (address + 4 + (instruction.imm << 2)) & MASK32
+    if m in DIRECT_JUMPS:
+        return ((address + 4) & 0xF0000000) | (instruction.target << 2)
+    if m in INDIRECT_JUMPS:
+        return rs_value & MASK32
+    return None
+
+
+# ---------------------------------------------------------------------------
+# EX stage: ALU
+# ---------------------------------------------------------------------------
+
+
+def alu_result(
+    instruction: Instruction, rs_value: int, rt_value: int
+) -> int | None:
+    """EX-stage result (register value or memory address), or ``None``.
+
+    For loads and stores this is the effective address.  For link
+    instructions (``jal``/``jalr``) it is the return address computed from
+    the instruction's own PC — passed in via ``rs_value`` by the caller for
+    ``jal`` (see :func:`link_value`).
+    """
+    m = instruction.mnemonic
+    imm = instruction.imm
+    if m is Mnemonic.ADD or m is Mnemonic.ADDU:
+        return (rs_value + rt_value) & MASK32
+    if m is Mnemonic.SUB or m is Mnemonic.SUBU:
+        return (rs_value - rt_value) & MASK32
+    if m is Mnemonic.AND:
+        return rs_value & rt_value
+    if m is Mnemonic.OR:
+        return rs_value | rt_value
+    if m is Mnemonic.XOR:
+        return rs_value ^ rt_value
+    if m is Mnemonic.NOR:
+        return ~(rs_value | rt_value) & MASK32
+    if m is Mnemonic.SLT:
+        return 1 if to_signed32(rs_value) < to_signed32(rt_value) else 0
+    if m is Mnemonic.SLTU:
+        return 1 if (rs_value & MASK32) < (rt_value & MASK32) else 0
+    if m is Mnemonic.SLL:
+        return (rt_value << instruction.shamt) & MASK32
+    if m is Mnemonic.SRL:
+        return (rt_value & MASK32) >> instruction.shamt
+    if m is Mnemonic.SRA:
+        return (to_signed32(rt_value) >> instruction.shamt) & MASK32
+    if m is Mnemonic.SLLV:
+        return (rt_value << (rs_value & 31)) & MASK32
+    if m is Mnemonic.SRLV:
+        return (rt_value & MASK32) >> (rs_value & 31)
+    if m is Mnemonic.SRAV:
+        return (to_signed32(rt_value) >> (rs_value & 31)) & MASK32
+    if m is Mnemonic.ADDI or m is Mnemonic.ADDIU:
+        return (rs_value + imm) & MASK32
+    if m is Mnemonic.SLTI:
+        return 1 if to_signed32(rs_value) < imm else 0
+    if m is Mnemonic.SLTIU:
+        return 1 if (rs_value & MASK32) < (imm & MASK32) else 0
+    if m is Mnemonic.ANDI:
+        return rs_value & imm
+    if m is Mnemonic.ORI:
+        return rs_value | imm
+    if m is Mnemonic.XORI:
+        return rs_value ^ imm
+    if m is Mnemonic.LUI:
+        return (imm << 16) & MASK32
+    if instruction.is_load() or instruction.is_store():
+        return (rs_value + imm) & MASK32
+    return None
+
+
+def muldiv_result(
+    instruction: Instruction, rs_value: int, rt_value: int
+) -> tuple[int, int] | None:
+    """(hi, lo) produced by a multiply/divide, or ``None``."""
+    m = instruction.mnemonic
+    if m is Mnemonic.MULT:
+        product = to_signed32(rs_value) * to_signed32(rt_value)
+        return ((product >> 32) & MASK32, product & MASK32)
+    if m is Mnemonic.MULTU:
+        product = (rs_value & MASK32) * (rt_value & MASK32)
+        return ((product >> 32) & MASK32, product & MASK32)
+    if m is Mnemonic.DIV:
+        dividend, divisor = to_signed32(rs_value), to_signed32(rt_value)
+        if divisor == 0:
+            return (0, 0)
+        quotient = abs(dividend) // abs(divisor)
+        if (dividend < 0) != (divisor < 0):
+            quotient = -quotient
+        remainder = dividend - quotient * divisor
+        return (remainder & MASK32, quotient & MASK32)
+    if m is Mnemonic.DIVU:
+        dividend, divisor = rs_value & MASK32, rt_value & MASK32
+        if divisor == 0:
+            return (0, 0)
+        return (dividend % divisor, dividend // divisor)
+    return None
+
+
+def link_value(address: int) -> int:
+    """Return address stored by jal/jalr at *address* (no delay slots)."""
+    return (address + 4) & MASK32
+
+
+# ---------------------------------------------------------------------------
+# MEM stage
+# ---------------------------------------------------------------------------
+
+#: Access width in bytes for each load/store mnemonic.
+MEMORY_SIZE: dict[Mnemonic, int] = {
+    Mnemonic.LB: 1,
+    Mnemonic.LBU: 1,
+    Mnemonic.LH: 2,
+    Mnemonic.LHU: 2,
+    Mnemonic.LW: 4,
+    Mnemonic.SB: 1,
+    Mnemonic.SH: 2,
+    Mnemonic.SW: 4,
+}
+
+#: Loads whose result is sign-extended.
+SIGNED_LOADS = frozenset({Mnemonic.LB, Mnemonic.LH})
+
+
+def load_value(instruction: Instruction, memory, address: int) -> int:
+    """Perform the MEM-stage read for a load instruction."""
+    size = MEMORY_SIZE[instruction.mnemonic]
+    signed = instruction.mnemonic in SIGNED_LOADS
+    if size == 4:
+        return memory.read_word(address)
+    if size == 2:
+        value = memory.read_half(address, signed=signed)
+    else:
+        value = memory.read_byte(address, signed=signed)
+    return value & MASK32
+
+
+def store_value(instruction: Instruction, memory, address: int, value: int) -> None:
+    """Perform the MEM-stage write for a store instruction."""
+    size = MEMORY_SIZE[instruction.mnemonic]
+    if size == 4:
+        memory.write_word(address, value)
+    elif size == 2:
+        memory.write_half(address, value)
+    else:
+        memory.write_byte(address, value)

@@ -1,0 +1,44 @@
+"""Architected processor state shared by both simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.program import STACK_TOP, Program
+from repro.pipeline.memory import Memory
+from repro.isa.registers import SP
+
+
+@dataclass(slots=True)
+class ArchState:
+    """Architected state: 32 GPRs, HI/LO, PC, and memory.
+
+    Register 0 is kept at zero by construction: :meth:`write_reg` ignores
+    writes to it, so simulators never need a special case.
+    """
+
+    memory: Memory = field(default_factory=Memory)
+    regs: list[int] = field(default_factory=lambda: [0] * 32)
+    hi: int = 0
+    lo: int = 0
+    pc: int = 0
+
+    @classmethod
+    def boot(cls, program: Program) -> "ArchState":
+        """State at reset: program loaded, PC at entry, SP at stack top."""
+        state = cls()
+        state.memory.load_program(program)
+        state.pc = program.entry
+        state.regs[SP] = STACK_TOP
+        return state
+
+    def read_reg(self, number: int) -> int:
+        return self.regs[number]
+
+    def write_reg(self, number: int, value: int) -> None:
+        if number:
+            self.regs[number] = value & 0xFFFFFFFF
+
+    def snapshot_regs(self) -> tuple[int, ...]:
+        """Immutable copy of the register file + HI/LO + PC (for diffing)."""
+        return (*self.regs, self.hi, self.lo, self.pc)

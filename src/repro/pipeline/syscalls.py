@@ -1,0 +1,85 @@
+"""SPIM-style system call model.
+
+System calls are the program's interface to the (modelled) operating system.
+The call number lives in ``$v0``, the argument in ``$a0``.  Supported calls:
+
+====  ===================  =========================================
+v0    name                 effect
+====  ===================  =========================================
+1     print_int            append str(signed a0) to the console
+4     print_string         append NUL-terminated string at a0
+5     read_int             pop the input queue into v0
+10    exit                 stop with exit code 0
+11    print_char           append chr(a0 & 0xFF)
+17    exit2                stop with exit code a0
+====  ===================  =========================================
+
+``syscall`` is also a basic-block terminator for the integrity monitor: it
+transfers control to the OS, so the block ending at it is checked like any
+branch-delimited block.  This also guarantees every program ends on a block
+boundary (all workloads exit via syscall), so no partial block escapes
+monitoring.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.pipeline.state import ArchState
+from repro.isa.registers import A0, V0
+from repro.utils.bitops import to_signed32
+
+PRINT_INT = 1
+PRINT_STRING = 4
+READ_INT = 5
+EXIT = 10
+PRINT_CHAR = 11
+EXIT2 = 17
+
+
+@dataclass(slots=True)
+class SyscallResult:
+    """Outcome of one syscall: whether the program ended, and its code."""
+
+    exited: bool = False
+    exit_code: int = 0
+
+
+@dataclass(slots=True)
+class SyscallHandler:
+    """Executes system calls against an :class:`ArchState`.
+
+    The console is captured as a list of emitted fragments; tests and
+    workload verifiers compare ``console_text`` against the reference
+    implementation's expected output.
+    """
+
+    inputs: deque[int] = field(default_factory=deque)
+    console: list[str] = field(default_factory=list)
+
+    @property
+    def console_text(self) -> str:
+        return "".join(self.console)
+
+    def execute(self, state: ArchState) -> SyscallResult:
+        number = state.read_reg(V0)
+        argument = state.read_reg(A0)
+        if number == PRINT_INT:
+            self.console.append(str(to_signed32(argument)))
+        elif number == PRINT_STRING:
+            self.console.append(state.memory.read_cstring(argument))
+        elif number == READ_INT:
+            if not self.inputs:
+                raise SimulationError("read_int with empty input queue", pc=state.pc)
+            state.write_reg(V0, self.inputs.popleft() & 0xFFFFFFFF)
+        elif number == EXIT:
+            return SyscallResult(exited=True, exit_code=0)
+        elif number == PRINT_CHAR:
+            self.console.append(chr(argument & 0xFF))
+        elif number == EXIT2:
+            return SyscallResult(exited=True, exit_code=to_signed32(argument))
+        else:
+            raise SimulationError(f"unknown syscall {number}", pc=state.pc)
+        return SyscallResult()

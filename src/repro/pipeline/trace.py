@@ -1,0 +1,61 @@
+"""Dynamic basic-block trace records.
+
+The integrity monitor operates on *dynamic* basic blocks: runs of executed
+instructions that end at a flow-control instruction (branch, jump, indirect
+jump, or trap).  A :class:`BlockTrace` is the sequence of such runs observed
+during one execution; it is the input to trace-driven IHT replay (the fast
+path behind the Figure 6 miss-rate sweep).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class BlockEvent:
+    """One executed dynamic basic block: [start, end] inclusive addresses."""
+
+    start: int
+    end: int
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.start, self.end)
+
+    @property
+    def length(self) -> int:
+        """Number of instructions in the block."""
+        return ((self.end - self.start) >> 2) + 1
+
+
+@dataclass(slots=True)
+class BlockTrace:
+    """An ordered trace of executed basic blocks."""
+
+    events: list[BlockEvent] = field(default_factory=list)
+
+    def append(self, start: int, end: int) -> None:
+        self.events.append(BlockEvent(start, end))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def unique_blocks(self) -> set[tuple[int, int]]:
+        """Distinct (start, end) block identities executed."""
+        return {event.key for event in self.events}
+
+    def execution_counts(self) -> Counter:
+        """How many times each block identity was executed."""
+        return Counter(event.key for event in self.events)
+
+    def summary(self) -> str:
+        unique = self.unique_blocks()
+        return (
+            f"{len(self.events)} block executions, "
+            f"{len(unique)} distinct blocks"
+        )

@@ -1,0 +1,31 @@
+"""Shared utilities: bit manipulation and report formatting."""
+
+from repro.utils.bitops import (
+    MASK16,
+    MASK32,
+    bit_count,
+    bits,
+    flip_bit,
+    parity32,
+    rotl32,
+    rotr32,
+    sign_extend,
+    to_signed32,
+    to_unsigned32,
+)
+from repro.utils.tables import TextTable
+
+__all__ = [
+    "MASK16",
+    "MASK32",
+    "TextTable",
+    "bit_count",
+    "bits",
+    "flip_bit",
+    "parity32",
+    "rotl32",
+    "rotr32",
+    "sign_extend",
+    "to_signed32",
+    "to_unsigned32",
+]

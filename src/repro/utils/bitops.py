@@ -1,0 +1,68 @@
+"""Bit-level helpers for 32-bit datapath arithmetic.
+
+The simulators model a 32-bit machine with Python integers, so every helper
+here normalises its result back into the unsigned 32-bit range.  These
+functions are deliberately small and branch-light: they sit on the hot path
+of instruction decode and hash computation.
+"""
+
+from __future__ import annotations
+
+MASK8 = 0xFF
+MASK16 = 0xFFFF
+MASK32 = 0xFFFFFFFF
+
+
+def to_unsigned32(value: int) -> int:
+    """Normalise *value* into [0, 2**32)."""
+    return value & MASK32
+
+
+def to_signed32(value: int) -> int:
+    """Interpret the low 32 bits of *value* as a two's-complement integer."""
+    value &= MASK32
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Sign-extend the *width*-bit quantity *value* to a signed Python int."""
+    value &= (1 << width) - 1
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+def bits(value: int, high: int, low: int) -> int:
+    """Extract the inclusive bit field [high:low] of *value*."""
+    if high < low:
+        raise ValueError(f"invalid bit field [{high}:{low}]")
+    return (value >> low) & ((1 << (high - low + 1)) - 1)
+
+
+def rotl32(value: int, amount: int) -> int:
+    """Rotate the 32-bit *value* left by *amount* bits."""
+    amount %= 32
+    value &= MASK32
+    return ((value << amount) | (value >> (32 - amount))) & MASK32 if amount else value
+
+
+def rotr32(value: int, amount: int) -> int:
+    """Rotate the 32-bit *value* right by *amount* bits."""
+    return rotl32(value, (32 - amount) % 32)
+
+
+def flip_bit(value: int, bit: int) -> int:
+    """Return *value* with bit index *bit* (0 = LSB) inverted."""
+    if not 0 <= bit < 32:
+        raise ValueError(f"bit index {bit} outside a 32-bit word")
+    return (value ^ (1 << bit)) & MASK32
+
+
+def bit_count(value: int) -> int:
+    """Population count of the low 32 bits of *value*."""
+    return (value & MASK32).bit_count()
+
+
+def parity32(value: int) -> int:
+    """Even/odd parity (0 or 1) of the low 32 bits of *value*."""
+    return (value & MASK32).bit_count() & 1

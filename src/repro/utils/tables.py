@@ -1,0 +1,80 @@
+"""Plain-text table rendering for evaluation harness output.
+
+The evaluation drivers print the same rows the paper's tables and figures
+report.  ``TextTable`` renders aligned monospace tables without any third
+party dependency so harness output is reproducible byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+class TextTable:
+    """Accumulate rows and render them as an aligned monospace table.
+
+    >>> table = TextTable(["name", "value"])
+    >>> table.add_row(["x", 1])
+    >>> print(table.render())
+    name  value
+    ----  -----
+    x         1
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+        self._numeric: list[bool] = [True] * len(self.headers)
+
+    def add_row(self, row: Iterable[object]) -> None:
+        cells = [self._format_cell(cell) for cell in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        for index, cell in enumerate(cells):
+            if not _looks_numeric(cell):
+                self._numeric[index] = False
+        self.rows.append(cells)
+
+    @staticmethod
+    def _format_cell(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header.rstrip())
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            rendered = []
+            for index, (cell, width) in enumerate(zip(row, widths)):
+                if self._numeric[index]:
+                    rendered.append(cell.rjust(width))
+                else:
+                    rendered.append(cell.ljust(width))
+            lines.append("  ".join(rendered).rstrip())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.render()
+
+
+def _looks_numeric(cell: str) -> bool:
+    text = cell.strip().rstrip("%")
+    if not text or text in {"-", "n/a"}:
+        return True
+    try:
+        float(text.replace(",", ""))
+    except ValueError:
+        return False
+    return True

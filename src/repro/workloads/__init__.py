@@ -1,0 +1,31 @@
+"""The nine MiBench-equivalent workloads.
+
+The paper evaluates its monitor on nine MiBench programs.  MiBench is C code
+compiled for PISA; this package provides hand-written assembly
+implementations of the *same algorithms* for our ISA, each paired with a
+pure-Python reference implementation that predicts the program's console
+output exactly (the workload tests assert the match).
+
+Inputs are generated deterministically (a fixed linear congruential
+generator), so every run of a given (workload, scale) pair is identical.
+Scales are reduced relative to MiBench — the paper's runs are millions of
+cycles; ours are tens of thousands — but each workload preserves the
+control-flow *shape* that drives the paper's Figure 6 / Table 1 behaviour
+(see each module's docstring and DESIGN.md §3).
+"""
+
+from repro.workloads.suite import (
+    WORKLOAD_NAMES,
+    build,
+    expected_console,
+    workload_inputs,
+    verify,
+)
+
+__all__ = [
+    "WORKLOAD_NAMES",
+    "build",
+    "expected_console",
+    "verify",
+    "workload_inputs",
+]

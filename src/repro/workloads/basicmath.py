@@ -1,0 +1,296 @@
+"""basicmath — integer math kernel chain (MiBench).
+
+MiBench's basicmath exercises cubic solving, integer square roots, and
+angle conversions.  On PISA (no FPU) these are integer/fixed-point library
+routines; this implementation chains the same kernel mix per iteration:
+
+* bitwise integer square root,
+* bitwise integer cube root,
+* Euclid's gcd,
+* fixed-point degree→radian conversion,
+* cubic-polynomial root bracketing by integer bisection (with the
+  polynomial evaluated in a called function).
+
+The kernels execute in sequence each iteration, so the block working set
+(~11 blocks) slightly exceeds an 8-entry IHT but fits in 16 — the paper's
+basicmath signature (10.7 % overhead at 8 entries, 0.9 % at 16).
+
+Every arithmetic step masks to 32 bits exactly like the hardware, so the
+Python reference mirrors the assembly operation for operation.
+"""
+
+from __future__ import annotations
+
+from repro.utils.bitops import MASK32
+from repro.workloads.data import lcg_sequence
+
+SCALES = {
+    "tiny": {"iterations": 5, "seed": 0xBA51},
+    "small": {"iterations": 25, "seed": 0xBA51},
+    "default": {"iterations": 90, "seed": 0xBA51},
+}
+
+#: deg→rad in Q12: round(pi / 180 * 2**12 * 2**8) folded to one multiplier.
+_DEG2RAD_Q = 74533
+
+
+def _isqrt(x: int) -> int:
+    result = 0
+    bit = 1 << 30
+    while bit > x:
+        bit >>= 2
+    while bit:
+        if x >= result + bit:
+            x -= result + bit
+            result = (result >> 1) + bit
+        else:
+            result >>= 1
+        bit >>= 2
+    return result
+
+
+def _icbrt(x: int) -> int:
+    y = 0
+    for shift in range(18, -1, -3):
+        y = 2 * y
+        b = ((3 * y * (y + 1) + 1) << shift) & MASK32
+        if (x & MASK32) >= b:
+            x = (x - b) & MASK32
+            y += 1
+    return y
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def _poly(t: int, k: int) -> int:
+    """f(t) = t^3 + 3t^2 + 3t - k, wrapped to 32 bits like the datapath."""
+    t3 = (t * t * t) & MASK32
+    t2 = (3 * t * t) & MASK32
+    return (t3 + t2 + 3 * t - k) & MASK32
+
+
+def _bisect_root(k: int) -> int:
+    """Largest t in [0, 256) with f(t) <= 0, by binary search."""
+    low, high = 0, 256
+    while high - low > 1:
+        mid = (low + high) >> 1
+        value = _poly(mid, k)
+        if value & 0x80000000 or value == 0:  # f(mid) <= 0 (signed)
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def _reference(scale: str):
+    params = SCALES[scale]
+    values = lcg_sequence(params["seed"], 2 * params["iterations"])
+    acc_sqrt = acc_cbrt = acc_gcd = acc_rad = acc_root = 0
+    for index in range(params["iterations"]):
+        x = values[2 * index]
+        y = values[2 * index + 1]
+        acc_sqrt = (acc_sqrt + _isqrt(x & 0xFFFF)) & MASK32
+        acc_cbrt = (acc_cbrt + _icbrt(x & 0xFFFFF)) & MASK32
+        acc_gcd = (acc_gcd + _gcd((x & 0x3FF) + 1, (y & 0x3FF) + 1)) & MASK32
+        degrees = (x & 0xFFFF) % 360  # keep the dividend positive for rem
+        acc_rad = (acc_rad + ((degrees * _DEG2RAD_Q) >> 12)) & MASK32
+        acc_root = (acc_root + _bisect_root(y & 0xFFFFF)) & MASK32
+    return acc_sqrt, acc_cbrt, acc_gcd, acc_rad, acc_root
+
+
+def source(scale: str = "default") -> str:
+    params = SCALES[scale]
+    iterations = params["iterations"]
+    seed = params["seed"]
+    return f"""
+# basicmath: isqrt + icbrt + gcd + deg2rad + cubic bisection per iteration
+        .text
+main:   li   $s7, {iterations}
+        li   $s6, {seed}           # LCG state
+        li   $s0, 0                # acc_sqrt
+        li   $s1, 0                # acc_cbrt
+        li   $s2, 0                # acc_gcd
+        li   $s3, 0                # acc_rad
+        li   $s4, 0                # acc_root
+        li   $s5, 0                # iteration counter
+iter:   # x = lcg(); y = lcg()
+        li   $t0, 1103515245
+        multu $s6, $t0
+        mflo $s6
+        addiu $s6, $s6, 12345
+        move $t8, $s6              # x
+        li   $t0, 1103515245
+        multu $s6, $t0
+        mflo $s6
+        addiu $s6, $s6, 12345
+        move $t9, $s6              # y
+        # --- isqrt(x & 0xFFFF) ---
+        andi $a0, $t8, 0xFFFF
+        jal  isqrt
+        addu $s0, $s0, $v0
+        # --- icbrt(x & 0xFFFFF) ---
+        li   $t0, 0xFFFFF
+        and  $a0, $t8, $t0
+        jal  icbrt
+        addu $s1, $s1, $v0
+        # --- gcd((x & 0x3FF) + 1, (y & 0x3FF) + 1) ---
+        andi $a0, $t8, 0x3FF
+        addi $a0, $a0, 1
+        andi $a1, $t9, 0x3FF
+        addi $a1, $a1, 1
+        jal  gcd
+        addu $s2, $s2, $v0
+        # --- deg2rad fixed point ---
+        li   $t0, 360
+        andi $t1, $t8, 0xFFFF
+        rem  $t1, $t1, $t0
+        li   $t0, {_DEG2RAD_Q}
+        mul  $t1, $t1, $t0
+        srl  $t1, $t1, 12
+        addu $s3, $s3, $t1
+        # --- cubic root bracketing via bisection ---
+        li   $t0, 0xFFFFF
+        and  $a0, $t9, $t0
+        jal  bisect
+        addu $s4, $s4, $v0
+        addi $s5, $s5, 1
+        blt  $s5, $s7, iter
+        # --- print the five accumulators ---
+        move $a0, $s0
+        li   $v0, 1
+        syscall
+        li   $a0, 10
+        li   $v0, 11
+        syscall
+        move $a0, $s1
+        li   $v0, 1
+        syscall
+        li   $a0, 10
+        li   $v0, 11
+        syscall
+        move $a0, $s2
+        li   $v0, 1
+        syscall
+        li   $a0, 10
+        li   $v0, 11
+        syscall
+        move $a0, $s3
+        li   $v0, 1
+        syscall
+        li   $a0, 10
+        li   $v0, 11
+        syscall
+        move $a0, $s4
+        li   $v0, 1
+        syscall
+        li   $a0, 10
+        li   $v0, 11
+        syscall
+        li   $v0, 10
+        syscall
+
+# ---- isqrt: a0 -> v0 (bitwise) ----
+isqrt:  li   $v0, 0                # result
+        li   $t0, 0x40000000       # bit = 1 << 30
+sq_fit: sltu $t1, $a0, $t0         # while bit > x: bit >>= 2
+        beqz $t1, sq_loop
+        srl  $t0, $t0, 2
+        bnez $t0, sq_fit
+sq_loop:
+        beqz $t0, sq_done
+        addu $t2, $v0, $t0         # result + bit
+        sltu $t1, $a0, $t2
+        bnez $t1, sq_else
+        subu $a0, $a0, $t2
+        srl  $v0, $v0, 1
+        addu $v0, $v0, $t0
+        j    sq_next
+sq_else:
+        srl  $v0, $v0, 1
+sq_next:
+        srl  $t0, $t0, 2
+        j    sq_loop
+sq_done:
+        jr   $ra
+
+# ---- icbrt: a0 -> v0 (bitwise, shifts 18, 15, ..., 0) ----
+icbrt:  li   $v0, 0                # y
+        li   $t0, 18               # shift
+cb_loop:
+        bltz $t0, cb_done
+        sll  $v0, $v0, 1           # y *= 2
+        addi $t1, $v0, 1
+        mul  $t1, $t1, $v0         # y * (y + 1)
+        sll  $t2, $t1, 1
+        addu $t1, $t1, $t2         # 3y(y+1)
+        addi $t1, $t1, 1
+        sllv $t1, $t1, $t0         # b
+        sltu $t2, $a0, $t1
+        bnez $t2, cb_next
+        subu $a0, $a0, $t1
+        addi $v0, $v0, 1
+cb_next:
+        addi $t0, $t0, -3
+        j    cb_loop
+cb_done:
+        jr   $ra
+
+# ---- gcd: (a0, a1) -> v0 (Euclid) ----
+gcd:    move $v0, $a0
+        move $t0, $a1
+gcd_l:  beqz $t0, gcd_done
+        rem  $t1, $v0, $t0
+        move $v0, $t0
+        move $t0, $t1
+        j    gcd_l
+gcd_done:
+        jr   $ra
+
+# ---- bisect: a0 = k -> v0 = largest t in [0, 256) with f(t) <= 0 ----
+bisect: addi $sp, $sp, -4
+        sw   $ra, 0($sp)
+        move $a1, $a0              # k stays in a1 for every poly call
+        li   $t8, 0                # low
+        li   $t9, 256              # high
+bi_loop:
+        subu $t0, $t9, $t8
+        li   $t1, 1
+        ble  $t0, $t1, bi_done     # while high - low > 1
+        addu $t0, $t8, $t9
+        srl  $t0, $t0, 1           # mid
+        move $t7, $t0
+        move $a0, $t0
+        jal  poly
+        blez $v0, bi_low           # f(mid) <= 0 (signed)
+        move $t9, $t7              # high = mid
+        j    bi_loop
+bi_low: move $t8, $t7              # low = mid
+        j    bi_loop
+bi_done:
+        move $v0, $t8
+        lw   $ra, 0($sp)
+        addi $sp, $sp, 4
+        jr   $ra
+
+# ---- poly: (a0 = t, a1 = k) -> v0 = t^3 + 3t^2 + 3t - k ----
+poly:   mul  $t0, $a0, $a0         # t^2
+        mul  $t1, $t0, $a0         # t^3
+        sll  $t2, $t0, 1
+        addu $t0, $t0, $t2         # 3t^2
+        addu $t1, $t1, $t0
+        sll  $t2, $a0, 1
+        addu $t2, $t2, $a0         # 3t
+        addu $t1, $t1, $t2
+        subu $v0, $t1, $a1
+        jr   $ra
+"""
+
+
+def expected_console(scale: str = "default") -> str:
+    from repro.utils.bitops import to_signed32
+
+    return "".join(f"{to_signed32(v)}\n" for v in _reference(scale))

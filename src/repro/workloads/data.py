@@ -1,0 +1,38 @@
+"""Deterministic input generation shared by workloads and their references.
+
+The 32-bit LCG below (glibc's constants) is implemented identically here and
+— where a workload generates data on the fly — in assembly, so the Python
+reference and the simulated program always see the same inputs.
+"""
+
+from __future__ import annotations
+
+from repro.utils.bitops import MASK32
+
+LCG_MULTIPLIER = 1103515245
+LCG_INCREMENT = 12345
+
+
+def lcg_next(state: int) -> int:
+    """One LCG step (mod 2**32), identical to the assembly implementation."""
+    return (state * LCG_MULTIPLIER + LCG_INCREMENT) & MASK32
+
+
+def lcg_sequence(seed: int, count: int) -> list[int]:
+    """The first *count* LCG values after *seed* (seed itself excluded)."""
+    values = []
+    state = seed & MASK32
+    for _ in range(count):
+        state = lcg_next(state)
+        values.append(state)
+    return values
+
+
+def words_directive(label: str, values: list[int], per_line: int = 8) -> str:
+    """Render a labelled ``.word`` table for inclusion in a data section."""
+    lines = [f"{label}:"]
+    for index in range(0, len(values), per_line):
+        chunk = values[index : index + per_line]
+        rendered = ", ".join(f"{value & MASK32:#x}" for value in chunk)
+        lines.append(f"        .word {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,184 @@
+"""dijkstra — single-source shortest paths on an adjacency matrix (MiBench).
+
+MiBench's dijkstra reads a 100x100 adjacency matrix and runs repeated
+shortest-path queries.  The hot code is the find-minimum scan and the
+relaxation scan inside the main loop — a compact block working set with
+good temporal locality, which is why the paper sees its miss rate collapse
+already at 8 IHT entries.
+
+This implementation runs the classic O(N²) algorithm from several source
+nodes over an LCG-generated weighted digraph and prints the sum of all
+finite shortest-path distances.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.data import lcg_sequence, words_directive
+
+INFINITY = 0x7FFFFFFF
+
+SCALES = {
+    "tiny": {"nodes": 6, "sources": 2, "seed": 0xD1D1},
+    "small": {"nodes": 10, "sources": 4, "seed": 0xD1D1},
+    "default": {"nodes": 16, "sources": 8, "seed": 0xD1D1},
+}
+
+
+def _adjacency(scale: str) -> list[list[int]]:
+    """Weights 1..14, ~40% of edges absent (0), no self-edges."""
+    params = SCALES[scale]
+    nodes = params["nodes"]
+    raw = lcg_sequence(params["seed"], nodes * nodes)
+    matrix = []
+    for row in range(nodes):
+        matrix_row = []
+        for column in range(nodes):
+            value = raw[row * nodes + column]
+            if row == column or (value >> 7) % 10 < 4:
+                matrix_row.append(0)
+            else:
+                matrix_row.append(1 + (value >> 16) % 14)
+        matrix.append(matrix_row)
+    return matrix
+
+
+def _reference_total(scale: str) -> int:
+    params = SCALES[scale]
+    nodes = params["nodes"]
+    matrix = _adjacency(scale)
+    total = 0
+    for source in range(params["sources"]):
+        dist = [INFINITY] * nodes
+        visited = [False] * nodes
+        dist[source % nodes] = 0
+        for _ in range(nodes):
+            best = -1
+            best_dist = INFINITY
+            for candidate in range(nodes):
+                if not visited[candidate] and dist[candidate] < best_dist:
+                    best = candidate
+                    best_dist = dist[candidate]
+            if best < 0:
+                break
+            visited[best] = True
+            for neighbour in range(nodes):
+                weight = matrix[best][neighbour]
+                if weight and dist[best] + weight < dist[neighbour]:
+                    dist[neighbour] = dist[best] + weight
+        total += sum(d for d in dist if d != INFINITY)
+    return total
+
+
+def source(scale: str = "default") -> str:
+    params = SCALES[scale]
+    nodes = params["nodes"]
+    sources = params["sources"]
+    matrix = _adjacency(scale)
+    flat = [weight for row in matrix for weight in row]
+    return f"""
+# dijkstra: O(N^2) shortest paths from {sources} sources over {nodes} nodes
+        .data
+{words_directive("adj", flat)}
+dist:   .space {4 * nodes}
+vis:    .space {4 * nodes}
+        .text
+main:   li   $s6, {nodes}          # N
+        li   $s0, 0                # source counter
+        li   $s7, 0                # grand total
+src_loop:
+        # --- init dist = INF, visited = 0 ---
+        la   $t0, dist
+        la   $t1, vis
+        li   $t2, {nodes}
+        li   $t3, {INFINITY}
+init:   sw   $t3, 0($t0)
+        sw   $zero, 0($t1)
+        addi $t0, $t0, 4
+        addi $t1, $t1, 4
+        addi $t2, $t2, -1
+        bgtz $t2, init
+        # dist[source % N] = 0
+        rem  $t0, $s0, $s6
+        sll  $t0, $t0, 2
+        la   $t1, dist
+        addu $t1, $t1, $t0
+        sw   $zero, 0($t1)
+        li   $s1, 0                # settled-node counter
+iter:   # --- find the unvisited node with minimum distance ---
+        li   $s2, -1               # best index
+        li   $s3, {INFINITY}       # best distance
+        li   $t2, 0                # i
+find:   bge  $t2, $s6, find_done
+        sll  $t3, $t2, 2
+        la   $t4, vis
+        addu $t4, $t4, $t3
+        lw   $t5, 0($t4)
+        bnez $t5, find_next
+        la   $t4, dist
+        addu $t4, $t4, $t3
+        lw   $t5, 0($t4)
+        bge  $t5, $s3, find_next
+        move $s2, $t2
+        move $s3, $t5
+find_next:
+        addi $t2, $t2, 1
+        j    find
+find_done:
+        bltz $s2, settle_done      # nothing reachable remains
+        # mark best visited
+        sll  $t3, $s2, 2
+        la   $t4, vis
+        addu $t4, $t4, $t3
+        li   $t5, 1
+        sw   $t5, 0($t4)
+        # --- relax every neighbour of best ---
+        mul  $t6, $s2, $s6         # row offset (nodes)
+        sll  $t6, $t6, 2
+        la   $t7, adj
+        addu $t7, $t7, $t6         # &adj[best][0]
+        li   $t2, 0                # j
+relax:  bge  $t2, $s6, relax_done
+        sll  $t3, $t2, 2
+        addu $t4, $t7, $t3
+        lw   $t5, 0($t4)           # weight
+        beqz $t5, relax_next
+        addu $t5, $t5, $s3         # dist[best] + w
+        la   $t4, dist
+        addu $t4, $t4, $t3
+        lw   $t8, 0($t4)
+        bge  $t5, $t8, relax_next
+        sw   $t5, 0($t4)
+relax_next:
+        addi $t2, $t2, 1
+        j    relax
+relax_done:
+        addi $s1, $s1, 1
+        blt  $s1, $s6, iter
+settle_done:
+        # --- total += sum of finite distances ---
+        la   $t0, dist
+        li   $t2, {nodes}
+        li   $t3, {INFINITY}
+acc:    lw   $t4, 0($t0)
+        beq  $t4, $t3, acc_next
+        addu $s7, $s7, $t4
+acc_next:
+        addi $t0, $t0, 4
+        addi $t2, $t2, -1
+        bgtz $t2, acc
+        addi $s0, $s0, 1
+        li   $t0, {sources}
+        blt  $s0, $t0, src_loop
+        move $a0, $s7
+        li   $v0, 1
+        syscall
+        li   $a0, 10
+        li   $v0, 11
+        syscall
+        li   $v0, 10
+        syscall
+"""
+
+
+def expected_console(scale: str = "default") -> str:
+    return f"{_reference_total(scale)}\n"

@@ -1,0 +1,258 @@
+"""patricia — digital (Patricia-style) trie insert/lookup (MiBench).
+
+MiBench's patricia builds a Patricia trie of IP network addresses and
+alternates insertions with lookups.  This implementation builds a digital
+bit-trie over 32-bit keys (MSB-first, leaf-splitting on demand) in a bump
+allocator arena, then runs a mixed insert/search driver: each iteration
+inserts one key and probes two (one likely present, one random).
+
+The insert walk, search walk, allocator, and driver alternate in a block
+working set of ~13 blocks — above an 8-entry IHT, mostly inside 16, which
+is the paper's patricia signature (10.2 % overhead at 8 entries, 4.4 % at
+16).
+
+Output: node count, search hit count, and accumulated search depth.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.data import lcg_sequence
+
+SCALES = {
+    "tiny": {"keys": 12, "seed": 0x9A77},
+    "small": {"keys": 40, "seed": 0x9A77},
+    "default": {"keys": 120, "seed": 0x9A77},
+}
+
+#: node layout: key(4) left(4) right(4) pad(4) = 16 bytes
+_NODE_SIZE = 16
+
+
+class _Trie:
+    """Reference implementation mirroring the assembly exactly."""
+
+    def __init__(self) -> None:
+        self.keys: list[int] = []
+        self.left: list[int] = []
+        self.right: list[int] = []
+
+    def _alloc(self, key: int) -> int:
+        self.keys.append(key)
+        self.left.append(0)
+        self.right.append(0)
+        return len(self.keys)  # 1-based (0 = null)
+
+    def insert(self, key: int) -> None:
+        if not self.keys:
+            self._alloc(key)
+            return
+        node = 1
+        bit = 31
+        while True:
+            if self.keys[node - 1] == key:
+                return  # duplicate
+            direction = (key >> bit) & 1
+            child = self.right[node - 1] if direction else self.left[node - 1]
+            if child == 0:
+                fresh = self._alloc(key)
+                if direction:
+                    self.right[node - 1] = fresh
+                else:
+                    self.left[node - 1] = fresh
+                return
+            node = child
+            bit = max(bit - 1, 0)
+
+    def search(self, key: int) -> tuple[bool, int]:
+        """Return (found, steps walked)."""
+        node = 1 if self.keys else 0
+        bit = 31
+        steps = 0
+        while node:
+            steps += 1
+            if self.keys[node - 1] == key:
+                return True, steps
+            direction = (key >> bit) & 1
+            node = self.right[node - 1] if direction else self.left[node - 1]
+            bit = max(bit - 1, 0)
+        return False, steps
+
+
+def _reference(scale: str):
+    params = SCALES[scale]
+    count = params["keys"]
+    values = lcg_sequence(params["seed"], 3 * count)
+    trie = _Trie()
+    hits = 0
+    depth = 0
+    for index in range(count):
+        insert_key = values[3 * index]
+        trie.insert(insert_key)
+        # probe 1: a key inserted earlier (present with high probability)
+        probe_index = values[3 * index + 1] % (index + 1)
+        found, steps = trie.search(values[3 * probe_index])
+        hits += int(found)
+        depth += steps
+        # probe 2: random key (almost surely absent)
+        found, steps = trie.search(values[3 * index + 2])
+        hits += int(found)
+        depth += steps
+    return len(trie.keys), hits, depth
+
+
+def source(scale: str = "default") -> str:
+    params = SCALES[scale]
+    count = params["keys"]
+    seed = params["seed"]
+    arena_bytes = _NODE_SIZE * (count + 2)
+    return f"""
+# patricia: digital trie insert + mixed search over {count} keys
+        .data
+keys:   .space {4 * 3 * count}
+arena:  .space {arena_bytes}
+        .text
+main:
+        # --- pre-generate 3*count LCG keys into the keys table ---
+        li   $t0, {seed}
+        la   $t1, keys
+        li   $t2, {3 * count}
+gen:    li   $t3, 1103515245
+        multu $t0, $t3
+        mflo $t0
+        addiu $t0, $t0, 12345
+        sw   $t0, 0($t1)
+        addi $t1, $t1, 4
+        addi $t2, $t2, -1
+        bgtz $t2, gen
+        li   $s0, 0                # node count
+        li   $s1, 0                # hits
+        li   $s2, 0                # depth accumulator
+        li   $s3, 0                # iteration i
+drv:    sll  $t0, $s3, 1
+        addu $t0, $t0, $s3         # 3i
+        sll  $t0, $t0, 2
+        la   $t1, keys
+        addu $s4, $t1, $t0         # &keys[3i]
+        lw   $a0, 0($s4)
+        jal  insert
+        # probe 1: keys[3 * (keys[3i+1] % (i+1))]
+        lw   $t0, 4($s4)
+        addi $t1, $s3, 1
+        remu $t2, $t0, $t1
+        sll  $t3, $t2, 1
+        addu $t3, $t3, $t2
+        sll  $t3, $t3, 2
+        la   $t4, keys
+        addu $t4, $t4, $t3
+        lw   $a0, 0($t4)
+        jal  search
+        addu $s1, $s1, $v0
+        addu $s2, $s2, $v1
+        # probe 2: keys[3i+2] (random)
+        lw   $a0, 8($s4)
+        jal  search
+        addu $s1, $s1, $v0
+        addu $s2, $s2, $v1
+        addi $s3, $s3, 1
+        li   $t0, {count}
+        blt  $s3, $t0, drv
+        move $a0, $s0
+        li   $v0, 1
+        syscall
+        li   $a0, 10
+        li   $v0, 11
+        syscall
+        move $a0, $s1
+        li   $v0, 1
+        syscall
+        li   $a0, 10
+        li   $v0, 11
+        syscall
+        move $a0, $s2
+        li   $v0, 1
+        syscall
+        li   $a0, 10
+        li   $v0, 11
+        syscall
+        li   $v0, 10
+        syscall
+
+# ---- alloc: a0 = key -> v0 = 1-based node id ----
+alloc:  addi $s0, $s0, 1
+        addi $t0, $s0, -1
+        sll  $t0, $t0, 4           # (id-1) * 16
+        la   $t1, arena
+        addu $t1, $t1, $t0
+        sw   $a0, 0($t1)           # key
+        sw   $zero, 4($t1)         # left
+        sw   $zero, 8($t1)         # right
+        move $v0, $s0
+        jr   $ra
+
+# ---- insert: a0 = key ----
+insert: addi $sp, $sp, -4
+        sw   $ra, 0($sp)
+        bnez $s0, ins_walk
+        jal  alloc                 # empty trie: make the root
+        j    ins_done
+ins_walk:
+        li   $t8, 1                # node id
+        li   $t9, 31               # bit
+ins_loop:
+        addi $t0, $t8, -1
+        sll  $t0, $t0, 4
+        la   $t1, arena
+        addu $t1, $t1, $t0         # node base
+        lw   $t2, 0($t1)           # node key
+        beq  $t2, $a0, ins_done    # duplicate
+        srlv $t3, $a0, $t9
+        andi $t3, $t3, 1           # direction bit
+        sll  $t4, $t3, 2
+        addu $t4, $t4, $t1
+        lw   $t5, 4($t4)           # child (left at +4, right at +8)
+        beqz $t5, ins_attach
+        move $t8, $t5
+        beqz $t9, ins_loop         # bit floor at 0
+        addi $t9, $t9, -1
+        j    ins_loop
+ins_attach:
+        move $t7, $t4              # remember the child slot
+        jal  alloc
+        sw   $v0, 4($t7)
+ins_done:
+        lw   $ra, 0($sp)
+        addi $sp, $sp, 4
+        jr   $ra
+
+# ---- search: a0 = key -> v0 = found, v1 = steps ----
+search: li   $v0, 0
+        li   $v1, 0
+        beqz $s0, sr_done          # empty trie
+        li   $t8, 1                # node id
+        li   $t9, 31               # bit
+sr_loop:
+        beqz $t8, sr_done
+        addi $v1, $v1, 1
+        addi $t0, $t8, -1
+        sll  $t0, $t0, 4
+        la   $t1, arena
+        addu $t1, $t1, $t0
+        lw   $t2, 0($t1)
+        beq  $t2, $a0, sr_hit
+        srlv $t3, $a0, $t9
+        andi $t3, $t3, 1
+        sll  $t4, $t3, 2
+        addu $t4, $t4, $t1
+        lw   $t8, 4($t4)
+        beqz $t9, sr_loop
+        addi $t9, $t9, -1
+        j    sr_loop
+sr_hit: li   $v0, 1
+sr_done:
+        jr   $ra
+"""
+
+
+def expected_console(scale: str = "default") -> str:
+    nodes, hits, depth = _reference(scale)
+    return f"{nodes}\n{hits}\n{depth}\n"

@@ -1,0 +1,54 @@
+"""Component-level area model tests."""
+
+import pytest
+
+from repro.area.cells import DEFAULT_LIBRARY
+from repro.area.components import (
+    IHT_ENTRY_BITS,
+    LRU_BITS,
+    baseline_inventory,
+    cic_inventory,
+    iht_entry_area,
+)
+
+
+class TestBaselineInventory:
+    def test_sums_to_paper_baseline(self):
+        assert sum(baseline_inventory().values()) == pytest.approx(2_136_594)
+
+    def test_muldiv_is_largest_datapath_block(self):
+        inventory = baseline_inventory()
+        assert inventory["muldiv_unit"] > inventory["alu_32"]
+        assert inventory["muldiv_unit"] > inventory["register_file_32x32"]
+
+    def test_all_positive(self):
+        assert all(value > 0 for value in baseline_inventory().values())
+
+
+class TestCicInventory:
+    def test_entry_width_covers_tuple(self):
+        # Addst + Addend + Hash + valid
+        assert IHT_ENTRY_BITS == 32 + 32 + 32 + 1
+        assert LRU_BITS > 0
+
+    def test_entry_area_composition(self):
+        area = iht_entry_area()
+        cam = IHT_ENTRY_BITS * DEFAULT_LIBRARY.cam_bit
+        assert area > cam  # LRU counter + control on top
+
+    def test_iht_dominates_for_large_tables(self):
+        inventory = cic_inventory(16)
+        iht = inventory["iht_16_entries"]
+        fixed = sum(v for k, v in inventory.items() if not k.startswith("iht"))
+        assert iht > 10 * fixed
+
+    def test_fixed_part_independent_of_entries(self):
+        small = cic_inventory(1)
+        large = cic_inventory(16)
+        for key in small:
+            if not key.startswith("iht"):
+                assert small[key] == large[key]
+
+    @pytest.mark.parametrize("hash_name", ["xor", "add", "crc32", "sha1"])
+    def test_hashfu_named_per_algorithm(self, hash_name):
+        assert f"hashfu_{hash_name}" in cic_inventory(4, hash_name)

@@ -1,0 +1,100 @@
+"""Area/timing model tests: Table 2's structure and calibration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.area.cells import DEFAULT_LIBRARY, CellLibrary
+from repro.area.components import (
+    baseline_inventory,
+    cic_inventory,
+    hashfu_area,
+    hashfu_delay,
+    iht_entry_area,
+)
+from repro.area.synthesis import iht_scaling_limit, synthesize
+
+
+class TestBaselineCalibration:
+    def test_baseline_matches_paper(self):
+        report = synthesize(None)
+        assert report.cell_area == pytest.approx(2_136_594, abs=1)
+        assert report.min_period == pytest.approx(37.90)
+
+    def test_critical_stage_is_ex(self):
+        assert synthesize(None).critical_stage == "EX"
+
+
+class TestCicArea:
+    def test_area_linear_in_entries(self):
+        baseline = synthesize(None)
+        deltas = []
+        previous = baseline.cell_area
+        for entries in (1, 2, 3, 4):
+            area = synthesize(entries).cell_area
+            deltas.append(area - previous)
+            previous = area
+        per_entry = deltas[1:]
+        assert max(per_entry) - min(per_entry) < 1e-6  # exactly linear
+        assert per_entry[0] == pytest.approx(iht_entry_area())
+
+    @pytest.mark.parametrize(
+        "entries,paper_overhead,tolerance",
+        [(1, 2.7, 0.1), (8, 16.5, 2.0), (16, 28.8, 0.2)],
+    )
+    def test_overheads_near_paper(self, entries, paper_overhead, tolerance):
+        baseline = synthesize(None)
+        report = synthesize(entries)
+        assert report.area_overhead(baseline) == pytest.approx(
+            paper_overhead, abs=tolerance
+        )
+
+    def test_inventory_components_present(self):
+        inventory = cic_inventory(8)
+        assert "sta_register" in inventory
+        assert "rhash_register" in inventory
+        assert "hashfu_xor" in inventory
+        assert "iht_8_entries" in inventory
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cic_inventory(0)
+
+
+class TestTiming:
+    def test_period_flat_across_paper_sizes(self):
+        baseline = synthesize(None)
+        for entries in (1, 8, 16, 32, 64):
+            report = synthesize(entries)
+            assert report.min_period == baseline.min_period
+            assert report.period_overhead(baseline) == 0.0
+
+    def test_monitoring_never_critical_for_realistic_sizes(self):
+        limit = iht_scaling_limit()
+        assert limit >= 1024  # orders beyond the paper's 16 entries
+
+    def test_sha1_blows_the_if_stage(self):
+        report = synthesize(8, hash_name="sha1")
+        assert report.stage_delays["IF"] > synthesize(None).stage_delays["IF"]
+        assert report.critical_stage == "IF"
+
+
+class TestHashfuModels:
+    def test_ordering_by_complexity(self):
+        assert hashfu_area("xor") < hashfu_area("add") < hashfu_area("sha1")
+
+    def test_delay_ordering(self):
+        assert hashfu_delay("xor") < hashfu_delay("crc32") < hashfu_delay("sha1")
+
+    def test_unknown_hash_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hashfu_area("md5000")
+        with pytest.raises(ConfigurationError):
+            hashfu_delay("md5000")
+
+
+class TestLibraryScaling:
+    def test_baseline_tracks_gate_size(self):
+        bigger = CellLibrary(nand2=20.0)
+        assert sum(baseline_inventory(bigger).values()) == pytest.approx(
+            2 * sum(baseline_inventory(DEFAULT_LIBRARY).values())
+        )

@@ -1,0 +1,185 @@
+"""Assembler tests: layout, symbols, pseudo-instructions, diagnostics."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.asm.assembler import assemble
+from repro.asm.program import DATA_BASE, TEXT_BASE
+from repro.isa.encoding import decode
+from repro.isa.opcodes import Mnemonic
+
+
+class TestLayout:
+    def test_text_starts_at_base(self):
+        program = assemble("nop")
+        assert program.text.base == TEXT_BASE
+        assert len(program.text.data) == 4
+
+    def test_data_section(self):
+        program = assemble(".data\nv: .word 7\n.text\nnop")
+        assert program.data.word_at(DATA_BASE) == 7
+        assert program.symbols["v"] == DATA_BASE
+
+    def test_label_binds_past_alignment_padding(self):
+        program = assemble('.data\ns: .asciiz "abc"\nw: .word 9\n.text\nnop')
+        # "abc\0" = 4 bytes, already aligned; add an odd case:
+        program2 = assemble('.data\ns: .asciiz "ab"\nw: .word 9\n.text\nnop')
+        assert program.data.word_at(program.symbols["w"]) == 9
+        assert program2.symbols["w"] % 4 == 0
+        assert program2.data.word_at(program2.symbols["w"]) == 9
+
+    def test_align_directive(self):
+        program = assemble(".data\n.byte 1\n.align 3\nv: .word 2\n.text\nnop")
+        assert program.symbols["v"] % 8 == 0
+
+    def test_space_directive(self):
+        program = assemble(".data\nbuf: .space 10\nv: .word 1\n.text\nnop")
+        assert program.symbols["v"] == program.symbols["buf"] + 12  # padded
+
+    def test_half_and_byte(self):
+        program = assemble(".data\nh: .half 0x1234\nb: .byte 0xFF\n.text\nnop")
+        assert program.data.data[0] == 0x34
+        assert program.data.data[1] == 0x12
+        assert program.data.data[2] == 0xFF
+
+    def test_entry_defaults_to_main(self):
+        program = assemble("nop\nmain: nop")
+        assert program.entry == TEXT_BASE + 4
+
+    def test_entry_without_main_is_text_base(self):
+        program = assemble("nop")
+        assert program.entry == TEXT_BASE
+
+
+class TestSymbols:
+    def test_forward_reference(self):
+        program = assemble("j end\nnop\nend: nop")
+        word = program.text.word_at(TEXT_BASE)
+        instruction = decode(word)
+        assert instruction.target << 2 == (TEXT_BASE + 8) & 0x0FFFFFFF
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("a: nop\na: nop")
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("j nowhere")
+
+    def test_word_directive_with_symbol(self):
+        program = assemble(".data\nptr: .word msg\nmsg: .word 0\n.text\nnop")
+        assert program.data.word_at(program.symbols["ptr"]) == program.symbols["msg"]
+
+
+class TestBranchEncoding:
+    def test_backward_branch_offset(self):
+        program = assemble("loop: nop\nbne $t0, $zero, loop")
+        instruction = decode(program.text.word_at(TEXT_BASE + 4))
+        assert instruction.imm == -2
+
+    def test_branch_out_of_range_rejected(self):
+        source = "beq $t0, $t1, far\n" + ".space 0\n"
+        big = "loop: nop\n" * 40000 + "far: nop\n" + "beq $t0, $t1, loop\n"
+        with pytest.raises(AssemblerError):
+            assemble("far_branch: beq $t0, $t1, target\n"
+                     + "nop\n" * 40000 + "target: nop")
+        del source, big
+
+
+class TestPseudoInstructions:
+    def test_nop_is_sll_zero(self):
+        program = assemble("nop")
+        assert program.text.word_at(TEXT_BASE) == 0
+
+    def test_move(self):
+        program = assemble("move $t0, $t1")
+        instruction = decode(program.text.word_at(TEXT_BASE))
+        assert instruction.mnemonic is Mnemonic.ADDU
+        assert instruction.rt == 0
+
+    def test_li_small_positive(self):
+        program = assemble("li $t0, 5")
+        assert len(program.text.data) == 4
+        assert decode(program.text.word_at(TEXT_BASE)).mnemonic is Mnemonic.ADDIU
+
+    def test_li_16bit_unsigned(self):
+        program = assemble("li $t0, 0x8000")
+        assert len(program.text.data) == 4
+        assert decode(program.text.word_at(TEXT_BASE)).mnemonic is Mnemonic.ORI
+
+    def test_li_32bit(self):
+        program = assemble("li $t0, 0x12345678")
+        assert len(program.text.data) == 8
+        first = decode(program.text.word_at(TEXT_BASE))
+        second = decode(program.text.word_at(TEXT_BASE + 4))
+        assert first.mnemonic is Mnemonic.LUI
+        assert second.mnemonic is Mnemonic.ORI
+
+    def test_li_round_value_single_lui(self):
+        program = assemble("li $t0, 0x10000")
+        assert len(program.text.data) == 4
+
+    def test_la_two_instructions(self):
+        program = assemble(".data\nv: .word 0\n.text\nla $t0, v")
+        assert len(program.text.data) == 8
+
+    def test_branch_pseudos(self):
+        program = assemble("x: bgt $t0, $t1, x\nblt $t0, $t1, x\n"
+                           "bge $t0, $t1, x\nble $t0, $t1, x")
+        assert len(program.text.data) == 8 * 4
+
+    def test_branch_pseudo_with_immediate(self):
+        program = assemble("x: blt $t0, 10, x")
+        assert len(program.text.data) == 12  # addiu + slt + bne
+
+    def test_mul_expansion(self):
+        program = assemble("mul $t0, $t1, $t2")
+        first = decode(program.text.word_at(TEXT_BASE))
+        second = decode(program.text.word_at(TEXT_BASE + 4))
+        assert first.mnemonic is Mnemonic.MULT
+        assert second.mnemonic is Mnemonic.MFLO
+
+    def test_div_three_operand(self):
+        program = assemble("div $t0, $t1, $t2")
+        assert decode(program.text.word_at(TEXT_BASE)).mnemonic is Mnemonic.DIV
+        assert decode(program.text.word_at(TEXT_BASE + 4)).mnemonic is Mnemonic.MFLO
+
+    def test_rem(self):
+        program = assemble("rem $t0, $t1, $t2")
+        assert decode(program.text.word_at(TEXT_BASE + 4)).mnemonic is Mnemonic.MFHI
+
+    def test_ret(self):
+        program = assemble("ret")
+        instruction = decode(program.text.word_at(TEXT_BASE))
+        assert instruction.mnemonic is Mnemonic.JR
+        assert instruction.rs == 31
+
+    def test_not_and_neg(self):
+        program = assemble("not $t0, $t1\nneg $t2, $t3")
+        assert decode(program.text.word_at(TEXT_BASE)).mnemonic is Mnemonic.NOR
+        assert decode(program.text.word_at(TEXT_BASE + 4)).mnemonic is Mnemonic.SUB
+
+    def test_load_with_symbol_expands(self):
+        program = assemble(".data\nv: .word 42\n.text\nlw $t0, v")
+        assert len(program.text.data) == 8
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate $t0")
+
+    def test_instruction_in_data_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\nnop")
+
+
+class TestJalr:
+    def test_jalr_one_operand_defaults_ra(self):
+        program = assemble("jalr $t0")
+        instruction = decode(program.text.word_at(TEXT_BASE))
+        assert instruction.rd == 31
+        assert instruction.rs == 8
+
+    def test_jalr_two_operands(self):
+        program = assemble("jalr $t1, $t0")
+        instruction = decode(program.text.word_at(TEXT_BASE))
+        assert instruction.rd == 9

@@ -1,0 +1,77 @@
+"""Disassembler round-trip tests: text -> word -> text -> word."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asm.assembler import assemble
+from repro.asm.disassembler import disassemble_word, format_instruction
+from repro.asm.program import TEXT_BASE
+from repro.isa.encoding import decode, encode_fields
+from repro.isa.opcodes import Mnemonic
+
+regs = st.integers(min_value=0, max_value=31)
+
+
+def _reassemble(text: str) -> int:
+    program = assemble(text)
+    return program.text.word_at(TEXT_BASE)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "add $t0, $t1, $t2",
+            "sub $s0, $s1, $s2",
+            "sll $t0, $t1, 5",
+            "sllv $t0, $t1, $t2",
+            "mult $t0, $t1",
+            "mfhi $t0",
+            "mtlo $t3",
+            "jr $ra",
+            "jalr $t0, $t1",
+            "syscall",
+            "addi $t0, $t1, -42",
+            "ori $t0, $t1, 255",
+            "lui $t0, 0x1234",
+            "lw $t0, -8($sp)",
+            "sb $t1, 3($t2)",
+        ],
+    )
+    def test_canonical_text_reassembles_identically(self, source):
+        word = _reassemble(source)
+        text = disassemble_word(word)
+        assert _reassemble(text) == word
+
+    @given(rs=regs, rt=regs, rd=regs)
+    def test_r_type_random(self, rs, rt, rd):
+        word = encode_fields(Mnemonic.XOR, rs=rs, rt=rt, rd=rd)
+        assert _reassemble(disassemble_word(word)) == word
+
+    @given(rs=regs, rt=regs, imm=st.integers(min_value=-32768, max_value=32767))
+    def test_load_random(self, rs, rt, imm):
+        word = encode_fields(Mnemonic.LW, rs=rs, rt=rt, imm=imm)
+        assert _reassemble(disassemble_word(word)) == word
+
+
+class TestFormatting:
+    def test_branch_with_address_shows_target(self):
+        word = encode_fields(Mnemonic.BEQ, rs=8, rt=9, imm=3)
+        text = disassemble_word(word, address=0x400000)
+        assert "0x400010" in text
+
+    def test_branch_without_address_shows_offset(self):
+        word = encode_fields(Mnemonic.BEQ, rs=8, rt=9, imm=3)
+        assert disassemble_word(word).endswith("3")
+
+    def test_jump_with_address(self):
+        word = encode_fields(Mnemonic.J, target=0x400100 >> 2)
+        assert "0x400100" in disassemble_word(word, address=0x400000)
+
+    def test_syscall_plain(self):
+        assert disassemble_word(encode_fields(Mnemonic.SYSCALL)) == "syscall"
+
+    def test_instruction_str_uses_formatter(self):
+        instruction = decode(encode_fields(Mnemonic.ADDU, rs=8, rt=0, rd=8))
+        assert str(instruction) == format_instruction(instruction)

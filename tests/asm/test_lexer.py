@@ -1,0 +1,70 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.asm.lexer import strip_comment, tokenize, tokenize_line
+
+
+class TestStripComment:
+    def test_hash_comment(self):
+        assert strip_comment("add $t0, $t1 # comment") == "add $t0, $t1 "
+
+    def test_semicolon_comment(self):
+        assert strip_comment("nop ; trailing") == "nop "
+
+    def test_hash_inside_string_kept(self):
+        assert strip_comment('.asciiz "a#b" # real') == '.asciiz "a#b" '
+
+    def test_escaped_quote_in_string(self):
+        assert strip_comment(r'.asciiz "a\"b" # c') == r'.asciiz "a\"b" '
+
+
+class TestTokenizeLine:
+    def test_instruction_tokens(self):
+        tokens = tokenize_line("add $t0, $t1, $t2", 1)
+        kinds = [token.kind for token in tokens]
+        assert kinds == ["IDENT", "REG", "COMMA", "REG", "COMMA", "REG"]
+
+    def test_memory_operand(self):
+        tokens = tokenize_line("lw $t0, 8($sp)", 1)
+        kinds = [token.kind for token in tokens]
+        assert kinds == ["IDENT", "REG", "COMMA", "NUM", "LPAREN", "REG", "RPAREN"]
+
+    def test_hex_number(self):
+        tokens = tokenize_line("li $t0, 0xFF", 1)
+        assert tokens[-1].kind == "HEX"
+        assert int(tokens[-1].text, 0) == 255
+
+    def test_negative_number(self):
+        tokens = tokenize_line("addi $t0, $t0, -4", 1)
+        assert tokens[-1].kind == "NUM"
+        assert int(tokens[-1].text) == -4
+
+    def test_char_literal(self):
+        tokens = tokenize_line("li $a0, '\\n'", 1)
+        assert tokens[-1].kind == "CHAR"
+
+    def test_label_definition(self):
+        tokens = tokenize_line("loop: addi $t0, $t0, 1", 1)
+        assert tokens[0].kind == "IDENT"
+        assert tokens[1].kind == "COLON"
+
+    def test_directive(self):
+        tokens = tokenize_line(".word 1, 2", 1)
+        assert tokens[0].text == ".word"
+
+    def test_bad_character(self):
+        with pytest.raises(AssemblerError):
+            tokenize_line("add $t0 @ $t1", 3)
+
+    def test_line_number_recorded(self):
+        tokens = tokenize_line("nop", 17)
+        assert tokens[0].line == 17
+
+
+class TestTokenize:
+    def test_blank_lines_preserved(self):
+        lines = tokenize("nop\n\nnop")
+        assert len(lines) == 3
+        assert lines[1] == []

@@ -1,0 +1,90 @@
+"""Parser tests: statements and operand forms."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.asm.parser import (
+    DirectiveStatement,
+    InstructionStatement,
+    LabelStatement,
+    parse,
+)
+
+
+class TestLabels:
+    def test_label_alone(self):
+        (statement,) = parse("main:")
+        assert isinstance(statement, LabelStatement)
+        assert statement.name == "main"
+
+    def test_label_with_instruction(self):
+        statements = parse("loop: nop")
+        assert isinstance(statements[0], LabelStatement)
+        assert isinstance(statements[1], InstructionStatement)
+
+    def test_multiple_labels_one_line(self):
+        statements = parse("a: b: nop")
+        assert [s.name for s in statements[:2]] == ["a", "b"]
+
+
+class TestDirectives:
+    def test_word_values(self):
+        (statement,) = parse(".word 1, 0x10, -3")
+        assert isinstance(statement, DirectiveStatement)
+        assert statement.args == [1, 16, -3]
+
+    def test_asciiz_string_with_escapes(self):
+        (statement,) = parse(r'.asciiz "hi\n"')
+        assert statement.args == ["hi\n"]
+
+    def test_word_with_symbol(self):
+        (statement,) = parse(".word mylabel")
+        assert statement.args[0].kind == "sym"
+        assert statement.args[0].symbol == "mylabel"
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(AssemblerError):
+            parse(r'.asciiz "bad\q"')
+
+
+class TestInstructionOperands:
+    def test_three_registers(self):
+        (statement,) = parse("add $t0, $t1, $t2")
+        assert statement.mnemonic == "add"
+        assert [op.kind for op in statement.operands] == ["reg"] * 3
+        assert [op.value for op in statement.operands] == [8, 9, 10]
+
+    def test_immediate(self):
+        (statement,) = parse("addi $t0, $t0, -100")
+        assert statement.operands[2].kind == "imm"
+        assert statement.operands[2].value == -100
+
+    def test_memory_operand(self):
+        (statement,) = parse("lw $t0, 12($sp)")
+        mem = statement.operands[1]
+        assert mem.kind == "mem"
+        assert mem.value == 12
+        assert mem.base == 29
+
+    def test_bare_paren_memory(self):
+        (statement,) = parse("lw $t0, ($sp)")
+        assert statement.operands[1].kind == "mem"
+        assert statement.operands[1].value == 0
+
+    def test_symbol_operand(self):
+        (statement,) = parse("j exit_label")
+        assert statement.operands[0].kind == "sym"
+
+    def test_symbolic_memory(self):
+        (statement,) = parse("lw $t0, var($t1)")
+        mem = statement.operands[1]
+        assert mem.kind == "mem"
+        assert mem.symbol == "var"
+
+    def test_char_immediate(self):
+        (statement,) = parse("li $a0, 'A'")
+        assert statement.operands[1].value == 65
+
+    def test_malformed_memory_rejected(self):
+        with pytest.raises(AssemblerError):
+            parse("lw $t0, 4($t1")

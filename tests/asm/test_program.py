@@ -1,0 +1,56 @@
+"""Program image tests."""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.asm.assembler import assemble
+from repro.asm.program import Program, Segment
+
+
+class TestSegment:
+    def test_bounds(self):
+        segment = Segment(0x1000, bytearray(16))
+        assert segment.end == 0x1010
+        assert segment.contains(0x1000)
+        assert segment.contains(0x100F)
+        assert not segment.contains(0x1010)
+
+    def test_word_access(self):
+        segment = Segment(0x1000, bytearray(8))
+        segment.set_word(0x1004, 0xCAFEBABE)
+        assert segment.word_at(0x1004) == 0xCAFEBABE
+
+
+class TestProgram:
+    def test_word_at_dispatches_to_segments(self):
+        program = assemble(".data\nv: .word 77\n.text\nmain: nop")
+        assert program.word_at(program.entry) == 0  # nop
+        assert program.word_at(program.symbols["v"]) == 77
+
+    def test_word_at_unmapped_rejected(self):
+        program = assemble("nop")
+        with pytest.raises(LinkError):
+            program.word_at(0x7000_0000)
+
+    def test_symbol_lookup(self):
+        program = assemble("main: nop")
+        assert program.symbol("main") == program.entry
+        with pytest.raises(LinkError):
+            program.symbol("nothere")
+
+    def test_text_addresses(self):
+        program = assemble("nop\nnop\nnop")
+        assert list(program.text_addresses()) == [
+            program.text_start + offset for offset in (0, 4, 8)
+        ]
+
+    def test_listing_shows_source(self):
+        program = assemble("main: addi $t0, $t0, 7")
+        listing = program.listing()
+        assert "addi" in listing
+        assert "$8" in listing or "$t0" in listing
+
+    def test_listing_tolerates_invalid_words(self):
+        program = assemble("nop")
+        program.text.set_word(program.entry, 0xFFFFFFFF)
+        assert ".word" in program.listing()

@@ -1,0 +1,90 @@
+"""Basic-block enumeration tests, including the FHT-coverage invariant."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.cfg.basic_blocks import (
+    entry_points,
+    enumerate_monitored_blocks,
+    partition_blocks,
+)
+from repro.isa.encoding import decode
+from repro.isa.properties import is_control_flow
+from repro.pipeline.funcsim import FuncSim
+from repro.workloads.suite import WORKLOAD_NAMES, build, workload_inputs
+
+SOURCE = """
+main:   li $t0, 3
+loop:   addi $t0, $t0, -1
+        bgtz $t0, loop
+        beq $t0, $zero, out
+        nop
+out:    li $v0, 10
+        syscall
+"""
+
+
+class TestEntryPoints:
+    def test_includes_entry_targets_and_fallthroughs(self):
+        program = assemble(SOURCE)
+        points = entry_points(program)
+        assert program.entry in points
+        assert program.symbols["loop"] in points
+        assert program.symbols["out"] in points
+        # fall-through of bgtz
+        assert program.symbols["loop"] + 8 in points
+
+    def test_text_symbols_included(self):
+        program = assemble("""
+main:   la $t0, helper
+        jalr $t0
+        li $v0, 10
+        syscall
+helper: jr $ra
+        """)
+        assert program.symbols["helper"] in entry_points(program)
+
+
+class TestMonitoredBlocks:
+    def test_blocks_end_at_control_flow(self):
+        program = assemble(SOURCE)
+        for block in enumerate_monitored_blocks(program):
+            assert is_control_flow(decode(block.words[-1]))
+            assert block.end - block.start == 4 * (len(block.words) - 1)
+
+    def test_overlapping_suffixes_allowed(self):
+        program = assemble(SOURCE)
+        blocks = enumerate_monitored_blocks(program)
+        ends = [block.end for block in blocks]
+        assert len(ends) != len(set(ends))  # some blocks share a terminator
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_every_dynamic_block_statically_enumerated(self, name):
+        """THE coverage invariant: no legitimate execution can raise a
+        hash-miss the OS cannot verify against the FHT."""
+        program = build(name, "tiny")
+        static_keys = {
+            block.key for block in enumerate_monitored_blocks(program)
+        }
+        result = FuncSim(
+            program, collect_trace=True, inputs=workload_inputs(name, "tiny")
+        ).run()
+        dynamic_keys = result.block_trace.unique_blocks()
+        assert dynamic_keys <= static_keys
+
+
+class TestPartition:
+    def test_partition_is_disjoint(self):
+        program = assemble(SOURCE)
+        blocks = partition_blocks(program)
+        covered: set[int] = set()
+        for block in blocks:
+            addresses = set(range(block.start, block.end + 4, 4))
+            assert not (covered & addresses)
+            covered |= addresses
+
+    def test_partition_starts_at_leaders(self):
+        program = assemble(SOURCE)
+        leader_set = entry_points(program)
+        for block in partition_blocks(program):
+            assert block.start in leader_set

@@ -1,0 +1,60 @@
+"""Expected-hash generation tests."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.cfg.basic_blocks import enumerate_monitored_blocks
+from repro.cfg.hashgen import build_fht
+from repro.cic.hashes import get_hash, block_hash
+from repro.osmodel.loader import load_process
+from repro.pipeline.funcsim import FuncSim
+from repro.workloads.suite import WORKLOAD_NAMES, build, workload_inputs
+
+SOURCE = """
+main:   li $t0, 3
+loop:   addi $t0, $t0, -1
+        bgtz $t0, loop
+        li $v0, 10
+        syscall
+"""
+
+
+class TestBuildFht:
+    def test_one_record_per_monitored_block(self):
+        program = assemble(SOURCE)
+        fht = build_fht(program, get_hash("xor"))
+        blocks = enumerate_monitored_blocks(program)
+        assert len(fht) == len(blocks)
+        for block in blocks:
+            assert fht.get(block.start, block.end) == block_hash(
+                get_hash("xor"), block.words
+            )
+
+    def test_hash_changes_with_word(self):
+        program = assemble(SOURCE)
+        before = build_fht(program, get_hash("xor"))
+        program.text.set_word(program.entry, program.word_at(program.entry) ^ 4)
+        after = build_fht(program, get_hash("xor"))
+        changed = [
+            key for key, value in after.items()
+            if before.get(*key) != value
+        ]
+        assert changed  # every block containing the word re-hashes
+
+    @pytest.mark.parametrize("hash_name", ["xor", "crc32", "sha1"])
+    def test_untampered_run_never_mismatches(self, hash_name):
+        program = assemble(SOURCE)
+        process = load_process(program, iht_size=2, hash_name=hash_name)
+        result = FuncSim(program, monitor=process.monitor).run()
+        assert result.monitor_stats.mismatches == 0
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_workloads_never_mismatch_untampered(name):
+    program = build(name, "tiny")
+    process = load_process(program, iht_size=8)
+    result = FuncSim(
+        program, monitor=process.monitor, inputs=workload_inputs(name, "tiny")
+    ).run()
+    assert result.monitor_stats.mismatches == 0
+    assert result.monitor_stats.lookups > 0

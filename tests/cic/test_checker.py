@@ -1,0 +1,105 @@
+"""Behavioural Code Integrity Checker tests."""
+
+import pytest
+
+from repro.errors import MonitorViolation
+from repro.cic.checker import CodeIntegrityChecker
+from repro.cic.fht import FullHashTable
+from repro.cic.hashes import XorChecksum, block_hash
+from repro.cic.iht import InternalHashTable
+from repro.osmodel.handler import OSExceptionHandler
+from repro.osmodel.policies import get_policy
+
+BLOCK = [0x11111111, 0x22222222, 0x08000000]  # ends with j 0
+
+
+def _checker(fht_records, iht_size=4, miss_penalty=100):
+    fht = FullHashTable(fht_records)
+    iht = InternalHashTable(iht_size)
+    handler = OSExceptionHandler(
+        fht=fht, iht=iht, policy=get_policy("lru_half"), miss_penalty=miss_penalty
+    )
+    return CodeIntegrityChecker(iht, handler, XorChecksum()), iht, handler
+
+
+def _feed_block(checker, base=0x400000, words=BLOCK):
+    for index, word in enumerate(words):
+        checker.on_instruction(base + 4 * index, word)
+    return base + 4 * (len(words) - 1)
+
+
+class TestBlockAccumulation:
+    def test_sta_latches_first_address(self):
+        checker, _, _ = _checker({})
+        checker.on_instruction(0x400010, 1)
+        checker.on_instruction(0x400014, 2)
+        assert checker.sta == 0x400010
+
+    def test_rhash_accumulates(self):
+        checker, _, _ = _checker({})
+        _feed_block(checker)
+        assert checker.rhash_value == block_hash(XorChecksum(), BLOCK)
+
+
+class TestBlockEnd:
+    def test_cold_miss_costs_penalty_then_hits(self):
+        expected = block_hash(XorChecksum(), BLOCK)
+        checker, iht, handler = _checker({(0x400000, 0x400008): expected})
+        end = _feed_block(checker)
+        assert checker.on_block_end(end) == 100
+        # The OS refilled the IHT: a re-execution hits for free.
+        end = _feed_block(checker)
+        assert checker.on_block_end(end) == 0
+        assert checker.stats.hits == 1
+        assert checker.stats.misses == 1
+        assert handler.stats.refills == 1
+
+    def test_state_resets_between_blocks(self):
+        expected = block_hash(XorChecksum(), BLOCK)
+        checker, _, _ = _checker({(0x400000, 0x400008): expected})
+        end = _feed_block(checker)
+        checker.on_block_end(end)
+        assert checker.sta is None
+        assert checker.rhash_value == XorChecksum().finalize(XorChecksum().initial())
+
+    def test_mismatch_terminates(self):
+        checker, iht, _ = _checker({(0x400000, 0x400008): 0xBAD})
+        iht.insert(0x400000, 0x400008, 0xBAD)
+        end = _feed_block(checker)
+        with pytest.raises(MonitorViolation) as excinfo:
+            checker.on_block_end(end)
+        assert excinfo.value.start == 0x400000
+        assert excinfo.value.expected == 0xBAD
+
+    def test_unknown_block_terminates_via_fht_search(self):
+        checker, _, _ = _checker({})  # FHT empty
+        end = _feed_block(checker)
+        with pytest.raises(MonitorViolation) as excinfo:
+            checker.on_block_end(end)
+        assert excinfo.value.expected is None
+
+    def test_fht_hash_disagreement_terminates(self):
+        checker, _, _ = _checker({(0x400000, 0x400008): 0xBAD})
+        end = _feed_block(checker)
+        with pytest.raises(MonitorViolation):
+            checker.on_block_end(end)
+
+    def test_custom_penalty(self):
+        expected = block_hash(XorChecksum(), BLOCK)
+        checker, _, _ = _checker(
+            {(0x400000, 0x400008): expected}, miss_penalty=250
+        )
+        end = _feed_block(checker)
+        assert checker.on_block_end(end) == 250
+        assert checker.stats.os_cycles == 250
+
+
+class TestStats:
+    def test_blocks_hashed_counted(self):
+        expected = block_hash(XorChecksum(), BLOCK)
+        checker, _, _ = _checker({(0x400000, 0x400008): expected})
+        for _ in range(3):
+            end = _feed_block(checker)
+            checker.on_block_end(end)
+        assert checker.stats.blocks_hashed == 3
+        assert checker.stats.lookups == 3

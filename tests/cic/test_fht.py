@@ -1,0 +1,71 @@
+"""Full hash table tests: ordering, prefetch iteration, serialization."""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.cic.fht import FullHashTable
+
+
+def _sample() -> FullHashTable:
+    return FullHashTable(
+        {
+            (0x100, 0x10C): 0xA,
+            (0x110, 0x11C): 0xB,
+            (0x200, 0x20C): 0xC,
+        }
+    )
+
+
+class TestBasics:
+    def test_get(self):
+        fht = _sample()
+        assert fht.get(0x100, 0x10C) == 0xA
+        assert fht.get(0x999, 0x99C) is None
+
+    def test_contains_and_len(self):
+        fht = _sample()
+        assert (0x110, 0x11C) in fht
+        assert len(fht) == 3
+
+    def test_add_keeps_sorted(self):
+        fht = _sample()
+        fht.add(0x000, 0x00C, 0xD)
+        assert fht.keys_sorted()[0] == (0x000, 0x00C)
+
+
+class TestPrefetchIteration:
+    def test_starts_at_missing_key(self):
+        records = list(_sample().records_from((0x110, 0x11C), 2))
+        assert records[0] == (0x110, 0x11C, 0xB)
+        assert records[1] == (0x200, 0x20C, 0xC)
+
+    def test_wraps_around(self):
+        records = list(_sample().records_from((0x200, 0x20C), 3))
+        assert [record[2] for record in records] == [0xC, 0xA, 0xB]
+
+    def test_count_capped_at_size(self):
+        assert len(list(_sample().records_from((0x100, 0x10C), 10))) == 3
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(LinkError):
+            list(_sample().records_from((0xDEAD, 0xBEEF), 1))
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        fht = _sample()
+        restored = FullHashTable.from_bytes(fht.to_bytes())
+        assert dict(restored.items()) == dict(fht.items())
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(LinkError):
+            FullHashTable.from_bytes(b"\x00" * 16)
+
+    def test_truncated_rejected(self):
+        blob = _sample().to_bytes()
+        with pytest.raises(LinkError):
+            FullHashTable.from_bytes(blob[:-4])
+
+    def test_empty_table(self):
+        restored = FullHashTable.from_bytes(FullHashTable().to_bytes())
+        assert len(restored) == 0

@@ -1,0 +1,174 @@
+"""Hash algorithm tests: correctness vectors and error-model properties."""
+
+import binascii
+import hashlib
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.cic.hashes import (
+    HASH_ALGORITHMS,
+    AddChecksum,
+    Crc32,
+    Fletcher32,
+    RotXorChecksum,
+    Sha1Trunc,
+    XorChecksum,
+    block_hash,
+    get_hash,
+)
+from repro.utils.bitops import MASK32, flip_bit
+
+words = st.integers(min_value=0, max_value=MASK32)
+word_lists = st.lists(words, min_size=1, max_size=24)
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(HASH_ALGORITHMS) == {
+            "xor", "add", "rotxor", "fletcher", "crc32", "sha1",
+        }
+
+    def test_get_hash(self):
+        assert isinstance(get_hash("xor"), XorChecksum)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_hash("md5000")
+
+    @pytest.mark.parametrize("name", sorted(HASH_ALGORITHMS))
+    def test_deterministic(self, name):
+        algorithm = get_hash(name)
+        stream = [0x123, 0xABC, 0xDEF0]
+        assert block_hash(algorithm, stream) == block_hash(algorithm, stream)
+
+    @pytest.mark.parametrize("name", sorted(HASH_ALGORITHMS))
+    @given(stream=word_lists)
+    def test_finalize_is_32_bit(self, name, stream):
+        value = block_hash(get_hash(name), stream)
+        assert 0 <= value <= MASK32
+
+
+class TestXor:
+    @given(stream=word_lists)
+    def test_equals_reduce_xor(self, stream):
+        expected = 0
+        for word in stream:
+            expected ^= word
+        assert block_hash(XorChecksum(), stream) == expected
+
+    @given(stream=word_lists, index=st.integers(0, 23), bit=st.integers(0, 31))
+    def test_detects_every_single_bit_flip(self, stream, index, bit):
+        """The paper's claim: any odd number of flipped bits is detected."""
+        index %= len(stream)
+        tampered = list(stream)
+        tampered[index] = flip_bit(tampered[index], bit)
+        assert block_hash(XorChecksum(), tampered) != block_hash(
+            XorChecksum(), stream
+        )
+
+    @given(stream=st.lists(words, min_size=2, max_size=24), bit=st.integers(0, 31))
+    def test_misses_same_column_pairs(self, stream, bit):
+        """...and the known blind spot: even flips in one column."""
+        tampered = list(stream)
+        tampered[0] = flip_bit(tampered[0], bit)
+        tampered[1] = flip_bit(tampered[1], bit)
+        assert block_hash(XorChecksum(), tampered) == block_hash(
+            XorChecksum(), stream
+        )
+
+    @given(stream=st.lists(words, min_size=2, max_size=8))
+    def test_order_independent(self, stream):
+        assert block_hash(XorChecksum(), stream) == block_hash(
+            XorChecksum(), list(reversed(stream))
+        )
+
+
+class TestRotXor:
+    @given(stream=st.lists(words, min_size=2, max_size=8))
+    def test_usually_order_dependent(self, stream):
+        if stream[0] == stream[-1]:
+            return  # identical ends: reversal may collide legitimately
+        forward = block_hash(RotXorChecksum(), stream)
+        backward = block_hash(RotXorChecksum(), list(reversed(stream)))
+        # rotations separate position; collisions are possible but only on
+        # crafted inputs, not typical ones — allow equality only if the
+        # reversal is a genuine fixed point of the rotation structure.
+        if forward == backward:
+            assert stream == list(reversed(stream))
+
+    @given(stream=st.lists(words, min_size=2, max_size=20), bit=st.integers(0, 31))
+    def test_detects_same_column_adjacent_pair(self, stream, bit):
+        tampered = list(stream)
+        tampered[0] = flip_bit(tampered[0], bit)
+        tampered[1] = flip_bit(tampered[1], bit)
+        assert block_hash(RotXorChecksum(), tampered) != block_hash(
+            RotXorChecksum(), stream
+        )
+
+
+class TestAdd:
+    @given(stream=word_lists)
+    def test_equals_modular_sum(self, stream):
+        assert block_hash(AddChecksum(), stream) == sum(stream) & MASK32
+
+    @given(stream=st.lists(words, min_size=2, max_size=20))
+    def test_misses_compensating_pair(self, stream):
+        tampered = list(stream)
+        tampered[0] = (tampered[0] + 1) & MASK32
+        tampered[1] = (tampered[1] - 1) & MASK32
+        assert block_hash(AddChecksum(), tampered) == block_hash(
+            AddChecksum(), stream
+        )
+
+
+class TestCrc32:
+    @given(stream=word_lists)
+    def test_matches_binascii(self, stream):
+        blob = b"".join(struct.pack("<I", word) for word in stream)
+        assert block_hash(Crc32(), stream) == binascii.crc32(blob) & MASK32
+
+    @given(stream=word_lists, index=st.integers(0, 23), bit=st.integers(0, 31))
+    def test_detects_single_flip(self, stream, index, bit):
+        index %= len(stream)
+        tampered = list(stream)
+        tampered[index] = flip_bit(tampered[index], bit)
+        assert block_hash(Crc32(), tampered) != block_hash(Crc32(), stream)
+
+
+class TestSha1:
+    @given(stream=word_lists)
+    def test_matches_hashlib_prefix(self, stream):
+        blob = b"".join(struct.pack("<I", word) for word in stream)
+        expected = struct.unpack(">I", hashlib.sha1(blob).digest()[:4])[0]
+        assert block_hash(Sha1Trunc(), stream) == expected
+
+    def test_streaming_across_chunk_boundary(self):
+        stream = list(range(40))  # 160 bytes: crosses two 64-byte chunks
+        blob = b"".join(struct.pack("<I", word) for word in stream)
+        expected = struct.unpack(">I", hashlib.sha1(blob).digest()[:4])[0]
+        assert block_hash(Sha1Trunc(), stream) == expected
+
+
+class TestFletcher:
+    def test_known_structure(self):
+        value = block_hash(Fletcher32(), [0x00010001])
+        # two halves of 1: sum1 = 2, sum2 = 1 + 2 = 3
+        assert value == (3 << 16) | 2
+
+    @given(stream=word_lists, index=st.integers(0, 23), bit=st.integers(0, 30))
+    def test_detects_single_flip_low_bits(self, stream, index, bit):
+        index %= len(stream)
+        tampered = list(stream)
+        tampered[index] = flip_bit(tampered[index], bit)
+        if tampered[index] % 65535 == stream[index] % 65535 or any(
+            half == 0xFFFF or half == 0
+            for half in (tampered[index] & 0xFFFF, tampered[index] >> 16)
+        ):
+            return  # mod-65535 aliasing: 0x0000 and 0xFFFF coincide
+        assert block_hash(Fletcher32(), tampered) != block_hash(
+            Fletcher32(), stream
+        )

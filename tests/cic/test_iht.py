@@ -1,0 +1,124 @@
+"""Internal hash table (CAM) tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.cic.iht import InternalHashTable
+
+
+class TestLookup:
+    def test_empty_table_misses(self):
+        iht = InternalHashTable(4)
+        assert iht.lookup(0x100, 0x10C, 1) == (False, False)
+        assert iht.stats.misses == 1
+
+    def test_hit(self):
+        iht = InternalHashTable(4)
+        iht.insert(0x100, 0x10C, 0xAB)
+        assert iht.lookup(0x100, 0x10C, 0xAB) == (True, True)
+        assert iht.stats.hits == 1
+
+    def test_mismatch(self):
+        iht = InternalHashTable(4)
+        iht.insert(0x100, 0x10C, 0xAB)
+        assert iht.lookup(0x100, 0x10C, 0xCD) == (True, False)
+        assert iht.stats.mismatches == 1
+
+    def test_tag_is_start_and_end(self):
+        iht = InternalHashTable(4)
+        iht.insert(0x100, 0x10C, 0xAB)
+        assert iht.lookup(0x100, 0x110, 0xAB) == (False, False)
+        assert iht.lookup(0x104, 0x10C, 0xAB) == (False, False)
+
+    def test_miss_rate(self):
+        iht = InternalHashTable(1)
+        iht.insert(0x100, 0x10C, 1)
+        iht.lookup(0x100, 0x10C, 1)  # hit
+        iht.lookup(0x200, 0x20C, 1)  # miss
+        assert iht.stats.miss_rate == pytest.approx(0.5)
+
+    def test_empty_stats(self):
+        assert InternalHashTable(2).stats.miss_rate == 0.0
+
+
+class TestLruBookkeeping:
+    def test_hit_refreshes_recency(self):
+        iht = InternalHashTable(2)
+        iht.insert(0x100, 0x10C, 1)
+        iht.insert(0x200, 0x20C, 2)
+        iht.lookup(0x100, 0x10C, 1)  # refresh the older entry
+        contents = iht.contents()
+        assert contents[0][:2] == (0x200, 0x20C)  # now LRU-oldest
+        assert contents[-1][:2] == (0x100, 0x10C)
+
+    def test_insert_updates_existing(self):
+        iht = InternalHashTable(2)
+        iht.insert(0x100, 0x10C, 1)
+        iht.insert(0x100, 0x10C, 9)
+        assert len(iht.valid_entries()) == 1
+        assert iht.lookup(0x100, 0x10C, 9) == (True, True)
+
+
+class TestCapacity:
+    def test_insert_into_full_rejected(self):
+        iht = InternalHashTable(1)
+        iht.insert(0x100, 0x10C, 1)
+        with pytest.raises(ConfigurationError):
+            iht.insert(0x200, 0x20C, 2)
+
+    def test_evict_then_insert(self):
+        iht = InternalHashTable(1)
+        iht.insert(0x100, 0x10C, 1)
+        iht.evict(iht.valid_entries())
+        iht.insert(0x200, 0x20C, 2)
+        assert iht.lookup(0x200, 0x20C, 2) == (True, True)
+        assert iht.lookup(0x100, 0x10C, 1) == (False, False)
+
+    def test_free_slots(self):
+        iht = InternalHashTable(3)
+        assert iht.free_slots() == 3
+        iht.insert(1 * 16, 1 * 16 + 4, 0)
+        assert iht.free_slots() == 2
+
+    def test_clear(self):
+        iht = InternalHashTable(2)
+        iht.insert(0x100, 0x10C, 1)
+        iht.clear()
+        assert iht.free_slots() == 2
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InternalHashTable(0)
+
+
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["lookup", "insert"]),
+            st.integers(min_value=0, max_value=7),
+        ),
+        max_size=60,
+    ),
+    size=st.integers(min_value=1, max_value=4),
+)
+def test_model_based_against_dict(operations, size):
+    """The CAM behaves like a bounded dict with explicit eviction."""
+    iht = InternalHashTable(size)
+    model: dict[tuple[int, int], int] = {}
+    for operation, block in operations:
+        key = (block * 16, block * 16 + 12)
+        if operation == "insert":
+            if key not in model and len(model) == size:
+                victim = iht.valid_entries()[0]
+                iht.evict([victim])
+                del model[(victim.start, victim.end)]
+            iht.insert(*key, block)
+            model[key] = block
+        else:
+            found, match = iht.lookup(*key, block)
+            assert found == (key in model)
+            if found:
+                assert match == (model[key] == block)
+    assert {(s, e) for s, e, _ in iht.contents()} == set(model)

@@ -1,0 +1,51 @@
+"""Trace-driven replay tests: replay must equal live monitored simulation."""
+
+import pytest
+
+from repro.cic.replay import replay_trace
+from repro.osmodel.loader import load_process
+from repro.osmodel.policies import get_policy
+from repro.cfg.hashgen import build_fht
+from repro.cic.fht import FullHashTable
+from repro.cic.hashes import get_hash
+from repro.pipeline.funcsim import FuncSim
+from repro.pipeline.trace import BlockTrace
+from repro.workloads.suite import build, workload_inputs
+
+
+@pytest.mark.parametrize("name", ["bitcount", "stringsearch", "patricia"])
+@pytest.mark.parametrize("size", [1, 4, 8])
+def test_replay_equals_live_monitoring(name, size):
+    program = build(name, "tiny")
+    inputs = workload_inputs(name, "tiny")
+    golden = FuncSim(program, collect_trace=True, inputs=inputs).run()
+    fht = build_fht(program, get_hash("xor"))
+    replayed = replay_trace(
+        golden.block_trace, fht, size, get_policy("lru_half")
+    )
+    process = load_process(program, iht_size=size)
+    live = FuncSim(program, monitor=process.monitor, inputs=inputs).run()
+    assert replayed.lookups == live.monitor_stats.lookups
+    assert replayed.misses == live.monitor_stats.misses
+    assert replayed.hits == live.monitor_stats.hits
+
+
+def test_replay_rejects_block_missing_from_fht():
+    trace = BlockTrace()
+    trace.append(0x400000, 0x400008)
+    with pytest.raises(ValueError, match="missing from FHT"):
+        replay_trace(trace, FullHashTable(), 4, get_policy("lru_half"))
+
+
+def test_replay_rejects_corrupt_fht():
+    trace = BlockTrace()
+    trace.append(0x400000, 0x400008)
+    trace.append(0x400000, 0x400008)
+    fht = FullHashTable({(0x400000, 0x400008): 0xAA})
+
+    class _TamperPolicy:
+        def refill(self, iht, table, key):
+            iht.insert(key[0], key[1], 0xBB)  # plant a wrong hash
+
+    with pytest.raises(ValueError, match="mismatch"):
+        replay_trace(trace, fht, 4, _TamperPolicy())

@@ -1,0 +1,44 @@
+"""Fault model tests."""
+
+from repro.faults.models import BitFlipFault, TransientFetchFault, make_fetch_hook
+from repro.pipeline.memory import Memory
+
+
+class TestBitFlipFault:
+    def test_mask(self):
+        fault = BitFlipFault(0x400000, (0, 4, 31))
+        assert fault.mask == 0x80000011
+
+    def test_apply_to_memory(self):
+        memory = Memory()
+        memory.write_word(0x400000, 0xF)
+        BitFlipFault(0x400000, (0,)).apply_to_memory(memory)
+        assert memory.read_word(0x400000) == 0xE
+
+    def test_describe(self):
+        text = BitFlipFault(0x400000, (3,)).describe()
+        assert "0x00400000" in text and "3" in text
+
+
+class TestTransientFetchFault:
+    def test_fires_on_nth_occurrence_only(self):
+        fault = TransientFetchFault(0x400000, (0,), occurrence=2)
+        assert fault.transform(0x400000, 0x10) == 0x10  # first fetch clean
+        assert fault.transform(0x400000, 0x10) == 0x11  # second flipped
+        assert fault.transform(0x400000, 0x10) == 0x10  # third clean again
+
+    def test_other_addresses_untouched(self):
+        fault = TransientFetchFault(0x400000, (0,))
+        assert fault.transform(0x400004, 0x10) == 0x10
+
+    def test_reset(self):
+        fault = TransientFetchFault(0x400000, (0,), occurrence=1)
+        fault.transform(0x400000, 0)
+        fault.reset()
+        assert fault.transform(0x400000, 0x10) == 0x11
+
+    def test_hook_composition(self):
+        first = TransientFetchFault(0x400000, (0,))
+        second = TransientFetchFault(0x400000, (1,))
+        hook = make_fetch_hook([first, second])
+        assert hook(0x400000, 0) == 0b11

@@ -1,0 +1,117 @@
+"""Integration: end-to-end attack/fault detection stories.
+
+Each scenario models a threat from the paper's introduction — memory-
+resident code modification after the load-time checkpoint, transient
+fetch-path corruption, control-flow diversion — and asserts the monitor's
+verdict on both simulator engines.
+"""
+
+import pytest
+
+from repro.errors import MonitorViolation
+from repro.asm.assembler import assemble
+from repro.faults.models import TransientFetchFault, make_fetch_hook
+from repro.osmodel.loader import load_process
+from repro.pipeline.cpu import PipelineCPU
+from repro.pipeline.funcsim import FuncSim
+
+VICTIM = """
+main:   li $s0, 0
+        li $t0, 8
+loop:   addu $s0, $s0, $t0
+        addi $t0, $t0, -1
+        bgtz $t0, loop
+        move $a0, $s0
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+"""
+
+ENGINES = [FuncSim, PipelineCPU]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestMemoryResidentAttack:
+    def test_patched_instruction_detected(self, engine):
+        """Attacker rewrites the accumulator update after load time."""
+        program = assemble(VICTIM)
+        process = load_process(program, iht_size=4)
+        simulator = engine(program, monitor=process.monitor)
+        loop = program.symbols["loop"]
+        # addu $s0,$s0,$t0 -> subu $s0,$s0,$t0 (funct 33 -> 35: flip bit 1)
+        simulator.state.memory.flip_bit(loop, 1)
+        with pytest.raises(MonitorViolation) as excinfo:
+            simulator.run()
+        assert excinfo.value.start <= loop <= excinfo.value.end
+
+    def test_injected_jump_detected(self, engine):
+        """Attacker diverts the loop's branch somewhere else."""
+        program = assemble(VICTIM)
+        process = load_process(program, iht_size=4)
+        simulator = engine(program, monitor=process.monitor)
+        branch = program.symbols["loop"] + 8  # the bgtz
+        simulator.state.memory.flip_bit(branch, 0)  # offset bit: new target
+        with pytest.raises(MonitorViolation):
+            simulator.run()
+
+    def test_untampered_run_passes(self, engine):
+        program = assemble(VICTIM)
+        process = load_process(program, iht_size=4)
+        result = engine(program, monitor=process.monitor).run()
+        assert result.console == "36"
+        assert result.monitor_stats.mismatches == 0
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestTransientFetchFault:
+    def test_soft_error_on_fetch_path_detected(self, engine):
+        """The word is intact in memory; one fetch delivers a flipped bit.
+
+        This is exactly the coverage the paper claims over cache-resident
+        checkers (Section 3.2): the hash is computed on what *enters the
+        pipeline*.
+        """
+        program = assemble(VICTIM)
+        process = load_process(program, iht_size=4)
+        loop = program.symbols["loop"]
+        fault = TransientFetchFault(loop, (2,), occurrence=3)
+        simulator = engine(
+            program, monitor=process.monitor, fetch_hook=make_fetch_hook([fault])
+        )
+        with pytest.raises(MonitorViolation):
+            simulator.run()
+
+    def test_fault_after_last_fetch_is_harmless(self, engine):
+        program = assemble(VICTIM)
+        process = load_process(program, iht_size=4)
+        loop = program.symbols["loop"]
+        fault = TransientFetchFault(loop, (2,), occurrence=10_000)
+        simulator = engine(
+            program, monitor=process.monitor, fetch_hook=make_fetch_hook([fault])
+        )
+        assert simulator.run().console == "36"
+
+
+class TestDetectionLatency:
+    def test_detected_at_end_of_tampered_block(self):
+        """Detection happens at the block's flow-control instruction, not
+        at the tampered instruction itself (Section 3.1's granularity
+        trade-off)."""
+        program = assemble(VICTIM)
+        process = load_process(program, iht_size=4)
+        simulator = FuncSim(program, monitor=process.monitor)
+        loop = program.symbols["loop"]
+        simulator.state.memory.flip_bit(loop, 1)
+        with pytest.raises(MonitorViolation) as excinfo:
+            simulator.run()
+        # The violated block ends at the bgtz terminating the loop body.
+        assert excinfo.value.end == loop + 8
+
+    def test_stronger_hash_detects_same_attack(self):
+        program = assemble(VICTIM)
+        process = load_process(program, iht_size=4, hash_name="crc32")
+        simulator = FuncSim(program, monitor=process.monitor)
+        simulator.state.memory.flip_bit(program.symbols["loop"], 1)
+        with pytest.raises(MonitorViolation):
+            simulator.run()

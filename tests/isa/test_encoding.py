@@ -1,0 +1,144 @@
+"""Encode/decode round-trip and validation tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DecodingError, EncodingError
+from repro.isa import opcodes
+from repro.isa.encoding import decode, encode_fields
+from repro.isa.opcodes import Format, Mnemonic
+
+regs = st.integers(min_value=0, max_value=31)
+imm16 = st.integers(min_value=-32768, max_value=32767)
+target26 = st.integers(min_value=0, max_value=(1 << 26) - 1)
+
+R_THREE = [Mnemonic.ADD, Mnemonic.ADDU, Mnemonic.SUB, Mnemonic.SUBU,
+           Mnemonic.AND, Mnemonic.OR, Mnemonic.XOR, Mnemonic.NOR,
+           Mnemonic.SLT, Mnemonic.SLTU, Mnemonic.SLLV, Mnemonic.SRLV,
+           Mnemonic.SRAV]
+I_ALU = [Mnemonic.ADDI, Mnemonic.ADDIU, Mnemonic.SLTI, Mnemonic.SLTIU]
+I_LOGICAL = [Mnemonic.ANDI, Mnemonic.ORI, Mnemonic.XORI]
+MEM = [Mnemonic.LB, Mnemonic.LH, Mnemonic.LW, Mnemonic.LBU, Mnemonic.LHU,
+       Mnemonic.SB, Mnemonic.SH, Mnemonic.SW]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mnemonic", R_THREE)
+    @given(rs=regs, rt=regs, rd=regs)
+    def test_r_type(self, mnemonic, rs, rt, rd):
+        word = encode_fields(mnemonic, rs=rs, rt=rt, rd=rd)
+        instruction = decode(word)
+        assert instruction.mnemonic is mnemonic
+        assert (instruction.rs, instruction.rt, instruction.rd) == (rs, rt, rd)
+
+    @pytest.mark.parametrize(
+        "mnemonic", [Mnemonic.SLL, Mnemonic.SRL, Mnemonic.SRA]
+    )
+    @given(rt=regs, rd=regs, shamt=st.integers(min_value=0, max_value=31))
+    def test_shifts(self, mnemonic, rt, rd, shamt):
+        word = encode_fields(mnemonic, rt=rt, rd=rd, shamt=shamt)
+        instruction = decode(word)
+        assert instruction.mnemonic is mnemonic
+        assert (instruction.rt, instruction.rd, instruction.shamt) == (rt, rd, shamt)
+
+    @pytest.mark.parametrize("mnemonic", I_ALU + MEM)
+    @given(rs=regs, rt=regs, imm=imm16)
+    def test_i_type_signed(self, mnemonic, rs, rt, imm):
+        word = encode_fields(mnemonic, rs=rs, rt=rt, imm=imm)
+        instruction = decode(word)
+        assert instruction.mnemonic is mnemonic
+        assert instruction.imm == imm
+
+    @pytest.mark.parametrize("mnemonic", I_LOGICAL)
+    @given(rs=regs, rt=regs, imm=st.integers(min_value=0, max_value=0xFFFF))
+    def test_i_type_logical_zero_extends(self, mnemonic, rs, rt, imm):
+        word = encode_fields(mnemonic, rs=rs, rt=rt, imm=imm)
+        assert decode(word).imm == imm
+
+    @pytest.mark.parametrize("mnemonic", [Mnemonic.J, Mnemonic.JAL])
+    @given(target=target26)
+    def test_j_type(self, mnemonic, target):
+        word = encode_fields(mnemonic, target=target)
+        instruction = decode(word)
+        assert instruction.mnemonic is mnemonic
+        assert instruction.target == target
+
+    @pytest.mark.parametrize("mnemonic", [Mnemonic.BLTZ, Mnemonic.BGEZ])
+    @given(rs=regs, imm=imm16)
+    def test_regimm(self, mnemonic, rs, imm):
+        word = encode_fields(mnemonic, rs=rs, imm=imm)
+        instruction = decode(word)
+        assert instruction.mnemonic is mnemonic
+        assert instruction.rs == rs
+        assert instruction.imm == imm
+
+    @given(code=st.integers(min_value=0, max_value=(1 << 20) - 1))
+    def test_syscall_code_field(self, code):
+        word = encode_fields(Mnemonic.SYSCALL, code=code)
+        instruction = decode(word)
+        assert instruction.mnemonic is Mnemonic.SYSCALL
+        assert instruction.code == code
+
+    def test_every_mnemonic_roundtrips_with_zero_fields(self):
+        for mnemonic in opcodes.ALL_MNEMONICS:
+            kwargs = {}
+            if mnemonic in (Mnemonic.JALR,):
+                kwargs = {"rd": 31}
+            word = encode_fields(mnemonic, **kwargs)
+            assert decode(word).mnemonic is mnemonic
+
+
+class TestEncodingValidation:
+    def test_register_field_range(self):
+        with pytest.raises(EncodingError):
+            encode_fields(Mnemonic.ADD, rd=32)
+
+    def test_immediate_range(self):
+        with pytest.raises(EncodingError):
+            encode_fields(Mnemonic.ADDI, imm=0x10000)
+        with pytest.raises(EncodingError):
+            encode_fields(Mnemonic.ADDI, imm=-32769)
+
+    def test_target_range(self):
+        with pytest.raises(EncodingError):
+            encode_fields(Mnemonic.J, target=1 << 26)
+
+
+class TestDecodingValidation:
+    def test_invalid_opcode(self):
+        with pytest.raises(DecodingError):
+            decode(0xFC00_0000)  # opcode 63
+
+    def test_invalid_funct(self):
+        with pytest.raises(DecodingError):
+            decode(0x0000_003F)  # SPECIAL with funct 63
+
+    def test_invalid_regimm_selector(self):
+        with pytest.raises(DecodingError):
+            decode((1 << 26) | (31 << 16))
+
+    def test_nonzero_shamt_on_add_rejected(self):
+        word = encode_fields(Mnemonic.ADD, rs=1, rt=2, rd=3) | (5 << 6)
+        with pytest.raises(DecodingError):
+            decode(word)
+
+    def test_nonzero_rs_on_sll_rejected(self):
+        word = encode_fields(Mnemonic.SLL, rt=2, rd=3, shamt=4) | (7 << 21)
+        with pytest.raises(DecodingError):
+            decode(word)
+
+    def test_jr_with_rd_rejected(self):
+        word = encode_fields(Mnemonic.JR, rs=31) | (5 << 11)
+        with pytest.raises(DecodingError):
+            decode(word)
+
+    def test_error_carries_address(self):
+        with pytest.raises(DecodingError) as excinfo:
+            decode(0xFC00_0000, address=0x400010)
+        assert excinfo.value.address == 0x400010
+
+    def test_word_zero_is_nop(self):
+        instruction = decode(0)
+        assert instruction.mnemonic is Mnemonic.SLL
+        assert instruction.destination_register() is None

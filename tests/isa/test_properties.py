@@ -1,0 +1,136 @@
+"""Instruction classification and static successor tests."""
+
+import pytest
+
+from repro.isa.encoding import decode, encode_fields
+from repro.isa.opcodes import Mnemonic
+from repro.isa.properties import (
+    CONTROL_FLOW,
+    branch_target,
+    is_branch,
+    is_call,
+    is_control_flow,
+    is_jump,
+    jump_target,
+    static_successors,
+)
+
+
+def _make(mnemonic, **kwargs):
+    return decode(encode_fields(mnemonic, **kwargs))
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "mnemonic",
+        [Mnemonic.BEQ, Mnemonic.BNE, Mnemonic.BLEZ, Mnemonic.BGTZ,
+         Mnemonic.BLTZ, Mnemonic.BGEZ],
+    )
+    def test_branches(self, mnemonic):
+        instruction = _make(mnemonic)
+        assert is_branch(instruction)
+        assert is_control_flow(instruction)
+        assert not is_jump(instruction)
+
+    @pytest.mark.parametrize(
+        "mnemonic", [Mnemonic.J, Mnemonic.JAL, Mnemonic.JR, Mnemonic.JALR]
+    )
+    def test_jumps(self, mnemonic):
+        kwargs = {"rd": 31} if mnemonic is Mnemonic.JALR else {}
+        instruction = _make(mnemonic, **kwargs)
+        assert is_jump(instruction)
+        assert is_control_flow(instruction)
+
+    def test_traps_are_control_flow(self):
+        assert is_control_flow(_make(Mnemonic.SYSCALL))
+        assert is_control_flow(_make(Mnemonic.BREAK))
+
+    def test_calls(self):
+        assert is_call(_make(Mnemonic.JAL))
+        assert is_call(_make(Mnemonic.JALR, rd=31))
+        assert not is_call(_make(Mnemonic.JR, rs=31))
+
+    def test_alu_not_control_flow(self):
+        assert not is_control_flow(_make(Mnemonic.ADD))
+        assert not is_control_flow(_make(Mnemonic.LW))
+
+    def test_control_flow_set_complete(self):
+        names = {m.value for m in CONTROL_FLOW}
+        assert names == {
+            "beq", "bne", "blez", "bgtz", "bltz", "bgez",
+            "j", "jal", "jr", "jalr", "syscall", "break",
+        }
+
+
+class TestTargets:
+    def test_branch_target_forward(self):
+        instruction = _make(Mnemonic.BEQ, imm=3)
+        assert branch_target(instruction, 0x400000) == 0x400010
+
+    def test_branch_target_backward(self):
+        instruction = _make(Mnemonic.BNE, imm=-2)
+        assert branch_target(instruction, 0x400010) == 0x40000C
+
+    def test_jump_target_keeps_high_bits(self):
+        instruction = _make(Mnemonic.J, target=0x100)
+        assert jump_target(instruction, 0x10400000) == 0x10000400
+
+    def test_branch_target_rejects_non_branch(self):
+        with pytest.raises(ValueError):
+            branch_target(_make(Mnemonic.ADD), 0)
+
+
+class TestStaticSuccessors:
+    def test_branch_has_two(self):
+        instruction = _make(Mnemonic.BEQ, imm=4)
+        successors = static_successors(instruction, 0x400000)
+        assert set(successors) == {0x400014, 0x400004}
+
+    def test_direct_jump_has_one(self):
+        instruction = _make(Mnemonic.J, target=0x400100 >> 2)
+        assert static_successors(instruction, 0x400000) == (0x400100,)
+
+    def test_indirect_jump_has_none(self):
+        assert static_successors(_make(Mnemonic.JR, rs=31), 0x400000) == ()
+
+    def test_trap_has_none(self):
+        assert static_successors(_make(Mnemonic.SYSCALL), 0x400000) == ()
+
+    def test_plain_instruction_falls_through(self):
+        assert static_successors(_make(Mnemonic.ADD), 0x400000) == (0x400004,)
+
+
+class TestOperandQueries:
+    def test_add_sources_and_dest(self):
+        instruction = _make(Mnemonic.ADD, rs=1, rt=2, rd=3)
+        assert instruction.source_registers() == (1, 2)
+        assert instruction.destination_register() == 3
+
+    def test_write_to_zero_is_none(self):
+        instruction = _make(Mnemonic.ADD, rs=1, rt=2, rd=0)
+        assert instruction.destination_register() is None
+
+    def test_load_reads_base_writes_rt(self):
+        instruction = _make(Mnemonic.LW, rs=4, rt=5, imm=8)
+        assert instruction.source_registers() == (4,)
+        assert instruction.destination_register() == 5
+
+    def test_store_reads_base_and_data(self):
+        instruction = _make(Mnemonic.SW, rs=4, rt=5, imm=8)
+        assert instruction.source_registers() == (4, 5)
+        assert instruction.destination_register() is None
+
+    def test_jal_writes_ra(self):
+        assert _make(Mnemonic.JAL).destination_register() == 31
+
+    def test_shift_immediate_reads_rt_only(self):
+        instruction = _make(Mnemonic.SLL, rt=7, rd=8, shamt=2)
+        assert instruction.source_registers() == (7,)
+
+    def test_mult_reads_both_writes_none(self):
+        instruction = _make(Mnemonic.MULT, rs=1, rt=2)
+        assert instruction.source_registers() == (1, 2)
+        assert instruction.destination_register() is None
+
+    def test_mfhi_writes_rd(self):
+        assert _make(Mnemonic.MFHI, rd=9).destination_register() == 9

@@ -1,0 +1,55 @@
+"""Register naming tests."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.isa.registers import (
+    NUM_REGISTERS,
+    REGISTER_NAMES,
+    register_name,
+    register_number,
+)
+
+
+class TestRegisterNumber:
+    @pytest.mark.parametrize(
+        "name,number",
+        [("$zero", 0), ("$at", 1), ("$v0", 2), ("$a0", 4), ("$t0", 8),
+         ("$s0", 16), ("$t8", 24), ("$sp", 29), ("$fp", 30), ("$ra", 31)],
+    )
+    def test_abi_names(self, name, number):
+        assert register_number(name) == number
+
+    def test_numeric_and_r_spellings(self):
+        assert register_number("$5") == 5
+        assert register_number("r17") == 17
+        assert register_number("31") == 31
+
+    def test_s8_alias_for_fp(self):
+        assert register_number("$s8") == 30
+
+    def test_case_insensitive(self):
+        assert register_number("$T3") == 11
+
+    def test_unknown_rejected(self):
+        with pytest.raises(EncodingError):
+            register_number("$bogus")
+
+    def test_all_names_roundtrip(self):
+        for number in range(NUM_REGISTERS):
+            assert register_number(register_name(number)) == number
+
+
+class TestRegisterName:
+    def test_canonical_spelling(self):
+        assert register_name(0) == "$zero"
+        assert register_name(29) == "$sp"
+
+    def test_out_of_range(self):
+        with pytest.raises(EncodingError):
+            register_name(32)
+        with pytest.raises(EncodingError):
+            register_name(-1)
+
+    def test_unique_names(self):
+        assert len(set(REGISTER_NAMES)) == NUM_REGISTERS

@@ -1,0 +1,119 @@
+"""ASIP Meister design-flow tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.asm.assembler import assemble
+from repro.meister.generator import AsipMeister
+from repro.meister.isa_spec import default_isa_spec
+from repro.meister.monitor_spec import MonitorSpec
+from repro.isa.opcodes import Mnemonic
+
+PROGRAM = """
+main:   li $t0, 4
+loop:   addi $t0, $t0, -1
+        bgtz $t0, loop
+        li $v0, 10
+        syscall
+"""
+
+
+@pytest.fixture(scope="module")
+def flow():
+    return AsipMeister()
+
+
+class TestGeneration:
+    def test_baseline_processor(self, flow):
+        cpu = flow.generate()
+        assert cpu.monitor_spec is None
+        assert "baseline" in cpu.describe()
+
+    def test_monitored_processor_runs(self, flow):
+        cpu = flow.generate(monitor_spec=MonitorSpec(iht_entries=4))
+        result = cpu.run(assemble(PROGRAM), engine="func")
+        assert result.monitor_stats.lookups > 0
+        assert result.monitor_stats.mismatches == 0
+
+    def test_pipeline_engine_with_micro_monitor(self, flow):
+        cpu = flow.generate(monitor_spec=MonitorSpec(iht_entries=4))
+        program = assemble(PROGRAM)
+        fast = cpu.run(program, engine="func", monitor_kind="fast")
+        micro = cpu.run(program, engine="pipeline", monitor_kind="micro")
+        assert fast.cycles == micro.cycles
+        assert fast.monitor_stats.misses == micro.monitor_stats.misses
+
+    def test_unknown_engine_rejected(self, flow):
+        cpu = flow.generate()
+        with pytest.raises(ConfigurationError):
+            cpu.make_simulator(assemble(PROGRAM), engine="rtl")
+
+    def test_unknown_monitor_kind_rejected(self, flow):
+        cpu = flow.generate(monitor_spec=MonitorSpec())
+        with pytest.raises(ConfigurationError):
+            cpu.make_monitor(assemble(PROGRAM), kind="magic")
+
+
+class TestValidation:
+    def test_isa_spec_validates_against_library(self, flow):
+        spec = default_isa_spec()
+        flow.generate(isa_spec=spec)  # no error
+
+    def test_monitor_op_in_wrong_stage_rejected(self, flow):
+        bad = MonitorSpec(
+            if_extension_text="<f,m> = IHTbb.lookup(<a,b,c>);"  # CAM not in IF
+        )
+        with pytest.raises(ConfigurationError, match="IHTbb"):
+            flow.generate(monitor_spec=bad)
+
+    def test_unknown_resource_rejected(self, flow):
+        bad = MonitorSpec(if_extension_text="x = TURBO.read();")
+        with pytest.raises(ConfigurationError, match="TURBO"):
+            flow.generate(monitor_spec=bad)
+
+    def test_bad_hash_rejected(self, flow):
+        with pytest.raises(ConfigurationError):
+            flow.generate(monitor_spec=MonitorSpec(hash_name="md5000"))
+
+    def test_bad_policy_rejected(self, flow):
+        with pytest.raises(ConfigurationError):
+            flow.generate(monitor_spec=MonitorSpec(policy_name="mru"))
+
+    def test_bad_iht_size_rejected(self, flow):
+        with pytest.raises(ConfigurationError):
+            flow.generate(monitor_spec=MonitorSpec(iht_entries=0))
+
+
+class TestDocumentationOutputs:
+    def test_augmented_listing_reproduces_figures(self, flow):
+        cpu = flow.generate(monitor_spec=MonitorSpec())
+        listing = cpu.augmented_listing(Mnemonic.JR)
+        # Figure 3(b) lines in IF:
+        assert "null = [start==0]STA.write(current_pc);" in listing
+        assert "nhashv = HASHFU.ope(ohashv, instr);" in listing
+        # Figure 4 lines in ID:
+        assert "<found,match> = IHTbb.lookup(<start,end,hashv>);" in listing
+        assert "exception1 = [found==1 & match==0] '1';" in listing
+        # Base jr semantics retained:
+        assert "target = GPR.read(rs);" in listing
+
+    def test_non_control_flow_gets_only_if_extension(self, flow):
+        cpu = flow.generate(monitor_spec=MonitorSpec())
+        listing = cpu.augmented_listing(Mnemonic.ADD)
+        assert "STA.write" in listing
+        assert "IHTbb" not in listing
+
+    def test_synthesize_matches_area_model(self, flow):
+        from repro.area.synthesis import synthesize
+
+        cpu = flow.generate(monitor_spec=MonitorSpec(iht_entries=16))
+        assert cpu.synthesize().cell_area == synthesize(16).cell_area
+
+    def test_isa_spec_listings_parse_and_validate(self, flow):
+        spec = default_isa_spec()
+        assert len(spec.instructions) == 52
+        used = spec.resources_used()
+        assert {"CPC", "IMAU", "GPR", "ALU"} <= used
+        jr_spec = spec[Mnemonic.JR]
+        assert jr_spec.control_flow
+        assert "[IF]" in jr_spec.listing()

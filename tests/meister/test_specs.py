@@ -1,0 +1,117 @@
+"""Resource library, ISA spec, and monitor spec tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.meister.isa_spec import IFETCH_TEXT, default_isa_spec
+from repro.meister.monitor_spec import MonitorSpec
+from repro.meister.resource_library import default_library
+from repro.micro.parser import parse_microprogram
+from repro.isa.opcodes import Mnemonic
+
+
+class TestResourceLibrary:
+    def test_base_and_monitor_entries(self):
+        library = default_library()
+        for name in ("CPC", "PPC", "IReg", "IMAU", "DMAU", "GPR", "ALU"):
+            assert name in library
+        assert set(library.monitoring_names()) == {
+            "STA", "RHASH", "HASHFU", "IHTbb", "COMP",
+        }
+
+    def test_validate_operation_accepts_legal(self):
+        library = default_library()
+        library.validate_operation("GPR", "read", "ID")
+        library.validate_operation("IHTbb", "lookup", "ID")
+
+    def test_validate_rejects_unknown_resource(self):
+        with pytest.raises(ConfigurationError):
+            default_library().validate_operation("FPU", "ope", "EX")
+
+    def test_validate_rejects_unknown_operation(self):
+        with pytest.raises(ConfigurationError):
+            default_library().validate_operation("GPR", "lookup", "ID")
+
+    def test_validate_rejects_wrong_stage(self):
+        with pytest.raises(ConfigurationError):
+            default_library().validate_operation("IHTbb", "lookup", "EX")
+
+    def test_entry_metadata(self):
+        library = default_library()
+        assert library["IHTbb"].kind == "cam"
+        assert library["STA"].monitoring
+
+
+class TestIsaSpec:
+    def test_all_mnemonics_covered(self):
+        spec = default_isa_spec()
+        assert len(spec.instructions) == len(tuple(Mnemonic))
+
+    def test_every_instruction_has_fetch_stage(self):
+        spec = default_isa_spec()
+        for instruction in spec.instructions.values():
+            assert instruction.stage_programs["IF"].strip() == IFETCH_TEXT.strip()
+
+    def test_control_flow_flags(self):
+        spec = default_isa_spec()
+        assert spec[Mnemonic.BEQ].control_flow
+        assert spec[Mnemonic.SYSCALL].control_flow
+        assert not spec[Mnemonic.ADD].control_flow
+        assert set(spec.control_flow_instructions()) == {
+            Mnemonic.BEQ, Mnemonic.BNE, Mnemonic.BLEZ, Mnemonic.BGTZ,
+            Mnemonic.BLTZ, Mnemonic.BGEZ, Mnemonic.J, Mnemonic.JAL,
+            Mnemonic.JR, Mnemonic.JALR, Mnemonic.SYSCALL, Mnemonic.BREAK,
+        }
+
+    def test_all_stage_programs_parse(self):
+        spec = default_isa_spec()
+        for instruction in spec.instructions.values():
+            for text in instruction.stage_programs.values():
+                parse_microprogram(text)  # must not raise
+
+    def test_load_touches_dmau(self):
+        spec = default_isa_spec()
+        lw_text = spec[Mnemonic.LW].stage_programs["MEM"]
+        assert "DMAU.read" in lw_text
+
+    def test_listing_renders(self):
+        listing = default_isa_spec()[Mnemonic.LW].listing()
+        assert "[MEM]" in listing
+        assert "lw" in listing
+
+
+class TestMonitorSpec:
+    def test_defaults_are_the_paper_config(self):
+        spec = MonitorSpec()
+        assert spec.hash_name == "xor"
+        assert spec.iht_entries == 8
+        assert spec.policy_name == "lru_half"
+        assert spec.miss_penalty == 100
+        spec.validate()
+
+    def test_programs_parse(self):
+        spec = MonitorSpec()
+        assert len(spec.if_program()) == 5
+        assert len(spec.id_program()) == 9
+
+    def test_describe(self):
+        assert "IHT=16" in MonitorSpec(iht_entries=16).describe()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"hash_name": "bogus"},
+            {"policy_name": "bogus"},
+            {"iht_entries": 0},
+            {"miss_penalty": -1},
+            {"id_extension_text": "not microops at all"},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MonitorSpec(**kwargs).validate()
+
+    def test_frozen(self):
+        spec = MonitorSpec()
+        with pytest.raises(AttributeError):
+            spec.iht_entries = 32

@@ -1,0 +1,114 @@
+"""Microoperation parser tests, including the paper's literal syntax."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.micro.microop import Const, Ref, TupleArg
+from repro.micro.parser import parse_microop, parse_microprogram
+
+FIGURE_1 = """
+current_pc = CPC.read();
+instr = IMAU.read(current_pc);
+null = IReg.write(instr);
+null = CPC.inc();
+"""
+
+FIGURE_3B_EXTENSION = """
+start = STA.read();
+null =[start==0]STA.write(current_pc);
+ohashv = RHASH.read();
+nhashv = HASHFU.ope(ohashv, instr);
+null = RHASH.write(nhashv)
+"""
+
+FIGURE_4 = """
+start = STA.read();
+end = PPC.read();
+hashv = RHASH.read();
+<found,match> = IHTbb.lookup(<start,end,hashv>);
+exception0 = [found==0] '1';
+exception1 = [found==1 & match==0] '1';
+null = STA.reset();
+null = RHASH.reset();
+target = GPR.read(rs);
+null = CPC.write(target)
+"""
+
+
+class TestPaperFigures:
+    def test_figure_1_parses(self):
+        program = parse_microprogram(FIGURE_1)
+        assert len(program) == 4
+        assert program.resources_used() == ("CPC", "IMAU", "IReg")
+
+    def test_figure_3b_extension_parses(self):
+        program = parse_microprogram(FIGURE_3B_EXTENSION)
+        assert len(program) == 5
+        guarded = program.ops[1]
+        assert guarded.guard is not None
+        assert guarded.guard.terms == (("start", 0),)
+
+    def test_figure_4_parses(self):
+        program = parse_microprogram(FIGURE_4)
+        lookup = program.ops[3]
+        assert lookup.dests == ("found", "match")
+        assert isinstance(lookup.args[0], TupleArg)
+        assert [item.name for item in lookup.args[0].items] == [
+            "start", "end", "hashv",
+        ]
+        exception1 = program.ops[5]
+        assert exception1.guard.terms == (("found", 1), ("match", 0))
+        assert exception1.args == (Const(1),)
+
+
+class TestSyntaxForms:
+    def test_null_dest(self):
+        op = parse_microop("null = CPC.inc();")
+        assert op.dests == ()
+
+    def test_no_args(self):
+        op = parse_microop("x = CPC.read()")
+        assert op.args == ()
+
+    def test_integer_literal_arg(self):
+        op = parse_microop("null = CPC.write(4)")
+        assert op.args == (Const(4),)
+
+    def test_quoted_literal_rhs(self):
+        op = parse_microop("flag = '1';")
+        assert op.resource is None
+        assert op.args == (Const(1),)
+
+    def test_ref_args(self):
+        op = parse_microop("y = ALU.ope(a, b)")
+        assert op.args == (Ref("a"), Ref("b"))
+
+    def test_comments_and_blanks_skipped(self):
+        program = parse_microprogram("""
+        // comment
+        x = CPC.read();
+
+        # another
+        null = CPC.inc();
+        """)
+        assert len(program) == 2
+
+    def test_describe_reparses(self):
+        for text in (FIGURE_1, FIGURE_3B_EXTENSION, FIGURE_4):
+            program = parse_microprogram(text)
+            again = parse_microprogram(program.describe())
+            assert [op.describe() for op in again.ops] == [
+                op.describe() for op in program.ops
+            ]
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_microop("this is not a microop")
+
+    def test_bad_rhs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_microop("x = %%%")
+
+    def test_nested_tuple_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_microop("x = T.lookup(<a,<b,c>>)")

@@ -1,0 +1,132 @@
+"""Microprogram execution tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.micro.microop import Const, Guard, MicroOp, Ref
+from repro.micro.parser import parse_microprogram
+from repro.micro.program import MicroContext, MicroProgram
+from repro.micro.resources import FunctionalUnit, Register, ResourceSet
+
+
+def _resources():
+    return ResourceSet(
+        Register("A", reset_value=0),
+        Register("B", reset_value=0),
+        FunctionalUnit("ADDER", lambda x, y: (x + y) & 0xFFFFFFFF),
+    )
+
+
+class TestExecution:
+    def test_sequential_dataflow(self):
+        program = parse_microprogram("""
+        x = A.read();
+        y = ADDER.ope(x, 5);
+        null = B.write(y);
+        """)
+        resources = _resources()
+        resources["A"].op_write(10)
+        program.execute(resources, MicroContext())
+        assert resources["B"].op_read() == 15
+
+    def test_fields_resolve_as_fallback(self):
+        program = parse_microprogram("y = ADDER.ope(rs, imm);")
+        context = MicroContext(fields={"rs": 4, "imm": 38})
+        program.execute(_resources(), context)
+        assert context.value("y") == 42
+
+    def test_vars_shadow_fields(self):
+        program = parse_microprogram("""
+        rs = A.read();
+        y = ADDER.ope(rs, 0);
+        """)
+        resources = _resources()
+        resources["A"].op_write(7)
+        context = MicroContext(fields={"rs": 999})
+        program.execute(resources, context)
+        assert context.value("y") == 7
+
+    def test_guard_true_executes(self):
+        program = parse_microprogram("""
+        flag = A.read();
+        null = [flag==0]B.write(77);
+        """)
+        resources = _resources()
+        program.execute(resources, MicroContext())
+        assert resources["B"].op_read() == 77
+
+    def test_guard_false_skips_side_effect(self):
+        program = parse_microprogram("""
+        flag = A.read();
+        null = [flag==1]B.write(77);
+        """)
+        resources = _resources()
+        program.execute(resources, MicroContext())
+        assert resources["B"].op_read() == 0
+
+    def test_guard_false_binds_dest_zero(self):
+        program = parse_microprogram("""
+        flag = A.read();
+        excep = [flag==1] '1';
+        """)
+        context = program.execute(_resources(), MicroContext())
+        assert context.value("excep") == 0
+
+    def test_guard_conjunction(self):
+        program = parse_microprogram("""
+        a = A.read();
+        b = B.read();
+        both = [a==0 & b==0] '1';
+        """)
+        context = program.execute(_resources(), MicroContext())
+        assert context.value("both") == 1
+
+    def test_unbound_variable_rejected(self):
+        program = parse_microprogram("y = ADDER.ope(nope, 1);")
+        with pytest.raises(ConfigurationError):
+            program.execute(_resources(), MicroContext())
+
+    def test_tuple_dest_arity_checked(self):
+        bad = MicroProgram(
+            [MicroOp(dests=("a", "b"), resource="A", operation="read", args=())]
+        )
+        with pytest.raises(ConfigurationError):
+            bad.execute(_resources(), MicroContext())
+
+    def test_concatenation_embeds(self):
+        base = parse_microprogram("x = A.read();", "base")
+        extension = parse_microprogram("null = B.write(x);", "ext")
+        combined = base + extension
+        resources = _resources()
+        resources["A"].op_write(3)
+        combined.execute(resources, MicroContext())
+        assert resources["B"].op_read() == 3
+        assert len(combined) == 2
+
+    def test_literal_assignment(self):
+        program = MicroProgram(
+            [MicroOp(dests=("k",), resource=None, operation=None, args=(Const(9),))]
+        )
+        context = program.execute(_resources(), MicroContext())
+        assert context.value("k") == 9
+
+    def test_describe_contains_guard(self):
+        op = MicroOp(
+            dests=("x",),
+            resource="A",
+            operation="read",
+            args=(),
+            guard=Guard((("g", 1),)),
+        )
+        assert "[g==1]" in op.describe()
+
+    def test_resources_used_ordered_unique(self):
+        program = parse_microprogram("""
+        x = A.read();
+        y = B.read();
+        z = A.read();
+        """)
+        assert program.resources_used() == ("A", "B")
+
+    def test_ref_describe(self):
+        assert Ref("abc").describe() == "abc"

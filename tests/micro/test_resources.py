@@ -1,0 +1,119 @@
+"""Datapath resource tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cic.iht import InternalHashTable
+from repro.micro.resources import (
+    FunctionalUnit,
+    HashTableResource,
+    MemoryAccessUnit,
+    Register,
+    RegisterFileResource,
+    ResourceSet,
+)
+from repro.pipeline.memory import Memory
+
+
+class TestRegister:
+    def test_read_write(self):
+        reg = Register("R")
+        reg.op_write(0x1234)
+        assert reg.op_read() == 0x1234
+
+    def test_width_masking(self):
+        reg = Register("R", width=8)
+        reg.op_write(0x1FF)
+        assert reg.op_read() == 0xFF
+
+    def test_reset(self):
+        reg = Register("R", reset_value=7)
+        reg.op_write(99)
+        reg.op_reset()
+        assert reg.op_read() == 7
+
+    def test_inc_default_step(self):
+        reg = Register("PC")
+        reg.op_write(0x400000)
+        reg.op_inc()
+        assert reg.op_read() == 0x400004
+
+    def test_inc_wraps(self):
+        reg = Register("PC")
+        reg.op_write(0xFFFFFFFC)
+        reg.op_inc()
+        assert reg.op_read() == 0
+
+    def test_opaque_state_allowed(self):
+        reg = Register("RHASH", reset_value=(1, 2))
+        reg.op_write((3, 4))
+        assert reg.op_read() == (3, 4)
+        with pytest.raises(ConfigurationError):
+            reg.op_inc()
+
+    def test_invoke_dispatch(self):
+        reg = Register("R")
+        reg.invoke("write", (5,))
+        assert reg.invoke("read", ()) == 5
+
+    def test_unknown_operation(self):
+        with pytest.raises(ConfigurationError):
+            Register("R").invoke("explode", ())
+
+
+class TestRegisterFile:
+    def test_zero_register_stays_zero(self):
+        regs = [0] * 32
+        gpr = RegisterFileResource("GPR", regs)
+        gpr.op_write(0, 99)
+        assert gpr.op_read(0) == 0
+        gpr.op_write(5, 42)
+        assert gpr.op_read(5) == 42
+        assert regs[5] == 42  # shared storage
+
+
+class TestMemoryAccessUnit:
+    def test_read_write(self):
+        memory = Memory()
+        port = MemoryAccessUnit("DMAU", memory)
+        port.op_write(0x100, 7)
+        assert port.op_read(0x100) == 7
+
+    def test_fetch_hook_applies(self):
+        memory = Memory()
+        memory.write_word(0x100, 0xF0)
+        port = MemoryAccessUnit("IMAU", memory, fetch_hook=lambda a, w: w ^ 1)
+        assert port.op_read(0x100) == 0xF1
+        assert memory.read_word(0x100) == 0xF0  # memory unchanged
+
+
+class TestFunctionalUnit:
+    def test_ope(self):
+        alu = FunctionalUnit("ALU", lambda a, b: a + b)
+        assert alu.op_ope(2, 3) == 5
+
+
+class TestHashTableResource:
+    def test_lookup_returns_found_match_pair(self):
+        iht = InternalHashTable(2)
+        iht.insert(0x100, 0x10C, 0xAB)
+        resource = HashTableResource("IHTbb", iht)
+        assert resource.op_lookup((0x100, 0x10C, 0xAB)) == (1, 1)
+        assert resource.op_lookup((0x100, 0x10C, 0xCD)) == (1, 0)
+        assert resource.op_lookup((0x200, 0x20C, 0xAB)) == (0, 0)
+
+
+class TestResourceSet:
+    def test_lookup_by_name(self):
+        resources = ResourceSet(Register("A"), Register("B"))
+        assert resources["A"].name == "A"
+        assert "B" in resources
+        assert "C" not in resources
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResourceSet(Register("A"), Register("A"))
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            ResourceSet()["missing"]

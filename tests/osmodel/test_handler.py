@@ -1,0 +1,61 @@
+"""OS exception handler tests."""
+
+import pytest
+
+from repro.errors import MonitorViolation
+from repro.cic.fht import FullHashTable
+from repro.cic.iht import InternalHashTable
+from repro.osmodel.handler import OSExceptionHandler
+from repro.osmodel.policies import get_policy
+
+
+def _handler(records, size=4, penalty=100):
+    fht = FullHashTable(records)
+    iht = InternalHashTable(size)
+    return (
+        OSExceptionHandler(
+            fht=fht, iht=iht, policy=get_policy("lru_half"), miss_penalty=penalty
+        ),
+        iht,
+    )
+
+
+class TestMiss:
+    def test_verified_miss_refills_and_charges(self):
+        handler, iht = _handler({(0x100, 0x10C): 0xAB})
+        assert handler.on_miss(0x100, 0x10C, 0xAB) == 100
+        assert iht.probe(0x100, 0x10C) is not None
+        assert handler.stats.miss_exceptions == 1
+        assert handler.stats.refills == 1
+        assert handler.stats.cycles == 100
+
+    def test_unknown_block_terminates(self):
+        handler, _ = _handler({})
+        with pytest.raises(MonitorViolation) as excinfo:
+            handler.on_miss(0x100, 0x10C, 0xAB)
+        assert excinfo.value.expected is None
+
+    def test_wrong_hash_terminates(self):
+        handler, _ = _handler({(0x100, 0x10C): 0xAB})
+        with pytest.raises(MonitorViolation) as excinfo:
+            handler.on_miss(0x100, 0x10C, 0xCD)
+        assert excinfo.value.expected == 0xAB
+        assert excinfo.value.observed == 0xCD
+
+    def test_custom_penalty(self):
+        handler, _ = _handler({(0x100, 0x10C): 0xAB}, penalty=42)
+        assert handler.on_miss(0x100, 0x10C, 0xAB) == 42
+
+
+class TestMismatch:
+    def test_always_terminates_with_iht_expectation(self):
+        handler, iht = _handler({(0x100, 0x10C): 0xAB})
+        iht.insert(0x100, 0x10C, 0xAB)
+        with pytest.raises(MonitorViolation) as excinfo:
+            handler.on_mismatch(0x100, 0x10C, 0xEE)
+        assert excinfo.value.expected == 0xAB
+
+    def test_violation_message_readable(self):
+        handler, _ = _handler({(0x100, 0x10C): 0xAB})
+        with pytest.raises(MonitorViolation, match="0x000000cd"):
+            handler.on_miss(0x100, 0x10C, 0xCD)

@@ -1,0 +1,62 @@
+"""OS loader tests."""
+
+import pytest
+
+from repro.errors import MonitorViolation
+from repro.asm.assembler import assemble
+from repro.cfg.hashgen import build_fht
+from repro.cic.hashes import get_hash
+from repro.osmodel.loader import load_process
+from repro.pipeline.funcsim import FuncSim
+
+SOURCE = """
+main:   li $t0, 4
+loop:   addi $t0, $t0, -1
+        bgtz $t0, loop
+        li $v0, 10
+        syscall
+"""
+
+
+class TestLoadProcess:
+    def test_wiring(self):
+        program = assemble(SOURCE)
+        process = load_process(program, iht_size=4)
+        assert process.iht.size == 4
+        assert len(process.fht) > 0
+        assert process.checker.iht is process.iht
+        assert process.handler.fht is process.fht
+
+    def test_monitored_run_succeeds(self):
+        program = assemble(SOURCE)
+        process = load_process(program, iht_size=4)
+        result = FuncSim(program, monitor=process.monitor).run()
+        assert result.monitor_stats.mismatches == 0
+        assert result.monitor_stats.lookups > 0
+
+    def test_fht_blob_path(self):
+        """Expected hashes attached to the binary, not recomputed."""
+        program = assemble(SOURCE)
+        blob = build_fht(program, get_hash("xor")).to_bytes()
+        process = load_process(program, iht_size=4, fht_blob=blob)
+        result = FuncSim(program, monitor=process.monitor).run()
+        assert result.monitor_stats.mismatches == 0
+
+    def test_stale_fht_blob_detects_update(self):
+        """A binary changed after its FHT was produced must be rejected."""
+        program = assemble(SOURCE)
+        blob = build_fht(program, get_hash("xor")).to_bytes()
+        patched = assemble(SOURCE.replace("li $t0, 4", "li $t0, 5"))
+        process = load_process(patched, iht_size=4, fht_blob=blob)
+        with pytest.raises(MonitorViolation):
+            FuncSim(patched, monitor=process.monitor).run()
+
+    def test_hash_and_policy_selection(self):
+        program = assemble(SOURCE)
+        process = load_process(
+            program, iht_size=2, hash_name="crc32", policy_name="fifo"
+        )
+        assert process.algorithm.name == "crc32"
+        assert process.policy.name == "fifo"
+        result = FuncSim(program, monitor=process.monitor).run()
+        assert result.monitor_stats.mismatches == 0

@@ -1,0 +1,146 @@
+"""Replacement policy tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cic.fht import FullHashTable
+from repro.cic.iht import InternalHashTable
+from repro.osmodel.policies import (
+    POLICIES,
+    FifoPolicy,
+    LruHalfPolicy,
+    LruOnePolicy,
+    RandomPolicy,
+    get_policy,
+)
+
+
+def _fht(count=12):
+    return FullHashTable(
+        {(0x100 + 16 * i, 0x10C + 16 * i): i for i in range(count)}
+    )
+
+
+def _key(i):
+    return (0x100 + 16 * i, 0x10C + 16 * i)
+
+
+class TestLruHalf:
+    def test_refill_loads_half_the_table(self):
+        iht = InternalHashTable(8)
+        LruHalfPolicy().refill(iht, _fht(), _key(0))
+        assert len(iht.valid_entries()) == 4  # size // 2 records loaded
+
+    def test_missing_key_always_present_after_refill(self):
+        iht = InternalHashTable(8)
+        policy = LruHalfPolicy()
+        for i in (0, 5, 11, 3, 7):
+            policy.refill(iht, _fht(), _key(i))
+            assert iht.probe(*_key(i)) is not None
+
+    def test_evicts_least_recently_used(self):
+        iht = InternalHashTable(4)
+        policy = LruHalfPolicy()
+        for i in range(4):
+            iht.insert(*_key(i), i)
+        # touch keys 2 and 3 so 0 and 1 become LRU
+        iht.lookup(*_key(2), 2)
+        iht.lookup(*_key(3), 3)
+        policy.refill(iht, _fht(), _key(8))
+        cached = {entry[:2] for entry in iht.contents()}
+        assert _key(0) not in cached
+        assert _key(2) in cached
+        assert _key(3) in cached
+
+    def test_prefetches_sequential_fht_records(self):
+        iht = InternalHashTable(8)
+        LruHalfPolicy().refill(iht, _fht(), _key(2))
+        cached = {entry[:2] for entry in iht.contents()}
+        assert cached == {_key(2), _key(3), _key(4), _key(5)}
+
+    def test_size_one_table(self):
+        iht = InternalHashTable(1)
+        policy = LruHalfPolicy()
+        policy.refill(iht, _fht(), _key(0))
+        assert iht.probe(*_key(0)) is not None
+        policy.refill(iht, _fht(), _key(1))
+        assert iht.probe(*_key(1)) is not None
+        assert iht.probe(*_key(0)) is None
+
+
+class TestLruOne:
+    def test_loads_only_missed_record(self):
+        iht = InternalHashTable(8)
+        LruOnePolicy().refill(iht, _fht(), _key(0))
+        assert len(iht.valid_entries()) == 1
+
+    def test_evicts_single_lru(self):
+        iht = InternalHashTable(2)
+        policy = LruOnePolicy()
+        policy.refill(iht, _fht(), _key(0))
+        policy.refill(iht, _fht(), _key(1))
+        iht.lookup(*_key(0), 0)  # make key 1 the LRU
+        policy.refill(iht, _fht(), _key(2))
+        cached = {entry[:2] for entry in iht.contents()}
+        assert cached == {_key(0), _key(2)}
+
+
+class TestFifo:
+    def test_evicts_oldest_inserted(self):
+        iht = InternalHashTable(4)
+        policy = FifoPolicy()
+        for i in range(4):
+            iht.insert(*_key(i), i)
+        # recency refresh must NOT save key 0 under FIFO
+        iht.lookup(*_key(0), 0)
+        policy.refill(iht, _fht(), _key(9))
+        cached = {entry[:2] for entry in iht.contents()}
+        assert _key(0) not in cached
+        assert _key(1) not in cached
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        def run(seed):
+            iht = InternalHashTable(4)
+            policy = RandomPolicy(seed=seed)
+            for i in range(4):
+                iht.insert(*_key(i), i)
+            policy.refill(iht, _fht(), _key(9))
+            return {entry[:2] for entry in iht.contents()}
+
+        assert run(1) == run(1)
+
+    def test_missing_key_present(self):
+        iht = InternalHashTable(2)
+        policy = RandomPolicy(seed=3)
+        for i in (0, 1, 2, 3, 4):
+            policy.refill(iht, _fht(), _key(i))
+            assert iht.probe(*_key(i)) is not None
+
+
+class TestRegistry:
+    def test_all_policies_registered(self):
+        assert set(POLICIES) == {"lru_half", "lru_one", "fifo", "random"}
+
+    def test_get_policy(self):
+        assert isinstance(get_policy("fifo"), FifoPolicy)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_policy("mru")
+
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_refill_never_overfills(self, name):
+        iht = InternalHashTable(4)
+        policy = get_policy(name)
+        for i in range(12):
+            policy.refill(iht, _fht(), _key(i))
+            assert len(iht.valid_entries()) <= 4
+
+    def test_small_fht_fits_entirely(self):
+        iht = InternalHashTable(8)
+        fht = _fht(2)
+        policy = get_policy("lru_half")
+        policy.refill(iht, fht, _key(0))
+        assert len(iht.valid_entries()) <= 2

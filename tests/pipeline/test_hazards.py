@@ -1,0 +1,352 @@
+"""Exact cycle-count tests for every hazard rule, on both engines.
+
+The expected numbers are derived from the ID-issue timeline documented in
+``repro.pipeline.hazards``: a program of N dependency-free instructions
+(including the final exit syscall pair) costs ``N + depth - 1`` cycles
+fully pipelined, plus the serialization window of the exit trap; each case
+below adds exactly one hazard and checks the delta.
+"""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.pipeline.cpu import PipelineCPU
+from repro.pipeline.funcsim import FuncSim
+from repro.pipeline.hazards import CycleModel
+
+from tests.conftest import run_both
+
+
+def _cycles(body: str, **kwargs) -> int:
+    program = assemble(body + "\n        li $v0, 10\n        syscall\n")
+    func_result, _ = run_both(program, **kwargs)
+    return func_result.cycles
+
+
+# Baseline: K independent instructions + li + syscall.
+def _baseline(k: int) -> str:
+    return "\n".join(f"        li $t{i % 8}, {i}" for i in range(k))
+
+
+class TestBasePipeline:
+    def test_single_instruction_program_fills_pipeline(self):
+        # just li+syscall: li ID at 2, syscall ID at 3, WB at 6... with
+        # trap serialization the syscall still retires depth-2 after its ID.
+        cycles = _cycles("")
+        assert cycles == 6  # li@2, syscall@3 (+3 to WB)
+
+    def test_independent_instructions_pipeline_fully(self):
+        base = _cycles(_baseline(4))
+        longer = _cycles(_baseline(8))
+        assert longer - base == 4  # one cycle per added instruction
+
+
+class TestForwarding:
+    def test_alu_to_alu_no_stall(self):
+        dependent = _cycles("""
+        li $t0, 5
+        addi $t1, $t0, 1
+        addi $t2, $t1, 1
+        addi $t3, $t2, 1
+        """)
+        independent = _cycles(_baseline(4))
+        assert dependent == independent
+
+    def test_alu_result_correct_through_bypass(self):
+        program = assemble("""
+        li $t0, 5
+        addi $t1, $t0, 1
+        addi $t2, $t1, 1
+        move $a0, $t2
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+        """)
+        func_result, _ = run_both(program)
+        assert func_result.console == "7"
+
+
+class TestLoadUse:
+    def test_load_use_stalls_one(self):
+        with_hazard = _cycles("""
+        .data
+    v: .word 9
+        .text
+        la $t8, v
+        lw $t0, 0($t8)
+        addi $t1, $t0, 1
+        """)
+        without = _cycles("""
+        .data
+    v: .word 9
+        .text
+        la $t8, v
+        lw $t0, 0($t8)
+        addi $t1, $t7, 1
+        """)
+        assert with_hazard - without == 1
+
+    def test_load_then_gap_then_use_no_stall(self):
+        spaced = _cycles("""
+        .data
+    v: .word 9
+        .text
+        la $t8, v
+        lw $t0, 0($t8)
+        li $t5, 0
+        addi $t1, $t0, 1
+        """)
+        independent = _cycles("""
+        .data
+    v: .word 9
+        .text
+        la $t8, v
+        lw $t0, 0($t8)
+        li $t5, 0
+        addi $t1, $t6, 1
+        """)
+        assert spaced == independent
+
+    def test_load_to_store_data_no_stall(self):
+        # Store data is needed only at MEM: no interlock.
+        load_store = _cycles("""
+        .data
+    v: .word 9
+        .text
+        la $t8, v
+        lw $t0, 0($t8)
+        sw $t0, 4($t8)
+        """)
+        independent = _cycles("""
+        .data
+    v: .word 9
+        .text
+        la $t8, v
+        lw $t0, 0($t8)
+        sw $t7, 4($t8)
+        """)
+        assert load_store == independent
+
+    def test_load_to_store_address_stalls(self):
+        dependent = _cycles("""
+        .data
+    v: .word 0x10010000
+        .text
+        la $t8, v
+        lw $t0, 0($t8)
+        sw $zero, 0($t0)
+        """)
+        independent = _cycles("""
+        .data
+    v: .word 0x10010000
+        .text
+        la $t8, v
+        lw $t0, 0($t8)
+        sw $zero, 0($t8)
+        """)
+        assert dependent - independent == 1
+
+
+class TestBranchHazards:
+    def test_taken_branch_costs_one_bubble(self):
+        # Branch to the fall-through: both paths execute identical
+        # instructions, so the only difference is the redirect bubble.
+        taken = _cycles("""
+        li $t0, 1
+        li $t1, 1
+        beq $t0, $t1, target
+    target:
+        nop
+        """)
+        not_taken = _cycles("""
+        li $t0, 1
+        li $t1, 2
+        beq $t0, $t1, target
+    target:
+        nop
+        """)
+        assert taken - not_taken == 1
+
+    def test_branch_after_alu_stalls_one(self):
+        # $t6 is set far ahead in both variants so the control variant has
+        # no hazard; neither branch is taken (t0 = 2, t6 = 3).
+        dependent = _cycles("""
+        li $t6, 3
+        li $t1, 1
+        addi $t0, $t1, 1
+        beq $t0, $zero, skip
+    skip:
+        """)
+        independent = _cycles("""
+        li $t6, 3
+        li $t1, 1
+        addi $t0, $t1, 1
+        beq $t6, $zero, skip
+    skip:
+        """)
+        assert dependent - independent == 1
+
+    def test_branch_after_load_stalls_two(self):
+        # v holds 3, so neither branch is taken.
+        dependent = _cycles("""
+        .data
+    v: .word 3
+        .text
+        li $t6, 3
+        la $t8, v
+        lw $t0, 0($t8)
+        beq $t0, $zero, skip
+    skip:
+        """)
+        independent = _cycles("""
+        .data
+    v: .word 3
+        .text
+        li $t6, 3
+        la $t8, v
+        lw $t0, 0($t8)
+        beq $t6, $zero, skip
+    skip:
+        """)
+        assert dependent - independent == 2
+
+    def test_branch_two_after_alu_no_stall(self):
+        spaced = _cycles("""
+        li $t6, 3
+        li $t1, 1
+        addi $t0, $t1, 1
+        li $t5, 9
+        beq $t0, $zero, skip
+    skip:
+        """)
+        independent = _cycles("""
+        li $t6, 3
+        li $t1, 1
+        addi $t0, $t1, 1
+        li $t5, 9
+        beq $t6, $zero, skip
+    skip:
+        """)
+        assert spaced == independent
+
+    def test_jr_after_alu_stalls_one(self):
+        # la expands to lui+ori; the ori result feeds jr in ID.
+        dependent = _cycles("""
+        la $t0, target
+        jr $t0
+    target:
+        """)
+        spaced = _cycles("""
+        la $t0, target
+        nop
+        jr $t0
+    target:
+        """)
+        # spaced adds one instruction (+1) but removes the stall (-1)
+        assert dependent == spaced
+
+
+class TestMulDiv:
+    def test_mult_occupies_ex(self):
+        model = CycleModel()
+        with_mult = _cycles("""
+        li $t0, 3
+        li $t1, 4
+        mult $t0, $t1
+        li $t2, 0
+        """)
+        without = _cycles("""
+        li $t0, 3
+        li $t1, 4
+        and $t3, $t0, $t1
+        li $t2, 0
+        """)
+        assert with_mult - without == model.mult_latency
+
+    def test_div_latency_larger(self):
+        model = CycleModel()
+        with_div = _cycles("""
+        li $t0, 30
+        li $t1, 4
+        div $t2, $t0, $t1
+        """)
+        with_mult = _cycles("""
+        li $t0, 30
+        li $t1, 4
+        mul $t2, $t0, $t1
+        """)
+        assert with_div - with_mult == model.div_latency - model.mult_latency
+
+    def test_mflo_interlocked_value_correct(self):
+        program = assemble("""
+        li $t0, 6
+        li $t1, 7
+        mult $t0, $t1
+        mflo $a0
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+        """)
+        func_result, _ = run_both(program)
+        assert func_result.console == "42"
+
+    def test_zero_latency_model(self):
+        program = assemble("""
+        li $t0, 6
+        li $t1, 7
+        mult $t0, $t1
+        mflo $a0
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+        """)
+        model = CycleModel(mult_latency=0, div_latency=0)
+        func_result, _ = run_both(program, cycle_model=model)
+        assert func_result.console == "42"
+
+
+class TestTrapSerialization:
+    def test_syscall_serializes(self):
+        two_prints = _cycles("""
+        li $a0, 1
+        li $v0, 1
+        syscall
+        li $a0, 2
+        li $v0, 1
+        syscall
+        """)
+        # Each non-final syscall costs depth-2 ID-to-next-ID instead of 1.
+        model = CycleModel()
+        flat = _cycles(_baseline(6))
+        assert two_prints - flat == 2 * (model.depth - 3)
+
+    def test_read_int_feeds_next_instruction(self):
+        program = assemble("""
+        li $v0, 5
+        syscall
+        addi $a0, $v0, 1
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+        """)
+        func_result, _ = run_both(program, inputs=[41])
+        assert func_result.console == "42"
+
+
+@pytest.mark.parametrize("depth", [5, 6])
+def test_pipeline_depth_parameter(depth):
+    model = CycleModel(depth=depth)
+    program = assemble("li $v0, 10\nsyscall")
+    func_result, pipe_result = (
+        FuncSim(program, cycle_model=model).run(),
+        PipelineCPU(program, cycle_model=model).run(),
+    )
+    # li ID at 2, syscall ID at 3, retiring depth-2 cycles later.
+    assert func_result.cycles == depth + 1
+    # The stage simulator models 5 stages; compare only at depth 5.
+    if depth == 5:
+        assert pipe_result.cycles == func_result.cycles

@@ -1,0 +1,102 @@
+"""Paged memory tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MemoryAccessError
+from repro.pipeline.memory import PAGE_SIZE, Memory
+
+
+class TestWordAccess:
+    def test_roundtrip(self):
+        memory = Memory()
+        memory.write_word(0x1000, 0xDEADBEEF)
+        assert memory.read_word(0x1000) == 0xDEADBEEF
+
+    def test_little_endian(self):
+        memory = Memory()
+        memory.write_word(0, 0x12345678)
+        assert memory.read_byte(0) == 0x78
+        assert memory.read_byte(3) == 0x12
+
+    def test_misaligned_word_rejected(self):
+        memory = Memory()
+        with pytest.raises(MemoryAccessError):
+            memory.read_word(2)
+        with pytest.raises(MemoryAccessError):
+            memory.write_word(1, 0)
+
+    def test_unmapped_reads_zero(self):
+        assert Memory().read_word(0x7FFF0000) == 0
+
+    @given(
+        address=st.integers(min_value=0, max_value=1 << 30).map(lambda a: a & ~3),
+        value=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_word_roundtrip_anywhere(self, address, value):
+        memory = Memory()
+        memory.write_word(address, value)
+        assert memory.read_word(address) == value
+
+
+class TestSubWordAccess:
+    def test_half_roundtrip_signed(self):
+        memory = Memory()
+        memory.write_half(0x10, 0x8001)
+        assert memory.read_half(0x10) == 0x8001
+        assert memory.read_half(0x10, signed=True) == -32767
+
+    def test_misaligned_half_rejected(self):
+        with pytest.raises(MemoryAccessError):
+            Memory().read_half(1)
+
+    def test_byte_signed(self):
+        memory = Memory()
+        memory.write_byte(5, 0xFF)
+        assert memory.read_byte(5) == 0xFF
+        assert memory.read_byte(5, signed=True) == -1
+
+
+class TestBulk:
+    def test_cross_page_copy(self):
+        memory = Memory()
+        data = bytes(range(256)) * 20  # > one page
+        base = PAGE_SIZE - 100
+        memory.load_bytes(base, data)
+        assert memory.read_bytes(base, len(data)) == data
+
+    def test_cstring(self):
+        memory = Memory()
+        memory.load_bytes(0x100, b"hello\x00tail")
+        assert memory.read_cstring(0x100) == "hello"
+
+    def test_unterminated_cstring_rejected(self):
+        memory = Memory()
+        memory.load_bytes(0, b"\x01" * 64)
+        with pytest.raises(MemoryAccessError):
+            memory.read_cstring(0, limit=16)
+
+
+class TestFaultSupport:
+    def test_flip_bit(self):
+        memory = Memory()
+        memory.write_word(0x40, 0b1000)
+        memory.flip_bit(0x40, 3)
+        assert memory.read_word(0x40) == 0
+        memory.flip_bit(0x40, 31)
+        assert memory.read_word(0x40) == 0x80000000
+
+    def test_flip_bit_range_checked(self):
+        with pytest.raises(ValueError):
+            Memory().flip_bit(0, 32)
+
+    def test_snapshot_restore(self):
+        memory = Memory()
+        memory.write_word(0x40, 111)
+        snapshot = memory.snapshot_pages()
+        memory.write_word(0x40, 222)
+        memory.write_word(0x123400, 9)
+        memory.restore_pages(snapshot)
+        assert memory.read_word(0x40) == 111
+        assert memory.read_word(0x123400) == 0

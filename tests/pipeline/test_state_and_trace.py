@@ -1,0 +1,62 @@
+"""ArchState and BlockTrace unit tests."""
+
+from repro.asm.assembler import assemble
+from repro.asm.program import STACK_TOP
+from repro.pipeline.state import ArchState
+from repro.pipeline.trace import BlockEvent, BlockTrace
+from repro.isa.registers import SP
+
+
+class TestArchState:
+    def test_boot_layout(self):
+        program = assemble("main: nop\n.data\nv: .word 9")
+        state = ArchState.boot(program)
+        assert state.pc == program.entry
+        assert state.read_reg(SP) == STACK_TOP
+        assert state.memory.read_word(program.symbols["v"]) == 9
+
+    def test_register_zero_hardwired(self):
+        state = ArchState()
+        state.write_reg(0, 123)
+        assert state.read_reg(0) == 0
+
+    def test_writes_masked_to_32_bits(self):
+        state = ArchState()
+        state.write_reg(5, 1 << 40 | 7)
+        assert state.read_reg(5) == 7
+
+    def test_snapshot(self):
+        state = ArchState()
+        state.write_reg(3, 9)
+        state.hi = 1
+        snapshot = state.snapshot_regs()
+        assert snapshot[3] == 9
+        assert snapshot[32] == 1  # hi after the 32 GPRs
+
+
+class TestBlockTrace:
+    def test_event_length(self):
+        event = BlockEvent(0x400000, 0x400010)
+        assert event.length == 5
+        assert event.key == (0x400000, 0x400010)
+
+    def test_counts_and_uniques(self):
+        trace = BlockTrace()
+        trace.append(0x100, 0x10C)
+        trace.append(0x100, 0x10C)
+        trace.append(0x200, 0x20C)
+        assert len(trace) == 3
+        assert trace.unique_blocks() == {(0x100, 0x10C), (0x200, 0x20C)}
+        assert trace.execution_counts()[(0x100, 0x10C)] == 2
+
+    def test_summary(self):
+        trace = BlockTrace()
+        trace.append(0x100, 0x10C)
+        assert "1 block executions" in trace.summary()
+        assert "1 distinct" in trace.summary()
+
+    def test_iteration_order(self):
+        trace = BlockTrace()
+        trace.append(0x100, 0x10C)
+        trace.append(0x200, 0x20C)
+        assert [event.start for event in trace] == [0x100, 0x200]

@@ -1,0 +1,82 @@
+"""Syscall handler unit tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.pipeline.state import ArchState
+from repro.pipeline.syscalls import SyscallHandler
+from repro.isa.registers import A0, V0
+
+
+def _state(number, argument=0):
+    state = ArchState()
+    state.write_reg(V0, number)
+    state.write_reg(A0, argument)
+    return state
+
+
+class TestPrinting:
+    def test_print_int_signed(self):
+        handler = SyscallHandler()
+        handler.execute(_state(1, 0xFFFFFFFF))
+        assert handler.console_text == "-1"
+
+    def test_print_char(self):
+        handler = SyscallHandler()
+        handler.execute(_state(11, ord("A")))
+        assert handler.console_text == "A"
+
+    def test_print_string(self):
+        handler = SyscallHandler()
+        state = _state(4, 0x1000)
+        state.memory.load_bytes(0x1000, b"ok\x00")
+        handler.execute(state)
+        assert handler.console_text == "ok"
+
+    def test_console_accumulates(self):
+        handler = SyscallHandler()
+        handler.execute(_state(1, 1))
+        handler.execute(_state(11, ord(",")))
+        handler.execute(_state(1, 2))
+        assert handler.console_text == "1,2"
+
+
+class TestExit:
+    def test_exit_zero(self):
+        result = SyscallHandler().execute(_state(10, 99))
+        assert result.exited and result.exit_code == 0
+
+    def test_exit2_code(self):
+        result = SyscallHandler().execute(_state(17, 0xFFFFFFFE))
+        assert result.exited and result.exit_code == -2
+
+    def test_print_does_not_exit(self):
+        assert not SyscallHandler().execute(_state(1, 5)).exited
+
+
+class TestReadInt:
+    def test_pops_queue_into_v0(self):
+        handler = SyscallHandler()
+        handler.inputs.extend([10, 20])
+        state = _state(5)
+        handler.execute(state)
+        assert state.read_reg(V0) == 10
+        state.write_reg(V0, 5)  # request another read
+        handler.execute(state)
+        assert state.read_reg(V0) == 20
+
+    def test_empty_queue_raises(self):
+        with pytest.raises(SimulationError):
+            SyscallHandler().execute(_state(5))
+
+    def test_negative_input_wraps(self):
+        handler = SyscallHandler()
+        handler.inputs.append(-3)
+        state = _state(5)
+        handler.execute(state)
+        assert state.read_reg(V0) == 0xFFFFFFFD
+
+
+def test_unknown_syscall_rejected():
+    with pytest.raises(SimulationError, match="unknown syscall"):
+        SyscallHandler().execute(_state(99))

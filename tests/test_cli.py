@@ -1,0 +1,95 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+main:   li $t0, 3
+loop:   addi $t0, $t0, -1
+        bgtz $t0, loop
+        li $a0, 42
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestAsm:
+    def test_listing_printed(self, program_file, capsys):
+        assert main(["asm", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "0x00400000" in out
+        assert "addi" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["asm", "/nonexistent.s"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_assembler_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.s"
+        path.write_text("frobnicate $t0")
+        assert main(["asm", str(path)]) == 1
+        assert "frobnicate" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_prints_console(self, program_file, capsys):
+        assert main(["run", program_file]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "42"
+        assert "cycles" in captured.err
+
+    def test_pipeline_engine(self, program_file, capsys):
+        assert main(["run", program_file, "--engine", "pipeline"]) == 0
+        assert capsys.readouterr().out.strip() == "42"
+
+    def test_input_queue(self, tmp_path, capsys):
+        path = tmp_path / "echo.s"
+        path.write_text("""
+        li $v0, 5
+        syscall
+        move $a0, $v0
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+        """)
+        assert main(["run", str(path), "--input", "7"]) == 0
+        assert capsys.readouterr().out.strip() == "7"
+
+
+class TestMonitor:
+    def test_clean_run_reports_stats(self, program_file, capsys):
+        assert main(["monitor", program_file, "--iht", "4"]) == 0
+        captured = capsys.readouterr()
+        assert "lookups" in captured.err
+        assert "miss rate" in captured.err
+
+    def test_flip_detected(self, program_file, capsys):
+        assert main(
+            ["monitor", program_file, "--flip", "0x400004:3"]
+        ) == 2
+        assert "VIOLATION" in capsys.readouterr().err
+
+    def test_hash_selection(self, program_file):
+        assert main(["monitor", program_file, "--hash", "crc32"]) == 0
+
+
+class TestWorkload:
+    def test_runs_bitcount(self, capsys):
+        assert main(["workload", "bitcount", "--scale", "tiny"]) == 0
+        captured = capsys.readouterr()
+        assert "bitcount[tiny]" in captured.err
+
+    def test_unknown_workload(self, capsys):
+        assert main(["workload", "quicksort"]) == 1
+        assert "unknown workload" in capsys.readouterr().err

@@ -1,0 +1,119 @@
+"""Unit and property tests for bit-manipulation helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    MASK32,
+    bit_count,
+    bits,
+    flip_bit,
+    parity32,
+    rotl32,
+    rotr32,
+    sign_extend,
+    to_signed32,
+    to_unsigned32,
+)
+
+words = st.integers(min_value=0, max_value=MASK32)
+
+
+class TestConversions:
+    def test_to_unsigned_wraps(self):
+        assert to_unsigned32(-1) == MASK32
+        assert to_unsigned32(1 << 32) == 0
+
+    def test_to_signed_negative(self):
+        assert to_signed32(0xFFFFFFFF) == -1
+        assert to_signed32(0x80000000) == -(1 << 31)
+
+    def test_to_signed_positive(self):
+        assert to_signed32(0x7FFFFFFF) == 0x7FFFFFFF
+
+    @given(words)
+    def test_roundtrip(self, value):
+        assert to_unsigned32(to_signed32(value)) == value
+
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_signed_roundtrip(self, value):
+        assert to_signed32(to_unsigned32(value)) == value
+
+
+class TestSignExtend:
+    @pytest.mark.parametrize(
+        "value,width,expected",
+        [
+            (0x8000, 16, -32768),
+            (0x7FFF, 16, 32767),
+            (0xFF, 8, -1),
+            (0x7F, 8, 127),
+            (0b100, 3, -4),
+        ],
+    )
+    def test_cases(self, value, width, expected):
+        assert sign_extend(value, width) == expected
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_16_bit_range(self, value):
+        result = sign_extend(value, 16)
+        assert -32768 <= result <= 32767
+        assert result & 0xFFFF == value
+
+
+class TestBits:
+    def test_field_extraction(self):
+        word = 0xABCD1234
+        assert bits(word, 31, 28) == 0xA
+        assert bits(word, 15, 0) == 0x1234
+        assert bits(word, 31, 0) == word
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            bits(0, 0, 5)
+
+
+class TestRotation:
+    def test_rotl_known(self):
+        assert rotl32(0x80000000, 1) == 1
+        assert rotl32(1, 31) == 0x80000000
+
+    def test_rotate_by_zero(self):
+        assert rotl32(0x1234, 0) == 0x1234
+        assert rotr32(0x1234, 0) == 0x1234
+
+    @given(words, st.integers(min_value=0, max_value=64))
+    def test_rotl_rotr_inverse(self, value, amount):
+        assert rotr32(rotl32(value, amount), amount) == value
+
+    @given(words, st.integers(min_value=0, max_value=64))
+    def test_rotation_preserves_popcount(self, value, amount):
+        assert bit_count(rotl32(value, amount)) == bit_count(value)
+
+
+class TestFlipBit:
+    @given(words, st.integers(min_value=0, max_value=31))
+    def test_involution(self, value, bit):
+        assert flip_bit(flip_bit(value, bit), bit) == value
+
+    @given(words, st.integers(min_value=0, max_value=31))
+    def test_changes_exactly_one_bit(self, value, bit):
+        assert bit_count(flip_bit(value, bit) ^ value) == 1
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            flip_bit(0, 32)
+        with pytest.raises(ValueError):
+            flip_bit(0, -1)
+
+
+class TestParity:
+    @given(words, st.integers(min_value=0, max_value=31))
+    def test_single_flip_changes_parity(self, value, bit):
+        assert parity32(flip_bit(value, bit)) != parity32(value)
+
+    def test_known(self):
+        assert parity32(0) == 0
+        assert parity32(1) == 1
+        assert parity32(0b11) == 0

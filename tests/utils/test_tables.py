@@ -1,0 +1,55 @@
+"""Tests for the report table renderer."""
+
+import pytest
+
+from repro.utils.tables import TextTable
+
+
+class TestTextTable:
+    def test_renders_headers_and_rows(self):
+        table = TextTable(["name", "value"])
+        table.add_row(["alpha", 3])
+        table.add_row(["b", 12345])
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        assert "alpha" in lines[2]
+        assert "12345" in lines[3]
+
+    def test_numeric_columns_right_aligned(self):
+        table = TextTable(["n"])
+        table.add_row([1])
+        table.add_row([100])
+        lines = table.render().splitlines()
+        assert lines[2] == "  1"
+        assert lines[3] == "100"
+
+    def test_title_first_line(self):
+        table = TextTable(["a"], title="My Title")
+        table.add_row([1])
+        assert table.render().splitlines()[0] == "My Title"
+
+    def test_float_formatting(self):
+        table = TextTable(["x"])
+        table.add_row([3.14159])
+        assert "3.14" in table.render()
+
+    def test_wrong_column_count_rejected(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_percent_cells_stay_numeric(self):
+        table = TextTable(["rate"])
+        table.add_row(["12.5%"])
+        table.add_row(["3.0%"])
+        lines = table.render().splitlines()
+        assert lines[2].endswith("12.5%")
+
+    def test_text_columns_left_aligned(self):
+        table = TextTable(["name"])
+        table.add_row(["a"])
+        table.add_row(["longer"])
+        lines = table.render().splitlines()
+        assert lines[2] == "a"

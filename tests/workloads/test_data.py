@@ -1,0 +1,76 @@
+"""Workload data-generation tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import MASK32
+from repro.workloads.data import (
+    LCG_INCREMENT,
+    LCG_MULTIPLIER,
+    lcg_next,
+    lcg_sequence,
+    words_directive,
+)
+
+
+class TestLcg:
+    def test_known_constants(self):
+        assert LCG_MULTIPLIER == 1103515245
+        assert LCG_INCREMENT == 12345
+
+    @given(st.integers(min_value=0, max_value=MASK32))
+    def test_step_matches_formula(self, state):
+        assert lcg_next(state) == (state * LCG_MULTIPLIER + LCG_INCREMENT) & MASK32
+
+    def test_sequence_chains(self):
+        seed = 7
+        values = lcg_sequence(seed, 3)
+        assert values[0] == lcg_next(seed)
+        assert values[1] == lcg_next(values[0])
+        assert values[2] == lcg_next(values[1])
+
+    def test_sequence_excludes_seed(self):
+        assert lcg_sequence(7, 1) != [7]
+
+    def test_matches_assembly_implementation(self):
+        """The bitcount workload steps the same LCG in assembly; its first
+        value must match (this is what makes references exact)."""
+        from repro.asm.assembler import assemble
+        from repro.pipeline.funcsim import FuncSim
+
+        program = assemble(f"""
+        li   $s2, 7
+        li   $t0, {LCG_MULTIPLIER}
+        multu $s2, $t0
+        mflo $s2
+        addiu $s2, $s2, {LCG_INCREMENT}
+        move $a0, $s2
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+        """)
+        result = FuncSim(program).run()
+        from repro.utils.bitops import to_signed32
+
+        assert result.console == str(to_signed32(lcg_next(7)))
+
+
+class TestWordsDirective:
+    def test_renders_label_and_rows(self):
+        text = words_directive("tbl", list(range(10)), per_line=4)
+        lines = text.splitlines()
+        assert lines[0] == "tbl:"
+        assert len(lines) == 4  # 3 data rows for 10 values at 4/line
+        assert ".word" in lines[1]
+
+    def test_values_assemble_back(self):
+        from repro.asm.assembler import assemble
+
+        values = [0, 1, 0xFFFFFFFF, 0x80000000]
+        program = assemble(
+            ".data\n" + words_directive("tbl", values) + "\n.text\nnop"
+        )
+        base = program.symbols["tbl"]
+        for index, value in enumerate(values):
+            assert program.data.word_at(base + 4 * index) == value

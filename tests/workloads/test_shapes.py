@@ -1,0 +1,78 @@
+"""Workload shape tests: the control-flow signatures Figure 6 depends on.
+
+These run at the ``small`` scale (fast) and assert the *relative* locality
+properties the paper reports, which the default-scale evaluation harness
+then reproduces quantitatively.
+"""
+
+import pytest
+
+from repro.cfg.basic_blocks import partition_blocks
+from repro.cic.replay import replay_trace
+from repro.osmodel.policies import get_policy
+from repro.pipeline.funcsim import FuncSim
+from repro.workloads.suite import WORKLOAD_NAMES, build, workload_inputs
+
+
+@pytest.fixture(scope="module")
+def traces():
+    out = {}
+    for name in WORKLOAD_NAMES:
+        program = build(name, "small")
+        result = FuncSim(
+            program, collect_trace=True, inputs=workload_inputs(name, "small")
+        ).run()
+        from repro.cfg.hashgen import build_fht
+        from repro.cic.hashes import get_hash
+
+        out[name] = (result.block_trace, build_fht(program, get_hash("xor")))
+    return out
+
+
+def _miss(traces, name, size):
+    trace, fht = traces[name]
+    return replay_trace(trace, fht, size, get_policy("lru_half")).miss_rate
+
+
+class TestLocalitySignatures:
+    def test_bitcount_near_zero_at_8(self, traces):
+        assert _miss(traces, "bitcount", 8) < 0.02
+
+    def test_susan_near_zero_at_8(self, traces):
+        assert _miss(traces, "susan", 8) < 0.02
+
+    def test_stringsearch_worst_at_16(self, traces):
+        stringsearch = _miss(traces, "stringsearch", 16)
+        for other in WORKLOAD_NAMES:
+            if other not in ("stringsearch", "blowfish"):
+                assert stringsearch > _miss(traces, other, 16)
+
+    def test_blowfish_persists_at_16(self, traces):
+        assert _miss(traces, "blowfish", 16) > 0.1
+
+    def test_dijkstra_collapses_at_8(self, traces):
+        assert _miss(traces, "dijkstra", 1) > 0.5
+        assert _miss(traces, "dijkstra", 8) < 0.15
+
+    def test_rijndael_gone_by_16(self, traces):
+        assert _miss(traces, "rijndael", 8) > 0.01
+        assert _miss(traces, "rijndael", 16) < 0.01
+
+    def test_sha_gone_by_16(self, traces):
+        assert _miss(traces, "sha", 16) < 0.02
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_monotone_in_table_size(self, traces, name):
+        rates = [_miss(traces, name, size) for size in (1, 8, 16, 32)]
+        assert all(a >= b - 0.01 for a, b in zip(rates, rates[1:]))
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_everything_reduced_at_32(self, traces, name):
+        assert _miss(traces, name, 32) < 0.25
+
+
+class TestStaticShape:
+    def test_block_counts_in_realistic_range(self):
+        for name in WORKLOAD_NAMES:
+            blocks = partition_blocks(build(name, "small"))
+            assert 10 <= len(blocks) <= 200, name
