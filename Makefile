@@ -1,0 +1,27 @@
+# Entry points for the tier-1 suite, the benchmarks, and campaign smokes.
+# Everything runs from the source tree: no install step needed.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-smoke campaign-smoke clean
+
+test:  ## tier-1: the whole unit/integration suite, fail fast
+	$(PYTHON) -m pytest -x -q
+
+bench:  ## every paper-artifact benchmark; tables land in results/
+	$(PYTHON) -m pytest benchmarks -q
+
+bench-smoke:  ## the two fastest benchmarks: engine scaling + §6.3 coverage
+	$(PYTHON) -m pytest benchmarks/bench_campaign_scaling.py \
+	    benchmarks/bench_fault_analysis.py -q
+
+campaign-smoke:  ## tiny 2-worker campaign through the CLI, with resume
+	$(PYTHON) -m repro campaign sha --scale tiny --faults 32 --workers 2 \
+	    --seed 42 --out results/campaign_smoke.jsonl
+	$(PYTHON) -m repro campaign sha --scale tiny --faults 32 --workers 2 \
+	    --seed 42 --out results/campaign_smoke.jsonl --resume
+
+clean:
+	rm -rf results .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

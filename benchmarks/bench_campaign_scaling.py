@@ -1,0 +1,73 @@
+"""Campaign-engine scaling: faults/second at 1, 2, and N workers.
+
+Runs the same seeded 200-fault single-bit campaign against ``sha-tiny`` at
+increasing worker counts, records the throughput table under ``results/``,
+and asserts the engine's core guarantee: aggregate statistics are
+byte-identical regardless of worker count.  The speedup assertion only
+applies where the host actually has the cores to scale onto — on a
+single-core container the pool can't beat the serial path, so the check is
+reported but not enforced there.
+"""
+
+import os
+import time
+
+from repro.exec import CampaignRunner, CampaignSpec
+from repro.utils.tables import TextTable
+
+WORKLOAD = "sha"
+SCALE = "tiny"
+FAULT_COUNT = 200
+SEED = 42
+MAX_WORKERS = 4
+
+
+def _time_campaign(spec, faults, workers):
+    # A fresh runner per measurement so every worker count pays its own
+    # golden-run startup inside the timed region: the serial path builds
+    # one context, each pool worker builds its own in its initializer.
+    runner = CampaignRunner(spec, workers=workers)
+    start = time.perf_counter()
+    result = runner.run(faults, seed=SEED)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def test_campaign_scaling(save_result):
+    spec = CampaignSpec(workload=WORKLOAD, scale=SCALE, iht_size=8)
+    faults = CampaignRunner(spec).campaign.random_single_bit(
+        FAULT_COUNT, seed=SEED
+    )
+    cores = os.cpu_count() or 1
+    table = TextTable(
+        ["workers", "seconds", "faults/s", "speedup", "summary"],
+        title=(
+            f"Campaign scaling — {WORKLOAD}-{SCALE}, {FAULT_COUNT} "
+            f"single-bit faults, seed {SEED} ({cores} cores available)"
+        ),
+    )
+    summaries = []
+    baseline = None
+    throughputs = {}
+    for workers in (1, 2, MAX_WORKERS):
+        result, elapsed = _time_campaign(spec, faults, workers)
+        summaries.append(result.summary())
+        throughput = FAULT_COUNT / elapsed
+        throughputs[workers] = throughput
+        baseline = baseline or elapsed
+        table.add_row(
+            [
+                workers,
+                f"{elapsed:.2f}",
+                f"{throughput:.1f}",
+                f"{baseline / elapsed:.2f}x",
+                result.summary(),
+            ]
+        )
+    save_result("campaign_scaling", table.render())
+
+    # Core guarantee: worker count never changes the statistics.
+    assert len(set(summaries)) == 1, summaries
+    # Throughput must actually scale where the hardware allows it.
+    if cores >= MAX_WORKERS:
+        assert throughputs[MAX_WORKERS] > 1.5 * throughputs[1], throughputs

@@ -1,36 +1,38 @@
 #!/usr/bin/env python3
 """Soft-error reliability study: fault-injection campaign on a workload.
 
-Reproduces the Section 6.3 fault analysis interactively: injects random
-single-bit and multi-bit flips into the executed code of a chosen workload
-and classifies every outcome (CIC detection, baseline machine check,
-silent corruption, benign).
+Reproduces the Section 6.3 fault analysis interactively on the parallel
+campaign engine (:mod:`repro.exec`): injects random single-bit and
+multi-bit flips into the executed code of a chosen workload and classifies
+every outcome (CIC detection, baseline machine check, silent corruption,
+benign).  Results are identical for any worker count.
 
-Run:  python examples/soft_error_campaign.py [workload] [faults]
+Run:  python examples/soft_error_campaign.py [workload] [faults] [workers]
 """
 
 import sys
 
-from repro.faults import FaultCampaign, Outcome
+from repro.exec import CampaignRunner, CampaignSpec
+from repro.faults import Outcome
 from repro.utils.tables import TextTable
-from repro.workloads import build, workload_inputs
 
 
 def main() -> None:
     workload = sys.argv[1] if len(sys.argv) > 1 else "dijkstra"
     count = int(sys.argv[2]) if len(sys.argv) > 2 else 100
-    program = build(workload, "small")
+    workers = int(sys.argv[3]) if len(sys.argv) > 3 else 1
+    spec = CampaignSpec(workload=workload, scale="small", iht_size=8)
+    runner = CampaignRunner(spec, workers=workers)
     print(f"golden run of {workload} (small scale)...")
-    campaign = FaultCampaign(
-        program, iht_size=8, inputs=workload_inputs(workload, "small")
-    )
+    campaign = runner.campaign
     print(f"  executed {len(campaign.executed_addresses)} distinct "
           f"instruction words; golden output {campaign.golden_console!r}")
 
     table = TextTable(
         ["scenario", "faults", "cic", "baseline", "silent", "benign",
          "coverage %"],
-        title=f"Fault campaign — {workload}, XOR checksum, 8-entry IHT",
+        title=(f"Fault campaign — {workload}, XOR checksum, 8-entry IHT, "
+               f"{workers} worker(s)"),
     )
     scenarios = [
         ("single-bit", campaign.random_single_bit(count, seed=11)),
@@ -43,8 +45,8 @@ def main() -> None:
             ),
         ),
     ]
-    for label, faults in scenarios:
-        result = campaign.run_campaign(faults)
+    for seed, (label, faults) in enumerate(scenarios, start=11):
+        result = runner.run(faults, seed=seed).report()
         counts = result.counts()
         table.add_row(
             [
@@ -63,7 +65,7 @@ def main() -> None:
         "\nReading: single-bit and odd-weight faults are always caught "
         "(paper §6.3); only the XOR checksum's structural blind spot —\n"
         "an even number of flips in one bit column of one block — can slip "
-        "through. Try hash_name='crc32' in FaultCampaign to close it."
+        "through. Try hash_name='crc32' in CampaignSpec to close it."
     )
 
 

@@ -25,6 +25,14 @@ Commands
 ``experiments``
     Regenerate every paper table/figure into ``results/`` (equivalent to
     ``examples/paper_experiments.py``).
+
+``campaign TARGET``
+    Run a parallel fault-injection campaign (the §6.3 experiment) against a
+    workload name or an assembly file, on the :mod:`repro.exec` engine.
+    ``--faults N`` random single-bit faults (seeded by ``--seed``) are
+    sharded across ``--workers`` processes; ``--out FILE`` streams JSONL
+    records so ``--resume`` can pick an interrupted campaign back up from
+    the last completed shard.  Results are identical for any worker count.
 """
 
 from __future__ import annotations
@@ -126,6 +134,55 @@ def cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.exec import CampaignRunner, CampaignSpec
+    from repro.faults.campaign import Outcome
+    from repro.workloads.suite import WORKLOAD_NAMES
+
+    if args.target in WORKLOAD_NAMES:
+        spec = CampaignSpec(
+            workload=args.target,
+            scale=args.scale,
+            iht_size=args.iht,
+            hash_name=args.hash,
+            policy_name=args.policy,
+        )
+    elif os.path.exists(args.target):
+        spec = CampaignSpec(
+            source=_read_source(args.target),
+            name=args.target,
+            iht_size=args.iht,
+            hash_name=args.hash,
+            policy_name=args.policy,
+        )
+    else:
+        print(
+            f"unknown target {args.target!r}: not a workload "
+            f"({', '.join(WORKLOAD_NAMES)}) and no such file",
+            file=sys.stderr,
+        )
+        return 1
+    runner = CampaignRunner(spec, workers=args.workers, chunk_size=args.chunk)
+    faults = runner.campaign.random_single_bit(args.faults, seed=args.seed)
+    result = runner.run(
+        faults, seed=args.seed, out=args.out, resume=args.resume
+    )
+    report = result.report()
+    counts = report.counts()
+    print(f"campaign {spec.label}: {report.summary()}")
+    for outcome in Outcome:
+        if counts[outcome]:
+            print(f"  {outcome.value:20s} {counts[outcome]}")
+    if args.out:
+        state = "complete" if result.complete else "partial"
+        print(f"; {state} results in {args.out} "
+              f"({len(result.records)}/{result.total} faults, "
+              f"{args.workers} workers)", file=sys.stderr)
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     import importlib.util
     import pathlib
@@ -194,6 +251,44 @@ def build_parser() -> argparse.ArgumentParser:
     workload_command.add_argument("--iht", type=int, default=8)
     workload_command.add_argument("--hash", default="xor")
     workload_command.set_defaults(handler=cmd_workload)
+
+    campaign_command = commands.add_parser(
+        "campaign", help="parallel fault-injection campaign"
+    )
+    campaign_command.add_argument(
+        "target", help="workload name or assembly file path"
+    )
+    campaign_command.add_argument(
+        "--scale", choices=("tiny", "small", "default"), default="small"
+    )
+    campaign_command.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (default 1: serial, in-process)",
+    )
+    campaign_command.add_argument(
+        "--faults", type=int, default=200,
+        help="number of random single-bit faults to inject",
+    )
+    campaign_command.add_argument(
+        "--seed", type=int, default=42,
+        help="campaign seed: drives fault generation (and is recorded "
+             "in the results header for resume validation)",
+    )
+    campaign_command.add_argument(
+        "--out", help="stream per-fault JSONL records to this file"
+    )
+    campaign_command.add_argument(
+        "--resume", action="store_true",
+        help="skip shards already committed to --out",
+    )
+    campaign_command.add_argument(
+        "--chunk", type=int, default=16,
+        help="faults per shard (the unit of distribution and resume)",
+    )
+    campaign_command.add_argument("--iht", type=int, default=8)
+    campaign_command.add_argument("--hash", default="xor")
+    campaign_command.add_argument("--policy", default="lru_half")
+    campaign_command.set_defaults(handler=cmd_campaign)
 
     experiments_command = commands.add_parser(
         "experiments", help="regenerate paper tables/figures"

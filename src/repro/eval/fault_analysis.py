@@ -11,6 +11,10 @@ patterns aligned on one bit column can escape.  This harness measures it:
 
 each classified as CIC-detected, baseline-detected (invalid opcode),
 crashed/hung, silent corruption, or benign.
+
+Campaigns execute on the :mod:`repro.exec` engine: pass ``workers=N`` to
+shard the injections across a process pool — results are identical to the
+serial run for any worker count.
 """
 
 from __future__ import annotations
@@ -20,9 +24,10 @@ from dataclasses import dataclass, field
 
 from repro.faults.campaign import CampaignReport, FaultCampaign, Outcome
 from repro.faults.models import BitFlipFault
-from repro.eval.common import baseline_run, workload_program
+from repro.eval.common import baseline_run
+from repro.exec.runner import CampaignRunner
+from repro.exec.spec import CampaignSpec
 from repro.utils.tables import TextTable
-from repro.workloads.suite import workload_inputs
 
 
 @dataclass(slots=True)
@@ -109,29 +114,39 @@ def run_fault_analysis(
     single_bit_count: int = 120,
     multi_bit_count: int = 60,
     seed: int = 42,
+    workers: int = 1,
 ) -> FaultAnalysisResult:
-    """Run the three fault scenarios against one workload."""
-    program = workload_program(workload, scale)
-    campaign = FaultCampaign(
-        program,
-        iht_size=iht_size,
-        hash_name=hash_name,
-        inputs=workload_inputs(workload, scale),
+    """Run the three fault scenarios against one workload.
+
+    With ``workers > 1`` each scenario's injections are sharded across a
+    process pool by :class:`~repro.exec.runner.CampaignRunner`; outcomes
+    are identical to the serial run.
+    """
+    spec = CampaignSpec(
+        workload=workload, scale=scale, iht_size=iht_size, hash_name=hash_name
     )
+    runner = CampaignRunner(spec, workers=workers)
+    campaign = runner.campaign
     baseline_run_cache[campaign] = baseline_run(workload, scale)
     result = FaultAnalysisResult(workload=workload, hash_name=hash_name)
 
     single = campaign.random_single_bit(single_bit_count, seed=seed)
     result.scenarios.append(
-        FaultScenario("single-bit (executed code)", campaign.run_campaign(single))
+        FaultScenario(
+            "single-bit (executed code)",
+            runner.run(single, seed=seed).report(),
+        )
     )
     multi = campaign.random_multi_bit(multi_bit_count, flips=2, seed=seed + 1)
     result.scenarios.append(
-        FaultScenario("2-bit, one word", campaign.run_campaign(multi))
+        FaultScenario("2-bit, one word", runner.run(multi, seed=seed + 1).report())
     )
     pairs = _same_column_pairs(campaign, multi_bit_count, seed + 2)
     result.scenarios.append(
-        FaultScenario("2-bit, same column, same block", campaign.run_campaign(pairs))
+        FaultScenario(
+            "2-bit, same column, same block",
+            runner.run(pairs, seed=seed + 2).report(),
+        )
     )
     return result
 

@@ -1,0 +1,71 @@
+"""Campaign-execution engine: parallel, resumable fault sweeps.
+
+The paper's Section 6.3 coverage numbers come from injecting thousands of
+faults per workload; this package is the substrate that makes such sweeps
+(and every future large sweep — Figure 6 IHT sizing, hash/policy ablations,
+design-space exploration) scale across CPU cores without giving up
+reproducibility:
+
+* :mod:`repro.exec.spec` — :class:`CampaignSpec`, the picklable campaign
+  description every worker re-derives its simulator state from;
+* :mod:`repro.exec.runner` — :class:`CampaignRunner`, which shards fault
+  lists over a :mod:`multiprocessing` pool, streams results to JSONL, and
+  resumes interrupted campaigns from the last committed shard;
+* :mod:`repro.exec.records` — :class:`FaultRecord` and the JSONL schema.
+
+Outcome taxonomy
+----------------
+Every injected fault is classified by the shared
+:func:`repro.faults.campaign.run_one` kernel into exactly one
+:class:`~repro.faults.campaign.Outcome`:
+
+=====================  ====================================================
+outcome (JSON value)   meaning
+=====================  ====================================================
+``detected-cic``       the Code Integrity Checker raised a violation —
+                       the paper's mechanism caught the fault
+``detected-baseline``  a baseline machine check fired first: invalid
+                       opcode/operand (decoder reject) or a misaligned /
+                       out-of-segment access trap (§6.3: "some errors can
+                       be detected by baseline microarchitecture itself")
+``crashed``            some other simulator-level failure (e.g. an
+                       impossible syscall number)
+``hang``               the run exceeded its instruction budget
+``silent-corruption``  run completed but console output or exit code
+                       differ from the golden run — the dangerous case
+``benign``             run completed with output identical to the golden
+                       run (fault masked, or in never-executed code)
+=====================  ====================================================
+
+``detected-cic`` + ``detected-baseline`` count as coverage
+(:data:`repro.faults.campaign.DETECTED`); ``silent-corruption`` is the
+escape the checksum ablations try to close.
+
+Typical use::
+
+    from repro.exec import CampaignRunner, CampaignSpec
+
+    spec = CampaignSpec(workload="sha", scale="tiny", iht_size=8)
+    runner = CampaignRunner(spec, workers=4)
+    faults = runner.campaign.random_single_bit(200, seed=42)
+    result = runner.run(faults, seed=42, out="sha.jsonl", resume=True)
+    print(result.summary())
+
+or, from a shell, ``python -m repro campaign sha --scale tiny --faults 200
+--workers 4 --seed 42 --out sha.jsonl --resume``.
+"""
+
+from repro.exec.records import FaultRecord, fault_from_json, fault_to_json
+from repro.exec.runner import DEFAULT_CHUNK_SIZE, CampaignResult, CampaignRunner
+from repro.exec.spec import CampaignSpec, shard_seed
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "DEFAULT_CHUNK_SIZE",
+    "FaultRecord",
+    "fault_from_json",
+    "fault_to_json",
+    "shard_seed",
+]

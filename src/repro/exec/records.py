@@ -1,0 +1,144 @@
+"""Campaign result records and their JSONL wire format.
+
+A campaign results file is JSON Lines: one JSON object per line, written
+append-only so an interrupted campaign loses at most the shard in flight.
+Three line types exist, discriminated by ``"type"``:
+
+``header`` (first line of the file)
+    ``{"type": "header", "version": 1, "spec": {...}, "fingerprint": str,
+    "seed": int, "total": int, "chunk_size": int}`` — the campaign's
+    identity.  Resume refuses a file whose fingerprint, seed, total, or
+    chunk size differ from the requested campaign.
+
+``record`` (one per completed fault)
+    ``{"type": "record", "index": int, "shard": int, "fault": {...},
+    "outcome": str, "detail": str}`` — *index* is the fault's position in
+    the campaign's fault list (the global ordering key), *shard* the chunk
+    it was executed in, *outcome* one of the :class:`Outcome` values
+    (``detected-cic``, ``detected-baseline``, ``crashed``, ``hang``,
+    ``silent-corruption``, ``benign``).
+
+``shard-done`` (one per completed shard)
+    ``{"type": "shard-done", "shard": int, "seed": int}`` — the commit
+    marker resume trusts: records from a shard without its marker are
+    discarded and the shard re-runs.
+
+Fault payloads serialize the two fault models plus multi-word tuples::
+
+    {"kind": "bitflip", "address": int, "bits": [int, ...]}
+    {"kind": "transient", "address": int, "bits": [...], "occurrence": int}
+    {"kind": "multi", "parts": [{...}, {...}]}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.faults.campaign import FaultResult, Outcome
+from repro.faults.models import BitFlipFault, TransientFetchFault
+
+
+def fault_to_json(fault) -> dict:
+    """Serialize a fault (or tuple of faults) to its wire dict."""
+    if isinstance(fault, tuple):
+        return {"kind": "multi", "parts": [fault_to_json(part) for part in fault]}
+    if isinstance(fault, BitFlipFault):
+        return {
+            "kind": "bitflip",
+            "address": fault.address,
+            "bits": list(fault.bits),
+        }
+    if isinstance(fault, TransientFetchFault):
+        return {
+            "kind": "transient",
+            "address": fault.address,
+            "bits": list(fault.bits),
+            "occurrence": fault.occurrence,
+        }
+    raise ConfigurationError(f"unserializable fault {fault!r}")
+
+
+def fault_from_json(data: dict):
+    """Inverse of :func:`fault_to_json`."""
+    kind = data["kind"]
+    if kind == "multi":
+        return tuple(fault_from_json(part) for part in data["parts"])
+    if kind == "bitflip":
+        return BitFlipFault(data["address"], tuple(data["bits"]))
+    if kind == "transient":
+        return TransientFetchFault(
+            data["address"], tuple(data["bits"]), occurrence=data["occurrence"]
+        )
+    raise ConfigurationError(f"unknown fault kind {kind!r}")
+
+
+@dataclass(slots=True)
+class FaultRecord:
+    """One classified fault, positioned inside its campaign."""
+
+    index: int
+    shard: int
+    fault: object
+    outcome: Outcome
+    detail: str = ""
+
+    @classmethod
+    def from_result(
+        cls, index: int, shard: int, result: FaultResult
+    ) -> "FaultRecord":
+        return cls(
+            index=index,
+            shard=shard,
+            fault=result.fault,
+            outcome=result.outcome,
+            detail=result.detail,
+        )
+
+    def to_result(self) -> FaultResult:
+        return FaultResult(self.fault, self.outcome, self.detail)
+
+    def to_json(self) -> dict:
+        return {
+            "type": "record",
+            "index": self.index,
+            "shard": self.shard,
+            "fault": fault_to_json(self.fault),
+            "outcome": self.outcome.value,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultRecord":
+        return cls(
+            index=data["index"],
+            shard=data["shard"],
+            fault=fault_from_json(data["fault"]),
+            outcome=Outcome(data["outcome"]),
+            detail=data.get("detail", ""),
+        )
+
+
+def dump_line(data: dict) -> str:
+    """One canonical JSONL line (sorted keys, no trailing spaces)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def load_lines(path) -> list[dict]:
+    """Parse every line of a JSONL file, skipping blank/truncated tails.
+
+    A campaign killed mid-write may leave a torn final line; it belongs to
+    an uncommitted shard by construction, so dropping it is safe.
+    """
+    entries: list[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return entries

@@ -1,0 +1,313 @@
+"""Parallel, resumable campaign execution.
+
+:class:`CampaignRunner` shards a fault list into fixed-size chunks and
+executes them across a :mod:`multiprocessing` pool.  Each worker builds its
+own golden run and :class:`~repro.faults.campaign.CampaignContext` once,
+from the picklable :class:`~repro.exec.spec.CampaignSpec` (simulators never
+cross process boundaries), then classifies every fault of its shards
+through the shared :func:`repro.faults.campaign.run_one` kernel.
+
+Determinism
+    Shard boundaries depend only on the fault list and ``chunk_size``, and
+    each shard's seed derives from ``(seed, shard_id)`` — never from the
+    worker that happens to run it.  Aggregate results are therefore
+    identical for any ``workers`` value, which the engine's tests and
+    ``benchmarks/bench_campaign_scaling.py`` assert.
+
+Resumability
+    With ``out=`` set, per-fault records stream to a JSONL file (schema in
+    :mod:`repro.exec.records`) and every finished shard appends a
+    ``shard-done`` commit marker.  Re-running with ``resume=True`` replays
+    committed shards from the file and executes only the remainder; a file
+    written by a different spec/seed/fault-count is refused.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+from repro.faults.campaign import (
+    CampaignContext,
+    CampaignReport,
+    FaultCampaign,
+    run_one,
+)
+from repro.exec.records import FaultRecord, dump_line, load_lines
+from repro.exec.spec import SPEC_VERSION, CampaignSpec, shard_seed
+
+#: Faults per shard; the unit of work distribution *and* of resume.
+DEFAULT_CHUNK_SIZE = 16
+
+#: A shard task: (shard_id, first fault index, faults, derived seed).
+_ShardTask = tuple[int, int, list, int]
+
+
+@dataclass(slots=True)
+class CampaignResult:
+    """Outcome of one :meth:`CampaignRunner.run` call."""
+
+    spec: CampaignSpec
+    seed: int
+    total: int
+    records: list[FaultRecord] = field(default_factory=list)
+    out: str | None = None
+
+    @property
+    def complete(self) -> bool:
+        return len(self.records) == self.total
+
+    def report(self) -> CampaignReport:
+        """Aggregate as a :class:`CampaignReport`, ordered by fault index.
+
+        The ordering makes aggregates byte-identical regardless of worker
+        count or shard completion order.
+        """
+        ordered = sorted(self.records, key=lambda record: record.index)
+        return CampaignReport(results=[record.to_result() for record in ordered])
+
+    def summary(self) -> str:
+        return self.report().summary()
+
+
+# ----------------------------------------------------------------------
+# Shard execution (shared by the serial path and the pool workers)
+# ----------------------------------------------------------------------
+
+
+def _run_shard(
+    context: CampaignContext, task: _ShardTask
+) -> tuple[int, list[FaultRecord]]:
+    shard_id, start, faults, _seed = task
+    records = [
+        FaultRecord.from_result(start + offset, shard_id, run_one(context, fault))
+        for offset, fault in enumerate(faults)
+    ]
+    return shard_id, records
+
+
+_WORKER_CONTEXT: CampaignContext | None = None
+
+
+def _pool_init(spec: CampaignSpec) -> None:
+    """Pool initializer: derive this worker's context (golden run) once."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = spec.build_context()
+
+
+def _pool_shard(task: _ShardTask) -> tuple[int, list[FaultRecord]]:
+    assert _WORKER_CONTEXT is not None, "pool worker used before _pool_init"
+    return _run_shard(_WORKER_CONTEXT, task)
+
+
+class CampaignRunner:
+    """Shard faults over a worker pool; stream results; resume cleanly."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        workers: int = 1,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ):
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.spec = spec
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self._campaign: FaultCampaign | None = None
+
+    @property
+    def campaign(self) -> FaultCampaign:
+        """Parent-side campaign (lazy): golden run plus fault generators."""
+        if self._campaign is None:
+            self._campaign = self.spec.build_campaign()
+        return self._campaign
+
+    # ------------------------------------------------------------------
+
+    def _shards(self, faults: list, seed: int) -> list[_ShardTask]:
+        return [
+            (
+                shard_id,
+                start,
+                faults[start : start + self.chunk_size],
+                shard_seed(seed, shard_id),
+            )
+            for shard_id, start in enumerate(
+                range(0, len(faults), self.chunk_size)
+            )
+        ]
+
+    def _header(self, seed: int, total: int) -> dict:
+        return {
+            "type": "header",
+            "version": SPEC_VERSION,
+            "spec": self.spec.to_json(),
+            "fingerprint": self.spec.fingerprint(),
+            "seed": seed,
+            "total": total,
+            "chunk_size": self.chunk_size,
+        }
+
+    def _load_resume(
+        self, out: str, seed: int, total: int
+    ) -> tuple[set[int], list[FaultRecord]] | None:
+        """Committed shards and their records from a previous run's file.
+
+        Returns ``None`` for an empty file (a run that died before the
+        header flushed): the campaign simply starts fresh.  A shard only
+        counts as committed if its marker is present *and* exactly its
+        expected fault indexes decode — a shard with corrupted or orphaned
+        record lines is re-run, and duplicate lines (from an earlier run
+        interrupted mid-shard and later re-run) collapse to the last
+        committed copy.
+        """
+        entries = load_lines(out)
+        if not entries:
+            return None
+        if entries[0].get("type") != "header":
+            raise ConfigurationError(f"{out}: not a campaign results file")
+        header = entries[0]
+        expected = self._header(seed, total)
+        for key in ("fingerprint", "seed", "total", "chunk_size", "version"):
+            if header.get(key) != expected[key]:
+                raise ConfigurationError(
+                    f"{out}: cannot resume — {key} is {header.get(key)!r}, "
+                    f"this campaign has {expected[key]!r}"
+                )
+        marked = {
+            entry["shard"] for entry in entries if entry.get("type") == "shard-done"
+        }
+        by_shard: dict[int, dict[int, FaultRecord]] = {}
+        for entry in entries:
+            if entry.get("type") == "record" and entry["shard"] in marked:
+                record = FaultRecord.from_json(entry)
+                by_shard.setdefault(record.shard, {})[record.index] = record
+        done: set[int] = set()
+        records: list[FaultRecord] = []
+        for shard_id in marked:
+            start = shard_id * self.chunk_size
+            expected_indexes = set(
+                range(start, min(start + self.chunk_size, total))
+            )
+            found = by_shard.get(shard_id, {})
+            if set(found) == expected_indexes:
+                done.add(shard_id)
+                records.extend(found.values())
+        return done, records
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        faults: Iterable,
+        seed: int = 0,
+        out: str | os.PathLike | None = None,
+        resume: bool = False,
+        stop_after_shards: int | None = None,
+    ) -> CampaignResult:
+        """Execute *faults*; return the (possibly partial) result.
+
+        Parameters
+        ----------
+        faults:
+            The fault list.  Index order is the campaign's canonical order;
+            generate it from a seeded generator for full reproducibility.
+        seed:
+            Campaign seed recorded in the header and used to derive each
+            shard's seed.  Resume requires the same value.
+        out:
+            JSONL results path.  Required for ``resume``.
+        resume:
+            Replay committed shards from *out* and run only the rest.
+        stop_after_shards:
+            Execute at most this many new shards, then return a partial
+            result — the engine's test hook for simulating interruption.
+        """
+        faults = list(faults)
+        total = len(faults)
+        out_path = os.fspath(out) if out is not None else None
+        if resume and out_path is None:
+            raise ConfigurationError("resume=True requires out=")
+
+        done_shards: set[int] = set()
+        records: list[FaultRecord] = []
+        resuming = resume and out_path is not None and os.path.exists(out_path)
+        if resuming:
+            loaded = self._load_resume(out_path, seed, total)
+            if loaded is None:
+                resuming = False  # empty file: died before the header
+            else:
+                done_shards, records = loaded
+
+        pending = [
+            task
+            for task in self._shards(faults, seed)
+            if task[0] not in done_shards
+        ]
+        if stop_after_shards is not None:
+            pending = pending[:stop_after_shards]
+
+        handle = None
+        if out_path is not None:
+            handle = open(out_path, "a" if resuming else "w", encoding="utf-8")
+            if not resuming:
+                handle.write(dump_line(self._header(seed, total)))
+                handle.flush()
+
+        def commit(shard_id: int, shard_records: list[FaultRecord]) -> None:
+            records.extend(shard_records)
+            if handle is not None:
+                for record in shard_records:
+                    handle.write(dump_line(record.to_json()))
+                handle.write(
+                    dump_line(
+                        {
+                            "type": "shard-done",
+                            "shard": shard_id,
+                            "seed": shard_seed(seed, shard_id),
+                        }
+                    )
+                )
+                handle.flush()
+
+        try:
+            if self.workers == 1 or len(pending) <= 1:
+                context = self.campaign.context
+                for task in pending:
+                    commit(*_run_shard(context, task))
+            else:
+                self._run_pool(pending, commit)
+        finally:
+            if handle is not None:
+                handle.close()
+
+        return CampaignResult(
+            spec=self.spec,
+            seed=seed,
+            total=total,
+            records=records,
+            out=out_path,
+        )
+
+    def _run_pool(self, pending: list[_ShardTask], commit) -> None:
+        import multiprocessing
+
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        context = multiprocessing.get_context(method)
+        workers = min(self.workers, len(pending))
+        with context.Pool(
+            processes=workers, initializer=_pool_init, initargs=(self.spec,)
+        ) as pool:
+            for shard_id, shard_records in pool.imap_unordered(
+                _pool_shard, pending
+            ):
+                commit(shard_id, shard_records)

@@ -1,0 +1,134 @@
+"""Picklable campaign specification.
+
+Simulators, monitors, and assembled :class:`~repro.asm.program.Program`
+images never cross a process boundary: a :class:`CampaignSpec` carries only
+plain data — a workload name (or raw assembly source) plus the monitor
+configuration — and every worker process *re-derives* its own program,
+golden run, and :class:`~repro.faults.campaign.CampaignContext` from it.
+Because the derivation is deterministic, a context built in any process is
+equivalent, and campaign results are reproducible regardless of how many
+workers the pool uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+from repro.asm.assembler import assemble
+from repro.asm.program import Program
+from repro.errors import ConfigurationError
+from repro.faults.campaign import CampaignContext, FaultCampaign, build_context
+
+#: Schema version stamped into headers; bump on incompatible changes.
+SPEC_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignSpec:
+    """Self-contained, picklable description of one fault campaign.
+
+    Exactly one of *workload* (a name from
+    :data:`repro.workloads.suite.WORKLOAD_NAMES`, built at *scale*) or
+    *source* (raw assembly text) selects the program under test.  The
+    remaining fields configure the monitor and the hang budget, mirroring
+    :class:`~repro.faults.campaign.FaultCampaign`.
+    """
+
+    workload: str | None = None
+    scale: str = "small"
+    source: str | None = None
+    name: str | None = None
+    iht_size: int = 8
+    hash_name: str = "xor"
+    policy_name: str = "lru_half"
+    inputs: tuple[int, ...] | None = None
+    instruction_budget_factor: int = 20
+
+    def __post_init__(self) -> None:
+        if (self.workload is None) == (self.source is None):
+            raise ConfigurationError(
+                "CampaignSpec needs exactly one of workload= or source="
+            )
+
+    # ------------------------------------------------------------------
+    # Derivation (runs identically in the parent and in every worker)
+    # ------------------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        """Human-readable campaign target, e.g. ``sha-tiny``."""
+        if self.workload is not None:
+            return f"{self.workload}-{self.scale}"
+        return self.name or "inline-source"
+
+    def build_program(self) -> Program:
+        if self.workload is not None:
+            from repro.workloads.suite import build
+
+            return build(self.workload, self.scale)
+        return assemble(self.source, name=self.label)
+
+    def resolved_inputs(self) -> list[int] | None:
+        """Explicit inputs, else the workload's registered input queue."""
+        if self.inputs is not None:
+            return list(self.inputs)
+        if self.workload is not None:
+            from repro.workloads.suite import workload_inputs
+
+            return workload_inputs(self.workload, self.scale)
+        return None
+
+    def build_context(self) -> CampaignContext:
+        """Assemble the program and run the golden reference simulation."""
+        return build_context(
+            self.build_program(),
+            iht_size=self.iht_size,
+            hash_name=self.hash_name,
+            policy_name=self.policy_name,
+            inputs=self.resolved_inputs(),
+            instruction_budget_factor=self.instruction_budget_factor,
+        )
+
+    def build_campaign(self) -> FaultCampaign:
+        """A full :class:`FaultCampaign` (context + fault generators)."""
+        return FaultCampaign.from_context(self.build_context())
+
+    # ------------------------------------------------------------------
+    # Serialization (JSONL headers, resume validation)
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        data = asdict(self)
+        if data["inputs"] is not None:
+            data["inputs"] = list(data["inputs"])
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CampaignSpec":
+        fields = dict(data)
+        if fields.get("inputs") is not None:
+            fields["inputs"] = tuple(fields["inputs"])
+        return cls(**fields)
+
+    def fingerprint(self) -> str:
+        """Stable digest used to refuse resuming onto a different spec."""
+        canonical = json.dumps(self.to_json(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def shard_seed(campaign_seed: int, shard_id: int) -> int:
+    """Deterministic per-shard seed, independent of worker count.
+
+    Derived by hashing ``(campaign_seed, shard_id)`` so it depends only on
+    the campaign seed and the shard's position in the fault list — never
+    on which worker ran it or in what order shards completed.  Today's
+    :func:`~repro.faults.campaign.run_one` kernel is fully determined by
+    ``(spec, fault)`` and consumes no randomness; the per-shard seed is
+    derived and recorded in ``shard-done`` markers so that future
+    *stochastic* fault models (e.g. randomized transient timing) stay
+    reproducible under any pool layout without a schema change.
+    """
+    digest = hashlib.sha256(f"{campaign_seed}:{shard_id}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")

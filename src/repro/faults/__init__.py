@@ -14,15 +14,26 @@ mechanism — at the instruction level, both manifest as bit flips:
 programs and classifies outcomes for the Section 6.3 fault analysis.
 """
 
-from repro.faults.campaign import CampaignReport, FaultCampaign, FaultResult, Outcome
+from repro.faults.campaign import (
+    CampaignContext,
+    CampaignReport,
+    FaultCampaign,
+    FaultResult,
+    Outcome,
+    build_context,
+    run_one,
+)
 from repro.faults.models import BitFlipFault, TransientFetchFault, make_fetch_hook
 
 __all__ = [
     "BitFlipFault",
+    "CampaignContext",
     "CampaignReport",
     "FaultCampaign",
     "FaultResult",
     "Outcome",
     "TransientFetchFault",
+    "build_context",
     "make_fetch_hook",
+    "run_one",
 ]

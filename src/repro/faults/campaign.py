@@ -23,6 +23,13 @@ outcome                meaning
 The headline coverage metric counts CIC + baseline detections over faults
 injected into *executed* code, matching the paper's scope ("only the errors
 on the executed instructions/basic blocks can be detected").
+
+The single-fault kernel is :func:`run_one`: it takes a
+:class:`CampaignContext` (program + monitor configuration + golden
+reference) and one fault, runs a monitored simulation, and classifies the
+outcome.  Both the in-process :class:`FaultCampaign` and the parallel
+:class:`repro.exec.runner.CampaignRunner` execute every fault through this
+one function, so serial and pooled campaigns are bit-for-bit comparable.
 """
 
 from __future__ import annotations
@@ -100,6 +107,111 @@ class CampaignReport:
         return ", ".join(parts)
 
 
+@dataclass(slots=True)
+class CampaignContext:
+    """Everything :func:`run_one` needs to run and classify one fault.
+
+    A context bundles the program image, the monitor configuration, and the
+    golden-run reference (console, exit code, executed addresses, budget).
+    It deliberately holds *no* live simulator or monitor — each injection
+    loads a fresh monitored process — so a context built in any process
+    from the same program and configuration classifies identically.
+    """
+
+    program: Program
+    iht_size: int = 8
+    hash_name: str = "xor"
+    policy_name: str = "lru_half"
+    inputs: list[int] | None = None
+    golden_console: str = ""
+    golden_exit: int = 0
+    executed_addresses: tuple[int, ...] = ()
+    instruction_budget: int = 10_000
+
+
+def build_context(
+    program: Program,
+    iht_size: int = 8,
+    hash_name: str = "xor",
+    policy_name: str = "lru_half",
+    inputs: list[int] | None = None,
+    instruction_budget_factor: int = 20,
+) -> CampaignContext:
+    """Run the golden (pristine, unmonitored) simulation and capture it."""
+    inputs = list(inputs) if inputs else None
+    golden = FuncSim(program, collect_trace=True, inputs=inputs).run()
+    addresses: set[int] = set()
+    for event in golden.block_trace:
+        addresses.update(range(event.start, event.end + 4, 4))
+    return CampaignContext(
+        program=program,
+        iht_size=iht_size,
+        hash_name=hash_name,
+        policy_name=policy_name,
+        inputs=inputs,
+        golden_console=golden.console,
+        golden_exit=golden.exit_code,
+        executed_addresses=tuple(sorted(addresses)),
+        instruction_budget=max(
+            10_000, golden.instructions * instruction_budget_factor
+        ),
+    )
+
+
+def run_one(context: CampaignContext, fault) -> FaultResult:
+    """Inject one fault (or tuple of faults) into a monitored run.
+
+    This is the pure single-fault kernel shared by the legacy serial
+    :class:`FaultCampaign` and the parallel campaign engine in
+    :mod:`repro.exec`: deterministic given ``(context, fault)``, with no
+    state carried between calls.
+    """
+    process = load_process(
+        context.program,
+        iht_size=context.iht_size,
+        hash_name=context.hash_name,
+        policy_name=context.policy_name,
+    )
+    transients: list[TransientFetchFault] = []
+    persistents: list[BitFlipFault] = []
+    parts = fault if isinstance(fault, tuple) else (fault,)
+    for part in parts:
+        if isinstance(part, TransientFetchFault):
+            part.reset()
+            transients.append(part)
+        else:
+            persistents.append(part)
+    simulator = FuncSim(
+        context.program,
+        monitor=process.monitor,
+        fetch_hook=make_fetch_hook(transients) if transients else None,
+        inputs=context.inputs,
+        max_instructions=context.instruction_budget,
+    )
+    for part in persistents:
+        part.apply_to_memory(simulator.state.memory)
+    try:
+        result = simulator.run()
+    except MonitorViolation as error:
+        return FaultResult(fault, Outcome.DETECTED_CIC, str(error))
+    except DecodingError as error:
+        return FaultResult(fault, Outcome.DETECTED_BASELINE, str(error))
+    except MemoryAccessError as error:
+        # Alignment/access machine checks are baseline hardware
+        # detections, the same class as invalid-opcode traps.
+        return FaultResult(fault, Outcome.DETECTED_BASELINE, str(error))
+    except SimulationError as error:
+        if "instruction limit" in str(error):
+            return FaultResult(fault, Outcome.HANG, str(error))
+        return FaultResult(fault, Outcome.CRASHED, str(error))
+    if (
+        result.console == context.golden_console
+        and result.exit_code == context.golden_exit
+    ):
+        return FaultResult(fault, Outcome.BENIGN, "")
+    return FaultResult(fault, Outcome.SDC, "output differs from golden run")
+
+
 class FaultCampaign:
     """Run fault-injection campaigns against one program."""
 
@@ -112,25 +224,57 @@ class FaultCampaign:
         inputs: list[int] | None = None,
         instruction_budget_factor: int = 20,
     ):
-        self.program = program
-        self.iht_size = iht_size
-        self.hash_name = hash_name
-        self.policy_name = policy_name
-        self.inputs = list(inputs) if inputs else None
-        golden = FuncSim(program, collect_trace=True, inputs=self.inputs).run()
-        self.golden_console = golden.console
-        self.golden_exit = golden.exit_code
-        self.executed_addresses = self._expand_trace(golden)
-        self.instruction_budget = max(
-            10_000, golden.instructions * instruction_budget_factor
+        self.context = build_context(
+            program,
+            iht_size=iht_size,
+            hash_name=hash_name,
+            policy_name=policy_name,
+            inputs=inputs,
+            instruction_budget_factor=instruction_budget_factor,
         )
 
-    @staticmethod
-    def _expand_trace(golden) -> tuple[int, ...]:
-        addresses: set[int] = set()
-        for event in golden.block_trace:
-            addresses.update(range(event.start, event.end + 4, 4))
-        return tuple(sorted(addresses))
+    @classmethod
+    def from_context(cls, context: CampaignContext) -> "FaultCampaign":
+        """Wrap an already-built context (skips re-running the golden run)."""
+        campaign = cls.__new__(cls)
+        campaign.context = context
+        return campaign
+
+    @property
+    def program(self) -> Program:
+        return self.context.program
+
+    @property
+    def iht_size(self) -> int:
+        return self.context.iht_size
+
+    @property
+    def hash_name(self) -> str:
+        return self.context.hash_name
+
+    @property
+    def policy_name(self) -> str:
+        return self.context.policy_name
+
+    @property
+    def inputs(self) -> list[int] | None:
+        return self.context.inputs
+
+    @property
+    def golden_console(self) -> str:
+        return self.context.golden_console
+
+    @property
+    def golden_exit(self) -> int:
+        return self.context.golden_exit
+
+    @property
+    def executed_addresses(self) -> tuple[int, ...]:
+        return self.context.executed_addresses
+
+    @property
+    def instruction_budget(self) -> int:
+        return self.context.instruction_budget
 
     # ------------------------------------------------------------------
     # Fault generation
@@ -201,50 +345,7 @@ class FaultCampaign:
 
     def run_single(self, fault) -> FaultResult:
         """Inject one fault (or tuple of faults) into a monitored run."""
-        process = load_process(
-            self.program,
-            iht_size=self.iht_size,
-            hash_name=self.hash_name,
-            policy_name=self.policy_name,
-        )
-        transients: list[TransientFetchFault] = []
-        persistents: list[BitFlipFault] = []
-        parts = fault if isinstance(fault, tuple) else (fault,)
-        for part in parts:
-            if isinstance(part, TransientFetchFault):
-                part.reset()
-                transients.append(part)
-            else:
-                persistents.append(part)
-        simulator = FuncSim(
-            self.program,
-            monitor=process.monitor,
-            fetch_hook=make_fetch_hook(transients) if transients else None,
-            inputs=self.inputs,
-            max_instructions=self.instruction_budget,
-        )
-        for part in persistents:
-            part.apply_to_memory(simulator.state.memory)
-        try:
-            result = simulator.run()
-        except MonitorViolation as error:
-            return FaultResult(fault, Outcome.DETECTED_CIC, str(error))
-        except DecodingError as error:
-            return FaultResult(fault, Outcome.DETECTED_BASELINE, str(error))
-        except MemoryAccessError as error:
-            # Alignment/access machine checks are baseline hardware
-            # detections, the same class as invalid-opcode traps.
-            return FaultResult(fault, Outcome.DETECTED_BASELINE, str(error))
-        except SimulationError as error:
-            if "instruction limit" in str(error):
-                return FaultResult(fault, Outcome.HANG, str(error))
-            return FaultResult(fault, Outcome.CRASHED, str(error))
-        if (
-            result.console == self.golden_console
-            and result.exit_code == self.golden_exit
-        ):
-            return FaultResult(fault, Outcome.BENIGN, "")
-        return FaultResult(fault, Outcome.SDC, "output differs from golden run")
+        return run_one(self.context, fault)
 
     def run_campaign(self, faults) -> CampaignReport:
         report = CampaignReport()

@@ -84,6 +84,41 @@ class TestMonitor:
         assert main(["monitor", program_file, "--hash", "crc32"]) == 0
 
 
+class TestCampaign:
+    def test_campaign_on_source_file(self, program_file, capsys, tmp_path):
+        out = tmp_path / "campaign.jsonl"
+        assert main(
+            ["campaign", program_file, "--faults", "10", "--seed", "7",
+             "--workers", "1", "--out", str(out)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "10 faults" in captured.out
+        assert "coverage" in captured.out
+        assert "complete results" in captured.err
+        assert out.exists()
+
+    def test_campaign_resume_is_identical(self, program_file, capsys, tmp_path):
+        out = tmp_path / "campaign.jsonl"
+        argv = ["campaign", program_file, "--faults", "10", "--seed", "7",
+                "--out", str(out)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_campaign_worker_count_does_not_change_stats(self, program_file, capsys):
+        assert main(["campaign", program_file, "--faults", "12",
+                     "--chunk", "4", "--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["campaign", program_file, "--faults", "12",
+                     "--chunk", "4", "--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_campaign_unknown_target(self, capsys):
+        assert main(["campaign", "no-such-workload"]) == 1
+        assert "unknown target" in capsys.readouterr().err
+
+
 class TestWorkload:
     def test_runs_bitcount(self, capsys):
         assert main(["workload", "bitcount", "--scale", "tiny"]) == 0
