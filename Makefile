@@ -4,13 +4,15 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke campaign-smoke clean
+.PHONY: test bench bench-smoke campaign-smoke attack-smoke clean
 
 test:  ## tier-1: the whole unit/integration suite, fail fast
 	$(PYTHON) -m pytest -x -q
 
 bench:  ## every paper-artifact benchmark; tables land in results/
-	$(PYTHON) -m pytest benchmarks -q
+	# Explicit file list: pytest's default python_files (test_*.py) skips
+	# bench_*.py when collecting the directory, but not named files.
+	$(PYTHON) -m pytest benchmarks/bench_*.py -q
 
 bench-smoke:  ## the two fastest benchmarks: engine scaling + §6.3 coverage
 	$(PYTHON) -m pytest benchmarks/bench_campaign_scaling.py \
@@ -21,6 +23,14 @@ campaign-smoke:  ## tiny 2-worker campaign through the CLI, with resume
 	    --seed 42 --out results/campaign_smoke.jsonl
 	$(PYTHON) -m repro campaign sha --scale tiny --faults 32 --workers 2 \
 	    --seed 42 --out results/campaign_smoke.jsonl --resume
+
+attack-smoke:  ## tiny 2-worker attack sweep through the CLI, with resume
+	$(PYTHON) -m repro attack sha --scale tiny --class all --per-class 4 \
+	    --workers 2 --seed 42 --out results/attack_smoke.jsonl \
+	    --json results/attack_smoke.json
+	$(PYTHON) -m repro attack sha --scale tiny --class all --per-class 4 \
+	    --workers 2 --seed 42 --out results/attack_smoke.jsonl --resume \
+	    --json results/attack_smoke.json
 
 clean:
 	rm -rf results .pytest_cache

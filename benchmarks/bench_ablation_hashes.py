@@ -3,7 +3,7 @@
 from repro.eval.ablation_hashes import run_hash_ablation
 
 
-def test_hash_ablation(benchmark, save_result):
+def test_hash_ablation(benchmark, save_result, record_bench):
     result = benchmark.pedantic(
         run_hash_ablation,
         kwargs={"workload": "dijkstra", "scale": "small", "pair_count": 40},
@@ -11,6 +11,12 @@ def test_hash_ablation(benchmark, save_result):
         iterations=1,
     )
     save_result("ablation_hashes", result.table().render())
+    record_bench(
+        adversarial_coverage={
+            row.hash_name: round(row.adversarial_coverage, 4)
+            for row in result.rows
+        }
+    )
     # Position-dependent hashes catch what XOR cannot...
     assert result.row("crc32").adversarial_coverage == 1.0
     assert result.row("rotxor").adversarial_coverage == 1.0

@@ -3,9 +3,18 @@
 from repro.eval.ablation_policies import run_policy_ablation
 
 
-def test_policy_ablation(benchmark, save_result):
+def test_policy_ablation(benchmark, save_result, record_bench):
     result = benchmark.pedantic(run_policy_ablation, rounds=1, iterations=1)
     save_result("ablation_policies", result.table().render())
+    record_bench(
+        average_miss_rate={
+            policy: {
+                str(size): round(result.average(policy, size), 5)
+                for size in result.sizes
+            }
+            for policy in result.policies
+        }
+    )
     # Sanity: every (policy, size) average is a valid rate, and growing the
     # table never hurts under any policy.
     for policy in result.policies:

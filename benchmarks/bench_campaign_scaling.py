@@ -33,7 +33,7 @@ def _time_campaign(spec, faults, workers):
     return result, elapsed
 
 
-def test_campaign_scaling(save_result):
+def test_campaign_scaling(save_result, record_bench):
     spec = CampaignSpec(workload=WORKLOAD, scale=SCALE, iht_size=8)
     faults = CampaignRunner(spec).campaign.random_single_bit(
         FAULT_COUNT, seed=SEED
@@ -65,6 +65,15 @@ def test_campaign_scaling(save_result):
             ]
         )
     save_result("campaign_scaling", table.render())
+    record_bench(
+        cores=cores,
+        faults=FAULT_COUNT,
+        faults_per_second={
+            str(workers): round(value, 2)
+            for workers, value in throughputs.items()
+        },
+        summary=summaries[0],
+    )
 
     # Core guarantee: worker count never changes the statistics.
     assert len(set(summaries)) == 1, summaries

@@ -3,7 +3,7 @@
 from repro.eval.fault_analysis import run_fault_analysis
 
 
-def test_fault_analysis_xor(benchmark, save_result):
+def test_fault_analysis_xor(benchmark, save_result, record_bench):
     result = benchmark.pedantic(
         run_fault_analysis,
         kwargs={
@@ -16,6 +16,13 @@ def test_fault_analysis_xor(benchmark, save_result):
         iterations=1,
     )
     save_result("fault_analysis_xor", result.table().render())
+    record_bench(
+        coverage={
+            scenario.label: round(scenario.coverage, 4)
+            for scenario in result.scenarios
+        },
+        faults=sum(scenario.report.total for scenario in result.scenarios),
+    )
     # Paper §6.3: every single-bit flip in executed code is detected.
     assert result.scenario("single-bit (executed code)").coverage == 1.0
     # The adversarial same-column pattern escapes the XOR checksum.

@@ -11,9 +11,18 @@ from repro.eval.fig6_miss_rate import run_fig6
 from repro.osmodel.policies import get_policy
 
 
-def test_fig6_full_grid(benchmark, save_result):
+def test_fig6_full_grid(benchmark, save_result, record_bench):
     result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
     save_result("fig6_miss_rate", result.table().render())
+    record_bench(
+        miss_rates={
+            row.workload: {
+                str(size): round(rate, 5)
+                for size, rate in row.miss_rates.items()
+            }
+            for row in result.rows
+        }
+    )
     # Sanity: the paper's headline orderings hold at full scale.
     assert result.miss_rate("stringsearch", 16) > result.miss_rate("bitcount", 16)
     assert result.miss_rate("bitcount", 8) < 0.01

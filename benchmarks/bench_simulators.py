@@ -13,7 +13,7 @@ from repro.pipeline.funcsim import FuncSim
 from repro.workloads.suite import build, workload_inputs
 
 
-def test_funcsim_throughput(benchmark):
+def test_funcsim_throughput(benchmark, record_bench):
     program = build("sha", "tiny")
 
     def run():
@@ -21,10 +21,11 @@ def test_funcsim_throughput(benchmark):
 
     result = benchmark(run)
     benchmark.extra_info["instructions"] = result.instructions
+    record_bench(instructions=result.instructions)
     assert result.exit_code == 0
 
 
-def test_pipeline_throughput(benchmark):
+def test_pipeline_throughput(benchmark, record_bench):
     program = build("sha", "tiny")
 
     def run():
@@ -32,10 +33,11 @@ def test_pipeline_throughput(benchmark):
 
     result = benchmark(run)
     benchmark.extra_info["cycles"] = result.cycles
+    record_bench(cycles=result.cycles)
     assert result.exit_code == 0
 
 
-def test_decode_throughput(benchmark):
+def test_decode_throughput(benchmark, record_bench):
     program = build("rijndael", "tiny")
     words = [program.text.word_at(a) for a in program.text_addresses()]
 
@@ -43,6 +45,7 @@ def test_decode_throughput(benchmark):
         return [decode(word) for word in words]
 
     decoded = benchmark(decode_all)
+    record_bench(words=len(words))
     assert len(decoded) == len(words)
 
 

@@ -8,9 +8,15 @@ tests) and regenerates the paper's Table 1 rows.
 from repro.eval.table1_cycles import run_table1
 
 
-def test_table1_cycle_overheads(benchmark, save_result):
+def test_table1_cycle_overheads(benchmark, save_result, record_bench):
     result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
     save_result("table1_cycles", result.table().render())
+    record_bench(
+        normalized_overhead_iht8={
+            row.workload: round(row.normalized_overhead(8), 4)
+            for row in result.rows
+        }
+    )
     # Paper shape: overhead shrinks (weakly) from 8 to 16 entries...
     for row in result.rows:
         assert row.overhead(16) <= row.overhead(8) + 1e-9

@@ -4,9 +4,15 @@ from repro.area.synthesis import synthesize
 from repro.eval.table2_area import run_table2
 
 
-def test_table2_synthesis(benchmark, save_result):
+def test_table2_synthesis(benchmark, save_result, record_bench):
     result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
     save_result("table2_area", result.table().render())
+    record_bench(
+        area_overhead_percent={
+            str(entries): round(result.row(entries).area_overhead, 2)
+            for entries in (1, 8, 16)
+        }
+    )
     baseline = result.row(None)
     assert baseline.report.cell_area == 2_136_594
     assert abs(result.row(1).area_overhead - 2.7) < 0.1

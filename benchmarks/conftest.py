@@ -1,9 +1,18 @@
-"""Benchmark support: every harness writes its rendered table under
-``results/`` so the regenerated paper artifacts are inspectable files."""
+"""Benchmark support.
+
+Every harness writes its rendered table under ``results/`` so the
+regenerated paper artifacts are inspectable files, and every benchmark
+module accumulates a machine-readable ``results/BENCH_<module>.json`` —
+wall-clock seconds per test (recorded automatically) plus whatever key
+stats the test adds via ``record_bench`` — so the performance trajectory
+is trackable across PRs with ``git diff``-able artifacts.
+"""
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
 
 import pytest
 
@@ -26,3 +35,48 @@ def save_result(results_dir):
         print(f"\n{text}\n[saved to {path}]")
 
     return writer
+
+
+@pytest.fixture(scope="session")
+def _bench_json_reset() -> set:
+    """Paths already rewritten this session (stale entries dropped once)."""
+    return set()
+
+
+@pytest.fixture
+def record_bench(results_dir, request, _bench_json_reset):
+    """Merge stats for this test into results/BENCH_<module>.json.
+
+    Call as ``record_bench(faults_per_second=123.4, ...)``; values must be
+    JSON-serializable.  Repeated calls merge keys.  The autouse timer
+    below contributes the ``seconds`` key for every benchmark test, so
+    modules that have nothing extra to report still emit their file.
+
+    Each module's file starts fresh on its first write of a session, so
+    renamed or deleted tests cannot leave stale entries behind, and a
+    truncated file from a killed run is simply overwritten.
+    """
+    module = request.module.__name__
+    path = results_dir / f"BENCH_{module}.json"
+
+    def recorder(**stats) -> None:
+        payload = {"benchmark": module, "results": {}}
+        if path in _bench_json_reset and path.exists():
+            try:
+                payload = json.loads(path.read_text())
+            except json.JSONDecodeError:
+                pass  # torn file from an interrupted run: start fresh
+        _bench_json_reset.add(path)
+        entry = payload["results"].setdefault(request.node.name, {})
+        entry.update(stats)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    return recorder
+
+
+@pytest.fixture(autouse=True)
+def _record_bench_seconds(record_bench):
+    """Record every benchmark test's wall-clock duration."""
+    start = time.perf_counter()
+    yield
+    record_bench(seconds=round(time.perf_counter() - start, 4))

@@ -1,25 +1,34 @@
 #!/usr/bin/env python3
-"""Security scenario walkthrough: three attacks, three detections.
+"""Security scenario walkthrough on the attack subsystem.
 
-The paper's threat model covers code modified *after* any load-time
-checkpoint.  This example stages three such attacks against a toy
-"credential check" and shows the in-pipeline monitor catching each:
+The paper's threat model is code modified *after* the load-time
+checkpoint.  The original version of this example hand-patched three
+attacks against a toy "credential check"; all three are now *instances of
+attack classes* that :mod:`repro.attacks` enumerates systematically:
 
-1. **logic inversion** — patch the comparison so every password passes;
-2. **code injection** — overwrite the denial path with an unconditional
-   jump into the grant path;
-3. **transient fetch fault** — the stored code is pristine, but one fetch
-   delivers a flipped bit into the pipeline (the case a memory-resident
-   integrity checker cannot see, Section 3.2 of the paper).
+1. **logic inversion** (`logic-invert`) — the password comparison
+   ``bne`` becomes ``beq``, so every wrong code is accepted;
+2. **code injection** (`jump-splice`) — the denial path's first
+   instruction becomes an unconditional jump into the grant path;
+3. **fetch-path tampering** — the stored code is pristine, but one fetch
+   delivers a corrupted word into the pipeline (the case a
+   memory-resident integrity checker cannot see, §3.2).  Shown both as a
+   raw :class:`~repro.faults.TransientFetchFault` and as the transient
+   variant of the inversion attack — faults and attack scenarios are
+   interchangeable perturbations to the campaign kernel.
+
+Each attack runs through :func:`repro.faults.run_one`, the same kernel
+fault campaigns and ``python -m repro attack`` sweeps use, which also
+reports the *detection latency* (instructions between the corrupted fetch
+and the monitor's violation).
 
 Run:  python examples/tamper_detection.py
 """
 
 from repro.asm import assemble
-from repro.errors import MonitorViolation
-from repro.faults import TransientFetchFault, make_fetch_hook
-from repro.osmodel import load_process
-from repro.pipeline import FuncSim, PipelineCPU
+from repro.attacks import AttackCorpus
+from repro.faults import TransientFetchFault, build_context, run_one
+from repro.pipeline import FuncSim
 
 # A toy gatekeeper: prints 1 if the entered code equals the secret, else 0.
 SOURCE = """
@@ -43,57 +52,59 @@ report: li   $v0, 1
 WRONG_CODE = [1234]
 
 
-def fresh(engine=FuncSim, fetch_hook=None):
-    """Assemble + load a fresh monitored instance of the gatekeeper."""
-    program = assemble(SOURCE, name="gatekeeper")
-    process = load_process(program, iht_size=8)
-    simulator = engine(
-        program,
-        monitor=process.monitor,
-        inputs=list(WRONG_CODE),
-        fetch_hook=fetch_hook,
+def find_scenario(corpus, attack_class, label):
+    for scenario in corpus.enumerate(attack_class):
+        if scenario.label == label:
+            return scenario
+    raise LookupError(f"{attack_class}: no scenario labelled {label!r}")
+
+
+def report(label, result):
+    latency = (
+        f" after {result.latency} instruction(s)"
+        if result.latency is not None
+        else ""
     )
-    return program, simulator
-
-
-def report(label, simulator):
-    try:
-        result = simulator.run()
-        print(f"{label}: NOT detected — printed {result.console!r} "
-              "(this should not happen)")
-    except MonitorViolation as violation:
-        print(f"{label}: DETECTED — {violation}")
+    print(f"{label}: {result.outcome.value}{latency} — {result.detail}")
 
 
 def main() -> None:
+    program = assemble(SOURCE, name="gatekeeper")
+    context = build_context(program, iht_size=8, inputs=list(WRONG_CODE))
+    corpus = AttackCorpus.from_context(context)
+
     # Baseline: wrong code is denied, monitor silent.
-    _, simulator = fresh()
-    result = simulator.run()
-    print(f"baseline: wrong code denied, printed {result.console!r}, "
-          f"{result.monitor_stats.mismatches} mismatches")
+    result = FuncSim(program, inputs=list(WRONG_CODE)).run()
+    print(f"baseline: wrong code denied, printed {result.console!r}")
 
-    # Attack 1: invert the comparison (bne opcode 5 -> beq opcode 4).
-    program, simulator = fresh()
     check = program.symbols["check"]
-    word = simulator.state.memory.read_word(check)
-    simulator.state.memory.write_word(check, (word & ~(0x3F << 26)) | (4 << 26))
-    report("attack 1 (bne -> beq)", simulator)
-
-    # Attack 2: overwrite the deny path with `j grant`.
-    program, simulator = fresh()
+    deny = program.symbols["deny"]
     grant = program.symbols["grant"]
-    simulator.state.memory.write_word(
-        program.symbols["deny"], (2 << 26) | ((grant >> 2) & 0x03FF_FFFF)
-    )
-    report("attack 2 (inject jump)", simulator)
 
-    # Attack 3: transient fault on the fetch path; memory stays pristine.
-    # Shown on the cycle-level pipeline: the monitoring microoperations in
-    # IF hash the word that actually entered the pipeline.
-    program, _ = fresh()
-    fault = TransientFetchFault(program.symbols["check"], (16,), occurrence=1)
-    _, simulator = fresh(engine=PipelineCPU, fetch_hook=make_fetch_hook([fault]))
-    report("attack 3 (fetch-path soft error)", simulator)
+    # Attack 1: invert the password comparison (bne -> beq).
+    inversion = find_scenario(corpus, "logic-invert", f"bne->beq@{check:#x}")
+    report("attack 1 (bne -> beq)", run_one(context, inversion))
+
+    # Attack 2: splice `j grant` over the deny path.
+    splice = find_scenario(corpus, "jump-splice", f"{deny:#x}~>j:{grant:#x}")
+    report("attack 2 (inject jump)", run_one(context, splice))
+
+    # Attack 3a: transient soft error on the fetch path; memory pristine.
+    fault = TransientFetchFault(check, (16,), occurrence=1)
+    report("attack 3a (fetch-path soft error)", run_one(context, fault))
+
+    # Attack 3b: the same inversion as attack 1, delivered transiently.
+    report(
+        "attack 3b (transient inversion)",
+        run_one(context, inversion.as_transient()),
+    )
+
+    # The corpus holds every instance of every class against this program.
+    counts = corpus.class_counts()
+    print(
+        "corpus for the gatekeeper: "
+        + ", ".join(f"{name}={counts[name]}" for name in sorted(counts))
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,59 @@
+"""Adversarial tampering corpus engine.
+
+The paper's threat model is *deliberate* code modification — injection,
+logic inversion, control-flow hijacking — yet random bit flips are a poor
+stand-in for an adversary who patches whole, valid instructions.  This
+package generates systematic, program-aware attack scenarios and makes
+them first-class citizens of the campaign engine:
+
+* :mod:`repro.attacks.scenario` — :class:`AttackScenario`, a named set of
+  encoding-valid code patches satisfying the
+  :class:`repro.faults.models.Perturbation` protocol (persistent or
+  transient-fetch delivery);
+* :mod:`repro.attacks.generators` — one deterministic generator per
+  attack class (branch retargeting, logic inversion, opcode substitution,
+  jump splicing, NOP slides), each enumerating every instance against a
+  program's executed code;
+* :mod:`repro.attacks.corpus` — :class:`AttackCorpus`, seeded sampling
+  and corpus assembly for sweeps.
+
+Because scenarios are perturbations, they run through the same
+:func:`repro.faults.campaign.run_one` kernel, multiprocessing pool, JSONL
+streaming, and resume machinery as fault campaigns — see
+:mod:`repro.eval.attack_coverage` for the detection-coverage matrix and
+``python -m repro attack`` for the CLI.
+"""
+
+from repro.attacks.corpus import AttackCorpus, class_seed, resolve_classes
+from repro.attacks.generators import (
+    ATTACK_CLASSES,
+    GENERATORS,
+    MAX_SLIDE,
+    NOP_WORD,
+    PERSISTENT_CLASSES,
+    generate_branch_retarget,
+    generate_jump_splice,
+    generate_logic_inversion,
+    generate_nop_slide,
+    generate_opcode_substitution,
+)
+from repro.attacks.scenario import TRANSIENT_SUFFIX, AttackScenario, CodePatch
+
+__all__ = [
+    "ATTACK_CLASSES",
+    "AttackCorpus",
+    "AttackScenario",
+    "CodePatch",
+    "GENERATORS",
+    "MAX_SLIDE",
+    "NOP_WORD",
+    "PERSISTENT_CLASSES",
+    "TRANSIENT_SUFFIX",
+    "class_seed",
+    "generate_branch_retarget",
+    "generate_jump_splice",
+    "generate_logic_inversion",
+    "generate_nop_slide",
+    "generate_opcode_substitution",
+    "resolve_classes",
+]

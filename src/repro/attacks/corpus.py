@@ -1,0 +1,139 @@
+"""Deterministic attack-corpus construction for one program.
+
+An :class:`AttackCorpus` binds a program and the set of addresses its
+golden run executes, and turns the generators of
+:mod:`repro.attacks.generators` into seeded, reproducible scenario lists:
+
+* :meth:`AttackCorpus.enumerate` — every instance of one attack class, in
+  canonical order (transient variants are derived from the persistent
+  enumeration, so the two variants of a class pair up index-for-index);
+* :meth:`AttackCorpus.sample` — a seeded subset that preserves canonical
+  order; the sample drawn for ``(seed, attack_class)`` is independent of
+  every other class's sample and of the process drawing it;
+* :meth:`AttackCorpus.build` — the concatenated corpus for a sweep, the
+  list handed to :class:`repro.exec.runner.CampaignRunner`.
+
+Seeds are derived by hashing ``(seed, attack_class)`` — the same scheme as
+:func:`repro.exec.spec.shard_seed` — so adding or reordering classes never
+perturbs another class's sample.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.asm.program import Program
+from repro.attacks.generators import (
+    ATTACK_CLASSES,
+    GENERATORS,
+    PERSISTENT_CLASSES,
+)
+from repro.attacks.scenario import AttackScenario, TRANSIENT_SUFFIX
+from repro.errors import ConfigurationError
+from repro.utils.seeds import derive_seed
+
+
+def class_seed(seed: int, attack_class: str) -> int:
+    """Deterministic per-class sampling seed, independent of class order."""
+    return derive_seed(f"{seed}:{attack_class}")
+
+
+def resolve_classes(names) -> tuple[str, ...]:
+    """Expand ``"all"`` / ``"persistent"`` / ``"transient"`` and validate.
+
+    Returns classes in canonical :data:`ATTACK_CLASSES` order regardless of
+    the order requested, so corpora are insensitive to CLI argument order.
+    """
+    if isinstance(names, str):
+        names = (names,)
+    requested: set[str] = set()
+    for name in names:
+        if name == "all":
+            requested.update(ATTACK_CLASSES)
+        elif name == "persistent":
+            requested.update(PERSISTENT_CLASSES)
+        elif name == "transient":
+            requested.update(
+                cls for cls in ATTACK_CLASSES if cls.endswith(TRANSIENT_SUFFIX)
+            )
+        elif name in ATTACK_CLASSES:
+            requested.add(name)
+        else:
+            raise ConfigurationError(
+                f"unknown attack class {name!r}; available: "
+                f"{', '.join(ATTACK_CLASSES)} (or all/persistent/transient)"
+            )
+    return tuple(cls for cls in ATTACK_CLASSES if cls in requested)
+
+
+@dataclass(slots=True)
+class AttackCorpus:
+    """Seeded scenario factory for one (program, executed-set) pair."""
+
+    program: Program
+    executed: tuple[int, ...]
+    _cache: dict[str, list[AttackScenario]] = field(
+        default_factory=dict, repr=False
+    )
+
+    @classmethod
+    def from_context(cls, context) -> "AttackCorpus":
+        """Build from a :class:`repro.faults.campaign.CampaignContext`."""
+        return cls(
+            program=context.program,
+            executed=tuple(context.executed_addresses),
+        )
+
+    def enumerate(self, attack_class: str) -> list[AttackScenario]:
+        """Every scenario of *attack_class*, in canonical order."""
+        cached = self._cache.get(attack_class)
+        if cached is not None:
+            return cached
+        if attack_class.endswith(TRANSIENT_SUFFIX):
+            base = attack_class[: -len(TRANSIENT_SUFFIX)]
+            scenarios = [
+                scenario.as_transient()
+                for scenario in self.enumerate(base)
+            ]
+        else:
+            generator = GENERATORS.get(attack_class)
+            if generator is None:
+                raise ConfigurationError(
+                    f"unknown attack class {attack_class!r}; available: "
+                    f"{', '.join(ATTACK_CLASSES)}"
+                )
+            scenarios = generator(self.program, self.executed)
+        self._cache[attack_class] = scenarios
+        return scenarios
+
+    def sample(
+        self, attack_class: str, count: int, seed: int = 0
+    ) -> list[AttackScenario]:
+        """A seeded, order-preserving sample of one class's enumeration."""
+        if count < 0:
+            raise ConfigurationError(
+                f"sample count must be >= 0, got {count}"
+            )
+        scenarios = self.enumerate(attack_class)
+        if count >= len(scenarios):
+            return list(scenarios)
+        rng = random.Random(class_seed(seed, attack_class))
+        picks = sorted(rng.sample(range(len(scenarios)), count))
+        return [scenarios[index] for index in picks]
+
+    def build(
+        self, classes=("all",), per_class: int = 8, seed: int = 0
+    ) -> list[AttackScenario]:
+        """The corpus for a sweep: up to *per_class* scenarios per class."""
+        corpus: list[AttackScenario] = []
+        for attack_class in resolve_classes(classes):
+            corpus.extend(self.sample(attack_class, per_class, seed))
+        return corpus
+
+    def class_counts(self) -> dict[str, int]:
+        """Total enumerable scenarios per attack class (for reporting)."""
+        return {
+            attack_class: len(self.enumerate(attack_class))
+            for attack_class in ATTACK_CLASSES
+        }

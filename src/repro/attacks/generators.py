@@ -1,0 +1,299 @@
+"""CFG-aware attack generators.
+
+Each generator enumerates every instance of one attack class against a
+program, restricted to *executed* code (the paper's detection scope: "only
+the errors on the executed instructions/basic blocks can be detected").
+Enumeration order is deterministic — sorted by victim address, then by
+target/substitution — so a corpus built from the same program and executed
+set is identical in every process, which is what lets attack sweeps shard
+across workers without changing results.
+
+Every patch word is a *valid* encoding (same operand-field constraints as
+the original instruction class), so the baseline decoder alone cannot
+reject it — these are the semantic, program-aware modifications a real
+adversary would make, not random bit noise:
+
+=================  =====================================================
+class              modification
+=================  =====================================================
+``branch-retarget``  a conditional branch's offset is rewritten to send
+                     the taken edge to a different basic-block entry
+``logic-invert``     a comparison or logic operation is inverted
+                     (``beq``/``bne``, ``blez``/``bgtz``, ``bltz``/
+                     ``bgez``, ``and``/``or``, ``xor``/``nor``,
+                     ``slt``/``sltu``, ``add``/``sub``, ``addu``/
+                     ``subu``)
+``opcode-sub``       an opcode is replaced by another member of its
+                     format class, operand fields untouched
+``jump-splice``      the first instruction of an executed block is
+                     overwritten with an unconditional ``j`` into some
+                     other path — the classic dead-path payload splice
+``nop-slide``        a run of non-control instructions is overwritten
+                     with NOPs, silently disabling computation
+=================  =====================================================
+
+Transient-fetch variants of every class (patches delivered on the n-th
+fetch instead of written to memory) are derived by
+:class:`repro.attacks.corpus.AttackCorpus`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.asm.program import Program
+from repro.attacks.scenario import AttackScenario, CodePatch, TRANSIENT_SUFFIX
+from repro.cfg.basic_blocks import entry_points
+from repro.errors import DecodingError
+from repro.isa.encoding import decode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import FUNCT_CODES, PRIMARY_OPCODES, REGIMM_CODES, Mnemonic
+from repro.isa.properties import BRANCHES, branch_target, is_control_flow
+
+#: The canonical NOP encoding (``sll $zero, $zero, 0``).
+NOP_WORD = 0x0000_0000
+
+#: Longest NOP-slide a single scenario overwrites.
+MAX_SLIDE = 4
+
+Generator = Callable[[Program, Sequence[int]], list[AttackScenario]]
+
+
+def _decode_executed(
+    program: Program, executed: Sequence[int]
+) -> list[tuple[int, Instruction]]:
+    """(address, instruction) for every decodable executed word, sorted."""
+    pairs: list[tuple[int, Instruction]] = []
+    for address in sorted(executed):
+        try:
+            pairs.append((address, decode(program.text.word_at(address), address)))
+        except DecodingError:
+            continue
+    return pairs
+
+
+def _swap_opcode(word: int, mnemonic: Mnemonic) -> int:
+    """Replace the primary-opcode field, keeping all operand fields."""
+    return (PRIMARY_OPCODES[mnemonic] << 26) | (word & 0x03FF_FFFF)
+
+
+def _swap_funct(word: int, mnemonic: Mnemonic) -> int:
+    """Replace the R-type funct field, keeping all operand fields."""
+    return (word & ~0x3F) | FUNCT_CODES[mnemonic]
+
+
+def _swap_regimm(word: int, mnemonic: Mnemonic) -> int:
+    """Replace the REGIMM rt-selector field (bltz/bgez)."""
+    return (word & ~(0x1F << 16)) | (REGIMM_CODES[mnemonic] << 16)
+
+
+def generate_branch_retarget(
+    program: Program, executed: Sequence[int]
+) -> list[AttackScenario]:
+    """Rewrite each executed conditional branch to every other block entry."""
+    entries = sorted(entry_points(program))
+    scenarios: list[AttackScenario] = []
+    for address, instruction in _decode_executed(program, executed):
+        if instruction.mnemonic not in BRANCHES:
+            continue
+        current = branch_target(instruction, address)
+        for target in entries:
+            if target == current:
+                continue
+            offset = (target - (address + 4)) >> 2
+            if not -32768 <= offset <= 32767:
+                continue
+            word = (instruction.word & ~0xFFFF) | (offset & 0xFFFF)
+            scenarios.append(
+                AttackScenario(
+                    attack_class="branch-retarget",
+                    label=f"{instruction.mnemonic}@{address:#x}->{target:#x}",
+                    patches=(CodePatch(address, word),),
+                )
+            )
+    return scenarios
+
+
+#: Inversion pairs, each applied in both directions.
+_OPCODE_INVERSIONS = (
+    (Mnemonic.BEQ, Mnemonic.BNE),
+    (Mnemonic.BLEZ, Mnemonic.BGTZ),
+)
+_REGIMM_INVERSIONS = ((Mnemonic.BLTZ, Mnemonic.BGEZ),)
+_FUNCT_INVERSIONS = (
+    (Mnemonic.AND, Mnemonic.OR),
+    (Mnemonic.XOR, Mnemonic.NOR),
+    (Mnemonic.SLT, Mnemonic.SLTU),
+    (Mnemonic.ADD, Mnemonic.SUB),
+    (Mnemonic.ADDU, Mnemonic.SUBU),
+)
+
+
+def _inversion_map() -> dict[Mnemonic, tuple[Mnemonic, Callable[[int, Mnemonic], int]]]:
+    table: dict[Mnemonic, tuple[Mnemonic, Callable[[int, Mnemonic], int]]] = {}
+    for pairs, swap in (
+        (_OPCODE_INVERSIONS, _swap_opcode),
+        (_REGIMM_INVERSIONS, _swap_regimm),
+        (_FUNCT_INVERSIONS, _swap_funct),
+    ):
+        for left, right in pairs:
+            table[left] = (right, swap)
+            table[right] = (left, swap)
+    return table
+
+
+def generate_logic_inversion(
+    program: Program, executed: Sequence[int]
+) -> list[AttackScenario]:
+    """Invert every executed comparison/logic instruction."""
+    inversions = _inversion_map()
+    scenarios: list[AttackScenario] = []
+    for address, instruction in _decode_executed(program, executed):
+        entry = inversions.get(instruction.mnemonic)
+        if entry is None:
+            continue
+        inverse, swap = entry
+        scenarios.append(
+            AttackScenario(
+                attack_class="logic-invert",
+                label=f"{instruction.mnemonic}->{inverse}@{address:#x}",
+                patches=(CodePatch(address, swap(instruction.word, inverse)),),
+            )
+        )
+    return scenarios
+
+
+#: Substitution groups: every member's encoding is valid for every other
+#: member with the operand fields unchanged.
+_SUBSTITUTION_GROUPS: tuple[tuple[Mnemonic, ...], ...] = (
+    (
+        Mnemonic.ADDI, Mnemonic.ADDIU, Mnemonic.SLTI, Mnemonic.SLTIU,
+        Mnemonic.ANDI, Mnemonic.ORI, Mnemonic.XORI,
+    ),
+    (Mnemonic.LB, Mnemonic.LH, Mnemonic.LW, Mnemonic.LBU, Mnemonic.LHU),
+    (Mnemonic.SB, Mnemonic.SH, Mnemonic.SW),
+    (
+        Mnemonic.ADD, Mnemonic.ADDU, Mnemonic.SUB, Mnemonic.SUBU,
+        Mnemonic.AND, Mnemonic.OR, Mnemonic.XOR, Mnemonic.NOR,
+        Mnemonic.SLT, Mnemonic.SLTU,
+    ),
+    (Mnemonic.SLL, Mnemonic.SRL, Mnemonic.SRA),
+    (Mnemonic.SLLV, Mnemonic.SRLV, Mnemonic.SRAV),
+)
+
+
+def generate_opcode_substitution(
+    program: Program, executed: Sequence[int]
+) -> list[AttackScenario]:
+    """Swap each executed opcode for every other member of its class."""
+    group_of: dict[Mnemonic, tuple[Mnemonic, ...]] = {}
+    for group in _SUBSTITUTION_GROUPS:
+        for member in group:
+            group_of[member] = group
+    scenarios: list[AttackScenario] = []
+    for address, instruction in _decode_executed(program, executed):
+        group = group_of.get(instruction.mnemonic)
+        if group is None:
+            continue
+        swap = _swap_funct if instruction.mnemonic in FUNCT_CODES else _swap_opcode
+        for substitute in group:
+            if substitute is instruction.mnemonic:
+                continue
+            word = swap(instruction.word, substitute)
+            if word == instruction.word:
+                continue
+            scenarios.append(
+                AttackScenario(
+                    attack_class="opcode-sub",
+                    label=f"{instruction.mnemonic}->{substitute}@{address:#x}",
+                    patches=(CodePatch(address, word),),
+                )
+            )
+    return scenarios
+
+
+def generate_jump_splice(
+    program: Program, executed: Sequence[int]
+) -> list[AttackScenario]:
+    """Overwrite executed block entries with ``j`` into every other entry.
+
+    This is the generalisation of the classic "jump the denial path into
+    the grant path" injection: the victim instruction starts a block the
+    golden run executes, and the spliced jump redirects control to an
+    arbitrary entry point — typically a path the pristine run never takes.
+    """
+    entries = sorted(entry_points(program))
+    executed_set = frozenset(executed)
+    scenarios: list[AttackScenario] = []
+    for victim in entries:
+        if victim not in executed_set:
+            continue
+        original = program.text.word_at(victim)
+        for target in entries:
+            word = (PRIMARY_OPCODES[Mnemonic.J] << 26) | (
+                (target >> 2) & 0x03FF_FFFF
+            )
+            if word == original or target == victim:
+                continue
+            scenarios.append(
+                AttackScenario(
+                    attack_class="jump-splice",
+                    label=f"{victim:#x}~>j:{target:#x}",
+                    patches=(CodePatch(victim, word),),
+                )
+            )
+    return scenarios
+
+
+def generate_nop_slide(
+    program: Program, executed: Sequence[int]
+) -> list[AttackScenario]:
+    """Overwrite runs of executed straight-line code with NOPs.
+
+    A slide of up to :data:`MAX_SLIDE` instructions starts at *every*
+    straight-line address, so slides within one run overlap as suffixes.
+    That is deliberate: an adversary chooses the slide's alignment, and
+    alignment is exactly what decides whether the overwritten words'
+    checksum contribution cancels (the XOR escape the coverage matrix
+    surfaces) — enumerating only maximal runs would hide those instances.
+    """
+    decoded = dict(_decode_executed(program, executed))
+    scenarios: list[AttackScenario] = []
+    for start in sorted(decoded):
+        patches: list[CodePatch] = []
+        address = start
+        while (
+            len(patches) < MAX_SLIDE
+            and address in decoded
+            and not is_control_flow(decoded[address])
+        ):
+            if decoded[address].word != NOP_WORD:
+                patches.append(CodePatch(address, NOP_WORD))
+            address += 4
+        if patches:
+            scenarios.append(
+                AttackScenario(
+                    attack_class="nop-slide",
+                    label=f"{start:#x}+{len(patches)}",
+                    patches=tuple(patches),
+                )
+            )
+    return scenarios
+
+
+#: Attack-class registry: name -> generator (persistent delivery).
+GENERATORS: dict[str, Generator] = {
+    "branch-retarget": generate_branch_retarget,
+    "logic-invert": generate_logic_inversion,
+    "opcode-sub": generate_opcode_substitution,
+    "jump-splice": generate_jump_splice,
+    "nop-slide": generate_nop_slide,
+}
+
+#: Persistent attack classes, in canonical (corpus) order.
+PERSISTENT_CLASSES: tuple[str, ...] = tuple(GENERATORS)
+
+#: Every attack class, transient-fetch variants included.
+ATTACK_CLASSES: tuple[str, ...] = PERSISTENT_CLASSES + tuple(
+    name + TRANSIENT_SUFFIX for name in PERSISTENT_CLASSES
+)

@@ -1,0 +1,148 @@
+"""Attack scenarios: deliberate, program-aware code modifications.
+
+An :class:`AttackScenario` is a named set of word-level code patches that
+implements one instance of an attack class (branch retargeting, logic
+inversion, opcode substitution, jump splicing, NOP overwrite, …).  Unlike
+the random fault models, every patch is a *semantically meaningful* and
+*encoding-valid* replacement word, built from the program's own control
+structure by :mod:`repro.attacks.generators`.
+
+Scenarios satisfy the :class:`repro.faults.models.Perturbation` protocol,
+so they drop into :func:`repro.faults.campaign.run_one`, the parallel
+:class:`repro.exec.runner.CampaignRunner`, and the JSONL results format
+exactly like faults do.  Two delivery modes exist, mirroring the paper's
+threat model:
+
+* **persistent** (``transient=False``) — the stored words are overwritten
+  after the load-time checkpoint (memory-resident tampering, §3.1);
+* **transient** (``transient=True``) — the stored words stay pristine and
+  the patch words are delivered on the *n*-th fetch of each patched
+  address (fetch-path tampering that defeats load-time-only checking,
+  §3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Class-name suffix that marks the transient-delivery variant.
+TRANSIENT_SUFFIX = "/transient"
+
+
+@dataclass(frozen=True, slots=True)
+class CodePatch:
+    """Replace the instruction word at *address* with *word*."""
+
+    address: int
+    word: int
+
+    def describe(self) -> str:
+        return f"@{self.address:#010x}<-{self.word:#010x}"
+
+
+@dataclass(slots=True)
+class AttackScenario:
+    """One concrete attack: an attack class plus its code patches.
+
+    ``attack_class`` groups scenarios in the detection matrix (transient
+    variants carry the ``/transient`` suffix); ``label`` identifies the
+    specific instance (victim/target addresses, substituted mnemonics).
+    ``occurrence`` selects which fetch of each patched address delivers
+    the tampered word in transient mode (1-based, like
+    :class:`~repro.faults.models.TransientFetchFault`).
+    """
+
+    attack_class: str
+    label: str
+    patches: tuple[CodePatch, ...]
+    transient: bool = False
+    occurrence: int = 1
+    _seen: dict[int, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _patch_map: dict[int, CodePatch] = field(
+        init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.patches:
+            raise ConfigurationError(f"attack {self.label!r} has no patches")
+        if self.occurrence < 1:
+            raise ConfigurationError(
+                f"occurrence must be >= 1, got {self.occurrence}"
+            )
+        self._patch_map = {patch.address: patch for patch in self.patches}
+
+    # -- Perturbation protocol ------------------------------------------
+
+    def describe(self) -> str:
+        mode = "transient" if self.transient else "persistent"
+        patch_text = " ".join(patch.describe() for patch in self.patches)
+        return f"{self.attack_class} {self.label} [{mode}] {patch_text}"
+
+    def target_addresses(self) -> tuple[int, ...]:
+        return tuple(patch.address for patch in self.patches)
+
+    def apply_to_memory(self, memory) -> None:
+        """Persistent delivery: overwrite the stored words."""
+        if self.transient:
+            raise ConfigurationError(
+                f"transient attack {self.label!r} is delivered on the fetch "
+                "path, not written to memory"
+            )
+        for patch in self.patches:
+            memory.write_word(patch.address, patch.word)
+
+    def transform(self, address: int, word: int) -> int:
+        """Transient delivery: rewrite the *n*-th fetch of each address."""
+        patch = self._patch_map.get(address)
+        if patch is None:
+            return word
+        seen = self._seen.get(address, 0) + 1
+        self._seen[address] = seen
+        if seen == self.occurrence:
+            return patch.word
+        return word
+
+    def reset(self) -> None:
+        self._seen.clear()
+
+    # -- derivation and serialization -----------------------------------
+
+    def as_transient(self, occurrence: int = 1) -> "AttackScenario":
+        """The fetch-path variant of a persistent scenario."""
+        return AttackScenario(
+            attack_class=self.attack_class + TRANSIENT_SUFFIX,
+            label=self.label,
+            patches=self.patches,
+            transient=True,
+            occurrence=occurrence,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "attack",
+            "class": self.attack_class,
+            "label": self.label,
+            "patches": [
+                {"address": patch.address, "word": patch.word}
+                for patch in self.patches
+            ],
+            "transient": self.transient,
+            "occurrence": self.occurrence,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "AttackScenario":
+        return cls(
+            attack_class=data["class"],
+            label=data["label"],
+            patches=tuple(
+                CodePatch(patch["address"], patch["word"])
+                for patch in data["patches"]
+            ),
+            transient=data["transient"],
+            occurrence=data["occurrence"],
+        )

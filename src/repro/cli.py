@@ -33,6 +33,20 @@ Commands
     sharded across ``--workers`` processes; ``--out FILE`` streams JSONL
     records so ``--resume`` can pick an interrupted campaign back up from
     the last completed shard.  Results are identical for any worker count.
+
+``attack TARGET``
+    Run the adversarial tampering sweep (:mod:`repro.attacks`) against a
+    workload name or assembly file and print the detection matrix —
+    detection rate and latency per attack class.  ``--class`` selects
+    attack classes (repeatable; ``all``/``persistent``/``transient``),
+    ``--per-class`` the scenarios sampled per class.  Sweeps shard across
+    ``--workers``, stream to ``--out``, and ``--resume`` like campaigns;
+    the matrix is byte-identical for any worker count.
+
+Exit codes are uniform across commands: ``0`` success, ``1`` usage or
+toolchain error (including assembly failures), ``2`` a
+:class:`~repro.errors.MonitorViolation` — so scripts can distinguish
+"the monitor caught tampering" from "the tool failed".
 """
 
 from __future__ import annotations
@@ -40,11 +54,15 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import __version__
 from repro.asm.assembler import assemble
 from repro.errors import MonitorViolation, ReproError
 from repro.osmodel.loader import load_process
 from repro.pipeline.cpu import PipelineCPU
 from repro.pipeline.funcsim import FuncSim
+
+#: Exit code signalling a detected integrity violation (vs 1 = tool error).
+EXIT_VIOLATION = 2
 
 
 def _engine(name: str):
@@ -90,11 +108,7 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     for spec in args.flip or []:
         address_text, _, bit_text = spec.partition(":")
         simulator.state.memory.flip_bit(int(address_text, 0), int(bit_text))
-    try:
-        result = simulator.run()
-    except MonitorViolation as violation:
-        print(f"VIOLATION: {violation}", file=sys.stderr)
-        return 2
+    result = simulator.run()  # a MonitorViolation exits 2 via main()
     stats = result.monitor_stats
     if result.console:
         print(result.console, end="" if result.console.endswith("\n") else "\n")
@@ -134,36 +148,44 @@ def cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_campaign(args: argparse.Namespace) -> int:
+def _resolve_target(target: str) -> tuple[str | None, str | None, str | None]:
+    """``(workload, source, name)`` for a workload name or assembly file.
+
+    Returns ``(None, None, None)`` — after printing a diagnostic — when the
+    target is neither.
+    """
     import os
 
-    from repro.exec import CampaignRunner, CampaignSpec
-    from repro.faults.campaign import Outcome
     from repro.workloads.suite import WORKLOAD_NAMES
 
-    if args.target in WORKLOAD_NAMES:
-        spec = CampaignSpec(
-            workload=args.target,
-            scale=args.scale,
-            iht_size=args.iht,
-            hash_name=args.hash,
-            policy_name=args.policy,
-        )
-    elif os.path.exists(args.target):
-        spec = CampaignSpec(
-            source=_read_source(args.target),
-            name=args.target,
-            iht_size=args.iht,
-            hash_name=args.hash,
-            policy_name=args.policy,
-        )
-    else:
-        print(
-            f"unknown target {args.target!r}: not a workload "
-            f"({', '.join(WORKLOAD_NAMES)}) and no such file",
-            file=sys.stderr,
-        )
+    if target in WORKLOAD_NAMES:
+        return target, None, None
+    if os.path.exists(target):
+        return None, _read_source(target), target
+    print(
+        f"unknown target {target!r}: not a workload "
+        f"({', '.join(WORKLOAD_NAMES)}) and no such file",
+        file=sys.stderr,
+    )
+    return None, None, None
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.exec import CampaignRunner, CampaignSpec
+    from repro.faults.campaign import Outcome
+
+    workload, source, name = _resolve_target(args.target)
+    if workload is None and source is None:
         return 1
+    spec = CampaignSpec(
+        workload=workload,
+        scale=args.scale,
+        source=source,
+        name=name,
+        iht_size=args.iht,
+        hash_name=args.hash,
+        policy_name=args.policy,
+    )
     runner = CampaignRunner(spec, workers=args.workers, chunk_size=args.chunk)
     faults = runner.campaign.random_single_bit(args.faults, seed=args.seed)
     result = runner.run(
@@ -180,6 +202,43 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print(f"; {state} results in {args.out} "
               f"({len(result.records)}/{result.total} faults, "
               f"{args.workers} workers)", file=sys.stderr)
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    from repro.eval.attack_coverage import run_attack_coverage
+
+    workload, source, name = _resolve_target(args.target)
+    if workload is None and source is None:
+        return 1
+    result = run_attack_coverage(
+        workload=workload,
+        scale=args.scale,
+        source=source,
+        name=name,
+        classes=tuple(args.attack_class) if args.attack_class else ("all",),
+        per_class=args.per_class,
+        hash_names=tuple(args.hash) if args.hash else ("xor",),
+        policy_names=tuple(args.policy) if args.policy else ("lru_half",),
+        iht_size=args.iht,
+        inputs=args.input or None,
+        seed=args.seed,
+        workers=args.workers,
+        chunk_size=args.chunk,
+        out=args.out,
+        resume=args.resume,
+    )
+    print(result.table().render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(result.render_json())
+        print(f"; detection matrix written to {args.json}", file=sys.stderr)
+    if result.out_files:
+        print(
+            f"; per-scenario records in {', '.join(result.out_files)} "
+            f"({args.workers} workers)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -210,6 +269,9 @@ def cmd_experiments(args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Fei & Shi (DATE 2007) reproduction toolkit"
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -290,6 +352,61 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_command.add_argument("--policy", default="lru_half")
     campaign_command.set_defaults(handler=cmd_campaign)
 
+    attack_command = commands.add_parser(
+        "attack", help="adversarial tampering sweep + detection matrix"
+    )
+    attack_command.add_argument(
+        "target", help="workload name or assembly file path"
+    )
+    attack_command.add_argument(
+        "--scale", choices=("tiny", "small", "default"), default="small"
+    )
+    attack_command.add_argument(
+        "--class", dest="attack_class", action="append", metavar="NAME",
+        help="attack class to sweep (repeatable; also all/persistent/"
+             "transient; default all)",
+    )
+    attack_command.add_argument(
+        "--per-class", type=int, default=8,
+        help="scenarios sampled per attack class (default 8)",
+    )
+    attack_command.add_argument(
+        "--input", type=int, action="append",
+        help="queue an integer for read_int (repeatable)",
+    )
+    attack_command.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (default 1: serial, in-process)",
+    )
+    attack_command.add_argument(
+        "--seed", type=int, default=42,
+        help="corpus-sampling and campaign seed",
+    )
+    attack_command.add_argument(
+        "--out", help="stream per-scenario JSONL records to this file"
+    )
+    attack_command.add_argument(
+        "--resume", action="store_true",
+        help="skip shards already committed to --out",
+    )
+    attack_command.add_argument(
+        "--json", help="also write the detection matrix as JSON to this file"
+    )
+    attack_command.add_argument(
+        "--chunk", type=int, default=16,
+        help="scenarios per shard (the unit of distribution and resume)",
+    )
+    attack_command.add_argument("--iht", type=int, default=8)
+    attack_command.add_argument(
+        "--hash", action="append", metavar="NAME",
+        help="hash function column (repeatable; default xor)",
+    )
+    attack_command.add_argument(
+        "--policy", action="append", metavar="NAME",
+        help="IHT replacement policy column (repeatable; default lru_half)",
+    )
+    attack_command.set_defaults(handler=cmd_attack)
+
     experiments_command = commands.add_parser(
         "experiments", help="regenerate paper tables/figures"
     )
@@ -305,6 +422,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except MonitorViolation as violation:
+        # A detection event, not a tool failure: distinct exit code so
+        # scripts can tell "tampering caught" from "invocation broken".
+        print(f"VIOLATION: {violation}", file=sys.stderr)
+        return EXIT_VIOLATION
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

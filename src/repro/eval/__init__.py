@@ -10,6 +10,8 @@ script drive these and write the outputs under ``results/``.
 * :mod:`repro.eval.table1_cycles` — Table 1: cycle counts and overheads.
 * :mod:`repro.eval.table2_area` — Table 2: synthesis area/period.
 * :mod:`repro.eval.fault_analysis` — Section 6.3: detection coverage.
+* :mod:`repro.eval.attack_coverage` — adversarial detection matrix
+  (rate + latency per attack class × hash × policy).
 * :mod:`repro.eval.ablation_policies` — replacement-policy ablation (A1).
 * :mod:`repro.eval.ablation_hashes` — hash-algorithm ablation (A2).
 """
@@ -17,11 +19,13 @@ script drive these and write the outputs under ``results/``.
 from repro.eval.fig6_miss_rate import run_fig6
 from repro.eval.table1_cycles import run_table1
 from repro.eval.table2_area import run_table2
+from repro.eval.attack_coverage import run_attack_coverage
 from repro.eval.fault_analysis import run_fault_analysis
 from repro.eval.ablation_policies import run_policy_ablation
 from repro.eval.ablation_hashes import run_hash_ablation
 
 __all__ = [
+    "run_attack_coverage",
     "run_fault_analysis",
     "run_fig6",
     "run_hash_ablation",

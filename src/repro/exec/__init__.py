@@ -1,10 +1,11 @@
-"""Campaign-execution engine: parallel, resumable fault sweeps.
+"""Campaign-execution engine: parallel, resumable perturbation sweeps.
 
 The paper's Section 6.3 coverage numbers come from injecting thousands of
 faults per workload; this package is the substrate that makes such sweeps
-(and every future large sweep — Figure 6 IHT sizing, hash/policy ablations,
-design-space exploration) scale across CPU cores without giving up
-reproducibility:
+— random fault campaigns, the adversarial attack sweeps of
+:mod:`repro.attacks`, and every future large sweep (Figure 6 IHT sizing,
+hash/policy ablations, design-space exploration) — scale across CPU cores
+without giving up reproducibility:
 
 * :mod:`repro.exec.spec` — :class:`CampaignSpec`, the picklable campaign
   description every worker re-derives its simulator state from;

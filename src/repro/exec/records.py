@@ -10,23 +10,29 @@ Three line types exist, discriminated by ``"type"``:
     identity.  Resume refuses a file whose fingerprint, seed, total, or
     chunk size differ from the requested campaign.
 
-``record`` (one per completed fault)
+``record`` (one per completed injection)
     ``{"type": "record", "index": int, "shard": int, "fault": {...},
-    "outcome": str, "detail": str}`` — *index* is the fault's position in
-    the campaign's fault list (the global ordering key), *shard* the chunk
-    it was executed in, *outcome* one of the :class:`Outcome` values
-    (``detected-cic``, ``detected-baseline``, ``crashed``, ``hang``,
-    ``silent-corruption``, ``benign``).
+    "outcome": str, "detail": str, "latency": int|null}`` — *index* is the
+    perturbation's position in the campaign's list (the global ordering
+    key), *shard* the chunk it was executed in, *outcome* one of the
+    :class:`Outcome` values (``detected-cic``, ``detected-baseline``,
+    ``crashed``, ``hang``, ``silent-corruption``, ``benign``), *latency*
+    the detection latency in instructions (``null`` when not detected; the
+    key is absent in files written before it existed).
 
 ``shard-done`` (one per completed shard)
     ``{"type": "shard-done", "shard": int, "seed": int}`` — the commit
     marker resume trusts: records from a shard without its marker are
     discarded and the shard re-runs.
 
-Fault payloads serialize the two fault models plus multi-word tuples::
+Perturbation payloads serialize the two fault models, attack scenarios,
+and multi-part tuples::
 
     {"kind": "bitflip", "address": int, "bits": [int, ...]}
     {"kind": "transient", "address": int, "bits": [...], "occurrence": int}
+    {"kind": "attack", "class": str, "label": str,
+     "patches": [{"address": int, "word": int}, ...],
+     "transient": bool, "occurrence": int}
     {"kind": "multi", "parts": [{...}, {...}]}
 """
 
@@ -35,13 +41,14 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
+from repro.attacks.scenario import AttackScenario
 from repro.errors import ConfigurationError
 from repro.faults.campaign import FaultResult, Outcome
 from repro.faults.models import BitFlipFault, TransientFetchFault
 
 
 def fault_to_json(fault) -> dict:
-    """Serialize a fault (or tuple of faults) to its wire dict."""
+    """Serialize a perturbation (or tuple of them) to its wire dict."""
     if isinstance(fault, tuple):
         return {"kind": "multi", "parts": [fault_to_json(part) for part in fault]}
     if isinstance(fault, BitFlipFault):
@@ -57,7 +64,9 @@ def fault_to_json(fault) -> dict:
             "bits": list(fault.bits),
             "occurrence": fault.occurrence,
         }
-    raise ConfigurationError(f"unserializable fault {fault!r}")
+    if isinstance(fault, AttackScenario):
+        return fault.to_json()
+    raise ConfigurationError(f"unserializable perturbation {fault!r}")
 
 
 def fault_from_json(data: dict):
@@ -71,18 +80,21 @@ def fault_from_json(data: dict):
         return TransientFetchFault(
             data["address"], tuple(data["bits"]), occurrence=data["occurrence"]
         )
-    raise ConfigurationError(f"unknown fault kind {kind!r}")
+    if kind == "attack":
+        return AttackScenario.from_json(data)
+    raise ConfigurationError(f"unknown perturbation kind {kind!r}")
 
 
 @dataclass(slots=True)
 class FaultRecord:
-    """One classified fault, positioned inside its campaign."""
+    """One classified injection, positioned inside its campaign."""
 
     index: int
     shard: int
     fault: object
     outcome: Outcome
     detail: str = ""
+    latency: int | None = None
 
     @classmethod
     def from_result(
@@ -94,10 +106,11 @@ class FaultRecord:
             fault=result.fault,
             outcome=result.outcome,
             detail=result.detail,
+            latency=result.latency,
         )
 
     def to_result(self) -> FaultResult:
-        return FaultResult(self.fault, self.outcome, self.detail)
+        return FaultResult(self.fault, self.outcome, self.detail, self.latency)
 
     def to_json(self) -> dict:
         return {
@@ -107,6 +120,7 @@ class FaultRecord:
             "fault": fault_to_json(self.fault),
             "outcome": self.outcome.value,
             "detail": self.detail,
+            "latency": self.latency,
         }
 
     @classmethod
@@ -117,6 +131,7 @@ class FaultRecord:
             fault=fault_from_json(data["fault"]),
             outcome=Outcome(data["outcome"]),
             detail=data.get("detail", ""),
+            latency=data.get("latency"),
         )
 
 

@@ -1,18 +1,21 @@
 """Parallel, resumable campaign execution.
 
-:class:`CampaignRunner` shards a fault list into fixed-size chunks and
-executes them across a :mod:`multiprocessing` pool.  Each worker builds its
-own golden run and :class:`~repro.faults.campaign.CampaignContext` once,
-from the picklable :class:`~repro.exec.spec.CampaignSpec` (simulators never
-cross process boundaries), then classifies every fault of its shards
-through the shared :func:`repro.faults.campaign.run_one` kernel.
+:class:`CampaignRunner` shards a perturbation list — random faults, attack
+scenarios from :mod:`repro.attacks`, or any mix of objects satisfying the
+:class:`repro.faults.models.Perturbation` protocol — into fixed-size
+chunks and executes them across a :mod:`multiprocessing` pool.  Each
+worker builds its own golden run and
+:class:`~repro.faults.campaign.CampaignContext` once, from the picklable
+:class:`~repro.exec.spec.CampaignSpec` (simulators never cross process
+boundaries), then classifies every injection of its shards through the
+shared :func:`repro.faults.campaign.run_one` kernel.
 
 Determinism
-    Shard boundaries depend only on the fault list and ``chunk_size``, and
-    each shard's seed derives from ``(seed, shard_id)`` — never from the
-    worker that happens to run it.  Aggregate results are therefore
-    identical for any ``workers`` value, which the engine's tests and
-    ``benchmarks/bench_campaign_scaling.py`` assert.
+    Shard boundaries depend only on the perturbation list and
+    ``chunk_size``, and each shard's seed derives from ``(seed,
+    shard_id)`` — never from the worker that happens to run it.  Aggregate
+    results are therefore identical for any ``workers`` value, which the
+    engine's tests and ``benchmarks/bench_campaign_scaling.py`` assert.
 
 Resumability
     With ``out=`` set, per-fault records stream to a JSONL file (schema in
@@ -38,10 +41,10 @@ from repro.faults.campaign import (
 from repro.exec.records import FaultRecord, dump_line, load_lines
 from repro.exec.spec import SPEC_VERSION, CampaignSpec, shard_seed
 
-#: Faults per shard; the unit of work distribution *and* of resume.
+#: Perturbations per shard; the unit of work distribution *and* of resume.
 DEFAULT_CHUNK_SIZE = 16
 
-#: A shard task: (shard_id, first fault index, faults, derived seed).
+#: A shard task: (shard_id, first index, perturbations, derived seed).
 _ShardTask = tuple[int, int, list, int]
 
 
@@ -110,6 +113,7 @@ class CampaignRunner:
         spec: CampaignSpec,
         workers: int = 1,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        campaign: FaultCampaign | None = None,
     ):
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -118,7 +122,11 @@ class CampaignRunner:
         self.spec = spec
         self.workers = workers
         self.chunk_size = chunk_size
-        self._campaign: FaultCampaign | None = None
+        # An optional pre-built parent-side campaign skips re-running the
+        # golden simulation when the caller already has an equivalent
+        # context (e.g. a hash/policy sweep over one program).  Pool
+        # workers still derive their own context from the spec.
+        self._campaign = campaign
 
     @property
     def campaign(self) -> FaultCampaign:
@@ -129,16 +137,16 @@ class CampaignRunner:
 
     # ------------------------------------------------------------------
 
-    def _shards(self, faults: list, seed: int) -> list[_ShardTask]:
+    def _shards(self, perturbations: list, seed: int) -> list[_ShardTask]:
         return [
             (
                 shard_id,
                 start,
-                faults[start : start + self.chunk_size],
+                perturbations[start : start + self.chunk_size],
                 shard_seed(seed, shard_id),
             )
             for shard_id, start in enumerate(
-                range(0, len(faults), self.chunk_size)
+                range(0, len(perturbations), self.chunk_size)
             )
         ]
 
@@ -204,19 +212,20 @@ class CampaignRunner:
 
     def run(
         self,
-        faults: Iterable,
+        perturbations: Iterable,
         seed: int = 0,
         out: str | os.PathLike | None = None,
         resume: bool = False,
         stop_after_shards: int | None = None,
     ) -> CampaignResult:
-        """Execute *faults*; return the (possibly partial) result.
+        """Execute *perturbations*; return the (possibly partial) result.
 
         Parameters
         ----------
-        faults:
-            The fault list.  Index order is the campaign's canonical order;
-            generate it from a seeded generator for full reproducibility.
+        perturbations:
+            The injection list — fault models, attack scenarios, or any
+            mix.  Index order is the campaign's canonical order; generate
+            it from a seeded generator for full reproducibility.
         seed:
             Campaign seed recorded in the header and used to derive each
             shard's seed.  Resume requires the same value.
@@ -228,8 +237,8 @@ class CampaignRunner:
             Execute at most this many new shards, then return a partial
             result — the engine's test hook for simulating interruption.
         """
-        faults = list(faults)
-        total = len(faults)
+        perturbations = list(perturbations)
+        total = len(perturbations)
         out_path = os.fspath(out) if out is not None else None
         if resume and out_path is None:
             raise ConfigurationError("resume=True requires out=")
@@ -246,7 +255,7 @@ class CampaignRunner:
 
         pending = [
             task
-            for task in self._shards(faults, seed)
+            for task in self._shards(perturbations, seed)
             if task[0] not in done_shards
         ]
         if stop_after_shards is not None:

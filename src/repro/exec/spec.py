@@ -20,6 +20,7 @@ from repro.asm.assembler import assemble
 from repro.asm.program import Program
 from repro.errors import ConfigurationError
 from repro.faults.campaign import CampaignContext, FaultCampaign, build_context
+from repro.utils.seeds import derive_seed
 
 #: Schema version stamped into headers; bump on incompatible changes.
 SPEC_VERSION = 1
@@ -130,5 +131,4 @@ def shard_seed(campaign_seed: int, shard_id: int) -> int:
     *stochastic* fault models (e.g. randomized transient timing) stay
     reproducible under any pool layout without a schema change.
     """
-    digest = hashlib.sha256(f"{campaign_seed}:{shard_id}".encode()).digest()
-    return int.from_bytes(digest[:8], "big")
+    return derive_seed(f"{campaign_seed}:{shard_id}")

@@ -23,7 +23,16 @@ from repro.faults.campaign import (
     build_context,
     run_one,
 )
-from repro.faults.models import BitFlipFault, TransientFetchFault, make_fetch_hook
+from repro.faults.models import (
+    BitFlipFault,
+    FetchProbe,
+    Perturbation,
+    TransientFetchFault,
+    flatten,
+    is_transient,
+    make_fetch_hook,
+    split_perturbation,
+)
 
 __all__ = [
     "BitFlipFault",
@@ -31,9 +40,14 @@ __all__ = [
     "CampaignReport",
     "FaultCampaign",
     "FaultResult",
+    "FetchProbe",
     "Outcome",
+    "Perturbation",
     "TransientFetchFault",
     "build_context",
+    "flatten",
+    "is_transient",
     "make_fetch_hook",
     "run_one",
+    "split_perturbation",
 ]

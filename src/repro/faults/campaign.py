@@ -41,7 +41,12 @@ from dataclasses import dataclass, field
 
 from repro.errors import DecodingError, MemoryAccessError, MonitorViolation, SimulationError
 from repro.asm.program import Program
-from repro.faults.models import BitFlipFault, TransientFetchFault, make_fetch_hook
+from repro.faults.models import (
+    BitFlipFault,
+    FetchProbe,
+    make_fetch_hook,
+    split_perturbation,
+)
 from repro.osmodel.loader import load_process
 from repro.pipeline.funcsim import FuncSim
 
@@ -61,9 +66,20 @@ DETECTED = frozenset({Outcome.DETECTED_CIC, Outcome.DETECTED_BASELINE})
 
 @dataclass(slots=True)
 class FaultResult:
+    """One classified injection.
+
+    ``fault`` is any :class:`~repro.faults.models.Perturbation` (or tuple
+    of them) — a random fault model or an attack scenario.  For detected
+    outcomes, ``latency`` is the number of instructions that entered the
+    pipeline between the first corrupted fetch and the instruction whose
+    check fired (0 = caught on the corrupted instruction itself); ``None``
+    when the corruption was never delivered or never detected.
+    """
+
     fault: object
     outcome: Outcome
     detail: str = ""
+    latency: int | None = None
 
 
 @dataclass(slots=True)
@@ -96,6 +112,28 @@ class CampaignReport:
             return 0.0
         silent = sum(1 for result in self.results if result.outcome is Outcome.SDC)
         return silent / self.total
+
+    def detection_latencies(self) -> list[int]:
+        """Latencies (in instructions) of every detected injection."""
+        return [
+            result.latency
+            for result in self.results
+            if result.outcome in DETECTED and result.latency is not None
+        ]
+
+    @property
+    def mean_detection_latency(self) -> float | None:
+        latencies = self.detection_latencies()
+        if not latencies:
+            return None
+        return sum(latencies) / len(latencies)
+
+    @property
+    def median_detection_latency(self) -> int | None:
+        latencies = sorted(self.detection_latencies())
+        if not latencies:
+            return None
+        return latencies[len(latencies) // 2]
 
     def summary(self) -> str:
         counts = self.counts()
@@ -159,12 +197,20 @@ def build_context(
 
 
 def run_one(context: CampaignContext, fault) -> FaultResult:
-    """Inject one fault (or tuple of faults) into a monitored run.
+    """Inject one perturbation (or tuple of them) into a monitored run.
 
-    This is the pure single-fault kernel shared by the legacy serial
+    This is the pure single-injection kernel shared by the legacy serial
     :class:`FaultCampaign` and the parallel campaign engine in
     :mod:`repro.exec`: deterministic given ``(context, fault)``, with no
-    state carried between calls.
+    state carried between calls.  ``fault`` may be any object satisfying
+    the :class:`~repro.faults.models.Perturbation` protocol — the random
+    fault models of this package or the attack scenarios of
+    :mod:`repro.attacks` — so fault campaigns and attack sweeps are
+    interchangeable everywhere the kernel is used.
+
+    A :class:`~repro.faults.models.FetchProbe` wraps the fetch path to
+    time the first corrupted delivery, giving detected outcomes their
+    detection latency in instructions.
     """
     process = load_process(
         context.program,
@@ -172,19 +218,21 @@ def run_one(context: CampaignContext, fault) -> FaultResult:
         hash_name=context.hash_name,
         policy_name=context.policy_name,
     )
-    transients: list[TransientFetchFault] = []
-    persistents: list[BitFlipFault] = []
-    parts = fault if isinstance(fault, tuple) else (fault,)
-    for part in parts:
-        if isinstance(part, TransientFetchFault):
-            part.reset()
-            transients.append(part)
-        else:
-            persistents.append(part)
+    persistents, transients = split_perturbation(fault)
+    for part in transients:
+        reset = getattr(part, "reset", None)
+        if reset is not None:
+            reset()
+    tampered: set[int] = set()
+    for part in persistents:
+        tampered.update(part.target_addresses())
+    probe = FetchProbe(
+        tampered, make_fetch_hook(transients) if transients else None
+    )
     simulator = FuncSim(
         context.program,
         monitor=process.monitor,
-        fetch_hook=make_fetch_hook(transients) if transients else None,
+        fetch_hook=probe,
         inputs=context.inputs,
         max_instructions=context.instruction_budget,
     )
@@ -193,13 +241,17 @@ def run_one(context: CampaignContext, fault) -> FaultResult:
     try:
         result = simulator.run()
     except MonitorViolation as error:
-        return FaultResult(fault, Outcome.DETECTED_CIC, str(error))
+        return FaultResult(fault, Outcome.DETECTED_CIC, str(error), probe.latency())
     except DecodingError as error:
-        return FaultResult(fault, Outcome.DETECTED_BASELINE, str(error))
+        return FaultResult(
+            fault, Outcome.DETECTED_BASELINE, str(error), probe.latency()
+        )
     except MemoryAccessError as error:
         # Alignment/access machine checks are baseline hardware
         # detections, the same class as invalid-opcode traps.
-        return FaultResult(fault, Outcome.DETECTED_BASELINE, str(error))
+        return FaultResult(
+            fault, Outcome.DETECTED_BASELINE, str(error), probe.latency()
+        )
     except SimulationError as error:
         if "instruction limit" in str(error):
             return FaultResult(fault, Outcome.HANG, str(error))

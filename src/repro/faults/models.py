@@ -1,21 +1,80 @@
-"""Fault models.
+"""Perturbation models: random faults and the protocol attacks share.
 
-Both models identify a text-segment word and a set of bit positions:
+Everything the campaign engine injects — random soft errors *and* the
+program-aware attack scenarios of :mod:`repro.attacks` — satisfies one
+structural :class:`Perturbation` protocol, so fault sweeps and attack
+sweeps run through the same kernel, pool, and results files:
 
-* :class:`BitFlipFault` — persistent: the stored word is altered before
-  execution begins (memory-resident attack or storage-cell upset).
-* :class:`TransientFetchFault` — transient: the stored word is intact, but
-  the *n*-th fetch of that address delivers flipped bits to the pipeline
-  (bus/queue soft error).  Later fetches see the correct word again —
-  exactly the case that defeats load-time-only integrity checking.
+* every perturbation has ``describe()`` and ``target_addresses()``;
+* **persistent** perturbations (``transient`` is False) implement
+  ``apply_to_memory(memory)`` — the stored words are altered before
+  execution begins (memory-resident attack or storage-cell upset);
+* **transient** perturbations (``transient`` is True) implement
+  ``transform(address, word)`` / ``reset()`` — the stored words are
+  intact, but a specific fetch delivers corrupted bits to the pipeline
+  (bus/queue soft error, or a fetch-path attack).  Later fetches see the
+  correct word again — exactly the case that defeats load-time-only
+  integrity checking.
+
+The two concrete fault models here are :class:`BitFlipFault` (persistent)
+and :class:`TransientFetchFault` (transient).  Tuples of perturbations
+compose into one multi-part injection.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, ClassVar, Iterable, Protocol, runtime_checkable
 
 from repro.utils.bitops import MASK32
+
+
+@runtime_checkable
+class Perturbation(Protocol):
+    """Structural interface every injectable modification satisfies.
+
+    ``transient`` discriminates the two delivery mechanisms; persistent
+    perturbations additionally provide ``apply_to_memory``, transient ones
+    ``transform``/``reset`` (see the module docstring).
+    """
+
+    transient: bool
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+
+    def target_addresses(self) -> tuple[int, ...]:
+        """Text-segment addresses whose fetched words this corrupts."""
+
+
+def is_transient(perturbation) -> bool:
+    """True if *perturbation* is delivered on the fetch path."""
+    flag = getattr(perturbation, "transient", None)
+    if flag is not None:
+        return bool(flag)
+    return callable(getattr(perturbation, "transform", None))
+
+
+def flatten(perturbation) -> tuple:
+    """Expand (possibly nested) tuples of perturbations into parts."""
+    if isinstance(perturbation, tuple):
+        parts: list = []
+        for item in perturbation:
+            parts.extend(flatten(item))
+        return tuple(parts)
+    return (perturbation,)
+
+
+def split_perturbation(perturbation) -> tuple[list, list]:
+    """Split a perturbation (or tuple) into (persistent, transient) parts."""
+    persistents: list = []
+    transients: list = []
+    for part in flatten(perturbation):
+        if is_transient(part):
+            transients.append(part)
+        else:
+            persistents.append(part)
+    return persistents, transients
 
 
 @dataclass(frozen=True, slots=True)
@@ -24,6 +83,8 @@ class BitFlipFault:
 
     address: int
     bits: tuple[int, ...]
+
+    transient: ClassVar[bool] = False
 
     @property
     def mask(self) -> int:
@@ -36,6 +97,9 @@ class BitFlipFault:
         bit_list = ",".join(str(bit) for bit in self.bits)
         return f"persistent flip @{self.address:#010x} bits[{bit_list}]"
 
+    def target_addresses(self) -> tuple[int, ...]:
+        return (self.address,)
+
     def apply_to_memory(self, memory) -> None:
         memory.write_word(self.address, memory.read_word(self.address) ^ self.mask)
 
@@ -47,7 +111,9 @@ class TransientFetchFault:
     address: int
     bits: tuple[int, ...]
     occurrence: int = 1
-    _seen: int = field(default=0, repr=False)
+    _seen: int = field(default=0, repr=False, compare=False)
+
+    transient: ClassVar[bool] = True
 
     @property
     def mask(self) -> int:
@@ -63,6 +129,9 @@ class TransientFetchFault:
             f"on fetch #{self.occurrence}"
         )
 
+    def target_addresses(self) -> tuple[int, ...]:
+        return (self.address,)
+
     def transform(self, address: int, word: int) -> int:
         if address != self.address:
             return word
@@ -75,14 +144,53 @@ class TransientFetchFault:
         self._seen = 0
 
 
-def make_fetch_hook(
-    faults: list[TransientFetchFault],
-) -> Callable[[int, int], int]:
-    """Compose transient faults into a simulator ``fetch_hook``."""
+def make_fetch_hook(transients: Iterable) -> Callable[[int, int], int]:
+    """Compose transient perturbations into a simulator ``fetch_hook``."""
+    transients = list(transients)
 
     def hook(address: int, word: int) -> int:
-        for fault in faults:
-            word = fault.transform(address, word)
+        for part in transients:
+            word = part.transform(address, word)
         return word
 
     return hook
+
+
+class FetchProbe:
+    """Fetch-path wrapper that times the first corrupted delivery.
+
+    Wraps the simulator's ``fetch_hook`` position: counts every fetched
+    instruction and records the ordinal of the first fetch that delivered
+    a corrupted word — either because the stored word at a persistently
+    tampered address was read, or because a transient part rewrote the
+    word in flight.  Detection latency is then the number of instructions
+    that entered the pipeline after the corruption, up to the one whose
+    block-end check (or machine check) fired.
+    """
+
+    __slots__ = ("tampered", "inner", "fetches", "first_corrupt")
+
+    def __init__(
+        self,
+        tampered: Iterable[int] = (),
+        inner: Callable[[int, int], int] | None = None,
+    ):
+        self.tampered = frozenset(tampered)
+        self.inner = inner
+        self.fetches = 0
+        self.first_corrupt: int | None = None
+
+    def __call__(self, address: int, word: int) -> int:
+        self.fetches += 1
+        out = word if self.inner is None else self.inner(address, word)
+        if self.first_corrupt is None and (
+            out != word or address in self.tampered
+        ):
+            self.first_corrupt = self.fetches
+        return out
+
+    def latency(self) -> int | None:
+        """Instructions from first corrupted fetch to the current one."""
+        if self.first_corrupt is None:
+            return None
+        return self.fetches - self.first_corrupt

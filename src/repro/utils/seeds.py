@@ -1,0 +1,18 @@
+"""Deterministic seed derivation shared by every sweep layer.
+
+One canonical string → one 64-bit seed, via SHA-256.  The campaign
+engine's shard seeds, the attack corpus's per-class sampling seeds, and
+the attack sweep's resume-identity seed all derive through this single
+function, so the reproducibility guarantees of every layer rest on one
+definition that cannot silently diverge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def derive_seed(canonical: str) -> int:
+    """A stable 64-bit seed from a canonical description string."""
+    digest = hashlib.sha256(canonical.encode()).digest()
+    return int.from_bytes(digest[:8], "big")

@@ -1,0 +1,199 @@
+"""Attack sweeps end to end: parity with the legacy hand-rolled attacks,
+worker-count invariance, resume, and latency bounds."""
+
+import json
+
+import pytest
+
+from repro.attacks import AttackCorpus
+from repro.eval.attack_coverage import run_attack_coverage
+from repro.exec.records import FaultRecord
+from repro.exec.runner import CampaignRunner
+from repro.exec.spec import CampaignSpec
+from repro.faults.campaign import DETECTED, Outcome, run_one
+
+#: The gatekeeper program of examples/tamper_detection.py — the target the
+#: legacy hand-rolled attacks were written against.
+GATEKEEPER = """
+        .data
+secret: .word 7351
+        .text
+main:   li   $v0, 5
+        syscall
+        move $t0, $v0
+        lw   $t1, secret
+check:  bne  $t0, $t1, deny
+grant:  li   $a0, 1
+        j    report
+deny:   li   $a0, 0
+report: li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+"""
+
+#: Attack classes the legacy examples/tamper_detection.py scenarios
+#: exercised (logic inversion, injected jump, fetch-path delivery).
+LEGACY_CLASSES = (
+    "logic-invert",
+    "jump-splice",
+    "logic-invert/transient",
+    "jump-splice/transient",
+)
+
+SWEEP_KWARGS = dict(
+    source=GATEKEEPER,
+    name="gatekeeper",
+    per_class=6,
+    inputs=(1234,),
+    seed=42,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_attack_coverage(**SWEEP_KWARGS)
+
+
+class TestLegacyParity:
+    """Acceptance: every attack class the legacy tamper_detection.py
+    scenarios covered is detected at >= their (100%) rate."""
+
+    def test_legacy_classes_fully_detected(self, matrix):
+        for attack_class in LEGACY_CLASSES:
+            cell = matrix.cell(attack_class, "xor")
+            assert cell.total > 0
+            assert cell.detection_rate == 1.0, attack_class
+
+    def test_specific_legacy_instances_detected(self):
+        """The three hand-rolled attacks, reconstructed from the corpus."""
+        spec = CampaignSpec(
+            source=GATEKEEPER, name="gatekeeper", iht_size=8, inputs=(1234,)
+        )
+        context = spec.build_context()
+        corpus = AttackCorpus.from_context(context)
+        program = context.program
+        check = program.symbols["check"]
+        deny = program.symbols["deny"]
+        grant = program.symbols["grant"]
+        wanted = {
+            "logic-invert": f"bne->beq@{check:#x}",
+            "jump-splice": f"{deny:#x}~>j:{grant:#x}",
+            "logic-invert/transient": f"bne->beq@{check:#x}",
+        }
+        for attack_class, label in wanted.items():
+            scenario = next(
+                candidate
+                for candidate in corpus.enumerate(attack_class)
+                if candidate.label == label
+            )
+            result = run_one(context, scenario)
+            assert result.outcome is Outcome.DETECTED_CIC, attack_class
+            assert result.latency == 0
+
+
+class TestLatency:
+    def test_detected_latencies_within_block_bound(self, matrix):
+        block_bound = 16  # longest gatekeeper block is far shorter
+        for cell in matrix.cells:
+            for latency in cell.report.detection_latencies():
+                assert 0 <= latency <= block_bound
+
+    def test_latency_recorded_only_for_detections(self, matrix):
+        for cell in matrix.cells:
+            for result in cell.report.results:
+                if result.latency is not None:
+                    assert result.outcome in DETECTED
+
+
+class TestWorkerInvariance:
+    def test_matrix_is_byte_identical_across_worker_counts(self, matrix):
+        pooled = run_attack_coverage(workers=2, chunk_size=4, **SWEEP_KWARGS)
+        assert pooled.render_json() == matrix.render_json()
+        assert pooled.table().render() == matrix.table().render()
+
+
+class TestStreamingAndResume:
+    def test_sweep_streams_and_resumes_identically(self, matrix, tmp_path):
+        out = tmp_path / "attacks.jsonl"
+        first = run_attack_coverage(out=out, **SWEEP_KWARGS)
+        assert first.render_json() == matrix.render_json()
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        records = [entry for entry in lines if entry["type"] == "record"]
+        assert records and all(
+            entry["fault"]["kind"] == "attack" for entry in records
+        )
+        # Latency round-trips through the wire format.
+        reloaded = [FaultRecord.from_json(entry) for entry in records]
+        assert any(record.latency is not None for record in reloaded)
+
+        resumed = run_attack_coverage(out=out, resume=True, **SWEEP_KWARGS)
+        assert resumed.render_json() == matrix.render_json()
+
+    def test_multi_hash_sweep_uses_per_cell_files(self, tmp_path):
+        out = tmp_path / "attacks.jsonl"
+        result = run_attack_coverage(
+            hash_names=("xor", "crc32"),
+            classes=("logic-invert",),
+            out=out,
+            **SWEEP_KWARGS,
+        )
+        expected = [
+            str(tmp_path / "attacks.xor.lru_half.jsonl"),
+            str(tmp_path / "attacks.crc32.lru_half.jsonl"),
+        ]
+        assert result.out_files == expected
+        for path in expected:
+            assert json.loads(
+                open(path).readline()
+            )["type"] == "header"
+
+    def test_resume_refuses_a_different_corpus(self, tmp_path):
+        """The corpus identity (classes, per_class) is part of the resume
+        contract even though the spec fingerprint cannot see it."""
+        from repro.errors import ConfigurationError
+
+        out = tmp_path / "attacks.jsonl"
+        kwargs = dict(SWEEP_KWARGS, classes=("jump-splice",))
+        run_attack_coverage(out=out, **kwargs)
+        with pytest.raises(ConfigurationError, match="cannot resume"):
+            run_attack_coverage(
+                out=out, resume=True,
+                **dict(kwargs, classes=("branch-retarget",)),
+            )
+        with pytest.raises(ConfigurationError, match="cannot resume"):
+            run_attack_coverage(
+                out=out, resume=True, **dict(kwargs, per_class=5)
+            )
+
+    def test_negative_per_class_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            run_attack_coverage(**dict(SWEEP_KWARGS, per_class=-1))
+
+
+class TestMixedSweeps:
+    def test_faults_and_scenarios_share_the_runner(self, tmp_path):
+        """Perturbation lists may mix fault models and attack scenarios."""
+        spec = CampaignSpec(
+            source=GATEKEEPER, name="gatekeeper", iht_size=8, inputs=(1234,)
+        )
+        runner = CampaignRunner(spec, chunk_size=4)
+        corpus = AttackCorpus.from_context(runner.campaign.context)
+        mixed = (
+            corpus.sample("logic-invert", 2, seed=1)
+            + runner.campaign.random_single_bit(4, seed=1)
+            + corpus.sample("jump-splice/transient", 2, seed=1)
+        )
+        out = tmp_path / "mixed.jsonl"
+        result = runner.run(mixed, seed=1, out=out)
+        assert result.complete
+        resumed = runner.run(mixed, seed=1, out=out, resume=True)
+        assert resumed.report().summary() == result.report().summary()
+        kinds = {
+            entry["fault"]["kind"]
+            for entry in map(json.loads, out.read_text().splitlines())
+            if entry["type"] == "record"
+        }
+        assert kinds == {"attack", "bitflip"}

@@ -1,0 +1,144 @@
+"""Generators: validity, semantics, and deterministic enumeration."""
+
+import pytest
+
+from repro.attacks import (
+    ATTACK_CLASSES,
+    AttackCorpus,
+    MAX_SLIDE,
+    NOP_WORD,
+    PERSISTENT_CLASSES,
+    resolve_classes,
+)
+from repro.errors import ConfigurationError
+from repro.exec.spec import CampaignSpec
+from repro.isa.encoding import decode
+from repro.isa.properties import (
+    BRANCHES,
+    DIRECT_JUMPS,
+    branch_target,
+    is_control_flow,
+    jump_target,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    spec = CampaignSpec(workload="sha", scale="tiny", iht_size=8)
+    return AttackCorpus.from_context(spec.build_context())
+
+
+class TestValidity:
+    """Every patch is an encoding-valid word that changes the program."""
+
+    @pytest.mark.parametrize("attack_class", PERSISTENT_CLASSES)
+    def test_patches_decode_and_differ(self, corpus, attack_class):
+        executed = frozenset(corpus.executed)
+        for scenario in corpus.enumerate(attack_class):
+            for patch in scenario.patches:
+                assert patch.address in executed
+                original = corpus.program.text.word_at(patch.address)
+                assert patch.word != original, scenario.label
+                decode(patch.word, patch.address)  # must not raise
+
+
+class TestSemantics:
+    def test_branch_retarget_keeps_mnemonic_moves_target(self, corpus):
+        for scenario in corpus.enumerate("branch-retarget"):
+            (patch,) = scenario.patches
+            original = decode(
+                corpus.program.text.word_at(patch.address), patch.address
+            )
+            patched = decode(patch.word, patch.address)
+            assert patched.mnemonic is original.mnemonic
+            assert patched.mnemonic in BRANCHES
+            assert branch_target(patched, patch.address) != branch_target(
+                original, patch.address
+            )
+
+    def test_logic_invert_swaps_within_pairs(self, corpus):
+        for scenario in corpus.enumerate("logic-invert"):
+            (patch,) = scenario.patches
+            original = decode(
+                corpus.program.text.word_at(patch.address), patch.address
+            )
+            patched = decode(patch.word, patch.address)
+            assert patched.mnemonic is not original.mnemonic
+            # Only selector fields may change (opcode, funct, REGIMM rt);
+            # register and immediate operands survive the inversion.
+            selector_bits = (0x3F << 26) | (0x1F << 16) | 0x3F
+            assert (patched.word ^ original.word) & ~selector_bits == 0
+
+    def test_jump_splice_is_direct_jump_to_entry(self, corpus):
+        for scenario in corpus.enumerate("jump-splice"):
+            (patch,) = scenario.patches
+            patched = decode(patch.word, patch.address)
+            assert patched.mnemonic in DIRECT_JUMPS
+            target = jump_target(patched, patch.address)
+            assert corpus.program.text_start <= target < corpus.program.text_end
+            assert target != patch.address
+
+    def test_nop_slide_overwrites_straight_line_code(self, corpus):
+        for scenario in corpus.enumerate("nop-slide"):
+            assert 1 <= len(scenario.patches) <= MAX_SLIDE
+            for patch in scenario.patches:
+                assert patch.word == NOP_WORD
+                original = decode(
+                    corpus.program.text.word_at(patch.address), patch.address
+                )
+                assert not is_control_flow(original)
+
+
+class TestDeterminism:
+    def test_enumeration_is_reproducible(self, corpus):
+        fresh = AttackCorpus(corpus.program, corpus.executed)
+        for attack_class in ATTACK_CLASSES:
+            assert corpus.enumerate(attack_class) == fresh.enumerate(attack_class)
+
+    def test_sample_is_seeded_ordered_subset(self, corpus):
+        full = corpus.enumerate("opcode-sub")
+        sample = corpus.sample("opcode-sub", 10, seed=7)
+        assert sample == corpus.sample("opcode-sub", 10, seed=7)
+        assert len(sample) == 10
+        positions = [full.index(scenario) for scenario in sample]
+        assert positions == sorted(positions)
+        assert corpus.sample("opcode-sub", 10, seed=8) != sample
+
+    def test_sample_larger_than_enumeration_returns_all(self, corpus):
+        everything = corpus.enumerate("logic-invert")
+        assert corpus.sample("logic-invert", 10**6, seed=1) == everything
+
+    def test_build_orders_classes_canonically(self, corpus):
+        scenarios = corpus.build(("all",), per_class=3, seed=1)
+        seen_classes = []
+        for scenario in scenarios:
+            if scenario.attack_class not in seen_classes:
+                seen_classes.append(scenario.attack_class)
+        assert seen_classes == list(ATTACK_CLASSES)
+
+    def test_transient_enumeration_mirrors_persistent(self, corpus):
+        persistent = corpus.enumerate("nop-slide")
+        transient = corpus.enumerate("nop-slide/transient")
+        assert [scenario.patches for scenario in transient] == [
+            scenario.patches for scenario in persistent
+        ]
+        assert all(scenario.transient for scenario in transient)
+
+
+class TestResolveClasses:
+    def test_aliases(self):
+        assert resolve_classes("all") == ATTACK_CLASSES
+        assert resolve_classes(("persistent",)) == PERSISTENT_CLASSES
+        transient = resolve_classes(("transient",))
+        assert all(name.endswith("/transient") for name in transient)
+        assert len(transient) == len(PERSISTENT_CLASSES)
+
+    def test_order_is_canonical_regardless_of_request_order(self):
+        assert resolve_classes(("nop-slide", "branch-retarget")) == (
+            "branch-retarget",
+            "nop-slide",
+        )
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown attack class"):
+            resolve_classes(("rowhammer",))

@@ -1,0 +1,134 @@
+"""AttackScenario: Perturbation conformance, delivery modes, wire format."""
+
+import pytest
+
+from repro.attacks import AttackScenario, CodePatch, TRANSIENT_SUFFIX
+from repro.errors import ConfigurationError
+from repro.exec.records import fault_from_json, fault_to_json
+from repro.faults.models import (
+    BitFlipFault,
+    FetchProbe,
+    TransientFetchFault,
+    is_transient,
+    split_perturbation,
+)
+
+
+class FakeMemory:
+    def __init__(self, words):
+        self.words = dict(words)
+
+    def read_word(self, address):
+        return self.words[address]
+
+    def write_word(self, address, value):
+        self.words[address] = value
+
+
+@pytest.fixture
+def scenario():
+    return AttackScenario(
+        attack_class="jump-splice",
+        label="0x400010~>j:0x400020",
+        patches=(CodePatch(0x400010, 0x08100008), CodePatch(0x400014, 0x0)),
+    )
+
+
+class TestPersistentDelivery:
+    def test_apply_to_memory_writes_every_patch(self, scenario):
+        memory = FakeMemory({0x400010: 0x1234, 0x400014: 0x5678})
+        scenario.apply_to_memory(memory)
+        assert memory.words == {0x400010: 0x08100008, 0x400014: 0x0}
+
+    def test_target_addresses(self, scenario):
+        assert scenario.target_addresses() == (0x400010, 0x400014)
+
+    def test_is_not_transient(self, scenario):
+        assert not is_transient(scenario)
+
+
+class TestTransientDelivery:
+    def test_delivers_on_requested_fetch_only(self, scenario):
+        transient = scenario.as_transient(occurrence=2)
+        assert transient.transform(0x400010, 0xAAAA) == 0xAAAA  # fetch 1
+        assert transient.transform(0x400010, 0xAAAA) == 0x08100008  # fetch 2
+        assert transient.transform(0x400010, 0xAAAA) == 0xAAAA  # fetch 3
+        # Other addresses untouched; per-address counters independent.
+        assert transient.transform(0x999, 0x1) == 0x1
+        assert transient.transform(0x400014, 0xBBBB) == 0xBBBB
+        assert transient.transform(0x400014, 0xBBBB) == 0x0
+
+    def test_reset_restarts_counters(self, scenario):
+        transient = scenario.as_transient()
+        assert transient.transform(0x400010, 0xAAAA) == 0x08100008
+        transient.reset()
+        assert transient.transform(0x400010, 0xAAAA) == 0x08100008
+
+    def test_variant_class_name_and_flag(self, scenario):
+        transient = scenario.as_transient()
+        assert transient.attack_class == "jump-splice" + TRANSIENT_SUFFIX
+        assert is_transient(transient)
+        assert transient.patches == scenario.patches
+
+    def test_apply_to_memory_refused(self, scenario):
+        with pytest.raises(ConfigurationError, match="fetch path"):
+            scenario.as_transient().apply_to_memory(FakeMemory({}))
+
+
+class TestValidation:
+    def test_empty_patch_list_rejected(self):
+        with pytest.raises(ConfigurationError, match="no patches"):
+            AttackScenario("x", "empty", ())
+
+    def test_bad_occurrence_rejected(self, scenario):
+        with pytest.raises(ConfigurationError, match="occurrence"):
+            scenario.as_transient(occurrence=0)
+
+
+class TestWireFormat:
+    def test_json_round_trip(self, scenario):
+        for candidate in (scenario, scenario.as_transient(occurrence=3)):
+            clone = fault_from_json(fault_to_json(candidate))
+            assert clone == candidate
+            assert clone.describe() == candidate.describe()
+
+    def test_round_trip_ignores_delivery_state(self, scenario):
+        transient = scenario.as_transient()
+        transient.transform(0x400010, 0xAAAA)  # consume the delivery
+        assert fault_from_json(fault_to_json(transient)) == transient
+
+    def test_mixed_tuple_round_trip(self, scenario):
+        mixed = (scenario, TransientFetchFault(0x400020, (3,)))
+        assert fault_from_json(fault_to_json(mixed)) == mixed
+
+
+class TestSplitPerturbation:
+    def test_mixed_tuple_splits_by_delivery(self, scenario):
+        transient_parts = (
+            scenario.as_transient(),
+            TransientFetchFault(0x400020, (3,)),
+        )
+        persistents, transients = split_perturbation(
+            (scenario, BitFlipFault(0x400000, (1,))) + transient_parts
+        )
+        assert persistents == [scenario, BitFlipFault(0x400000, (1,))]
+        assert transients == list(transient_parts)
+
+
+class TestFetchProbe:
+    def test_latency_counts_instructions_since_corruption(self):
+        probe = FetchProbe(tampered={0x8})
+        probe(0x0, 0x1)
+        assert probe.latency() is None  # clean fetch
+        probe(0x8, 0x2)  # corrupted delivery (tampered address)
+        probe(0xC, 0x3)
+        probe(0x10, 0x4)
+        assert probe.first_corrupt == 2
+        assert probe.latency() == 2
+
+    def test_transient_corruption_detected_by_rewrite(self):
+        fault = TransientFetchFault(0x8, (0,), occurrence=1)
+        probe = FetchProbe((), fault.transform)
+        assert probe(0x4, 0x10) == 0x10
+        assert probe(0x8, 0x10) == 0x11
+        assert probe.latency() == 0

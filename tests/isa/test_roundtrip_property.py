@@ -1,0 +1,99 @@
+"""Seeded-random assembler↔disassembler round-trip over every opcode class.
+
+For every machine mnemonic in the ISA, generates seeded-random valid
+operand fields, encodes the instruction, renders it with the disassembler
+(anchored at the text base so control-flow targets print as absolute
+addresses), re-assembles the rendered text as a one-instruction program,
+and requires the identical 32-bit word back.  This pins the toolchain's
+core contract — canonical text is a lossless encoding of every valid word
+— across *all* opcode classes, not just the hand-picked cases of
+``tests/asm/test_disassembler.py``.
+"""
+
+import random
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.asm.disassembler import disassemble_word
+from repro.asm.program import TEXT_BASE
+from repro.isa.opcodes import ALL_MNEMONICS, Mnemonic
+
+SEED = 20260728
+CASES_PER_MNEMONIC = 25
+
+THREE_REG = {
+    Mnemonic.ADD, Mnemonic.ADDU, Mnemonic.SUB, Mnemonic.SUBU,
+    Mnemonic.AND, Mnemonic.OR, Mnemonic.XOR, Mnemonic.NOR,
+    Mnemonic.SLT, Mnemonic.SLTU,
+}
+SHIFT_IMM = {Mnemonic.SLL, Mnemonic.SRL, Mnemonic.SRA}
+SHIFT_VAR = {Mnemonic.SLLV, Mnemonic.SRLV, Mnemonic.SRAV}
+MULDIV = {Mnemonic.MULT, Mnemonic.MULTU, Mnemonic.DIV, Mnemonic.DIVU}
+IMM_SIGNED = {Mnemonic.ADDI, Mnemonic.ADDIU, Mnemonic.SLTI, Mnemonic.SLTIU}
+IMM_LOGICAL = {Mnemonic.ANDI, Mnemonic.ORI, Mnemonic.XORI}
+MEM = {
+    Mnemonic.LB, Mnemonic.LH, Mnemonic.LW, Mnemonic.LBU, Mnemonic.LHU,
+    Mnemonic.SB, Mnemonic.SH, Mnemonic.SW,
+}
+BRANCH_TWO_REG = {Mnemonic.BEQ, Mnemonic.BNE}
+BRANCH_ONE_REG = {Mnemonic.BLEZ, Mnemonic.BGTZ, Mnemonic.BLTZ, Mnemonic.BGEZ}
+JUMPS = {Mnemonic.J, Mnemonic.JAL}
+
+
+def random_fields(rng: random.Random, mnemonic: Mnemonic) -> dict:
+    """Valid random operand fields for one mnemonic's encoding class."""
+    reg = lambda: rng.randrange(32)
+    if mnemonic in THREE_REG:
+        return {"rs": reg(), "rt": reg(), "rd": reg()}
+    if mnemonic in SHIFT_IMM:
+        return {"rt": reg(), "rd": reg(), "shamt": rng.randrange(32)}
+    if mnemonic in SHIFT_VAR:
+        return {"rs": reg(), "rt": reg(), "rd": reg()}
+    if mnemonic in MULDIV:
+        return {"rs": reg(), "rt": reg()}
+    if mnemonic in (Mnemonic.MFHI, Mnemonic.MFLO):
+        return {"rd": reg()}
+    if mnemonic in (Mnemonic.MTHI, Mnemonic.MTLO):
+        return {"rs": reg()}
+    if mnemonic is Mnemonic.JR:
+        return {"rs": reg()}
+    if mnemonic is Mnemonic.JALR:
+        return {"rs": reg(), "rd": reg()}
+    if mnemonic in (Mnemonic.SYSCALL, Mnemonic.BREAK):
+        return {"code": rng.randrange(1 << 20)}
+    if mnemonic in IMM_SIGNED:
+        return {"rs": reg(), "rt": reg(), "imm": rng.randint(-32768, 32767)}
+    if mnemonic in IMM_LOGICAL or mnemonic is Mnemonic.LUI:
+        fields = {"rt": reg(), "imm": rng.randrange(1 << 16)}
+        if mnemonic is not Mnemonic.LUI:
+            fields["rs"] = reg()
+        return fields
+    if mnemonic in MEM:
+        return {"rs": reg(), "rt": reg(), "imm": rng.randint(-32768, 32767)}
+    if mnemonic in BRANCH_TWO_REG:
+        return {"rs": reg(), "rt": reg(), "imm": rng.randint(-32768, 32767)}
+    if mnemonic in BRANCH_ONE_REG:
+        return {"rs": reg(), "imm": rng.randint(-32768, 32767)}
+    if mnemonic in JUMPS:
+        return {"target": rng.randrange(1 << 26)}
+    raise AssertionError(f"no field model for {mnemonic}")  # pragma: no cover
+
+
+def reassemble(text: str) -> int:
+    return assemble(text).text.word_at(TEXT_BASE)
+
+
+@pytest.mark.parametrize("mnemonic", ALL_MNEMONICS, ids=lambda m: m.value)
+def test_seeded_roundtrip_every_opcode_class(mnemonic):
+    from repro.isa.encoding import decode, encode_fields
+
+    rng = random.Random(f"{SEED}:{mnemonic.value}")
+    for _ in range(CASES_PER_MNEMONIC):
+        word = encode_fields(mnemonic, **random_fields(rng, mnemonic))
+        # The word the generator built must itself be decodable...
+        assert decode(word, TEXT_BASE).mnemonic is mnemonic
+        # ...and its canonical rendering must assemble back to the same
+        # word when placed at the address it was rendered for.
+        text = disassemble_word(word, TEXT_BASE)
+        assert reassemble(text) == word, (mnemonic, text, hex(word))

@@ -1,8 +1,13 @@
 """CLI tests."""
 
+import json
+import types
+
 import pytest
 
+from repro import __version__, cli
 from repro.cli import main
+from repro.errors import MonitorViolation
 
 SOURCE = """
 main:   li $t0, 3
@@ -117,6 +122,74 @@ class TestCampaign:
     def test_campaign_unknown_target(self, capsys):
         assert main(["campaign", "no-such-workload"]) == 1
         assert "unknown target" in capsys.readouterr().err
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    def test_violation_maps_to_exit_2_from_any_command(self, monkeypatch, capsys):
+        def explode(args):
+            raise MonitorViolation(0x400000, 0x400004, 0x1, 0x2)
+
+        arguments = types.SimpleNamespace(handler=explode)
+        parser = types.SimpleNamespace(parse_args=lambda argv=None: arguments)
+        monkeypatch.setattr(cli, "build_parser", lambda: parser)
+        assert cli.main([]) == 2
+        assert "VIOLATION" in capsys.readouterr().err
+
+    def test_assembly_error_maps_to_exit_1(self, tmp_path, capsys):
+        path = tmp_path / "bad.s"
+        path.write_text("jr $t0, $t1, $t2")
+        assert main(["monitor", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestAttack:
+    def test_attack_prints_detection_matrix(self, program_file, capsys):
+        assert main(
+            ["attack", program_file, "--per-class", "2", "--seed", "7"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Attack coverage" in out
+        assert "logic-invert" in out
+        assert "jump-splice/transient" in out
+
+    def test_attack_worker_count_does_not_change_matrix(
+        self, program_file, capsys
+    ):
+        argv = ["attack", program_file, "--per-class", "2", "--seed", "7",
+                "--chunk", "3"]
+        assert main(argv + ["--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_attack_json_and_resume(self, program_file, capsys, tmp_path):
+        out = tmp_path / "attacks.jsonl"
+        matrix = tmp_path / "matrix.json"
+        argv = ["attack", program_file, "--per-class", "2", "--seed", "7",
+                "--out", str(out), "--json", str(matrix)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        payload = json.loads(matrix.read_text())
+        assert payload["matrix"]
+        assert out.exists()
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_attack_unknown_target(self, capsys):
+        assert main(["attack", "no-such-workload"]) == 1
+        assert "unknown target" in capsys.readouterr().err
+
+    def test_attack_unknown_class(self, program_file, capsys):
+        assert main(["attack", program_file, "--class", "rowhammer"]) == 1
+        assert "unknown attack class" in capsys.readouterr().err
 
 
 class TestWorkload:
