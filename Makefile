@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke campaign-smoke attack-smoke clean
+.PHONY: test bench bench-smoke perf-smoke campaign-smoke attack-smoke clean
 
 test:  ## tier-1: the whole unit/integration suite, fail fast
 	$(PYTHON) -m pytest -x -q
@@ -17,6 +17,11 @@ bench:  ## every paper-artifact benchmark; tables land in results/
 bench-smoke:  ## the two fastest benchmarks: engine scaling + §6.3 coverage
 	$(PYTHON) -m pytest benchmarks/bench_campaign_scaling.py \
 	    benchmarks/bench_fault_analysis.py -q
+
+# perf-smoke fails unless the golden backend beats full by >= 3x at one
+# worker; throughput tables land in results/ (see docs/PERFORMANCE.md).
+perf-smoke:  ## both campaign backends on a tiny corpus, speedup enforced
+	$(PYTHON) -m pytest benchmarks/bench_campaign_scaling.py -q
 
 campaign-smoke:  ## tiny 2-worker campaign through the CLI, with resume
 	$(PYTHON) -m repro campaign sha --scale tiny --faults 32 --workers 2 \

@@ -1,31 +1,45 @@
-"""Campaign-engine scaling: faults/second at 1, 2, and N workers.
+"""Campaign-engine scaling: faults/second per backend × worker count.
 
-Runs the same seeded 200-fault single-bit campaign against ``sha-tiny`` at
-increasing worker counts, records the throughput table under ``results/``,
-and asserts the engine's core guarantee: aggregate statistics are
-byte-identical regardless of worker count.  The speedup assertion only
-applies where the host actually has the cores to scale onto — on a
-single-core container the pool can't beat the serial path, so the check is
-reported but not enforced there.
+Runs the same seeded 200-fault single-bit campaign against ``sha-tiny`` on
+both execution backends (``full`` re-simulates every injection from
+instruction zero; ``golden`` forks the recorded golden run at the nearest
+checkpoint before the fault) at 1, 2, and 4 workers, records the
+throughput table under ``results/``, and asserts the engine's guarantees:
+
+* aggregate statistics are byte-identical across backends *and* worker
+  counts;
+* the golden backend is at least 3× faster than full at 1 worker (each
+  measurement pays its own warm-up: golden run, FHT build, and — golden
+  backend — the checkpoint store);
+* with enough cores, 4 workers deliver at least 2× the 1-worker
+  throughput (per-worker warm caches make workers scale; the check is
+  reported but not enforced on hosts without the cores to scale onto).
+
+``docs/PERFORMANCE.md`` explains the model behind these numbers.
 """
 
 import os
 import time
 
-from repro.exec import CampaignRunner, CampaignSpec
+from repro.exec import BACKENDS, CampaignRunner, CampaignSpec
 from repro.utils.tables import TextTable
 
 WORKLOAD = "sha"
 SCALE = "tiny"
 FAULT_COUNT = 200
 SEED = 42
-MAX_WORKERS = 4
+WORKER_COUNTS = (1, 2, 4)
+MAX_WORKERS = WORKER_COUNTS[-1]
+
+#: Enforced single-worker advantage of golden over full (measured ~16×).
+GOLDEN_MIN_SPEEDUP = 3.0
 
 
 def _time_campaign(spec, faults, workers):
-    # A fresh runner per measurement so every worker count pays its own
-    # golden-run startup inside the timed region: the serial path builds
-    # one context, each pool worker builds its own in its initializer.
+    # A fresh runner per measurement so every cell pays its own startup
+    # inside the timed region: the serial path builds one workspace
+    # (golden run + warm caches + checkpoint store for the golden
+    # backend), each pool worker builds its own in its initializer.
     runner = CampaignRunner(spec, workers=workers)
     start = time.perf_counter()
     result = runner.run(faults, seed=SEED)
@@ -34,49 +48,73 @@ def _time_campaign(spec, faults, workers):
 
 
 def test_campaign_scaling(save_result, record_bench):
-    spec = CampaignSpec(workload=WORKLOAD, scale=SCALE, iht_size=8)
-    faults = CampaignRunner(spec).campaign.random_single_bit(
-        FAULT_COUNT, seed=SEED
-    )
     cores = os.cpu_count() or 1
     table = TextTable(
-        ["workers", "seconds", "faults/s", "speedup", "summary"],
+        ["backend", "workers", "seconds", "faults/s", "speedup", "summary"],
         title=(
             f"Campaign scaling — {WORKLOAD}-{SCALE}, {FAULT_COUNT} "
-            f"single-bit faults, seed {SEED} ({cores} cores available)"
+            f"single-bit faults, seed {SEED} ({cores} cores available; "
+            "speedup vs full @ 1 worker)"
         ),
     )
+    faults = None
     summaries = []
+    throughputs: dict[str, dict[int, float]] = {}
     baseline = None
-    throughputs = {}
-    for workers in (1, 2, MAX_WORKERS):
-        result, elapsed = _time_campaign(spec, faults, workers)
-        summaries.append(result.summary())
-        throughput = FAULT_COUNT / elapsed
-        throughputs[workers] = throughput
-        baseline = baseline or elapsed
-        table.add_row(
-            [
-                workers,
-                f"{elapsed:.2f}",
-                f"{throughput:.1f}",
-                f"{baseline / elapsed:.2f}x",
-                result.summary(),
-            ]
+    for backend in BACKENDS:
+        spec = CampaignSpec(
+            workload=WORKLOAD, scale=SCALE, iht_size=8, backend=backend
         )
+        if faults is None:
+            faults = CampaignRunner(spec).campaign.random_single_bit(
+                FAULT_COUNT, seed=SEED
+            )
+        throughputs[backend] = {}
+        for workers in WORKER_COUNTS:
+            result, elapsed = _time_campaign(spec, faults, workers)
+            summaries.append(result.summary())
+            throughput = FAULT_COUNT / elapsed
+            throughputs[backend][workers] = throughput
+            baseline = baseline or elapsed
+            table.add_row(
+                [
+                    backend,
+                    workers,
+                    f"{elapsed:.2f}",
+                    f"{throughput:.1f}",
+                    f"{baseline / elapsed:.2f}x",
+                    result.summary(),
+                ]
+            )
     save_result("campaign_scaling", table.render())
     record_bench(
         cores=cores,
         faults=FAULT_COUNT,
         faults_per_second={
-            str(workers): round(value, 2)
-            for workers, value in throughputs.items()
+            backend: {
+                str(workers): round(value, 2)
+                for workers, value in per_backend.items()
+            }
+            for backend, per_backend in throughputs.items()
         },
+        golden_speedup_1w=round(
+            throughputs["golden"][1] / throughputs["full"][1], 2
+        ),
         summary=summaries[0],
     )
 
-    # Core guarantee: worker count never changes the statistics.
+    # Core guarantee: neither worker count nor backend changes statistics.
     assert len(set(summaries)) == 1, summaries
-    # Throughput must actually scale where the hardware allows it.
+    # The checkpointed backend must actually pay off, everywhere.
+    assert (
+        throughputs["golden"][1] >= GOLDEN_MIN_SPEEDUP * throughputs["full"][1]
+    ), throughputs
+    # Throughput must scale with workers where the hardware allows it.
+    # Enforced on the full backend, whose per-injection work dominates
+    # its per-worker warm-up; golden's fixed warm-up (each worker records
+    # the whole golden run) dominates at this fault count, so its scaling
+    # is reported but not gated — raise FAULT_COUNT to see it scale.
     if cores >= MAX_WORKERS:
-        assert throughputs[MAX_WORKERS] > 1.5 * throughputs[1], throughputs
+        assert (
+            throughputs["full"][MAX_WORKERS] >= 2.0 * throughputs["full"][1]
+        ), throughputs

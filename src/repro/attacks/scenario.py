@@ -109,6 +109,16 @@ class AttackScenario:
     def reset(self) -> None:
         self._seen.clear()
 
+    def seek(self, fetch_counts) -> None:
+        """Position the per-address counters as if ``fetch_counts[a]``
+        fetches of each patched address already happened — the
+        golden-trace backend's resume from a mid-run checkpoint."""
+        self._seen = {
+            address: fetch_counts[address]
+            for address in self._patch_map
+            if fetch_counts.get(address)
+        }
+
     # -- derivation and serialization -----------------------------------
 
     def as_transient(self, occurrence: int = 1) -> "AttackScenario":

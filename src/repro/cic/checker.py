@@ -12,6 +12,7 @@ that both paths produce identical statistics and verdicts.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 from repro.cic.hashes import HashAlgorithm
@@ -87,6 +88,34 @@ class CodeIntegrityChecker:
         self._rhash = self.algorithm.initial()
         self._blocks += 1
         return extra_cycles
+
+    # ------------------------------------------------------------------
+    # Checkpointing (golden-trace campaign backend)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Capture the CIC registers and the IHT, mid-block included.
+
+        Hash states are plain values (ints, tuples, bytes) for every
+        registered algorithm, so a deep copy detaches the running RHASH
+        from the live run.  The OS handler is snapshotted separately
+        (:meth:`repro.osmodel.handler.OSExceptionHandler.snapshot`).
+        """
+        return (
+            self._sta,
+            copy.deepcopy(self._rhash),
+            self._os_cycles,
+            self._blocks,
+            self.iht.snapshot(),
+        )
+
+    def restore(self, snapshot: tuple) -> None:
+        sta, rhash, os_cycles, blocks, iht_snapshot = snapshot
+        self._sta = sta
+        self._rhash = copy.deepcopy(rhash)
+        self._os_cycles = os_cycles
+        self._blocks = blocks
+        self.iht.restore(iht_snapshot)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -149,3 +149,52 @@ class InternalHashTable:
 
     def reset_stats(self) -> None:
         self.stats = TableStats()
+
+    # ------------------------------------------------------------------
+    # Checkpointing (golden-trace campaign backend)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Immutable copy of every CAM row, the stats, and the LRU clock."""
+        return (
+            tuple(
+                (
+                    entry.start,
+                    entry.end,
+                    entry.hash_value,
+                    entry.valid,
+                    entry.last_used,
+                    entry.inserted,
+                )
+                for entry in self.entries
+            ),
+            (
+                self.stats.lookups,
+                self.stats.hits,
+                self.stats.misses,
+                self.stats.mismatches,
+            ),
+            self._tick,
+        )
+
+    def restore(self, snapshot: tuple) -> None:
+        """Restore a table of the same size to a :meth:`snapshot`."""
+        rows, stats, tick = snapshot
+        if len(rows) != self.size:
+            raise ConfigurationError(
+                f"snapshot has {len(rows)} rows, table has {self.size}"
+            )
+        self._index.clear()
+        for entry, row in zip(self.entries, rows):
+            (
+                entry.start,
+                entry.end,
+                entry.hash_value,
+                entry.valid,
+                entry.last_used,
+                entry.inserted,
+            ) = row
+            if entry.valid:
+                self._index[(entry.start, entry.end)] = entry
+        self.stats = TableStats(*stats)
+        self._tick = tick

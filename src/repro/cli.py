@@ -32,7 +32,10 @@ Commands
     ``--faults N`` random single-bit faults (seeded by ``--seed``) are
     sharded across ``--workers`` processes; ``--out FILE`` streams JSONL
     records so ``--resume`` can pick an interrupted campaign back up from
-    the last completed shard.  Results are identical for any worker count.
+    the last completed shard.  ``--backend golden`` forks each injection
+    from the recorded golden run's nearest checkpoint instead of
+    re-simulating from instruction zero.  Results are identical for any
+    worker count and either backend.
 
 ``attack TARGET``
     Run the adversarial tampering sweep (:mod:`repro.attacks`) against a
@@ -185,6 +188,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         iht_size=args.iht,
         hash_name=args.hash,
         policy_name=args.policy,
+        backend=args.backend,
     )
     runner = CampaignRunner(spec, workers=args.workers, chunk_size=args.chunk)
     faults = runner.campaign.random_single_bit(args.faults, seed=args.seed)
@@ -227,6 +231,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
         chunk_size=args.chunk,
         out=args.out,
         resume=args.resume,
+        backend=args.backend,
     )
     print(result.table().render())
     if args.json:
@@ -347,6 +352,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk", type=int, default=16,
         help="faults per shard (the unit of distribution and resume)",
     )
+    campaign_command.add_argument(
+        "--backend", choices=("full", "golden"), default="full",
+        help="injection execution backend: re-simulate from instruction "
+             "zero (full) or fork the recorded golden run at the nearest "
+             "checkpoint before the fault (golden; identical results, "
+             "see docs/PERFORMANCE.md)",
+    )
     campaign_command.add_argument("--iht", type=int, default=8)
     campaign_command.add_argument("--hash", default="xor")
     campaign_command.add_argument("--policy", default="lru_half")
@@ -395,6 +407,10 @@ def build_parser() -> argparse.ArgumentParser:
     attack_command.add_argument(
         "--chunk", type=int, default=16,
         help="scenarios per shard (the unit of distribution and resume)",
+    )
+    attack_command.add_argument(
+        "--backend", choices=("full", "golden"), default="full",
+        help="injection execution backend (see `campaign --backend`)",
     )
     attack_command.add_argument("--iht", type=int, default=8)
     attack_command.add_argument(

@@ -207,6 +207,7 @@ def run_attack_coverage(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     out=None,
     resume: bool = False,
+    backend: str = "full",
 ) -> AttackCoverageResult:
     """Run the attack sweep and assemble the detection matrix.
 
@@ -216,6 +217,9 @@ def run_attack_coverage(
     each configuration streams to its own JSONL file (suffixed
     ``.<hash>.<policy>`` when more than one configuration is swept) and
     ``resume=True`` picks interrupted sweeps back up shard-by-shard.
+    ``backend="golden"`` runs every scenario on the checkpointed
+    golden-trace backend (:mod:`repro.exec.golden`) — same matrix, a
+    fraction of the simulated instructions.
     """
     if source is not None:
         workload = None
@@ -243,6 +247,7 @@ def run_attack_coverage(
                 hash_name=hash_name,
                 policy_name=policy_name,
                 inputs=None if inputs is None else tuple(inputs),
+                backend=backend,
             )
             if base_context is None:
                 # One parent-side golden run and one corpus enumeration

@@ -14,18 +14,22 @@ from repro.cfg.hashgen import build_fht
 from repro.cic.fht import FullHashTable
 from repro.cic.hashes import get_hash
 from repro.osmodel.loader import load_process
-from repro.pipeline.funcsim import FuncSim, RunResult
+from repro.pipeline.funcsim import FuncSim, RunResult, run_program
 from repro.workloads.suite import build, workload_inputs
 
 
 @lru_cache(maxsize=None)
 def baseline_run(name: str, scale: str = "default") -> RunResult:
-    """Unmonitored run with the block trace collected."""
+    """Unmonitored run with the block trace collected.
+
+    Uses the same trace-capture path (`run_program(collect_trace=True)`)
+    as the campaign engine's golden runs, so Figure-6 replay and the
+    campaign backends consume one definition of the recorded trace.
+    """
     program = build(name, scale)
-    simulator = FuncSim(
+    return run_program(
         program, collect_trace=True, inputs=workload_inputs(name, scale)
     )
-    return simulator.run()
 
 
 @lru_cache(maxsize=None)

@@ -115,15 +115,21 @@ def run_fault_analysis(
     multi_bit_count: int = 60,
     seed: int = 42,
     workers: int = 1,
+    backend: str = "full",
 ) -> FaultAnalysisResult:
     """Run the three fault scenarios against one workload.
 
     With ``workers > 1`` each scenario's injections are sharded across a
     process pool by :class:`~repro.exec.runner.CampaignRunner`; outcomes
-    are identical to the serial run.
+    are identical to the serial run.  ``backend="golden"`` forks each
+    injection from the recorded golden run (identical outcomes, faster).
     """
     spec = CampaignSpec(
-        workload=workload, scale=scale, iht_size=iht_size, hash_name=hash_name
+        workload=workload,
+        scale=scale,
+        iht_size=iht_size,
+        hash_name=hash_name,
+        backend=backend,
     )
     runner = CampaignRunner(spec, workers=workers)
     campaign = runner.campaign

@@ -8,10 +8,15 @@ hash/policy ablations, design-space exploration) — scale across CPU cores
 without giving up reproducibility:
 
 * :mod:`repro.exec.spec` — :class:`CampaignSpec`, the picklable campaign
-  description every worker re-derives its simulator state from;
+  description every worker re-derives its simulator state from; its
+  ``backend`` field selects full replay (``"full"``) or golden-trace
+  fork-at-fault (``"golden"``) execution;
 * :mod:`repro.exec.runner` — :class:`CampaignRunner`, which shards fault
   lists over a :mod:`multiprocessing` pool, streams results to JSONL, and
-  resumes interrupted campaigns from the last committed shard;
+  resumes interrupted campaigns from the last committed shard; each
+  worker holds one warm :class:`~repro.exec.runner.Workspace`;
+* :mod:`repro.exec.golden` — the checkpointed golden-trace store and the
+  fork-at-fault kernel :func:`~repro.exec.golden.run_one_golden`;
 * :mod:`repro.exec.records` — :class:`FaultRecord` and the JSONL schema.
 
 Outcome taxonomy
@@ -56,17 +61,28 @@ or, from a shell, ``python -m repro campaign sha --scale tiny --faults 200
 --workers 4 --seed 42 --out sha.jsonl --resume``.
 """
 
+from repro.exec.golden import GoldenStore, build_golden_store, run_one_golden
 from repro.exec.records import FaultRecord, fault_from_json, fault_to_json
-from repro.exec.runner import DEFAULT_CHUNK_SIZE, CampaignResult, CampaignRunner
-from repro.exec.spec import CampaignSpec, shard_seed
+from repro.exec.runner import (
+    DEFAULT_CHUNK_SIZE,
+    CampaignResult,
+    CampaignRunner,
+    Workspace,
+)
+from repro.exec.spec import BACKENDS, CampaignSpec, shard_seed
 
 __all__ = [
+    "BACKENDS",
     "CampaignResult",
     "CampaignRunner",
     "CampaignSpec",
     "DEFAULT_CHUNK_SIZE",
     "FaultRecord",
+    "GoldenStore",
+    "Workspace",
+    "build_golden_store",
     "fault_from_json",
     "fault_to_json",
+    "run_one_golden",
     "shard_seed",
 ]

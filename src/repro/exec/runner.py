@@ -4,18 +4,25 @@
 scenarios from :mod:`repro.attacks`, or any mix of objects satisfying the
 :class:`repro.faults.models.Perturbation` protocol — into fixed-size
 chunks and executes them across a :mod:`multiprocessing` pool.  Each
-worker builds its own golden run and
-:class:`~repro.faults.campaign.CampaignContext` once, from the picklable
-:class:`~repro.exec.spec.CampaignSpec` (simulators never cross process
-boundaries), then classifies every injection of its shards through the
-shared :func:`repro.faults.campaign.run_one` kernel.
+worker materializes a :class:`Workspace` once in its pool initializer,
+from the picklable :class:`~repro.exec.spec.CampaignSpec` (simulators
+never cross process boundaries): the golden run and
+:class:`~repro.faults.campaign.CampaignContext`, the warm per-worker
+caches (built program, FHT, decode cache — see
+:class:`~repro.faults.campaign.WarmProcess`), and, for the ``golden``
+backend, the checkpointed :class:`~repro.exec.golden.GoldenStore`.  Every
+injection of its shards then runs through the backend's kernel —
+:func:`repro.faults.campaign.run_one` (full replay) or
+:func:`repro.exec.golden.run_one_golden` (fork at the fault) — which share
+one classification tail and produce identical results.
 
 Determinism
     Shard boundaries depend only on the perturbation list and
     ``chunk_size``, and each shard's seed derives from ``(seed,
     shard_id)`` — never from the worker that happens to run it.  Aggregate
-    results are therefore identical for any ``workers`` value, which the
-    engine's tests and ``benchmarks/bench_campaign_scaling.py`` assert.
+    results are therefore identical for any ``workers`` value *and* for
+    either backend, which the engine's tests and
+    ``benchmarks/bench_campaign_scaling.py`` assert.
 
 Resumability
     With ``out=`` set, per-fault records stream to a JSONL file (schema in
@@ -36,8 +43,11 @@ from repro.faults.campaign import (
     CampaignContext,
     CampaignReport,
     FaultCampaign,
+    FaultResult,
+    WarmProcess,
     run_one,
 )
+from repro.exec.golden import GoldenStore, build_golden_store, run_one_golden
 from repro.exec.records import FaultRecord, dump_line, load_lines
 from repro.exec.spec import SPEC_VERSION, CampaignSpec, shard_seed
 
@@ -76,33 +86,71 @@ class CampaignResult:
 
 
 # ----------------------------------------------------------------------
-# Shard execution (shared by the serial path and the pool workers)
+# Workspaces and shard execution (serial path and pool workers alike)
 # ----------------------------------------------------------------------
 
 
+@dataclass(slots=True)
+class Workspace:
+    """Everything one worker holds warm across its injections.
+
+    Built once per process — by the pool initializer, or lazily by the
+    serial path — and reused for every shard that lands on the worker:
+    the context (golden reference), the :class:`WarmProcess` (built
+    program, FHT, shared decode cache), and, for ``backend="golden"``,
+    the checkpointed :class:`~repro.exec.golden.GoldenStore`.
+    """
+
+    context: CampaignContext
+    warm: WarmProcess
+    golden: GoldenStore | None = None
+
+    @classmethod
+    def build(
+        cls, spec: CampaignSpec, context: CampaignContext | None = None
+    ) -> "Workspace":
+        if context is None:
+            context = spec.build_context()
+        warm = WarmProcess.from_context(context)
+        golden = (
+            build_golden_store(context, warm)
+            if spec.backend == "golden"
+            else None
+        )
+        return cls(context=context, warm=warm, golden=golden)
+
+    def run_fault(self, fault) -> FaultResult:
+        if self.golden is not None:
+            return run_one_golden(self.golden, fault)
+        return run_one(self.context, fault, warm=self.warm)
+
+
 def _run_shard(
-    context: CampaignContext, task: _ShardTask
+    workspace: Workspace, task: _ShardTask
 ) -> tuple[int, list[FaultRecord]]:
     shard_id, start, faults, _seed = task
     records = [
-        FaultRecord.from_result(start + offset, shard_id, run_one(context, fault))
+        FaultRecord.from_result(
+            start + offset, shard_id, workspace.run_fault(fault)
+        )
         for offset, fault in enumerate(faults)
     ]
     return shard_id, records
 
 
-_WORKER_CONTEXT: CampaignContext | None = None
+_WORKER_WORKSPACE: Workspace | None = None
 
 
 def _pool_init(spec: CampaignSpec) -> None:
-    """Pool initializer: derive this worker's context (golden run) once."""
-    global _WORKER_CONTEXT
-    _WORKER_CONTEXT = spec.build_context()
+    """Pool initializer: materialize this worker's workspace once —
+    golden run, warm caches, and (golden backend) the checkpoint store."""
+    global _WORKER_WORKSPACE
+    _WORKER_WORKSPACE = Workspace.build(spec)
 
 
 def _pool_shard(task: _ShardTask) -> tuple[int, list[FaultRecord]]:
-    assert _WORKER_CONTEXT is not None, "pool worker used before _pool_init"
-    return _run_shard(_WORKER_CONTEXT, task)
+    assert _WORKER_WORKSPACE is not None, "pool worker used before _pool_init"
+    return _run_shard(_WORKER_WORKSPACE, task)
 
 
 class CampaignRunner:
@@ -127,6 +175,7 @@ class CampaignRunner:
         # context (e.g. a hash/policy sweep over one program).  Pool
         # workers still derive their own context from the spec.
         self._campaign = campaign
+        self._workspace: Workspace | None = None
 
     @property
     def campaign(self) -> FaultCampaign:
@@ -134,6 +183,15 @@ class CampaignRunner:
         if self._campaign is None:
             self._campaign = self.spec.build_campaign()
         return self._campaign
+
+    @property
+    def workspace(self) -> Workspace:
+        """Parent-side workspace (lazy), for the serial execution path."""
+        if self._workspace is None:
+            self._workspace = Workspace.build(
+                self.spec, context=self.campaign.context
+            )
+        return self._workspace
 
     # ------------------------------------------------------------------
 
@@ -286,9 +344,9 @@ class CampaignRunner:
 
         try:
             if self.workers == 1 or len(pending) <= 1:
-                context = self.campaign.context
+                workspace = self.workspace
                 for task in pending:
-                    commit(*_run_shard(context, task))
+                    commit(*_run_shard(workspace, task))
             else:
                 self._run_pool(pending, commit)
         finally:

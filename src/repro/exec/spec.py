@@ -23,7 +23,11 @@ from repro.faults.campaign import CampaignContext, FaultCampaign, build_context
 from repro.utils.seeds import derive_seed
 
 #: Schema version stamped into headers; bump on incompatible changes.
-SPEC_VERSION = 1
+#: v2: the spec gained ``backend`` (full-replay vs golden-trace fork).
+SPEC_VERSION = 2
+
+#: Valid values of :attr:`CampaignSpec.backend`.
+BACKENDS = ("full", "golden")
 
 
 @dataclass(frozen=True, slots=True)
@@ -35,6 +39,13 @@ class CampaignSpec:
     *source* (raw assembly text) selects the program under test.  The
     remaining fields configure the monitor and the hang budget, mirroring
     :class:`~repro.faults.campaign.FaultCampaign`.
+
+    *backend* selects how each injection is executed — ``"full"``
+    re-simulates from instruction zero, ``"golden"`` forks the recorded
+    golden run at the nearest checkpoint before the fault
+    (:mod:`repro.exec.golden`).  Both produce identical
+    :class:`~repro.faults.campaign.FaultResult`\\ s; the choice is purely
+    a throughput knob and is recorded in results-file headers.
     """
 
     workload: str | None = None
@@ -46,11 +57,17 @@ class CampaignSpec:
     policy_name: str = "lru_half"
     inputs: tuple[int, ...] | None = None
     instruction_budget_factor: int = 20
+    backend: str = "full"
 
     def __post_init__(self) -> None:
         if (self.workload is None) == (self.source is None):
             raise ConfigurationError(
                 "CampaignSpec needs exactly one of workload= or source="
+            )
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; "
+                f"choose from: {', '.join(BACKENDS)}"
             )
 
     # ------------------------------------------------------------------

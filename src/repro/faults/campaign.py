@@ -41,6 +41,9 @@ from dataclasses import dataclass, field
 
 from repro.errors import DecodingError, MemoryAccessError, MonitorViolation, SimulationError
 from repro.asm.program import Program
+from repro.cfg.hashgen import build_fht
+from repro.cic.fht import FullHashTable
+from repro.cic.hashes import get_hash
 from repro.faults.models import (
     BitFlipFault,
     FetchProbe,
@@ -48,7 +51,8 @@ from repro.faults.models import (
     split_perturbation,
 )
 from repro.osmodel.loader import load_process
-from repro.pipeline.funcsim import FuncSim
+from repro.pipeline.funcsim import FuncSim, run_program
+from repro.pipeline.trace import executed_addresses
 
 
 class Outcome(enum.Enum):
@@ -165,6 +169,8 @@ class CampaignContext:
     golden_exit: int = 0
     executed_addresses: tuple[int, ...] = ()
     instruction_budget: int = 10_000
+    #: Instructions the pristine run executes (0 for hand-built contexts).
+    golden_instructions: int = 0
 
 
 def build_context(
@@ -177,10 +183,7 @@ def build_context(
 ) -> CampaignContext:
     """Run the golden (pristine, unmonitored) simulation and capture it."""
     inputs = list(inputs) if inputs else None
-    golden = FuncSim(program, collect_trace=True, inputs=inputs).run()
-    addresses: set[int] = set()
-    for event in golden.block_trace:
-        addresses.update(range(event.start, event.end + 4, 4))
+    golden = run_program(program, collect_trace=True, inputs=inputs)
     return CampaignContext(
         program=program,
         iht_size=iht_size,
@@ -189,55 +192,73 @@ def build_context(
         inputs=inputs,
         golden_console=golden.console,
         golden_exit=golden.exit_code,
-        executed_addresses=tuple(sorted(addresses)),
+        executed_addresses=executed_addresses(golden.block_trace),
         instruction_budget=max(
             10_000, golden.instructions * instruction_budget_factor
         ),
+        golden_instructions=golden.instructions,
     )
 
 
-def run_one(context: CampaignContext, fault) -> FaultResult:
-    """Inject one perturbation (or tuple of them) into a monitored run.
+@dataclass(slots=True)
+class WarmProcess:
+    """Per-worker warm cache of everything injection runs can share.
 
-    This is the pure single-injection kernel shared by the legacy serial
-    :class:`FaultCampaign` and the parallel campaign engine in
-    :mod:`repro.exec`: deterministic given ``(context, fault)``, with no
-    state carried between calls.  ``fault`` may be any object satisfying
-    the :class:`~repro.faults.models.Perturbation` protocol — the random
-    fault models of this package or the attack scenarios of
-    :mod:`repro.attacks` — so fault campaigns and attack sweeps are
-    interchangeable everywhere the kernel is used.
-
-    A :class:`~repro.faults.models.FetchProbe` wraps the fetch path to
-    time the first corrupted delivery, giving detected outcomes their
-    detection latency in instructions.
+    ``load_process`` per injection rebuilds the Full Hash Table — hashing
+    every basic block of the program — and re-decodes every word, which is
+    pure overhead after the first run: the FHT is immutable once built and
+    decoding depends only on the word.  A :class:`WarmProcess` hoists both
+    out of the per-fault path; only the genuinely per-run state (IHT,
+    policy, handler counters, CIC registers, architected state) is rebuilt
+    or restored per injection.  This is what made multi-worker campaigns
+    scale: pool workers materialize one ``WarmProcess`` in their
+    initializer instead of paying the FHT build for every fault.
     """
-    process = load_process(
-        context.program,
-        iht_size=context.iht_size,
-        hash_name=context.hash_name,
-        policy_name=context.policy_name,
-    )
-    persistents, transients = split_perturbation(fault)
-    for part in transients:
-        reset = getattr(part, "reset", None)
-        if reset is not None:
-            reset()
+
+    program: Program
+    fht: FullHashTable
+    hash_name: str
+    decode_cache: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_context(cls, context: "CampaignContext") -> "WarmProcess":
+        return cls(
+            program=context.program,
+            fht=build_fht(context.program, get_hash(context.hash_name)),
+            hash_name=context.hash_name,
+        )
+
+    def fresh_checker(self, context: "CampaignContext"):
+        """A cold monitor (empty IHT, zero counters) over the warm FHT."""
+        return load_process(
+            self.program,
+            iht_size=context.iht_size,
+            hash_name=self.hash_name,
+            policy_name=context.policy_name,
+            fht=self.fht,
+        ).monitor
+
+
+def make_probe(persistents, transients) -> FetchProbe:
+    """The fetch-path probe for one injection: tampered set + transforms."""
     tampered: set[int] = set()
     for part in persistents:
         tampered.update(part.target_addresses())
-    probe = FetchProbe(
+    return FetchProbe(
         tampered, make_fetch_hook(transients) if transients else None
     )
-    simulator = FuncSim(
-        context.program,
-        monitor=process.monitor,
-        fetch_hook=probe,
-        inputs=context.inputs,
-        max_instructions=context.instruction_budget,
-    )
-    for part in persistents:
-        part.apply_to_memory(simulator.state.memory)
+
+
+def classify_run(
+    context: CampaignContext, fault, simulator: FuncSim, probe: FetchProbe
+) -> FaultResult:
+    """Run a prepared, injected simulation and classify its outcome.
+
+    The classification tail shared by every backend: the full-replay path
+    below and the golden-trace resume path
+    (:func:`repro.exec.golden.run_one_golden`) both end here, so outcome
+    taxonomy and detection-latency semantics cannot drift between them.
+    """
     try:
         result = simulator.run()
     except MonitorViolation as error:
@@ -262,6 +283,60 @@ def run_one(context: CampaignContext, fault) -> FaultResult:
     ):
         return FaultResult(fault, Outcome.BENIGN, "")
     return FaultResult(fault, Outcome.SDC, "output differs from golden run")
+
+
+def run_one(
+    context: CampaignContext, fault, warm: WarmProcess | None = None
+) -> FaultResult:
+    """Inject one perturbation (or tuple of them) into a monitored run.
+
+    This is the pure single-injection kernel shared by the legacy serial
+    :class:`FaultCampaign` and the parallel campaign engine in
+    :mod:`repro.exec`: deterministic given ``(context, fault)``, with no
+    state carried between calls.  ``fault`` may be any object satisfying
+    the :class:`~repro.faults.models.Perturbation` protocol — the random
+    fault models of this package or the attack scenarios of
+    :mod:`repro.attacks` — so fault campaigns and attack sweeps are
+    interchangeable everywhere the kernel is used.
+
+    A :class:`~repro.faults.models.FetchProbe` wraps the fetch path to
+    time the first corrupted delivery, giving detected outcomes their
+    detection latency in instructions.
+
+    *warm* (optional) supplies a per-worker :class:`WarmProcess`, which
+    skips the per-injection FHT rebuild and shares the decode cache —
+    identical results, a fraction of the setup cost.  The checkpointed
+    resume path that additionally skips the pre-injection instructions
+    lives in :func:`repro.exec.golden.run_one_golden`.
+    """
+    if warm is not None:
+        monitor = warm.fresh_checker(context)
+        decode_cache = warm.decode_cache
+    else:
+        monitor = load_process(
+            context.program,
+            iht_size=context.iht_size,
+            hash_name=context.hash_name,
+            policy_name=context.policy_name,
+        ).monitor
+        decode_cache = None
+    persistents, transients = split_perturbation(fault)
+    for part in transients:
+        reset = getattr(part, "reset", None)
+        if reset is not None:
+            reset()
+    probe = make_probe(persistents, transients)
+    simulator = FuncSim(
+        context.program,
+        monitor=monitor,
+        fetch_hook=probe,
+        inputs=context.inputs,
+        max_instructions=context.instruction_budget,
+        decode_cache=decode_cache,
+    )
+    for part in persistents:
+        part.apply_to_memory(simulator.state.memory)
+    return classify_run(context, fault, simulator, probe)
 
 
 class FaultCampaign:

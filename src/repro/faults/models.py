@@ -143,6 +143,12 @@ class TransientFetchFault:
     def reset(self) -> None:
         self._seen = 0
 
+    def seek(self, fetch_counts) -> None:
+        """Position the counter as if ``fetch_counts[address]`` fetches of
+        each address already happened — the golden-trace backend's resume
+        from a mid-run checkpoint."""
+        self._seen = fetch_counts.get(self.address, 0)
+
 
 def make_fetch_hook(transients: Iterable) -> Callable[[int, int], int]:
     """Compose transient perturbations into a simulator ``fetch_hook``."""

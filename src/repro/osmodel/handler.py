@@ -68,3 +68,29 @@ class OSExceptionHandler:
         entry = self.iht.probe(start, end)
         expected = entry.hash_value if entry is not None else self.fht.get(start, end)
         raise MonitorViolation(start, end, expected, hash_value)
+
+    # ------------------------------------------------------------------
+    # Checkpointing (golden-trace campaign backend)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Counters plus the replacement policy's internal state.
+
+        The FHT and IHT are not included: the FHT is immutable after load
+        and shared across restores, the IHT travels with the checker's
+        snapshot.
+        """
+        return (
+            (
+                self.stats.miss_exceptions,
+                self.stats.fht_searches,
+                self.stats.refills,
+                self.stats.cycles,
+            ),
+            self.policy.snapshot_state(),
+        )
+
+    def restore(self, snapshot: tuple) -> None:
+        stats, policy_state = snapshot
+        self.stats = HandlerStats(*stats)
+        self.policy.restore_state(policy_state)

@@ -52,18 +52,23 @@ def load_process(
     policy_name: str = "lru_half",
     miss_penalty: int = DEFAULT_MISS_PENALTY,
     fht_blob: bytes | None = None,
+    fht: FullHashTable | None = None,
 ) -> LoadedProcess:
     """Load *program* under the OS-managed monitoring scheme.
 
     If *fht_blob* is given it is deserialized instead of recomputed —
-    the "hash values attached to the application code" path; otherwise the
-    loader computes hashes from the binary it just loaded.
+    the "hash values attached to the application code" path.  An already
+    built *fht* (computed with *hash_name*) is adopted as-is — the warm
+    per-worker path of the campaign engine, which hashes the program once
+    per worker instead of once per injection.  Otherwise the loader
+    computes hashes from the binary it just loaded.
     """
     algorithm = get_hash(hash_name)
-    if fht_blob is not None:
-        fht = FullHashTable.from_bytes(fht_blob)
-    else:
-        fht = build_fht(program, algorithm)
+    if fht is None:
+        if fht_blob is not None:
+            fht = FullHashTable.from_bytes(fht_blob)
+        else:
+            fht = build_fht(program, algorithm)
     iht = InternalHashTable(iht_size)
     policy = get_policy(policy_name)
     handler = OSExceptionHandler(

@@ -58,6 +58,17 @@ class ReplacementPolicy(ABC):
         if iht.probe(*missing_key) is None:  # pragma: no cover - invariant
             raise ConfigurationError("refill failed to load the missed block")
 
+    # ------------------------------------------------------------------
+    # Checkpointing (golden-trace campaign backend)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> object:
+        """Internal policy state to checkpoint (default: stateless)."""
+        return None
+
+    def restore_state(self, state: object) -> None:
+        """Restore state captured by :meth:`snapshot_state`."""
+
 
 class LruHalfPolicy(ReplacementPolicy):
     """The paper's policy: evict the least-recently-used half, block refill."""
@@ -103,6 +114,12 @@ class RandomPolicy(ReplacementPolicy):
     def _victims(self, iht: InternalHashTable, needed: int) -> list[TableEntry]:
         valid = iht.valid_entries()
         return self._rng.sample(valid, min(needed, len(valid)))
+
+    def snapshot_state(self) -> object:
+        return self._rng.getstate()
+
+    def restore_state(self, state: object) -> None:
+        self._rng.setstate(state)
 
 
 POLICIES: dict[str, type[ReplacementPolicy]] = {

@@ -29,7 +29,7 @@ instruction for instruction, on every workload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _copy_latch
 from typing import Callable
 
 from repro.errors import MemoryAccessError, SimulationError
@@ -37,6 +37,14 @@ from repro.asm.program import Program
 from repro.pipeline import semantics
 from repro.pipeline.funcsim import Monitor, RunResult
 from repro.pipeline.hazards import CycleModel
+from repro.pipeline.snapshot import (
+    ArchSnapshot,
+    SyscallSnapshot,
+    restore_arch,
+    restore_syscalls,
+    snapshot_arch,
+    snapshot_syscalls,
+)
 from repro.pipeline.state import ArchState
 from repro.pipeline.syscalls import SyscallHandler
 from repro.pipeline.trace import BlockTrace
@@ -82,6 +90,38 @@ class _MEMWB:
     dest: int | None
 
 
+def _latch_copy(latch):
+    """Copy a stage latch (None-safe); instructions are shared, immutable."""
+    return None if latch is None else _copy_latch(latch)
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineSnapshot:
+    """A paused :class:`PipelineCPU` at a cycle boundary.
+
+    Unlike the functional simulator, the cycle-level machine has state in
+    flight: the four stage latches, the multi-cycle EX unit, and the trap
+    serialization window all travel with the snapshot so a restored run
+    replays the exact same cycles.
+    """
+
+    cycle: int
+    instructions: int
+    arch: ArchSnapshot
+    syscalls: SyscallSnapshot
+    block_start: int | None
+    trace: tuple[tuple[int, int], ...]
+    if_id: _IFID | None
+    id_ex: _IDEX | None
+    ex_mem: _EXMEM | None
+    mem_wb: _MEMWB | None
+    ex_busy: int
+    pending_hilo: tuple[int, int] | None
+    id_frozen_until: int
+    finished: bool = False
+    exit_code: int = 0
+
+
 class PipelineCPU:
     """Stage-latch simulator of the monitored in-order pipeline."""
 
@@ -94,6 +134,7 @@ class PipelineCPU:
         collect_trace: bool = False,
         inputs: list[int] | None = None,
         max_cycles: int = 200_000_000,
+        decode_cache: dict[int, Instruction] | None = None,
     ):
         self.program = program
         self.cycle_model = cycle_model or CycleModel()
@@ -105,9 +146,27 @@ class PipelineCPU:
         self.syscalls = SyscallHandler()
         if inputs:
             self.syscalls.inputs.extend(inputs)
-        self._decode_cache: dict[int, Instruction] = {}
+        self._decode_cache: dict[int, Instruction] = (
+            decode_cache if decode_cache is not None else {}
+        )
         self._text_start = program.text_start
         self._text_end = program.text_end
+        # Resumable machine state: stage latches plus the counters the
+        # cycle loop threads through; run(until=k) pauses here and
+        # snapshot()/restore() move it across simulator instances.
+        self._if_id: _IFID | None = None
+        self._id_ex: _IDEX | None = None
+        self._ex_mem: _EXMEM | None = None
+        self._mem_wb: _MEMWB | None = None
+        self._cycle = 0
+        self._executed = 0
+        self._ex_busy = 0
+        self._pending_hilo: tuple[int, int] | None = None
+        self._id_frozen_until = 0
+        self._block_start: int | None = None
+        self._trace = BlockTrace() if collect_trace else None
+        self._finished = False
+        self._exit_code = 0
 
     # ------------------------------------------------------------------
 
@@ -132,34 +191,30 @@ class PipelineCPU:
 
     # ------------------------------------------------------------------
 
-    def run(self) -> RunResult:
+    def run(self, until: int | None = None) -> RunResult:
+        """Run the pipeline; pause at a cycle boundary once *until*
+        instructions have entered ID (``finished=False``), else run to
+        program exit.  Calling ``run`` again continues the same machine.
+        """
         state = self.state
         model = self.cycle_model
         monitor = self.monitor
-        trace = BlockTrace() if self.collect_trace else None
+        trace = self._trace
 
-        if_id: _IFID | None = None
-        id_ex: _IDEX | None = None
-        ex_mem: _EXMEM | None = None
-        mem_wb: _MEMWB | None = None
-
-        cycle = 0
-        executed = 0
-        ex_busy = 0
-        pending_hilo: tuple[int, int] | None = None
-        id_frozen_until = 0  # trap serialization window
-        block_start: int | None = None
-
-        while True:
-            cycle += 1
+        while not self._finished:
+            if until is not None and self._executed >= until:
+                break
+            cycle = self._cycle + 1
             if cycle > self.max_cycles:
                 raise SimulationError(
                     f"cycle limit {self.max_cycles} exceeded", cycle=cycle
                 )
-            old_ex_mem = ex_mem
+            self._cycle = cycle
+            old_ex_mem = self._ex_mem
             redirect_target: int | None = None
 
             # ---------------- WB ----------------
+            mem_wb = self._mem_wb
             if mem_wb is not None:
                 m = mem_wb.instruction.mnemonic
                 if mem_wb.dest is not None and mem_wb.value is not None:
@@ -167,28 +222,25 @@ class PipelineCPU:
                 if m is Mnemonic.SYSCALL:
                     result = self.syscalls.execute(state)
                     if result.exited:
-                        return RunResult(
-                            cycles=cycle,
-                            instructions=executed,
-                            exit_code=result.exit_code,
-                            console=self.syscalls.console_text,
-                            block_trace=trace,
-                            monitor_stats=getattr(monitor, "stats", None),
-                        )
+                        self._mem_wb = None
+                        self._finished = True
+                        self._exit_code = result.exit_code
+                        break
                 elif m is Mnemonic.BREAK:
                     raise SimulationError(
                         f"break {mem_wb.instruction.code}", pc=mem_wb.pc, cycle=cycle
                     )
-            mem_wb = None
+            self._mem_wb = None
 
             # ---------------- MEM ----------------
+            ex_mem = self._ex_mem
             if ex_mem is not None:
                 instruction = ex_mem.instruction
                 if ex_mem.is_load:
                     value = semantics.load_value(
                         instruction, state.memory, ex_mem.result
                     )
-                    mem_wb = _MEMWB(instruction, ex_mem.pc, value, ex_mem.dest)
+                    self._mem_wb = _MEMWB(instruction, ex_mem.pc, value, ex_mem.dest)
                 elif ex_mem.is_store:
                     # Store data is read at MEM time: this cycle's WB has
                     # already updated the register file, covering every
@@ -199,33 +251,38 @@ class PipelineCPU:
                         ex_mem.result,
                         state.read_reg(instruction.rt),
                     )
-                    mem_wb = _MEMWB(instruction, ex_mem.pc, None, None)
+                    self._mem_wb = _MEMWB(instruction, ex_mem.pc, None, None)
                 else:
-                    mem_wb = _MEMWB(
+                    self._mem_wb = _MEMWB(
                         instruction, ex_mem.pc, ex_mem.result, ex_mem.dest
                     )
-                ex_mem = None
+                self._ex_mem = None
 
             # ---------------- EX ----------------
             in_ex: Instruction | None = None
-            if ex_busy > 0:
-                ex_busy -= 1
-                if ex_busy == 0 and pending_hilo is not None:
-                    state.hi, state.lo = pending_hilo
-                    pending_hilo = None
-            elif id_ex is not None:
-                consumed = id_ex
-                id_ex = None
+            if self._ex_busy > 0:
+                self._ex_busy -= 1
+                if self._ex_busy == 0 and self._pending_hilo is not None:
+                    state.hi, state.lo = self._pending_hilo
+                    self._pending_hilo = None
+            elif self._id_ex is not None:
+                consumed = self._id_ex
+                self._id_ex = None
                 in_ex = consumed.instruction
-                ex_mem, started_busy = self._execute_stage(
+                self._ex_mem, started_busy = self._execute_stage(
                     consumed, old_ex_mem, model
                 )
                 if started_busy is not None:
-                    ex_busy, pending_hilo = started_busy
+                    self._ex_busy, self._pending_hilo = started_busy
 
             # ---------------- ID ----------------
             accepted = False
-            if id_ex is None and if_id is not None and cycle >= id_frozen_until:
+            if_id = self._if_id
+            if (
+                self._id_ex is None
+                and if_id is not None
+                and cycle >= self._id_frozen_until
+            ):
                 if if_id.fault:
                     raise MemoryAccessError(
                         "instruction fetch outside text segment at "
@@ -234,29 +291,34 @@ class PipelineCPU:
                         cycle=cycle,
                     )
                 instruction = self._decode(if_id.word, if_id.pc)
-                if not self._id_stall(instruction, in_ex, old_ex_mem, pending_hilo):
+                if not self._id_stall(
+                    instruction, in_ex, old_ex_mem, self._pending_hilo
+                ):
                     accepted = True
-                    executed += 1
+                    self._executed += 1
                     pc = if_id.pc
-                    if block_start is None:
-                        block_start = pc
+                    if self._block_start is None:
+                        self._block_start = pc
                     if monitor is not None:
                         monitor.on_instruction(pc, if_id.word)
                     if is_control_flow(instruction):
                         if trace is not None:
-                            trace.append(block_start, pc)
-                        block_start = None
+                            trace.append(self._block_start, pc)
+                        self._block_start = None
                         if monitor is not None:
                             extra = monitor.on_block_end(pc)
                             if extra:
-                                cycle += extra
+                                self._cycle += extra
                                 # The OS episode runs on this CPU: an
                                 # in-flight multiply finishes during it.
-                                drained = min(ex_busy, extra)
-                                ex_busy -= drained
-                                if ex_busy == 0 and pending_hilo is not None:
-                                    state.hi, state.lo = pending_hilo
-                                    pending_hilo = None
+                                drained = min(self._ex_busy, extra)
+                                self._ex_busy -= drained
+                                if (
+                                    self._ex_busy == 0
+                                    and self._pending_hilo is not None
+                                ):
+                                    state.hi, state.lo = self._pending_hilo
+                                    self._pending_hilo = None
                     id_result: int | None = None
                     m = instruction.mnemonic
                     if m in BRANCHES:
@@ -278,17 +340,76 @@ class PipelineCPU:
                         id_result = semantics.link_value(pc)
                     elif m is Mnemonic.SYSCALL:
                         # Traps serialize: next decode after this WB.
-                        id_frozen_until = cycle + model.depth - 2
-                    id_ex = _IDEX(instruction, pc, id_result)
+                        self._id_frozen_until = self._cycle + model.depth - 2
+                    self._id_ex = _IDEX(instruction, pc, id_result)
 
             # ---------------- IF ----------------
             if redirect_target is not None:
-                if_id = None  # squash the wrong-path fetch slot
+                self._if_id = None  # squash the wrong-path fetch slot
                 state.pc = redirect_target & 0xFFFFFFFF
-            elif if_id is None or accepted:
-                if_id = self._fetch_latch(state.pc)
+            elif self._if_id is None or accepted:
+                self._if_id = self._fetch_latch(state.pc)
                 state.pc = (state.pc + 4) & 0xFFFFFFFF
             # else: hold if_id and the fetch PC
+
+        return RunResult(
+            cycles=self._cycle,
+            instructions=self._executed,
+            exit_code=self._exit_code,
+            console=self.syscalls.console_text,
+            block_trace=trace,
+            monitor_stats=getattr(monitor, "stats", None),
+            finished=self._finished,
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> PipelineSnapshot:
+        """Capture the paused machine, in-flight latches included."""
+        return PipelineSnapshot(
+            cycle=self._cycle,
+            instructions=self._executed,
+            arch=snapshot_arch(self.state),
+            syscalls=snapshot_syscalls(self.syscalls),
+            block_start=self._block_start,
+            trace=(
+                tuple(event.key for event in self._trace)
+                if self._trace is not None
+                else ()
+            ),
+            if_id=_latch_copy(self._if_id),
+            id_ex=_latch_copy(self._id_ex),
+            ex_mem=_latch_copy(self._ex_mem),
+            mem_wb=_latch_copy(self._mem_wb),
+            ex_busy=self._ex_busy,
+            pending_hilo=self._pending_hilo,
+            id_frozen_until=self._id_frozen_until,
+            finished=self._finished,
+            exit_code=self._exit_code,
+        )
+
+    def restore(self, snapshot: PipelineSnapshot) -> None:
+        """Rewind (or fast-forward) this machine to *snapshot*."""
+        restore_arch(self.state, snapshot.arch)
+        restore_syscalls(self.syscalls, snapshot.syscalls)
+        self._cycle = snapshot.cycle
+        self._executed = snapshot.instructions
+        self._block_start = snapshot.block_start
+        self._if_id = _latch_copy(snapshot.if_id)
+        self._id_ex = _latch_copy(snapshot.id_ex)
+        self._ex_mem = _latch_copy(snapshot.ex_mem)
+        self._mem_wb = _latch_copy(snapshot.mem_wb)
+        self._ex_busy = snapshot.ex_busy
+        self._pending_hilo = snapshot.pending_hilo
+        self._id_frozen_until = snapshot.id_frozen_until
+        if self._trace is not None:
+            self._trace.events.clear()
+            for start, end in snapshot.trace:
+                self._trace.append(start, end)
+        self._finished = snapshot.finished
+        self._exit_code = snapshot.exit_code
 
     # ------------------------------------------------------------------
 

@@ -35,6 +35,14 @@ from repro.errors import MemoryAccessError, SimulationError
 from repro.asm.program import Program
 from repro.pipeline import semantics
 from repro.pipeline.hazards import CycleModel
+from repro.pipeline.snapshot import (
+    ArchSnapshot,
+    SyscallSnapshot,
+    restore_arch,
+    restore_syscalls,
+    snapshot_arch,
+    snapshot_syscalls,
+)
 from repro.pipeline.state import ArchState
 from repro.pipeline.syscalls import SyscallHandler
 from repro.pipeline.trace import BlockTrace
@@ -58,7 +66,7 @@ class Monitor(Protocol):
 
 @dataclass(slots=True)
 class RunResult:
-    """Everything a finished simulation reports."""
+    """Everything a finished (or paused) simulation reports."""
 
     cycles: int
     instructions: int
@@ -67,6 +75,8 @@ class RunResult:
     block_trace: BlockTrace | None = None
     #: Populated by the monitor, if one was attached.
     monitor_stats: object | None = None
+    #: False when ``run(until=k)`` paused before the program exited.
+    finished: bool = True
 
 
 @dataclass(slots=True)
@@ -155,6 +165,52 @@ class _Scoreboard:
         """Cycles until the last issued instruction completes WB."""
         return self.last_issue + self.model.depth - 3
 
+    def capture(self) -> tuple:
+        """Immutable copy of every timeline register (for snapshots)."""
+        return (
+            tuple(self.avail_id),
+            tuple(self.load_guard),
+            self.hilo_commit,
+            self.ex_free,
+            self.prev_issue,
+            self.fetch_ready,
+            self.last_id,
+            self.last_issue,
+        )
+
+    def restore(self, captured: tuple) -> None:
+        (
+            avail_id,
+            load_guard,
+            self.hilo_commit,
+            self.ex_free,
+            self.prev_issue,
+            self.fetch_ready,
+            self.last_id,
+            self.last_issue,
+        ) = captured
+        self.avail_id = list(avail_id)
+        self.load_guard = list(load_guard)
+
+
+@dataclass(frozen=True, slots=True)
+class FuncSimSnapshot:
+    """A paused :class:`FuncSim` at an instruction boundary.
+
+    Contains everything a fresh simulator needs to continue the run
+    bit-for-bit: architected state, syscall progress, the scoreboard's
+    timing registers, the open basic block, and the trace so far.
+    """
+
+    instructions: int
+    arch: ArchSnapshot
+    syscalls: SyscallSnapshot
+    block_start: int | None
+    scoreboard: tuple
+    trace: tuple[tuple[int, int], ...]
+    finished: bool = False
+    exit_code: int = 0
+
 
 class FuncSim:
     """Functional ISS + analytical cycle model.
@@ -174,6 +230,10 @@ class FuncSim:
         in-pipeline monitor catches but a cache-resident checker would not.
     collect_trace:
         Record the dynamic basic-block trace for trace-driven replay.
+    decode_cache:
+        Optional shared word→instruction decode cache.  Decoding depends
+        only on the word, so campaign workers pass one dict across every
+        injection instead of re-decoding the program per run.
     """
 
     def __init__(
@@ -185,6 +245,7 @@ class FuncSim:
         collect_trace: bool = False,
         inputs: list[int] | None = None,
         max_instructions: int = 50_000_000,
+        decode_cache: dict[int, Instruction] | None = None,
     ):
         self.program = program
         self.cycle_model = cycle_model or CycleModel()
@@ -196,9 +257,19 @@ class FuncSim:
         self.syscalls = SyscallHandler()
         if inputs:
             self.syscalls.inputs.extend(inputs)
-        self._decode_cache: dict[int, Instruction] = {}
+        self._decode_cache: dict[int, Instruction] = (
+            decode_cache if decode_cache is not None else {}
+        )
         self._text_start = program.text_start
         self._text_end = program.text_end
+        # Resumable run state: run(until=k) pauses here, snapshot()/
+        # restore() move it across simulator instances.
+        self._scoreboard = _Scoreboard(self.cycle_model)
+        self._trace = BlockTrace() if collect_trace else None
+        self._block_start: int | None = None
+        self._executed = 0
+        self._finished = False
+        self._exit_code = 0
 
     def _fetch(self, address: int) -> int:
         # Instruction fetch outside the text segment is a bus-error machine
@@ -221,52 +292,104 @@ class FuncSim:
             self._decode_cache[word] = cached
         return cached
 
-    def run(self) -> RunResult:
-        """Execute until the program exits; return the :class:`RunResult`."""
+    def run(self, until: int | None = None) -> RunResult:
+        """Execute until the program exits; return the :class:`RunResult`.
+
+        With ``until=k`` the simulator pauses once *k* instructions (in
+        total, across all ``run`` calls) have executed and returns a
+        partial result with ``finished=False``; calling ``run`` again
+        continues exactly where it paused.
+        """
         state = self.state
         monitor = self.monitor
-        scoreboard = _Scoreboard(self.cycle_model)
-        trace = BlockTrace() if self.collect_trace else None
-        block_start: int | None = None
-        executed = 0
-        exit_code = 0
-        while True:
-            if executed >= self.max_instructions:
-                raise SimulationError(
-                    f"instruction limit {self.max_instructions} exceeded",
-                    pc=state.pc,
-                )
-            pc = state.pc
-            word = self._fetch(pc)
-            instruction = self._decode(word, pc)
-            executed += 1
-            if block_start is None:
-                block_start = pc
-            # Monitoring happens at the ID stage, before execution — a
-            # mismatch stops the flow-control instruction from executing.
-            extra = 0
-            if monitor is not None:
-                monitor.on_instruction(pc, word)
-            if is_control_flow(instruction):
-                if trace is not None:
-                    trace.append(block_start, pc)
-                block_start = None
+        scoreboard = self._scoreboard
+        trace = self._trace
+        block_start = self._block_start
+        executed = self._executed
+        try:
+            while not self._finished:
+                if until is not None and executed >= until:
+                    break
+                if executed >= self.max_instructions:
+                    raise SimulationError(
+                        f"instruction limit {self.max_instructions} exceeded",
+                        pc=state.pc,
+                    )
+                pc = state.pc
+                word = self._fetch(pc)
+                instruction = self._decode(word, pc)
+                executed += 1
+                if block_start is None:
+                    block_start = pc
+                # Monitoring happens at the ID stage, before execution — a
+                # mismatch stops the flow-control instruction from executing.
+                extra = 0
                 if monitor is not None:
-                    extra = monitor.on_block_end(pc)
-            scoreboard.issue(instruction, extra)
-            redirected, exited, exit_code = self._execute(instruction, pc)
-            if redirected:
-                scoreboard.redirect()
-            if exited:
-                break
+                    monitor.on_instruction(pc, word)
+                if is_control_flow(instruction):
+                    if trace is not None:
+                        trace.append(block_start, pc)
+                    block_start = None
+                    if monitor is not None:
+                        extra = monitor.on_block_end(pc)
+                scoreboard.issue(instruction, extra)
+                redirected, exited, exit_code = self._execute(instruction, pc)
+                if redirected:
+                    scoreboard.redirect()
+                if exited:
+                    self._finished = True
+                    self._exit_code = exit_code
+        finally:
+            self._block_start = block_start
+            self._executed = executed
         return RunResult(
             cycles=scoreboard.total_cycles(),
             instructions=executed,
-            exit_code=exit_code,
+            exit_code=self._exit_code,
             console=self.syscalls.console_text,
             block_trace=trace,
             monitor_stats=getattr(monitor, "stats", None),
+            finished=self._finished,
         )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> FuncSimSnapshot:
+        """Capture the paused simulation at its current instruction.
+
+        The monitor, if any, is *not* included — snapshot it separately
+        (``CodeIntegrityChecker.snapshot()``) alongside this one.
+        """
+        return FuncSimSnapshot(
+            instructions=self._executed,
+            arch=snapshot_arch(self.state),
+            syscalls=snapshot_syscalls(self.syscalls),
+            block_start=self._block_start,
+            scoreboard=self._scoreboard.capture(),
+            trace=(
+                tuple(event.key for event in self._trace)
+                if self._trace is not None
+                else ()
+            ),
+            finished=self._finished,
+            exit_code=self._exit_code,
+        )
+
+    def restore(self, snapshot: FuncSimSnapshot) -> None:
+        """Rewind (or fast-forward) this simulator to *snapshot*."""
+        restore_arch(self.state, snapshot.arch)
+        restore_syscalls(self.syscalls, snapshot.syscalls)
+        self._block_start = snapshot.block_start
+        self._executed = snapshot.instructions
+        self._scoreboard.restore(snapshot.scoreboard)
+        if self._trace is not None:
+            self._trace.events.clear()
+            for start, end in snapshot.trace:
+                self._trace.append(start, end)
+        self._finished = snapshot.finished
+        self._exit_code = snapshot.exit_code
 
     def _execute(
         self, instruction: Instruction, pc: int

@@ -1,0 +1,73 @@
+"""Checkpointing of in-flight simulations.
+
+Both simulators expose ``snapshot()`` / ``restore()`` built on the two
+snapshot records here: :class:`ArchSnapshot` captures the architected
+state (register file, HI/LO, PC, and every allocated memory page) and
+:class:`SyscallSnapshot` the OS-visible progress (console emitted so far,
+inputs not yet consumed).  A snapshot is a plain immutable value — no live
+simulator objects — so it can be taken once and restored into any number
+of fresh simulators; the campaign engine's golden-trace backend
+(:mod:`repro.exec.golden`) restores one recorded checkpoint per injection
+instead of re-executing from instruction zero.
+
+The contract, asserted by ``tests/pipeline/test_snapshot.py``: snapshot at
+any instruction boundary *k*, restore into a fresh simulator, run to
+completion — the result (console, exit code, instruction count, cycle
+count, block trace) is identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pipeline.state import ArchState
+from repro.pipeline.syscalls import SyscallHandler
+
+
+@dataclass(frozen=True, slots=True)
+class ArchSnapshot:
+    """Immutable copy of the architected state, memory included."""
+
+    regs: tuple[int, ...]
+    hi: int
+    lo: int
+    pc: int
+    pages: dict[int, bytes]
+
+
+def snapshot_arch(state: ArchState) -> ArchSnapshot:
+    return ArchSnapshot(
+        regs=tuple(state.regs),
+        hi=state.hi,
+        lo=state.lo,
+        pc=state.pc,
+        pages=state.memory.snapshot_pages(),
+    )
+
+
+def restore_arch(state: ArchState, snapshot: ArchSnapshot) -> None:
+    state.regs = list(snapshot.regs)
+    state.hi = snapshot.hi
+    state.lo = snapshot.lo
+    state.pc = snapshot.pc
+    state.memory.restore_pages(snapshot.pages)
+
+
+@dataclass(frozen=True, slots=True)
+class SyscallSnapshot:
+    """Console emitted so far and the inputs not yet consumed."""
+
+    console: tuple[str, ...]
+    inputs: tuple[int, ...]
+
+
+def snapshot_syscalls(handler: SyscallHandler) -> SyscallSnapshot:
+    return SyscallSnapshot(
+        console=tuple(handler.console), inputs=tuple(handler.inputs)
+    )
+
+
+def restore_syscalls(handler: SyscallHandler, snapshot: SyscallSnapshot) -> None:
+    handler.console = list(snapshot.console)
+    handler.inputs.clear()
+    handler.inputs.extend(snapshot.inputs)

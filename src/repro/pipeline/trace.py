@@ -59,3 +59,17 @@ class BlockTrace:
             f"{len(self.events)} block executions, "
             f"{len(unique)} distinct blocks"
         )
+
+
+def executed_addresses(trace: BlockTrace) -> tuple[int, ...]:
+    """Every instruction address the trace executed, sorted.
+
+    The single definition of "executed code" shared by the fault
+    campaign's injection pool, the attack corpus, and the golden-trace
+    replay backend — all of which must agree on which addresses a fault
+    can reach.
+    """
+    addresses: set[int] = set()
+    for event in trace:
+        addresses.update(range(event.start, event.end + 4, 4))
+    return tuple(sorted(addresses))
