@@ -4,7 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke perf-smoke campaign-smoke attack-smoke clean
+.PHONY: test bench bench-smoke perf-smoke campaign-smoke attack-smoke \
+	dse-smoke clean
 
 test:  ## tier-1: the whole unit/integration suite, fail fast
 	$(PYTHON) -m pytest -x -q
@@ -36,6 +37,16 @@ attack-smoke:  ## tiny 2-worker attack sweep through the CLI, with resume
 	$(PYTHON) -m repro attack sha --scale tiny --class all --per-class 4 \
 	    --workers 2 --seed 42 --out results/attack_smoke.jsonl --resume \
 	    --json results/attack_smoke.json
+
+dse-smoke:  ## tiny 2-worker DSE sweep through the CLI, with resume + frontier
+	$(PYTHON) -m repro dse sweep --preset smoke --workers 2 \
+	    --seed 42 --out results/dse_smoke.jsonl
+	$(PYTHON) -m repro dse sweep --preset smoke --workers 2 \
+	    --seed 42 --out results/dse_smoke.jsonl --resume
+	$(PYTHON) -m repro dse frontier results/dse_smoke.jsonl \
+	    --json results/dse_smoke_frontier.json
+	$(PYTHON) -m repro dse report results/dse_smoke.jsonl \
+	    --out results/dse_smoke_report.txt
 
 clean:
 	rm -rf results .pytest_cache

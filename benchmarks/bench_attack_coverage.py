@@ -68,3 +68,39 @@ def test_attack_coverage_matrix(benchmark, save_result, record_bench):
     for cell in result.cells:
         for latency in cell.report.detection_latencies():
             assert 0 <= latency < 64
+
+
+def test_attack_coverage_default_scale_golden(save_result, record_bench):
+    """The §6.3 matrix at *default* workload scale on the golden backend.
+
+    The ROADMAP's "scale the experiments onto the fast substrate" item:
+    the checkpointed backend makes the default-scale corpus affordable —
+    each scenario forks near its first corrupted fetch instead of
+    replaying the full run — and the matrix must tell the same story the
+    tiny-scale sweep does.
+    """
+    import time
+
+    start = time.perf_counter()
+    result = run_attack_coverage(
+        workload=WORKLOAD,
+        scale="default",
+        per_class=PER_CLASS,
+        hash_names=("xor",),
+        seed=SEED,
+        backend="golden",
+    )
+    elapsed = time.perf_counter() - start
+    save_result("attack_coverage_default", result.table().render())
+    scenarios = sum(cell.total for cell in result.cells)
+    record_bench(
+        matrix=result.to_json()["matrix"],
+        scenarios=scenarios,
+        seconds_golden=round(elapsed, 4),
+        scenarios_per_second=round(scenarios / elapsed, 2),
+    )
+    for attack_class in LEGACY_CLASSES:
+        assert result.cell(attack_class, "xor").detection_rate == 1.0
+    for cell in result.cells:
+        for latency in cell.report.detection_latencies():
+            assert 0 <= latency < 64

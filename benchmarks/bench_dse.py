@@ -1,0 +1,91 @@
+"""Design-space-explorer benchmark: throughput and frontier stability.
+
+Sweeps the ``paper`` preset — 48 monitor configurations (4 hashes × 6 IHT
+sizes × 2 LRU variants) scored on three workloads against the full attack
+corpus — on the golden backend, and pins:
+
+* the sweep completes and its Pareto frontier is non-trivial (≥ 2
+  non-dominated points over area vs detection latency vs miss rate);
+* the frontier is *stable*: a re-sweep under the same seed with a
+  different worker count reproduces byte-identical point records;
+* the golden backend beats the full-replay backend on the detection
+  objectives (the whole reason the sweep is affordable).
+
+Throughput tables land in ``results/`` next to the other paper artifacts.
+"""
+
+import time
+
+from repro.dse import ConfigSpace, DseSweep, get_preset
+
+SEED = 42
+
+
+def test_dse_paper_sweep(save_result, record_bench):
+    space = get_preset("paper")
+    assert space.size >= 48
+    assert len(space.workloads) >= 3
+
+    start = time.perf_counter()
+    result = DseSweep(space, seed=SEED, workers=2).run()
+    elapsed = time.perf_counter() - start
+    assert result.complete
+
+    report = result.report()  # area_overhead x detection_latency x miss_rate
+    assert len(report.frontier) >= 2
+    save_result(
+        "dse_paper",
+        result.table().render() + "\n\n" + report.table().render(),
+    )
+    record_bench(
+        configurations=result.total,
+        workloads=list(space.workloads),
+        seconds_sweep=round(elapsed, 4),
+        points_per_second=round(result.total / elapsed, 2),
+        frontier=[point.config.config_id for point in report.ranked()],
+    )
+
+    # Stability: same seed, different worker count — identical records,
+    # identical frontier.
+    again = DseSweep(space, seed=SEED, workers=4).run()
+    assert [point.to_json() for point in again.ordered()] == [
+        point.to_json() for point in result.ordered()
+    ]
+    assert [point.index for point in again.frontier()] == [
+        point.index for point in result.frontier()
+    ]
+
+    # The frontier spans the trade-off: it is not one configuration
+    # repeated, and its extremes disagree on area vs miss rate.
+    frontier = report.ranked()
+    areas = [point.objectives["area_overhead"] for point in frontier]
+    rates = [point.objectives["miss_rate"] for point in frontier]
+    assert min(areas) < max(areas)
+    assert min(rates) < max(rates)
+
+
+def test_dse_golden_backend_speedup(record_bench):
+    subset = ConfigSpace(
+        hash_names=("xor",),
+        iht_sizes=(4, 8),
+        workloads=("sha",),
+        scale="tiny",
+        per_class=6,
+    )
+    timings = {}
+    points = {}
+    for backend in ("golden", "full"):
+        start = time.perf_counter()
+        result = DseSweep(subset, seed=SEED, backend=backend).run()
+        timings[backend] = time.perf_counter() - start
+        points[backend] = [point.to_json() for point in result.ordered()]
+    assert points["golden"] == points["full"]
+    speedup = timings["full"] / timings["golden"]
+    record_bench(
+        seconds_golden=round(timings["golden"], 4),
+        seconds_full=round(timings["full"], 4),
+        golden_speedup=round(speedup, 2),
+    )
+    # The checkpointed backend must clearly beat full replay (measured
+    # ~6x here; 2x leaves headroom for loaded CI machines).
+    assert speedup >= 2.0

@@ -109,6 +109,15 @@ class AttackScenario:
     def reset(self) -> None:
         self._seen.clear()
 
+    def pending(self) -> bool:
+        """True while some patched address may still corrupt a fetch."""
+        if not self.transient:
+            return False
+        return any(
+            self._seen.get(address, 0) < self.occurrence
+            for address in self._patch_map
+        )
+
     def seek(self, fetch_counts) -> None:
         """Position the per-address counters as if ``fetch_counts[a]``
         fetches of each patched address already happened — the

@@ -26,6 +26,18 @@ Commands
     Regenerate every paper table/figure into ``results/`` (equivalent to
     ``examples/paper_experiments.py``).
 
+``dse sweep|frontier|report``
+    Drive the design-space explorer (:mod:`repro.dse`).  ``sweep``
+    evaluates a configuration grid — ``--preset NAME`` or explicit axis
+    flags (``--hash``/``--iht``/``--policy``/``--penalty``, all
+    repeatable, crossed with ``--workload`` at ``--scale``) — on the
+    golden backend, sharded across ``--workers`` and streamed to
+    ``--out`` so ``--resume`` picks interrupted sweeps back up.
+    ``frontier`` computes the Pareto-non-dominated configurations of a
+    sweep file over any ``--objective`` subset; ``report`` prints the
+    full ranked trade-off report.  Point records and frontiers are
+    identical for any worker count and either backend.
+
 ``campaign TARGET``
     Run a parallel fault-injection campaign (the §6.3 experiment) against a
     workload name or an assembly file, on the :mod:`repro.exec` engine.
@@ -247,6 +259,123 @@ def cmd_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_dse_sweep(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.dse import ConfigSpace, DseSweep, get_preset
+
+    # Flags left at None were not given; anything explicit overrides the
+    # preset (or the documented defaults when no preset is named).
+    overrides = {
+        "hash_names": tuple(args.hash) if args.hash else None,
+        "iht_sizes": tuple(args.iht) if args.iht else None,
+        "policy_names": tuple(args.policy) if args.policy else None,
+        "miss_penalties": tuple(args.penalty) if args.penalty else None,
+        "workloads": tuple(args.workload) if args.workload else None,
+        "scale": args.scale,
+        "adversary": args.adversary,
+        "attack_classes": (
+            tuple(args.attack_class) if args.attack_class else None
+        ),
+        "per_class": args.per_class,
+        "pair_count": args.pair_count,
+    }
+    overrides = {key: value for key, value in overrides.items() if value is not None}
+    if args.preset is not None:
+        space = dataclasses.replace(get_preset(args.preset), **overrides)
+    else:
+        defaults = ConfigSpace(
+            hash_names=("xor", "crc32"),
+            iht_sizes=(4, 8, 16, 32),
+            policy_names=("lru_half",),
+            miss_penalties=(100,),
+            workloads=("sha", "dijkstra", "bitcount"),
+        )
+        space = dataclasses.replace(defaults, **overrides)
+    sweep = DseSweep(
+        space,
+        seed=args.seed,
+        workers=args.workers,
+        chunk_size=args.chunk,
+        backend=args.backend,
+    )
+    result = sweep.run(out=args.out, resume=args.resume)
+    print(result.table().render())
+    print(f"; {result.summary()}", file=sys.stderr)
+    if args.out:
+        state = "complete" if result.complete else "partial"
+        print(
+            f"; {state} point records in {args.out} "
+            f"({len(result.points)}/{result.total} configurations, "
+            f"{args.workers} workers)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _frontier_report(args: argparse.Namespace):
+    from repro.dse import DEFAULT_FRONTIER, FrontierReport, load_points
+
+    objectives = (
+        tuple(args.objective) if args.objective else DEFAULT_FRONTIER
+    )
+    header, points = load_points(args.points)
+    if not points:
+        print(f"error: {args.points} holds no point records", file=sys.stderr)
+        return None, None
+    return header, FrontierReport.build(points, objectives)
+
+
+def cmd_dse_frontier(args: argparse.Namespace) -> int:
+    _header, report = _frontier_report(args)
+    if report is None:
+        return 1
+    print(report.table().render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report.render_json())
+        print(f"; frontier written to {args.json}", file=sys.stderr)
+    return 0
+
+
+def cmd_dse_report(args: argparse.Namespace) -> int:
+    from repro.dse import OBJECTIVES
+
+    header, report = _frontier_report(args)
+    if report is None:
+        return 1
+    lines = [report.table().render(), ""]
+    lines.append("Per-objective champions:")
+    for name, objective in OBJECTIVES.items():
+        scored = [
+            point
+            for point in report.points
+            if point.objectives.get(name) is not None
+        ]
+        if not scored:
+            continue
+        best = min(scored, key=lambda point: objective.key(point.objectives[name]))
+        lines.append(
+            f"  {name:18s} {best.config.config_id:28s} "
+            f"{best.objectives[name]:.6g}  ({objective.sense})"
+        )
+    space = header.get("space", {})
+    lines.append("")
+    lines.append(
+        f"Swept {len(report.points)} configurations on "
+        f"{', '.join(space.get('workloads', ()))} @ "
+        f"{space.get('scale', '?')}; adversary={space.get('adversary', '?')}; "
+        f"seed {header.get('seed')}."
+    )
+    text = "\n".join(lines)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"; report written to {args.out}", file=sys.stderr)
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     import importlib.util
     import pathlib
@@ -422,6 +551,115 @@ def build_parser() -> argparse.ArgumentParser:
         help="IHT replacement policy column (repeatable; default lru_half)",
     )
     attack_command.set_defaults(handler=cmd_attack)
+
+    dse_command = commands.add_parser(
+        "dse", help="design-space exploration (sweep / frontier / report)"
+    )
+    dse_commands = dse_command.add_subparsers(dest="dse_command", required=True)
+
+    sweep_command = dse_commands.add_parser(
+        "sweep", help="evaluate a monitor-configuration grid"
+    )
+    sweep_command.add_argument(
+        "--preset", metavar="NAME",
+        help="named space from repro.dse.presets; any space flag given "
+             "explicitly overrides the preset's value",
+    )
+    sweep_command.add_argument(
+        "--hash", action="append", metavar="NAME",
+        help="hash-axis value (repeatable; default xor,crc32)",
+    )
+    sweep_command.add_argument(
+        "--iht", type=int, action="append", metavar="N",
+        help="IHT-entries axis value (repeatable; default 4,8,16,32)",
+    )
+    sweep_command.add_argument(
+        "--policy", action="append", metavar="NAME",
+        help="replacement-policy axis value (repeatable; default lru_half)",
+    )
+    sweep_command.add_argument(
+        "--penalty", type=int, action="append", metavar="CYCLES",
+        help="OS miss-penalty axis value (repeatable; default 100)",
+    )
+    sweep_command.add_argument(
+        "--workload", action="append", metavar="NAME",
+        help="workload measured per point (repeatable; "
+             "default sha,dijkstra,bitcount)",
+    )
+    sweep_command.add_argument(
+        "--scale", choices=("tiny", "small", "default"), default=None,
+        help="workload build scale (default tiny)",
+    )
+    sweep_command.add_argument(
+        "--adversary", choices=("attacks", "same-column", "none"),
+        default=None,
+        help="detection-objective source (default: the attack corpus)",
+    )
+    sweep_command.add_argument(
+        "--class", dest="attack_class", action="append", metavar="NAME",
+        help="attack class for --adversary attacks (repeatable; default all)",
+    )
+    sweep_command.add_argument(
+        "--per-class", type=int, default=None,
+        help="scenarios sampled per attack class (default 4)",
+    )
+    sweep_command.add_argument(
+        "--pair-count", type=int, default=None,
+        help="pairs per workload for --adversary same-column (default 24)",
+    )
+    sweep_command.add_argument("--seed", type=int, default=42)
+    sweep_command.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (default 1: serial, in-process)",
+    )
+    sweep_command.add_argument(
+        "--chunk", type=int, default=4,
+        help="configurations per shard (the unit of distribution and resume)",
+    )
+    sweep_command.add_argument(
+        "--backend", choices=("full", "golden"), default="golden",
+        help="campaign backend for detection objectives (default golden; "
+             "see `campaign --backend`)",
+    )
+    sweep_command.add_argument(
+        "--out", help="stream per-point JSONL records to this file"
+    )
+    sweep_command.add_argument(
+        "--resume", action="store_true",
+        help="skip shards already committed to --out",
+    )
+    sweep_command.set_defaults(handler=cmd_dse_sweep)
+
+    frontier_command = dse_commands.add_parser(
+        "frontier", help="Pareto frontier of a sweep file"
+    )
+    frontier_command.add_argument(
+        "points", help="JSONL sweep file written by `dse sweep --out`"
+    )
+    frontier_command.add_argument(
+        "--objective", action="append", metavar="NAME",
+        help="objective to optimize (repeatable; default "
+             "area_overhead,detection_latency,miss_rate)",
+    )
+    frontier_command.add_argument(
+        "--json", help="also write the frontier as JSON to this file"
+    )
+    frontier_command.set_defaults(handler=cmd_dse_frontier)
+
+    report_command = dse_commands.add_parser(
+        "report", help="ranked trade-off report of a sweep file"
+    )
+    report_command.add_argument(
+        "points", help="JSONL sweep file written by `dse sweep --out`"
+    )
+    report_command.add_argument(
+        "--objective", action="append", metavar="NAME",
+        help="objective subset for the frontier (repeatable)",
+    )
+    report_command.add_argument(
+        "--out", help="also write the rendered report to this file"
+    )
+    report_command.set_defaults(handler=cmd_dse_report)
 
     experiments_command = commands.add_parser(
         "experiments", help="regenerate paper tables/figures"

@@ -1,0 +1,54 @@
+"""Design-space exploration for monitor configurations.
+
+The paper's evaluation samples a handful of hand-picked points from a
+four-dimensional trade-off — hash function × IHT geometry × replacement
+policy × OS penalty model, scored on detection coverage, detection
+latency, miss rate, cycle overhead, and silicon area.  This package turns
+that into a reusable subsystem on the fast golden substrate:
+
+* :mod:`repro.dse.space` — declarative :class:`ConfigSpace` axes and the
+  :class:`MonitorConfig` points they enumerate;
+* :mod:`repro.dse.objectives` — the scored quantities and their senses;
+* :mod:`repro.dse.engine` — the sharded, resumable :class:`DseSweep`
+  evaluating every point via the Figure-6 replay kernel, the Table-1
+  accounting, the attack-corpus campaign kernels, and the Table-2 cost
+  model;
+* :mod:`repro.dse.pareto` — dominance frontiers over any objective
+  subset and the ranked :class:`FrontierReport`;
+* :mod:`repro.dse.presets` — the named spaces the CLI exposes.
+
+The Figure-6 and ablation harnesses of :mod:`repro.eval` are thin presets
+over this engine; ``repro dse sweep|frontier|report`` is the CLI.
+"""
+
+from repro.dse.engine import (
+    DsePoint,
+    DseSweep,
+    DseWorkspace,
+    SweepResult,
+    evaluate_point,
+    load_points,
+)
+from repro.dse.objectives import DEFAULT_FRONTIER, OBJECTIVES, resolve_objectives
+from repro.dse.pareto import FrontierReport, dominates, pareto_frontier
+from repro.dse.presets import PRESETS, get_preset
+from repro.dse.space import ConfigSpace, MonitorConfig
+
+__all__ = [
+    "ConfigSpace",
+    "DEFAULT_FRONTIER",
+    "DsePoint",
+    "DseSweep",
+    "DseWorkspace",
+    "FrontierReport",
+    "MonitorConfig",
+    "OBJECTIVES",
+    "PRESETS",
+    "SweepResult",
+    "dominates",
+    "evaluate_point",
+    "get_preset",
+    "load_points",
+    "pareto_frontier",
+    "resolve_objectives",
+]

@@ -1,0 +1,621 @@
+"""Sharded, resumable design-space sweep on the golden substrate.
+
+One :class:`DseSweep` evaluates every :class:`~repro.dse.space.MonitorConfig`
+of a :class:`~repro.dse.space.ConfigSpace` and scores it on the objective
+vocabulary of :mod:`repro.dse.objectives`:
+
+* **miss rate** replays each workload's recorded block trace through the
+  point's IHT geometry and policy — the Figure-6 kernel, no re-simulation;
+* **cycle overhead** applies the point's penalty model to the replay's
+  miss count over the baseline cycle count — the Table-1 accounting,
+  which the tier-1 suite pins as *exact* for this design
+  (``monitored == base + penalty × misses``);
+* **detection rate and latency** run the space's adversary — the seeded
+  :mod:`repro.attacks` corpus or the §6.3 same-column pairs — through the
+  campaign kernels, forking each injection from a per-configuration
+  golden checkpoint store by default (``backend="golden"``);
+* **area and period** come from the Table-2 synthesis model.
+
+Execution mirrors :class:`repro.exec.runner.CampaignRunner`: points shard
+into fixed-size chunks, a :mod:`multiprocessing` pool evaluates shards on
+per-worker :class:`DseWorkspace` caches (golden runs, FHTs, adversary
+corpora, and penalty-independent measures are shared across the points
+that agree on them), results stream to a JSONL file with ``shard-done``
+commit markers, and ``resume=True`` replays committed shards instead of
+re-running them.  Every point's evaluation is deterministic given
+``(space, seed, index)``, so the point records — and any aggregate
+ordered by point index, such as the frontier — are identical for any
+worker count and either backend (shards *commit* in completion order,
+so only the line order of a multi-worker file varies).
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+from repro.area.synthesis import SynthesisReport, synthesize
+from repro.attacks.corpus import AttackCorpus, resolve_classes
+from repro.cic.replay import replay_trace
+from repro.errors import ConfigurationError
+from repro.eval.common import baseline_run, workload_fht
+from repro.exec.golden import build_golden_store, run_one_golden
+from repro.exec.records import dump_line, load_lines
+from repro.exec.spec import BACKENDS, shard_seed
+from repro.faults.campaign import (
+    CampaignContext,
+    CampaignReport,
+    WarmProcess,
+    run_one,
+    same_column_pairs,
+)
+from repro.dse.objectives import DEFAULT_FRONTIER
+from repro.dse.pareto import FrontierReport, pareto_frontier
+from repro.dse.space import DSE_VERSION, ConfigSpace, MonitorConfig
+from repro.osmodel.policies import get_policy
+from repro.pipeline.trace import executed_addresses
+from repro.utils.tables import TextTable
+from repro.workloads.suite import build, workload_inputs
+
+#: Configurations per shard: the unit of distribution *and* of resume.
+DEFAULT_DSE_CHUNK = 4
+
+#: A shard task: (shard_id, first index, configs, derived seed).
+_ShardTask = tuple[int, int, list, int]
+
+
+@dataclass(slots=True)
+class DsePoint:
+    """One evaluated configuration, positioned inside its sweep."""
+
+    index: int
+    shard: int
+    config: MonitorConfig
+    #: Objective name -> value (None = not measured / nothing detected).
+    objectives: dict[str, float | None]
+    #: Per-workload breakdown backing the aggregates.
+    per_workload: dict[str, dict]
+
+    def to_json(self) -> dict:
+        return {
+            "type": "point",
+            "index": self.index,
+            "shard": self.shard,
+            "config": self.config.to_json(),
+            "objectives": dict(self.objectives),
+            "per_workload": self.per_workload,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "DsePoint":
+        return cls(
+            index=data["index"],
+            shard=data["shard"],
+            config=MonitorConfig.from_json(data["config"]),
+            objectives=dict(data["objectives"]),
+            per_workload=data["per_workload"],
+        )
+
+
+# ----------------------------------------------------------------------
+# Per-worker evaluation caches
+# ----------------------------------------------------------------------
+
+
+class DseWorkspace:
+    """Everything one worker keeps warm across the points it evaluates.
+
+    Golden runs, FHTs, adversary corpora, and the penalty-independent
+    measures — replay statistics and detection reports keyed by
+    ``(workload, hash, iht, policy)`` — are shared across every point
+    that agrees on them, so a penalty-model axis multiplies the space
+    for free and repeated hash/policy combinations are measured once.
+    """
+
+    def __init__(self, space: ConfigSpace, seed: int, backend: str = "golden"):
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; "
+                f"choose from: {', '.join(BACKENDS)}"
+            )
+        self.space = space
+        self.seed = seed
+        self.backend = backend
+        self._contexts: dict[str, CampaignContext] = {}
+        self._adversaries: dict[str, list] = {}
+        self._measures: dict[tuple, dict] = {}
+        self._synthesis: dict[tuple[int, str], SynthesisReport] = {}
+        self._baseline_synthesis = synthesize(None)
+
+    # -- shared inputs ---------------------------------------------------
+
+    def base_context(self, workload: str) -> CampaignContext:
+        """Monitor-agnostic campaign context built from the cached golden
+        run (the same record the Figure-6 replay consumes)."""
+        context = self._contexts.get(workload)
+        if context is None:
+            golden = baseline_run(workload, self.space.scale)
+            inputs = workload_inputs(workload, self.space.scale)
+            context = CampaignContext(
+                program=build(workload, self.space.scale),
+                inputs=list(inputs) if inputs else None,
+                golden_console=golden.console,
+                golden_exit=golden.exit_code,
+                executed_addresses=executed_addresses(golden.block_trace),
+                instruction_budget=max(10_000, golden.instructions * 20),
+                golden_instructions=golden.instructions,
+            )
+            self._contexts[workload] = context
+        return context
+
+    def adversary(self, workload: str) -> list:
+        """The seeded injection list scored for detection objectives."""
+        cached = self._adversaries.get(workload)
+        if cached is not None:
+            return cached
+        space = self.space
+        if space.adversary == "attacks":
+            corpus = AttackCorpus.from_context(self.base_context(workload))
+            injections = corpus.build(
+                resolve_classes(space.attack_classes),
+                per_class=space.per_class,
+                seed=self.seed,
+            )
+        elif space.adversary == "same-column":
+            golden = baseline_run(workload, space.scale)
+            injections = same_column_pairs(
+                golden.block_trace, space.pair_count, self.seed
+            )
+        else:
+            injections = []
+        self._adversaries[workload] = injections
+        return injections
+
+    def synthesis(self, config: MonitorConfig) -> SynthesisReport:
+        key = (config.iht_size, config.hash_name)
+        report = self._synthesis.get(key)
+        if report is None:
+            report = synthesize(config.iht_size, config.hash_name)
+            self._synthesis[key] = report
+        return report
+
+    @property
+    def baseline_synthesis(self) -> SynthesisReport:
+        return self._baseline_synthesis
+
+    # -- per-point measurement -------------------------------------------
+
+    def measure(self, workload: str, config: MonitorConfig) -> dict:
+        """Penalty-independent measures of one (workload, config) pair."""
+        key = (workload, config.hash_name, config.iht_size, config.policy_name)
+        cached = self._measures.get(key)
+        if cached is not None:
+            return cached
+        space = self.space
+        golden = baseline_run(workload, space.scale)
+        fht = workload_fht(workload, space.scale, config.hash_name)
+        stats = replay_trace(
+            golden.block_trace, fht, config.iht_size,
+            get_policy(config.policy_name),
+        )
+        measures = {
+            "lookups": stats.lookups,
+            "misses": stats.misses,
+            "miss_rate": stats.miss_rate,
+            "base_cycles": golden.cycles,
+        }
+        injections = self.adversary(workload)
+        if injections:
+            context = replace(
+                self.base_context(workload),
+                hash_name=config.hash_name,
+                iht_size=config.iht_size,
+                policy_name=config.policy_name,
+            )
+            warm = WarmProcess.from_context(context)
+            if self.backend == "golden":
+                store = build_golden_store(context, warm)
+                results = [
+                    run_one_golden(store, injection) for injection in injections
+                ]
+            else:
+                results = [
+                    run_one(context, injection, warm=warm)
+                    for injection in injections
+                ]
+            report = CampaignReport(results=results)
+            measures.update(
+                injections=report.total,
+                detected=report.detected,
+                detection_rate=report.detection_rate,
+                detection_latencies=report.detection_latencies(),
+            )
+        self._measures[key] = measures
+        return measures
+
+
+def evaluate_point(
+    workspace: DseWorkspace, index: int, shard: int, config: MonitorConfig
+) -> DsePoint:
+    """Score one configuration over the space's workload set."""
+    per_workload: dict[str, dict] = {}
+    miss_rates: list[float] = []
+    overheads: list[float] = []
+    injections = 0
+    detected = 0
+    latencies: list[int] = []
+    for workload in workspace.space.workloads:
+        measures = workspace.measure(workload, config)
+        overhead = (
+            measures["misses"] * config.miss_penalty / measures["base_cycles"]
+        )
+        entry = {
+            "lookups": measures["lookups"],
+            "misses": measures["misses"],
+            "miss_rate": measures["miss_rate"],
+            "base_cycles": measures["base_cycles"],
+            "cycle_overhead": overhead,
+        }
+        miss_rates.append(measures["miss_rate"])
+        overheads.append(overhead)
+        if "injections" in measures:
+            entry["injections"] = measures["injections"]
+            entry["detected"] = measures["detected"]
+            entry["detection_rate"] = measures["detection_rate"]
+            injections += measures["injections"]
+            detected += measures["detected"]
+            latencies.extend(measures["detection_latencies"])
+        per_workload[workload] = entry
+    synthesis = workspace.synthesis(config)
+    objectives: dict[str, float | None] = {
+        "miss_rate": statistics.fmean(miss_rates),
+        "cycle_overhead": statistics.fmean(overheads),
+        "detection_rate": detected / injections if injections else None,
+        "detection_latency": (
+            statistics.fmean(latencies) if latencies else None
+        ),
+        "area_overhead": synthesis.area_overhead(
+            workspace.baseline_synthesis
+        ),
+        "min_period": synthesis.min_period,
+    }
+    return DsePoint(
+        index=index,
+        shard=shard,
+        config=config,
+        objectives=objectives,
+        per_workload=per_workload,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sweep results
+# ----------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """Outcome of one :meth:`DseSweep.run` call."""
+
+    space: ConfigSpace
+    seed: int
+    backend: str
+    total: int
+    points: list[DsePoint] = field(default_factory=list)
+    out: str | None = None
+
+    @property
+    def complete(self) -> bool:
+        return len(self.points) == self.total
+
+    def ordered(self) -> list[DsePoint]:
+        """Points by canonical index — identical for any worker count."""
+        return sorted(self.points, key=lambda point: point.index)
+
+    def frontier(self, objectives=DEFAULT_FRONTIER) -> list[DsePoint]:
+        return pareto_frontier(self.ordered(), objectives)
+
+    def report(self, objectives=DEFAULT_FRONTIER) -> FrontierReport:
+        return FrontierReport.build(self.ordered(), objectives)
+
+    def table(self) -> TextTable:
+        table = TextTable(
+            [
+                "idx", "configuration", "miss %", "ovhd %", "det %",
+                "lat μ", "area ovhd %", "period ns",
+            ],
+            title=(
+                f"DSE sweep — {len(self.points)}/{self.total} points, "
+                f"{len(self.space.workloads)} workloads "
+                f"({', '.join(self.space.workloads)}) @ {self.space.scale}, "
+                f"adversary={self.space.adversary}, seed {self.seed}, "
+                f"backend {self.backend}"
+            ),
+        )
+        for point in self.ordered():
+            values = point.objectives
+
+            def cell(name, scale=1.0, fmt="{:.2f}"):
+                value = values.get(name)
+                return "-" if value is None else fmt.format(scale * value)
+
+            table.add_row(
+                [
+                    point.index,
+                    point.config.config_id,
+                    cell("miss_rate", 100.0),
+                    cell("cycle_overhead", 100.0),
+                    cell("detection_rate", 100.0, "{:.1f}"),
+                    cell("detection_latency"),
+                    cell("area_overhead"),
+                    cell("min_period"),
+                ]
+            )
+        return table
+
+    def summary(self) -> str:
+        frontier = self.frontier()
+        return (
+            f"{len(self.points)}/{self.total} configurations evaluated on "
+            f"{len(self.space.workloads)} workloads, "
+            f"{len(frontier)} on the default frontier "
+            f"({', '.join(DEFAULT_FRONTIER)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# The sharded, resumable runner
+# ----------------------------------------------------------------------
+
+
+def _run_shard(
+    workspace: DseWorkspace, task: _ShardTask
+) -> tuple[int, list[DsePoint]]:
+    shard_id, start, configs, _seed = task
+    return shard_id, [
+        evaluate_point(workspace, start + offset, shard_id, config)
+        for offset, config in enumerate(configs)
+    ]
+
+
+_WORKER_WORKSPACE: DseWorkspace | None = None
+
+
+def _pool_init(space: ConfigSpace, seed: int, backend: str) -> None:
+    global _WORKER_WORKSPACE
+    _WORKER_WORKSPACE = DseWorkspace(space, seed, backend)
+
+
+def _pool_shard(task: _ShardTask) -> tuple[int, list[DsePoint]]:
+    assert _WORKER_WORKSPACE is not None, "pool worker used before _pool_init"
+    return _run_shard(_WORKER_WORKSPACE, task)
+
+
+class DseSweep:
+    """Shard configurations over a pool; stream points; resume cleanly."""
+
+    def __init__(
+        self,
+        space: ConfigSpace,
+        seed: int = 0,
+        workers: int = 1,
+        chunk_size: int = DEFAULT_DSE_CHUNK,
+        backend: str = "golden",
+    ):
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; "
+                f"choose from: {', '.join(BACKENDS)}"
+            )
+        self.space = space
+        self.seed = seed
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.backend = backend
+        self._workspace: DseWorkspace | None = None
+
+    @property
+    def workspace(self) -> DseWorkspace:
+        """Parent-side workspace (lazy), for the serial execution path."""
+        if self._workspace is None:
+            self._workspace = DseWorkspace(self.space, self.seed, self.backend)
+        return self._workspace
+
+    # ------------------------------------------------------------------
+
+    def _shards(self, configs: list[MonitorConfig]) -> list[_ShardTask]:
+        return [
+            (
+                shard_id,
+                start,
+                configs[start : start + self.chunk_size],
+                shard_seed(self.seed, shard_id),
+            )
+            for shard_id, start in enumerate(
+                range(0, len(configs), self.chunk_size)
+            )
+        ]
+
+    def _header(self, total: int) -> dict:
+        return {
+            "type": "header",
+            "version": DSE_VERSION,
+            "space": self.space.to_json(),
+            "fingerprint": self.space.fingerprint(),
+            "seed": self.seed,
+            "total": total,
+            "chunk_size": self.chunk_size,
+            # Informational: both backends are differentially pinned to
+            # identical results, so resume does not validate it.
+            "backend": self.backend,
+        }
+
+    def _load_resume(
+        self, out: str, total: int
+    ) -> tuple[set[int], list[DsePoint]] | None:
+        """Committed shards and their points from a previous run's file."""
+        entries = load_lines(out)
+        if not entries:
+            return None
+        if entries[0].get("type") != "header":
+            raise ConfigurationError(f"{out}: not a DSE sweep file")
+        header = entries[0]
+        expected = self._header(total)
+        for key in ("fingerprint", "seed", "total", "chunk_size", "version"):
+            if header.get(key) != expected[key]:
+                raise ConfigurationError(
+                    f"{out}: cannot resume — {key} is {header.get(key)!r}, "
+                    f"this sweep has {expected[key]!r}"
+                )
+        marked = {
+            entry["shard"]
+            for entry in entries
+            if entry.get("type") == "shard-done"
+        }
+        by_shard: dict[int, dict[int, DsePoint]] = {}
+        for entry in entries:
+            if entry.get("type") == "point" and entry["shard"] in marked:
+                point = DsePoint.from_json(entry)
+                by_shard.setdefault(point.shard, {})[point.index] = point
+        done: set[int] = set()
+        points: list[DsePoint] = []
+        for shard_id in marked:
+            start = shard_id * self.chunk_size
+            expected_indexes = set(
+                range(start, min(start + self.chunk_size, total))
+            )
+            found = by_shard.get(shard_id, {})
+            if set(found) == expected_indexes:
+                done.add(shard_id)
+                points.extend(found.values())
+        return done, points
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        out: str | os.PathLike | None = None,
+        resume: bool = False,
+        stop_after_shards: int | None = None,
+    ) -> SweepResult:
+        """Evaluate the space; return the (possibly partial) result.
+
+        ``stop_after_shards`` executes at most that many new shards and
+        returns a partial result — the engine's test hook for simulating
+        interruption, mirroring the campaign runner.
+        """
+        configs = self.space.points()
+        total = len(configs)
+        out_path = os.fspath(out) if out is not None else None
+        if resume and out_path is None:
+            raise ConfigurationError("resume=True requires out=")
+
+        done_shards: set[int] = set()
+        points: list[DsePoint] = []
+        resuming = resume and out_path is not None and os.path.exists(out_path)
+        if resuming:
+            loaded = self._load_resume(out_path, total)
+            if loaded is None:
+                resuming = False  # empty file: died before the header
+            else:
+                done_shards, points = loaded
+
+        pending = [
+            task for task in self._shards(configs) if task[0] not in done_shards
+        ]
+        if stop_after_shards is not None:
+            pending = pending[:stop_after_shards]
+
+        handle = None
+        if out_path is not None:
+            handle = open(out_path, "a" if resuming else "w", encoding="utf-8")
+            if not resuming:
+                handle.write(dump_line(self._header(total)))
+                handle.flush()
+
+        def commit(shard_id: int, shard_points: list[DsePoint]) -> None:
+            points.extend(shard_points)
+            if handle is not None:
+                for point in shard_points:
+                    handle.write(dump_line(point.to_json()))
+                handle.write(
+                    dump_line(
+                        {
+                            "type": "shard-done",
+                            "shard": shard_id,
+                            "seed": shard_seed(self.seed, shard_id),
+                        }
+                    )
+                )
+                handle.flush()
+
+        try:
+            if self.workers == 1 or len(pending) <= 1:
+                workspace = self.workspace
+                for task in pending:
+                    commit(*_run_shard(workspace, task))
+            else:
+                self._run_pool(pending, commit)
+        finally:
+            if handle is not None:
+                handle.close()
+
+        return SweepResult(
+            space=self.space,
+            seed=self.seed,
+            backend=self.backend,
+            total=total,
+            points=points,
+            out=out_path,
+        )
+
+    def _run_pool(self, pending: list[_ShardTask], commit) -> None:
+        import multiprocessing
+
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        context = multiprocessing.get_context(method)
+        workers = min(self.workers, len(pending))
+        with context.Pool(
+            processes=workers,
+            initializer=_pool_init,
+            initargs=(self.space, self.seed, self.backend),
+        ) as pool:
+            for shard_id, shard_points in pool.imap_unordered(
+                _pool_shard, pending
+            ):
+                commit(shard_id, shard_points)
+
+
+# ----------------------------------------------------------------------
+# Sweep-file loading (the frontier/report CLI entry points)
+# ----------------------------------------------------------------------
+
+
+def load_points(path) -> tuple[dict, list[DsePoint]]:
+    """Header and points of a sweep file, deduplicated by index.
+
+    Accepts partial files: points from uncommitted shards count too (a
+    frontier over whatever finished is still a valid frontier), and a
+    point re-run after an interrupted shard collapses to its last copy.
+    """
+    entries = load_lines(path)
+    if not entries or entries[0].get("type") != "header":
+        raise ConfigurationError(f"{path}: not a DSE sweep file")
+    by_index: dict[int, DsePoint] = {}
+    for entry in entries:
+        if entry.get("type") == "point":
+            point = DsePoint.from_json(entry)
+            by_index[point.index] = point
+    return entries[0], [by_index[index] for index in sorted(by_index)]

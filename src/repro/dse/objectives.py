@@ -1,0 +1,102 @@
+"""The objective vocabulary of the design-space explorer.
+
+Every swept point is scored on the quantities the paper trades off
+(Figure 6, Tables 1–2, §6.3), each produced by the subsystem that owns
+it:
+
+==================  ====  ==============================================
+objective           sense  source
+==================  ====  ==============================================
+miss_rate           min   trace-driven IHT replay (the Figure-6 kernel,
+                          :func:`repro.cic.replay.replay_trace`)
+cycle_overhead      min   the Table-1 accounting — ``misses × penalty /
+                          baseline cycles`` is *exact* for this design
+                          (the tier-1 suite pins ``monitored == base +
+                          penalty × misses``), evaluated per penalty model
+detection_rate      max   adversarial corpus on the campaign kernels
+                          (:mod:`repro.attacks` via the golden backend)
+detection_latency   min   mean instructions from corrupted fetch to the
+                          check that fired, over detected injections
+area_overhead       min   the Table-2 cost model
+                          (:func:`repro.area.synthesis.synthesize`)
+min_period          min   same synthesis report (ns)
+==================  ====  ==============================================
+
+``sense`` tells the Pareto layer which direction is better; a ``None``
+value (e.g. latency when nothing was detected, or detection objectives in
+an ``adversary="none"`` sweep) always compares as worst.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class Objective:
+    """One scored quantity: its registry name and optimization sense."""
+
+    name: str
+    sense: str  # "min" | "max"
+    description: str
+
+    def better(self, left: float | None, right: float | None) -> bool:
+        """True when *left* is strictly better than *right*."""
+        return self.key(left) < self.key(right)
+
+    def key(self, value: float | None) -> float:
+        """Monotone score where smaller is always better (None = worst)."""
+        if value is None:
+            return float("inf")
+        return -value if self.sense == "max" else value
+
+
+OBJECTIVES: dict[str, Objective] = {
+    objective.name: objective
+    for objective in (
+        Objective("miss_rate", "min", "mean IHT miss rate over workloads"),
+        Objective(
+            "cycle_overhead", "min",
+            "mean run-time overhead (misses x penalty / base cycles)",
+        ),
+        Objective(
+            "detection_rate", "max",
+            "detected injections over all adversarial injections",
+        ),
+        Objective(
+            "detection_latency", "min",
+            "mean instructions from corruption to the firing check",
+        ),
+        Objective(
+            "area_overhead", "min",
+            "cell-area overhead vs the unmonitored baseline (%)",
+        ),
+        Objective("min_period", "min", "synthesized minimum period (ns)"),
+    )
+}
+
+#: The frontier the paper's Figure-6/Table-1/Table-2 discussion implies:
+#: silicon cost vs how fast tampering is caught vs run-time disturbance.
+DEFAULT_FRONTIER = ("area_overhead", "detection_latency", "miss_rate")
+
+
+def resolve_objectives(names) -> tuple[Objective, ...]:
+    """Validate and resolve objective names (order-preserving)."""
+    if isinstance(names, str):
+        names = (names,)
+    resolved = []
+    for name in names:
+        objective = OBJECTIVES.get(name)
+        if objective is None:
+            raise ConfigurationError(
+                f"unknown objective {name!r}; available: "
+                f"{', '.join(OBJECTIVES)}"
+            )
+        resolved.append(objective)
+    if not resolved:
+        raise ConfigurationError("at least one objective is required")
+    if len({objective.name for objective in resolved}) != len(resolved):
+        raise ConfigurationError("duplicate objectives requested")
+    return tuple(resolved)

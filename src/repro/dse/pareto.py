@@ -1,0 +1,133 @@
+"""Pareto layer: dominance frontiers over any objective subset.
+
+A point *dominates* another when it is at least as good on every selected
+objective and strictly better on at least one (``None`` values compare as
+worst, so an undetected configuration can never dominate on a detection
+axis).  The frontier is the set of non-dominated points — the
+configurations a designer could rationally pick, each trading one
+objective for another.
+
+The ranked report orders frontier points by how much of the space they
+dominate (a simple, deterministic strength measure), so the report's top
+rows are the configurations that beat the largest share of alternatives
+outright.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.dse.objectives import Objective, resolve_objectives
+from repro.utils.tables import TextTable
+
+
+def dominates(left, right, objectives: tuple[Objective, ...]) -> bool:
+    """True when *left* dominates *right* on the selected objectives."""
+    strictly_better = False
+    for objective in objectives:
+        left_key = objective.key(left.objectives.get(objective.name))
+        right_key = objective.key(right.objectives.get(objective.name))
+        if left_key > right_key:
+            return False
+        if left_key < right_key:
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_frontier(points, objectives) -> list:
+    """The non-dominated subset of *points*, in input order.
+
+    Ties (identical objective vectors) all stay on the frontier: they are
+    interchangeable designs, and dropping one would make the result
+    depend on enumeration order.
+    """
+    objectives = resolve_objectives(
+        [obj.name if isinstance(obj, Objective) else obj for obj in objectives]
+    )
+    frontier = []
+    for candidate in points:
+        if not any(
+            dominates(other, candidate, objectives)
+            for other in points
+            if other is not candidate
+        ):
+            frontier.append(candidate)
+    return frontier
+
+
+@dataclass(slots=True)
+class FrontierReport:
+    """Frontier + per-point dominance strength over one objective subset."""
+
+    objectives: tuple[Objective, ...]
+    points: list
+    frontier: list = field(default_factory=list)
+    #: point index -> how many swept points it dominates.
+    dominated_counts: dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, points, objectives) -> "FrontierReport":
+        objectives = resolve_objectives(
+            [
+                obj.name if isinstance(obj, Objective) else obj
+                for obj in objectives
+            ]
+        )
+        report = cls(objectives=objectives, points=list(points))
+        report.frontier = pareto_frontier(report.points, objectives)
+        for point in report.frontier:
+            report.dominated_counts[point.index] = sum(
+                1
+                for other in report.points
+                if other is not point and dominates(point, other, objectives)
+            )
+        return report
+
+    def ranked(self) -> list:
+        """Frontier points, strongest (most points dominated) first."""
+        return sorted(
+            self.frontier,
+            key=lambda point: (-self.dominated_counts[point.index], point.index),
+        )
+
+    def table(self) -> TextTable:
+        names = [objective.name for objective in self.objectives]
+        table = TextTable(
+            ["rank", "configuration"] + names + ["dominates"],
+            title=(
+                f"Pareto frontier — {len(self.frontier)}/"
+                f"{len(self.points)} non-dominated over "
+                f"({', '.join(names)})"
+            ),
+        )
+        for rank, point in enumerate(self.ranked(), start=1):
+            cells = [rank, point.config.config_id]
+            for objective in self.objectives:
+                value = point.objectives.get(objective.name)
+                cells.append("-" if value is None else f"{value:.4g}")
+            cells.append(self.dominated_counts[point.index])
+            table.add_row(cells)
+        return table
+
+    def to_json(self) -> dict:
+        return {
+            "objectives": [objective.name for objective in self.objectives],
+            "swept_points": len(self.points),
+            "frontier": [
+                {
+                    "rank": rank,
+                    "index": point.index,
+                    "config": point.config.to_json(),
+                    "objectives": {
+                        objective.name: point.objectives.get(objective.name)
+                        for objective in self.objectives
+                    },
+                    "dominates": self.dominated_counts[point.index],
+                }
+                for rank, point in enumerate(self.ranked(), start=1)
+            ],
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,66 @@
+"""Named design spaces: the sweeps people actually run.
+
+A preset is just a :class:`~repro.dse.space.ConfigSpace` value — the CLI
+resolves ``--preset NAME`` here, and the paper-artifact harnesses in
+:mod:`repro.eval` build their own spaces the same way (Figure 6 and the
+ablations are one-axis slices of these grids).
+"""
+
+from __future__ import annotations
+
+from repro.dse.space import ConfigSpace
+from repro.errors import ConfigurationError
+
+PRESETS: dict[str, ConfigSpace] = {
+    # Tiny grid for CI smoke runs: 2 hashes x 3 sizes on two workloads.
+    "smoke": ConfigSpace(
+        hash_names=("xor", "crc32"),
+        iht_sizes=(4, 8, 16),
+        policy_names=("lru_half",),
+        miss_penalties=(100,),
+        workloads=("sha", "bitcount"),
+        scale="tiny",
+        per_class=2,
+    ),
+    # The paper's implied trade-off study: every hash the HASHFU ablation
+    # considers x the Figure-6 size ladder x both LRU variants, scored
+    # against the full adversarial corpus.  48 configurations.
+    "paper": ConfigSpace(
+        hash_names=("xor", "add", "rotxor", "crc32"),
+        iht_sizes=(1, 4, 8, 16, 32, 64),
+        policy_names=("lru_half", "lru_one"),
+        miss_penalties=(100,),
+        workloads=("sha", "dijkstra", "bitcount"),
+        scale="tiny",
+        per_class=4,
+    ),
+    # How sensitive is the ranking to the OS handler's cost model?
+    "penalty": ConfigSpace(
+        hash_names=("xor", "crc32"),
+        iht_sizes=(4, 8, 16, 32),
+        policy_names=("lru_half",),
+        miss_penalties=(50, 100, 200),
+        workloads=("sha", "dijkstra", "bitcount"),
+        scale="tiny",
+        per_class=4,
+    ),
+    # Replacement-policy shoot-out over the full policy registry.
+    "policies": ConfigSpace(
+        hash_names=("xor",),
+        iht_sizes=(8, 16),
+        policy_names=("fifo", "lru_half", "lru_one", "random"),
+        miss_penalties=(100,),
+        workloads=("sha", "dijkstra", "bitcount"),
+        scale="tiny",
+        adversary="none",
+    ),
+}
+
+
+def get_preset(name: str) -> ConfigSpace:
+    space = PRESETS.get(name)
+    if space is None:
+        raise ConfigurationError(
+            f"unknown preset {name!r}; available: {', '.join(PRESETS)}"
+        )
+    return space

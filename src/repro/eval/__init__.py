@@ -14,6 +14,10 @@ script drive these and write the outputs under ``results/``.
   (rate + latency per attack class × hash × policy).
 * :mod:`repro.eval.ablation_policies` — replacement-policy ablation (A1).
 * :mod:`repro.eval.ablation_hashes` — hash-algorithm ablation (A2).
+
+The Figure-6 and ablation sweeps are thin presets over the design-space
+explorer (:mod:`repro.dse`), which generalizes them to arbitrary
+hash × IHT × policy × penalty grids with Pareto frontier reports.
 """
 
 from repro.eval.fig6_miss_rate import run_fig6

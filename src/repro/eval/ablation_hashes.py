@@ -20,12 +20,7 @@ from dataclasses import dataclass, field
 from repro.area.components import hashfu_area, hashfu_delay
 from repro.area.synthesis import _BASE_STAGE_DELAY
 from repro.cic.hashes import HASH_ALGORITHMS
-from repro.faults.campaign import FaultCampaign
-from repro.eval.common import workload_program
-from repro.eval.fault_analysis import _same_column_pairs, baseline_run_cache
-from repro.eval.common import baseline_run
 from repro.utils.tables import TextTable
-from repro.workloads.suite import workload_inputs
 
 
 @dataclass(slots=True)
@@ -77,24 +72,28 @@ def run_hash_ablation(
     seed: int = 7,
     hashes: tuple[str, ...] | None = None,
 ) -> HashAblationResult:
+    from repro.dse import ConfigSpace, DseSweep
+
     names = hashes or tuple(sorted(HASH_ALGORITHMS))
-    program = workload_program(workload, scale)
     if_slack = _BASE_STAGE_DELAY["IF"]
+    space = ConfigSpace(
+        hash_names=names,
+        iht_sizes=(iht_size,),
+        policy_names=("lru_half",),
+        miss_penalties=(100,),
+        workloads=(workload,),
+        scale=scale,
+        adversary="same-column",
+        pair_count=pair_count,
+    )
+    points = DseSweep(space, seed=seed).run().ordered()
     result = HashAblationResult(workload=workload)
-    for hash_name in names:
-        campaign = FaultCampaign(
-            program,
-            iht_size=iht_size,
-            hash_name=hash_name,
-            inputs=workload_inputs(workload, scale),
-        )
-        baseline_run_cache[campaign] = baseline_run(workload, scale)
-        pairs = _same_column_pairs(campaign, pair_count, seed)
-        report = campaign.run_campaign(pairs)
+    for point in points:
+        hash_name = point.config.hash_name
         result.rows.append(
             HashRow(
                 hash_name=hash_name,
-                adversarial_coverage=report.detection_rate,
+                adversarial_coverage=point.objectives["detection_rate"],
                 area=hashfu_area(hash_name),
                 delay=hashfu_delay(hash_name),
                 fits_if_stage=hashfu_delay(hash_name) < if_slack,

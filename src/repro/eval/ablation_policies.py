@@ -3,17 +3,16 @@
 The paper's future work names "refining the entry replacement policy for
 the IHT".  This ablation compares the paper's LRU replace-half against
 LRU-one (classic cache behaviour), FIFO-half, and random-half across the
-workload suite, per table size — trace-driven, so the full grid stays
-cheap.
+workload suite, per table size — a (policy × size) preset over the
+design-space explorer (:mod:`repro.dse`), trace-driven, so the full grid
+stays cheap.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.cic.replay import replay_trace
-from repro.osmodel.policies import POLICIES, get_policy
-from repro.eval.common import baseline_run, workload_fht
+from repro.osmodel.policies import POLICIES
 from repro.utils.tables import TextTable
 from repro.workloads.suite import WORKLOAD_NAMES
 
@@ -67,18 +66,26 @@ def run_policy_ablation(
     policies: tuple[str, ...] | None = None,
     workloads: tuple[str, ...] = WORKLOAD_NAMES,
 ) -> PolicyAblationResult:
+    from repro.dse import ConfigSpace, DseSweep
+
     chosen = policies or tuple(sorted(POLICIES))
+    space = ConfigSpace(
+        hash_names=("xor",),
+        iht_sizes=tuple(sizes),
+        policy_names=chosen,
+        miss_penalties=(100,),
+        workloads=tuple(workloads),
+        scale=scale,
+        adversary="none",
+    )
+    points = DseSweep(space).run().ordered()
     result = PolicyAblationResult(policies=chosen, sizes=sizes)
     for name in workloads:
-        golden = baseline_run(name, scale)
-        fht = workload_fht(name, scale)
-        rates: dict[tuple[str, int], float] = {}
-        for policy in chosen:
-            for size in sizes:
-                stats = replay_trace(
-                    golden.block_trace, fht, size, get_policy(policy)
-                )
-                rates[(policy, size)] = stats.miss_rate
+        rates = {
+            (point.config.policy_name, point.config.iht_size):
+                point.per_workload[name]["miss_rate"]
+            for point in points
+        }
         result.rows.append(PolicyRow(workload=name, rates=rates))
     return result
 

@@ -19,10 +19,14 @@ serial run for any worker count.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 
-from repro.faults.campaign import CampaignReport, FaultCampaign, Outcome
+from repro.faults.campaign import (
+    CampaignReport,
+    FaultCampaign,
+    Outcome,
+    same_column_pairs,
+)
 from repro.faults.models import BitFlipFault
 from repro.eval.common import baseline_run
 from repro.exec.runner import CampaignRunner
@@ -84,23 +88,8 @@ def _same_column_pairs(
     campaign: FaultCampaign, count: int, seed: int
 ) -> list[tuple[BitFlipFault, ...]]:
     """Pairs of flips in one bit column of one executed basic block."""
-    rng = random.Random(seed)
     golden = baseline_run_cache[campaign]  # populated by run_fault_analysis
-    blocks = [
-        event
-        for event in golden.block_trace.unique_blocks()
-        if event[1] - event[0] >= 4  # at least two instructions
-    ]
-    pairs: list[tuple[BitFlipFault, ...]] = []
-    attempts = 0
-    while len(pairs) < count and attempts < 50 * count:
-        attempts += 1
-        start, end = rng.choice(blocks)
-        addresses = list(range(start, end + 4, 4))
-        first, second = rng.sample(addresses, 2)
-        bit = rng.randrange(32)
-        pairs.append((BitFlipFault(first, (bit,)), BitFlipFault(second, (bit,))))
-    return pairs
+    return same_column_pairs(golden.block_trace, count, seed)
 
 
 baseline_run_cache: dict[FaultCampaign, object] = {}

@@ -6,15 +6,17 @@ Exact bar values are not tabulated in the text, so the comparison column
 carries the paper's *qualitative* findings: dijkstra, patricia, blowfish
 and bitcount drop sharply at 8 entries; every application drops
 significantly at 32; stringsearch stays high through 16.
+
+The sweep itself is a one-axis preset over the design-space explorer
+(:mod:`repro.dse`): one hash, one policy, the size ladder, no adversary —
+the engine replays each workload's recorded trace per size exactly as the
+hand-rolled loop used to.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.cic.replay import replay_trace
-from repro.osmodel.policies import get_policy
-from repro.eval.common import baseline_run, workload_fht
 from repro.utils.tables import TextTable
 from repro.workloads.suite import WORKLOAD_NAMES
 
@@ -52,14 +54,21 @@ class Fig6Result:
                 return row.miss_rates[size]
         raise KeyError(workload)
 
+    def sizes(self) -> tuple[int, ...]:
+        """The swept table sizes (whatever grid produced the rows)."""
+        if not self.rows:
+            return TABLE_SIZES
+        return tuple(sorted(self.rows[0].miss_rates))
+
     def table(self) -> TextTable:
+        sizes = self.sizes()
         headers = ["application", "block execs"] + [
-            f"{size} entries" for size in TABLE_SIZES
+            f"{size} entries" for size in sizes
         ] + ["paper (qualitative)"]
         table = TextTable(headers, title="Figure 6 — IHT miss rate (%)")
         for row in self.rows:
             cells = [row.workload, row.lookups]
-            cells += [f"{100 * row.miss_rates[size]:.1f}" for size in TABLE_SIZES]
+            cells += [f"{100 * row.miss_rates[size]:.1f}" for size in sizes]
             cells.append(row.note)
             table.add_row(cells)
         return table
@@ -73,20 +82,28 @@ def run_fig6(
     workloads: tuple[str, ...] = WORKLOAD_NAMES,
 ) -> Fig6Result:
     """Trace-driven sweep of IHT sizes over the workload suite."""
+    from repro.dse import ConfigSpace, DseSweep
+
+    space = ConfigSpace(
+        hash_names=(hash_name,),
+        iht_sizes=tuple(sizes),
+        policy_names=(policy_name,),
+        miss_penalties=(100,),
+        workloads=tuple(workloads),
+        scale=scale,
+        adversary="none",
+    )
+    points = DseSweep(space).run().ordered()
     result = Fig6Result()
     for name in workloads:
-        golden = baseline_run(name, scale)
-        fht = workload_fht(name, scale, hash_name)
-        rates: dict[int, float] = {}
-        for size in sizes:
-            stats = replay_trace(
-                golden.block_trace, fht, size, get_policy(policy_name)
-            )
-            rates[size] = stats.miss_rate
+        rates = {
+            point.config.iht_size: point.per_workload[name]["miss_rate"]
+            for point in points
+        }
         result.rows.append(
             Fig6Row(
                 workload=name,
-                lookups=len(golden.block_trace),
+                lookups=points[0].per_workload[name]["lookups"],
                 miss_rates=rates,
                 note=PAPER_NOTES.get(name, ""),
             )

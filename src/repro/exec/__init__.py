@@ -3,9 +3,9 @@
 The paper's Section 6.3 coverage numbers come from injecting thousands of
 faults per workload; this package is the substrate that makes such sweeps
 — random fault campaigns, the adversarial attack sweeps of
-:mod:`repro.attacks`, and every future large sweep (Figure 6 IHT sizing,
-hash/policy ablations, design-space exploration) — scale across CPU cores
-without giving up reproducibility:
+:mod:`repro.attacks`, and the detection objectives of the design-space
+explorer (:mod:`repro.dse`) — scale across CPU cores without giving up
+reproducibility:
 
 * :mod:`repro.exec.spec` — :class:`CampaignSpec`, the picklable campaign
   description every worker re-derives its simulator state from; its

@@ -339,6 +339,7 @@ def run_one_golden(store: GoldenStore, fault) -> FaultResult:
         fetch_hook=probe,
         max_instructions=context.instruction_budget,
         decode_cache=store.warm.decode_cache,
+        hang_detector=context.golden_instructions,
     )
     simulator.restore(checkpoint.sim)
     if checkpoint.instructions == 0:

@@ -24,7 +24,10 @@ from repro.utils.seeds import derive_seed
 
 #: Schema version stamped into headers; bump on incompatible changes.
 #: v2: the spec gained ``backend`` (full-replay vs golden-trace fork).
-SPEC_VERSION = 2
+#: v3: HANG record details are canonical (``instruction limit N
+#: exceeded``, no pc suffix) — files from earlier versions would mix
+#: formats on resume, so the handshake refuses them.
+SPEC_VERSION = 3
 
 #: Valid values of :attr:`CampaignSpec.backend`.
 BACKENDS = ("full", "golden")

@@ -200,6 +200,35 @@ def build_context(
     )
 
 
+def same_column_pairs(
+    block_trace, count: int, seed: int
+) -> list[tuple[BitFlipFault, ...]]:
+    """Seeded pairs of flips in one bit column of one executed block.
+
+    The §6.3 adversarial pattern the XOR checksum provably cannot see:
+    two flips in the same bit position of two words inside one monitored
+    basic block.  Shared by the fault-analysis harness and the DSE
+    engine's ``same-column`` adversary so both draw the identical
+    deterministic pair list for a given ``(trace, count, seed)``.
+    """
+    rng = random.Random(seed)
+    blocks = [
+        event
+        for event in block_trace.unique_blocks()
+        if event[1] - event[0] >= 4  # at least two instructions
+    ]
+    pairs: list[tuple[BitFlipFault, ...]] = []
+    attempts = 0
+    while len(pairs) < count and attempts < 50 * count:
+        attempts += 1
+        start, end = rng.choice(blocks)
+        addresses = list(range(start, end + 4, 4))
+        first, second = rng.sample(addresses, 2)
+        bit = rng.randrange(32)
+        pairs.append((BitFlipFault(first, (bit,)), BitFlipFault(second, (bit,))))
+    return pairs
+
+
 @dataclass(slots=True)
 class WarmProcess:
     """Per-worker warm cache of everything injection runs can share.
@@ -245,7 +274,9 @@ def make_probe(persistents, transients) -> FetchProbe:
     for part in persistents:
         tampered.update(part.target_addresses())
     return FetchProbe(
-        tampered, make_fetch_hook(transients) if transients else None
+        tampered,
+        make_fetch_hook(transients) if transients else None,
+        transients=transients,
     )
 
 
@@ -275,7 +306,15 @@ def classify_run(
         )
     except SimulationError as error:
         if "instruction limit" in str(error):
-            return FaultResult(fault, Outcome.HANG, str(error))
+            # Canonical detail: the budget path reports the pc it happened
+            # to reach and the cycling detector the loop state it caught,
+            # so normalizing keeps HANG records identical across backends
+            # and detector settings.
+            return FaultResult(
+                fault,
+                Outcome.HANG,
+                f"instruction limit {context.instruction_budget} exceeded",
+            )
         return FaultResult(fault, Outcome.CRASHED, str(error))
     if (
         result.console == context.golden_console
@@ -333,6 +372,7 @@ def run_one(
         inputs=context.inputs,
         max_instructions=context.instruction_budget,
         decode_cache=decode_cache,
+        hang_detector=context.golden_instructions,
     )
     for part in persistents:
         part.apply_to_memory(simulator.state.memory)

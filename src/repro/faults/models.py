@@ -143,6 +143,10 @@ class TransientFetchFault:
     def reset(self) -> None:
         self._seen = 0
 
+    def pending(self) -> bool:
+        """True while a future fetch may still be corrupted."""
+        return self._seen < self.occurrence
+
     def seek(self, fetch_counts) -> None:
         """Position the counter as if ``fetch_counts[address]`` fetches of
         each address already happened — the golden-trace backend's resume
@@ -174,15 +178,17 @@ class FetchProbe:
     block-end check (or machine check) fired.
     """
 
-    __slots__ = ("tampered", "inner", "fetches", "first_corrupt")
+    __slots__ = ("tampered", "inner", "transients", "fetches", "first_corrupt")
 
     def __init__(
         self,
         tampered: Iterable[int] = (),
         inner: Callable[[int, int], int] | None = None,
+        transients: Iterable = (),
     ):
         self.tampered = frozenset(tampered)
         self.inner = inner
+        self.transients = tuple(transients)
         self.fetches = 0
         self.first_corrupt: int | None = None
 
@@ -200,3 +206,18 @@ class FetchProbe:
         if self.first_corrupt is None:
             return None
         return self.fetches - self.first_corrupt
+
+    def pending(self) -> bool:
+        """True while any transient part may still alter a future fetch.
+
+        Once every transient part has delivered (or there were none), the
+        probe is a pure pass-through of the stored words: the simulator's
+        hang detector may then treat fetches as a function of memory alone.
+        A part without its own ``pending()`` is conservatively assumed to
+        stay active forever.
+        """
+        for part in self.transients:
+            part_pending = getattr(part, "pending", None)
+            if part_pending is None or part_pending():
+                return True
+        return False

@@ -234,6 +234,17 @@ class FuncSim:
         Optional shared word→instruction decode cache.  Decoding depends
         only on the word, so campaign workers pass one dict across every
         injection instead of re-decoding the program per run.
+    hang_detector:
+        ``None`` (default) disables it; an integer arms a PC-set cycling
+        detector once that many instructions have executed.  When an armed
+        run revisits an identical architected state ``(pc, regs, hi, lo)``
+        at a control transfer — with no store, syscall, or still-pending
+        transient fetch transform since the first visit — the machine is
+        provably in a loop it can never leave, and the simulator raises the
+        same ``instruction limit`` error the budget path would, without
+        burning the remaining budget.  Campaign kernels arm it at the
+        golden run's instruction count so pristine-length runs never pay
+        the per-redirect bookkeeping.
     """
 
     def __init__(
@@ -246,6 +257,7 @@ class FuncSim:
         inputs: list[int] | None = None,
         max_instructions: int = 50_000_000,
         decode_cache: dict[int, Instruction] | None = None,
+        hang_detector: int | None = None,
     ):
         self.program = program
         self.cycle_model = cycle_model or CycleModel()
@@ -270,6 +282,9 @@ class FuncSim:
         self._executed = 0
         self._finished = False
         self._exit_code = 0
+        self.hang_detector = hang_detector
+        #: States seen at control transfers since the last side effect.
+        self._loop_seen: dict[tuple, int] = {}
 
     def _fetch(self, address: int) -> int:
         # Instruction fetch outside the text segment is a bus-error machine
@@ -339,6 +354,14 @@ class FuncSim:
                 if exited:
                     self._finished = True
                     self._exit_code = exit_code
+                elif (
+                    self.hang_detector is not None
+                    and executed >= self.hang_detector
+                ):
+                    # Before the arming threshold the state table is
+                    # provably empty, so the unarmed fast path is one
+                    # integer compare.
+                    self._check_loop(instruction, redirected, executed)
         finally:
             self._block_start = block_start
             self._executed = executed
@@ -351,6 +374,47 @@ class FuncSim:
             monitor_stats=getattr(monitor, "stats", None),
             finished=self._finished,
         )
+
+    def _check_loop(
+        self, instruction: Instruction, redirected: bool, executed: int
+    ) -> None:
+        """Armed hang detection: declare HANG on exact state recurrence.
+
+        Sound by construction: if the full state ``(pc, regs, hi, lo)``
+        recurs at a control transfer, memory is untouched since the first
+        visit (any store clears the table), no syscall consumed input or
+        produced output (syscalls clear it too), and the fetch path is a
+        pure function of memory (no transient transform still pending),
+        then execution from the second visit replays the interval between
+        the visits verbatim, forever.  The monitor cannot intervene later
+        either — a violation depends only on the fetched words, which
+        repeat exactly, so it would already have fired inside the first
+        period.  The run therefore exceeds *any* instruction budget, and
+        raising the budget error early classifies identically.
+        """
+        seen = self._loop_seen
+        mnemonic = instruction.mnemonic
+        if mnemonic is Mnemonic.SYSCALL or instruction.is_store():
+            if seen:
+                seen.clear()
+            return
+        if not redirected:
+            return
+        hook = self.fetch_hook
+        if hook is not None:
+            hook_pending = getattr(hook, "pending", None)
+            if hook_pending is None or hook_pending():
+                return
+        state = self.state
+        key = (state.pc, state.hi, state.lo, tuple(state.regs))
+        if key in seen:
+            raise SimulationError(
+                f"instruction limit {self.max_instructions} exceeded",
+                pc=state.pc,
+            )
+        if len(seen) >= 65_536:  # bound the table on pathological runs
+            seen.clear()
+        seen[key] = executed
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -379,6 +443,8 @@ class FuncSim:
 
     def restore(self, snapshot: FuncSimSnapshot) -> None:
         """Rewind (or fast-forward) this simulator to *snapshot*."""
+        # States observed before the move are not on the restored path.
+        self._loop_seen.clear()
         restore_arch(self.state, snapshot.arch)
         restore_syscalls(self.syscalls, snapshot.syscalls)
         self._block_start = snapshot.block_start

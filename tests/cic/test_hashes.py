@@ -88,17 +88,38 @@ class TestXor:
 
 
 class TestRotXor:
-    @given(stream=st.lists(words, min_size=2, max_size=8))
-    def test_usually_order_dependent(self, stream):
-        if stream[0] == stream[-1]:
-            return  # identical ends: reversal may collide legitimately
-        forward = block_hash(RotXorChecksum(), stream)
-        backward = block_hash(RotXorChecksum(), list(reversed(stream)))
-        # rotations separate position; collisions are possible but only on
-        # crafted inputs, not typical ones — allow equality only if the
-        # reversal is a genuine fixed point of the rotation structure.
-        if forward == backward:
-            assert stream == list(reversed(stream))
+    def test_usually_order_dependent(self):
+        # "Usually" is a statistical property: crafted collisions exist
+        # (e.g. [0, 0xFFFFFFFF] — all-ones is a fixed point of rotl), so
+        # hypothesis would eventually find one.  A seeded sample bounds
+        # the collision frequency instead.
+        import random
+
+        rng = random.Random(20260728)
+        collisions = 0
+        trials = 200
+        for _ in range(trials):
+            stream = [rng.randrange(1 << 32) for _ in range(rng.randrange(2, 9))]
+            if stream == list(reversed(stream)):
+                continue
+            forward = block_hash(RotXorChecksum(), stream)
+            backward = block_hash(RotXorChecksum(), list(reversed(stream)))
+            collisions += forward == backward
+        assert collisions <= trials // 50  # >= 98% order-sensitive
+
+    def test_order_dependent_example(self):
+        stream = [0x12345678, 0x9ABCDEF0, 0x0F1E2D3C]
+        assert block_hash(RotXorChecksum(), stream) != block_hash(
+            RotXorChecksum(), list(reversed(stream))
+        )
+
+    def test_known_reversal_collision(self):
+        # The documented blind spot the statistical test tolerates: words
+        # invariant under rotation carry no position information.
+        stream = [0, MASK32]
+        assert block_hash(RotXorChecksum(), stream) == block_hash(
+            RotXorChecksum(), list(reversed(stream))
+        )
 
     @given(stream=st.lists(words, min_size=2, max_size=20), bit=st.integers(0, 31))
     def test_detects_same_column_adjacent_pair(self, stream, bit):

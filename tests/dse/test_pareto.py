@@ -1,0 +1,130 @@
+"""Dominance and frontier semantics on synthetic points."""
+
+import pytest
+
+from repro.dse.engine import DsePoint
+from repro.dse.objectives import OBJECTIVES, resolve_objectives
+from repro.dse.pareto import FrontierReport, dominates, pareto_frontier
+from repro.dse.space import MonitorConfig
+from repro.errors import ConfigurationError
+
+
+def point(index, **objectives):
+    return DsePoint(
+        index=index,
+        shard=0,
+        config=MonitorConfig(iht_size=index + 1),
+        objectives=objectives,
+        per_workload={},
+    )
+
+
+AREA_MISS = ("area_overhead", "miss_rate")
+
+
+class TestObjectives:
+    def test_registry_senses(self):
+        assert OBJECTIVES["miss_rate"].sense == "min"
+        assert OBJECTIVES["detection_rate"].sense == "max"
+
+    def test_resolution_errors(self):
+        with pytest.raises(ConfigurationError):
+            resolve_objectives(("fidelity",))
+        with pytest.raises(ConfigurationError):
+            resolve_objectives(())
+        with pytest.raises(ConfigurationError):
+            resolve_objectives(("miss_rate", "miss_rate"))
+
+    def test_max_sense_inverts_comparison(self):
+        detection = OBJECTIVES["detection_rate"]
+        assert detection.better(0.9, 0.5)
+        assert not detection.better(0.5, 0.9)
+
+    def test_none_always_loses(self):
+        latency = OBJECTIVES["detection_latency"]
+        assert latency.better(1e9, None)
+        assert not latency.better(None, 1e9)
+
+
+class TestDominance:
+    def test_strictly_better_everywhere(self):
+        assert dominates(
+            point(0, area_overhead=1.0, miss_rate=0.1),
+            point(1, area_overhead=2.0, miss_rate=0.2),
+            resolve_objectives(AREA_MISS),
+        )
+
+    def test_trade_off_does_not_dominate(self):
+        objectives = resolve_objectives(AREA_MISS)
+        cheap = point(0, area_overhead=1.0, miss_rate=0.5)
+        accurate = point(1, area_overhead=5.0, miss_rate=0.01)
+        assert not dominates(cheap, accurate, objectives)
+        assert not dominates(accurate, cheap, objectives)
+
+    def test_equal_vectors_do_not_dominate(self):
+        objectives = resolve_objectives(AREA_MISS)
+        first = point(0, area_overhead=1.0, miss_rate=0.1)
+        second = point(1, area_overhead=1.0, miss_rate=0.1)
+        assert not dominates(first, second, objectives)
+        assert not dominates(second, first, objectives)
+
+
+class TestFrontier:
+    def test_non_dominated_set(self):
+        points = [
+            point(0, area_overhead=1.0, miss_rate=0.5),   # frontier
+            point(1, area_overhead=5.0, miss_rate=0.01),  # frontier
+            point(2, area_overhead=6.0, miss_rate=0.02),  # dominated by 1
+            point(3, area_overhead=1.0, miss_rate=0.6),   # dominated by 0
+        ]
+        frontier = pareto_frontier(points, AREA_MISS)
+        assert [p.index for p in frontier] == [0, 1]
+
+    def test_ties_all_stay(self):
+        points = [
+            point(0, area_overhead=1.0, miss_rate=0.1),
+            point(1, area_overhead=1.0, miss_rate=0.1),
+        ]
+        assert len(pareto_frontier(points, AREA_MISS)) == 2
+
+    def test_single_objective_collapses_to_minimum(self):
+        points = [point(i, area_overhead=float(i)) for i in range(5)]
+        frontier = pareto_frontier(points, ("area_overhead",))
+        assert [p.index for p in frontier] == [0]
+
+    def test_none_valued_point_loses(self):
+        points = [
+            point(0, area_overhead=1.0, detection_rate=None),
+            point(1, area_overhead=1.0, detection_rate=0.5),
+        ]
+        frontier = pareto_frontier(
+            points, ("area_overhead", "detection_rate")
+        )
+        assert [p.index for p in frontier] == [1]
+
+
+class TestReport:
+    def test_ranked_by_dominance_strength(self):
+        points = [
+            point(0, area_overhead=1.0, miss_rate=0.1),   # dominates 2, 3
+            point(1, area_overhead=9.0, miss_rate=0.01),  # dominates none
+            point(2, area_overhead=2.0, miss_rate=0.2),
+            point(3, area_overhead=3.0, miss_rate=0.3),
+        ]
+        report = FrontierReport.build(points, AREA_MISS)
+        ranked = report.ranked()
+        assert [p.index for p in ranked] == [0, 1]
+        assert report.dominated_counts[0] == 2
+        assert report.dominated_counts[1] == 0
+
+    def test_table_and_json_render(self):
+        points = [
+            point(0, area_overhead=1.0, miss_rate=0.1),
+            point(1, area_overhead=2.0, miss_rate=0.05),
+        ]
+        report = FrontierReport.build(points, AREA_MISS)
+        text = report.table().render()
+        assert "Pareto frontier" in text
+        data = report.to_json()
+        assert data["swept_points"] == 2
+        assert {entry["index"] for entry in data["frontier"]} == {0, 1}

@@ -192,6 +192,80 @@ class TestAttack:
         assert "unknown attack class" in capsys.readouterr().err
 
 
+class TestDse:
+    ARGS = [
+        "dse", "sweep", "--hash", "xor", "--iht", "4", "--iht", "8",
+        "--workload", "sha", "--per-class", "2", "--seed", "5",
+    ]
+
+    def test_sweep_prints_points(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "DSE sweep" in out
+        assert "xor/iht4/lru_half/p100" in out
+        assert "xor/iht8/lru_half/p100" in out
+
+    def test_sweep_frontier_report_round_trip(self, capsys, tmp_path):
+        points = tmp_path / "points.jsonl"
+        frontier_json = tmp_path / "frontier.json"
+        assert main(self.ARGS + ["--out", str(points)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["dse", "frontier", str(points), "--json", str(frontier_json)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        data = json.loads(frontier_json.read_text())
+        assert data["swept_points"] == 2
+        assert len(data["frontier"]) >= 1
+        assert main(["dse", "report", str(points)]) == 0
+        out = capsys.readouterr().out
+        assert "Per-objective champions" in out
+
+    def test_sweep_resume_through_cli(self, capsys, tmp_path):
+        points = tmp_path / "points.jsonl"
+        assert main(self.ARGS + ["--out", str(points)]) == 0
+        first = points.read_text()
+        assert main(self.ARGS + ["--out", str(points), "--resume"]) == 0
+        assert points.read_text() == first
+
+    def test_sweep_preset(self, capsys):
+        assert main(
+            ["dse", "sweep", "--preset", "smoke", "--per-class", "2"]
+        ) == 0
+        assert "DSE sweep" in capsys.readouterr().out
+
+    def test_explicit_flags_override_preset(self, capsys):
+        assert main(
+            [
+                "dse", "sweep", "--preset", "smoke",
+                "--workload", "bitcount", "--iht", "4",
+                "--adversary", "none",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        # Overridden: one workload, one size, no adversary; kept from the
+        # preset: both hash axis values.
+        assert "1 workloads (bitcount)" in out
+        assert "adversary=none" in out
+        assert "xor/iht4/lru_half/p100" in out
+        assert "crc32/iht4/lru_half/p100" in out
+        assert "iht8" not in out
+
+    def test_unknown_preset(self, capsys):
+        assert main(["dse", "sweep", "--preset", "nosuch"]) == 1
+        assert "unknown preset" in capsys.readouterr().err
+
+    def test_unknown_objective(self, capsys, tmp_path):
+        points = tmp_path / "points.jsonl"
+        assert main(self.ARGS + ["--out", str(points)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["dse", "frontier", str(points), "--objective", "vibes"]
+        ) == 1
+        assert "unknown objective" in capsys.readouterr().err
+
+
 class TestWorkload:
     def test_runs_bitcount(self, capsys):
         assert main(["workload", "bitcount", "--scale", "tiny"]) == 0
