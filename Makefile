@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-smoke perf-smoke campaign-smoke attack-smoke \
-	dse-smoke clean
+	dse-smoke harness-smoke clean
 
 test:  ## tier-1: the whole unit/integration suite, fail fast
 	$(PYTHON) -m pytest -x -q
@@ -37,6 +37,20 @@ attack-smoke:  ## tiny 2-worker attack sweep through the CLI, with resume
 	$(PYTHON) -m repro attack sha --scale tiny --class all --per-class 4 \
 	    --workers 2 --seed 42 --out results/attack_smoke.jsonl --resume \
 	    --json results/attack_smoke.json
+
+# harness-smoke exercises the one execution harness through BOTH of its
+# clients: a campaign and a DSE sweep are each killed after their first
+# shard(s) (--stop-after-shards) and then resumed to completion from the
+# JSONL commit markers, on the golden backend with 2 workers.
+harness-smoke:  ## kill -> resume on both harness clients (campaign + DSE)
+	$(PYTHON) -m repro campaign sha --preset smoke --workers 2 --seed 42 \
+	    --out results/harness_smoke_campaign.jsonl --stop-after-shards 1
+	$(PYTHON) -m repro campaign sha --preset smoke --workers 2 --seed 42 \
+	    --out results/harness_smoke_campaign.jsonl --resume
+	$(PYTHON) -m repro dse sweep --preset smoke --workers 2 --seed 42 \
+	    --out results/harness_smoke_dse.jsonl --stop-after-shards 1
+	$(PYTHON) -m repro dse sweep --preset smoke --workers 2 --seed 42 \
+	    --out results/harness_smoke_dse.jsonl --resume
 
 dse-smoke:  ## tiny 2-worker DSE sweep through the CLI, with resume + frontier
 	$(PYTHON) -m repro dse sweep --preset smoke --workers 2 \

@@ -1,13 +1,14 @@
 """Campaign-engine scaling: faults/second per backend × worker count.
 
 Runs the same seeded 200-fault single-bit campaign against ``sha-tiny`` on
-both execution backends (``full`` re-simulates every injection from
-instruction zero; ``golden`` forks the recorded golden run at the nearest
-checkpoint before the fault) at 1, 2, and 4 workers, records the
+every registered execution backend (``full`` re-simulates every injection
+from instruction zero; ``golden`` forks the recorded golden run at the
+nearest checkpoint before the fault; ``pipeline-golden`` does the same on
+the cycle-level pipeline) at 1, 2, and 4 workers, records the
 throughput table under ``results/``, and asserts the engine's guarantees:
 
 * aggregate statistics are byte-identical across backends *and* worker
-  counts;
+  counts (the cycle-level backend included — outcomes are architectural);
 * the golden backend is at least 3× faster than full at 1 worker (each
   measurement pays its own warm-up: golden run, FHT build, and — golden
   backend — the checkpoint store);
@@ -37,9 +38,10 @@ GOLDEN_MIN_SPEEDUP = 3.0
 
 def _time_campaign(spec, faults, workers):
     # A fresh runner per measurement so every cell pays its own startup
-    # inside the timed region: the serial path builds one workspace
-    # (golden run + warm caches + checkpoint store for the golden
-    # backend), each pool worker builds its own in its initializer.
+    # inside the timed region: the parent builds one workspace (golden
+    # run + warm caches + checkpoint store for the golden backends);
+    # pooled cells additionally pay shipping it through shared memory
+    # and each worker's attach/unpickle (repro.exec.sharing).
     runner = CampaignRunner(spec, workers=workers)
     start = time.perf_counter()
     result = runner.run(faults, seed=SEED)
@@ -111,9 +113,10 @@ def test_campaign_scaling(save_result, record_bench):
     ), throughputs
     # Throughput must scale with workers where the hardware allows it.
     # Enforced on the full backend, whose per-injection work dominates
-    # its per-worker warm-up; golden's fixed warm-up (each worker records
-    # the whole golden run) dominates at this fault count, so its scaling
-    # is reported but not gated — raise FAULT_COUNT to see it scale.
+    # its warm-up; the golden backends' fixed warm-up (the parent's
+    # recording plus per-worker shared-store attach) dominates at this
+    # fault count, so their scaling is reported but not gated — raise
+    # FAULT_COUNT to see it scale.
     if cores >= MAX_WORKERS:
         assert (
             throughputs["full"][MAX_WORKERS] >= 2.0 * throughputs["full"][1]

@@ -64,6 +64,42 @@ def test_dse_paper_sweep(save_result, record_bench):
     assert min(rates) < max(rates)
 
 
+def test_dse_checkpoint_store_sharing(record_bench):
+    """Checkpoint-store sharing: the parent records the per-workload
+    golden runs and adversary corpora once and ships them to the pool
+    through shared memory, instead of every worker re-deriving them in
+    its initializer.  Records must be identical either way; the saved
+    per-worker warm-up is recorded (and sharing must not cost more than
+    a small constant, even on loaded CI machines)."""
+    space = ConfigSpace(
+        hash_names=("xor", "crc32"),
+        iht_sizes=(4, 8, 16),
+        workloads=("sha", "dijkstra", "bitcount"),
+        scale="tiny",
+        per_class=4,
+    )
+    timings = {}
+    points = {}
+    for share in (True, False):
+        start = time.perf_counter()
+        result = DseSweep(space, seed=SEED, workers=4, share=share).run()
+        timings[share] = time.perf_counter() - start
+        assert result.complete
+        points[share] = [point.to_json() for point in result.ordered()]
+    assert points[True] == points[False]
+    warmup_cut = timings[False] - timings[True]
+    record_bench(
+        configurations=len(points[True]),
+        workers=4,
+        seconds_shared=round(timings[True], 4),
+        seconds_unshared=round(timings[False], 4),
+        warmup_seconds_cut=round(warmup_cut, 4),
+    )
+    # Sharing replaces per-worker re-derivation with one shm unpickle;
+    # it must never make the sweep meaningfully slower.
+    assert timings[True] <= timings[False] * 1.25, timings
+
+
 def test_dse_golden_backend_speedup(record_bench):
     subset = ConfigSpace(
         hash_names=("xor",),

@@ -40,14 +40,18 @@ Commands
 
 ``campaign TARGET``
     Run a parallel fault-injection campaign (the §6.3 experiment) against a
-    workload name or an assembly file, on the :mod:`repro.exec` engine.
+    workload name or an assembly file, on the :mod:`repro.exec` harness.
     ``--faults N`` random single-bit faults (seeded by ``--seed``) are
     sharded across ``--workers`` processes; ``--out FILE`` streams JSONL
     records so ``--resume`` can pick an interrupted campaign back up from
-    the last completed shard.  ``--backend golden`` forks each injection
+    the last completed shard.  ``--preset NAME`` selects a named campaign
+    (``exhaustive-single-bit``: every flip of every executed word at
+    default scale on the golden backend).  ``--backend`` picks the
+    execution backend from the registry — ``golden`` forks each injection
     from the recorded golden run's nearest checkpoint instead of
-    re-simulating from instruction zero.  Results are identical for any
-    worker count and either backend.
+    re-simulating from instruction zero (``full``), ``pipeline-golden``
+    forks the cycle-level pipeline and measures cycles.  Results are
+    identical for any worker count and either functional backend.
 
 ``attack TARGET``
     Run the adversarial tampering sweep (:mod:`repro.attacks`) against a
@@ -78,6 +82,13 @@ from repro.pipeline.funcsim import FuncSim
 
 #: Exit code signalling a detected integrity violation (vs 1 = tool error).
 EXIT_VIOLATION = 2
+
+#: Mirrors of the execution-layer registries, spelled out so building the
+#: parser stays free of the repro.exec import stack (the cmd_* handlers
+#: defer their heavy imports to call time for the same reason).
+#: ``tests/test_cli.py`` pins both against the live registries.
+BACKEND_CHOICES = ("full", "golden", "pipeline-golden")
+CAMPAIGN_PRESET_CHOICES = ("exhaustive-single-bit", "smoke")
 
 
 def _engine(name: str):
@@ -186,26 +197,40 @@ def _resolve_target(target: str) -> tuple[str | None, str | None, str | None]:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.exec import CampaignRunner, CampaignSpec
+    from repro.exec import CampaignRunner, CampaignSpec, get_campaign_preset
     from repro.faults.campaign import Outcome
 
     workload, source, name = _resolve_target(args.target)
     if workload is None and source is None:
         return 1
+    # A preset supplies scale/backend defaults and the fault plan; any
+    # flag given explicitly overrides the preset's value.
+    preset = get_campaign_preset(args.preset) if args.preset else None
+    scale = args.scale or (preset.scale if preset else "small")
+    backend = args.backend or (preset.backend if preset else "full")
     spec = CampaignSpec(
         workload=workload,
-        scale=args.scale,
+        scale=scale,
         source=source,
         name=name,
         iht_size=args.iht,
         hash_name=args.hash,
         policy_name=args.policy,
-        backend=args.backend,
+        backend=backend,
     )
     runner = CampaignRunner(spec, workers=args.workers, chunk_size=args.chunk)
-    faults = runner.campaign.random_single_bit(args.faults, seed=args.seed)
+    if preset is not None and args.faults is None:
+        faults = preset.faults(runner.campaign, seed=args.seed)
+    else:
+        faults = runner.campaign.random_single_bit(
+            args.faults if args.faults is not None else 200, seed=args.seed
+        )
     result = runner.run(
-        faults, seed=args.seed, out=args.out, resume=args.resume
+        faults,
+        seed=args.seed,
+        out=args.out,
+        resume=args.resume,
+        stop_after_shards=args.stop_after_shards,
     )
     report = result.report()
     counts = report.counts()
@@ -299,7 +324,11 @@ def cmd_dse_sweep(args: argparse.Namespace) -> int:
         chunk_size=args.chunk,
         backend=args.backend,
     )
-    result = sweep.run(out=args.out, resume=args.resume)
+    result = sweep.run(
+        out=args.out,
+        resume=args.resume,
+        stop_after_shards=args.stop_after_shards,
+    )
     print(result.table().render())
     print(f"; {result.summary()}", file=sys.stderr)
     if args.out:
@@ -455,15 +484,23 @@ def build_parser() -> argparse.ArgumentParser:
         "target", help="workload name or assembly file path"
     )
     campaign_command.add_argument(
-        "--scale", choices=("tiny", "small", "default"), default="small"
+        "--preset", metavar="NAME", choices=CAMPAIGN_PRESET_CHOICES,
+        help="named campaign from repro.exec.presets "
+             f"({', '.join(CAMPAIGN_PRESET_CHOICES)}); supplies the fault "
+             "plan and scale/backend defaults, explicit flags override",
+    )
+    campaign_command.add_argument(
+        "--scale", choices=("tiny", "small", "default"), default=None,
+        help="workload build scale (default small, or the preset's)",
     )
     campaign_command.add_argument(
         "--workers", type=int, default=1,
         help="worker processes (default 1: serial, in-process)",
     )
     campaign_command.add_argument(
-        "--faults", type=int, default=200,
-        help="number of random single-bit faults to inject",
+        "--faults", type=int, default=None,
+        help="number of random single-bit faults to inject "
+             "(default 200; overrides a preset's fault plan)",
     )
     campaign_command.add_argument(
         "--seed", type=int, default=42,
@@ -482,11 +519,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="faults per shard (the unit of distribution and resume)",
     )
     campaign_command.add_argument(
-        "--backend", choices=("full", "golden"), default="full",
-        help="injection execution backend: re-simulate from instruction "
-             "zero (full) or fork the recorded golden run at the nearest "
-             "checkpoint before the fault (golden; identical results, "
-             "see docs/PERFORMANCE.md)",
+        "--backend", choices=BACKEND_CHOICES, default=None,
+        help="injection execution backend (registry: repro.exec.backends; "
+             "default full, or the preset's): full replay, golden "
+             "fork-at-fault, or cycle-measuring pipeline-golden — "
+             "see docs/HARNESS.md and docs/PERFORMANCE.md",
+    )
+    campaign_command.add_argument(
+        "--stop-after-shards", type=int, default=None, metavar="N",
+        help="run at most N new shards then exit with partial results "
+             "(kill/resume exercise used by `make harness-smoke`)",
     )
     campaign_command.add_argument("--iht", type=int, default=8)
     campaign_command.add_argument("--hash", default="xor")
@@ -538,7 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="scenarios per shard (the unit of distribution and resume)",
     )
     attack_command.add_argument(
-        "--backend", choices=("full", "golden"), default="full",
+        "--backend", choices=BACKEND_CHOICES, default="full",
         help="injection execution backend (see `campaign --backend`)",
     )
     attack_command.add_argument("--iht", type=int, default=8)
@@ -617,9 +659,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="configurations per shard (the unit of distribution and resume)",
     )
     sweep_command.add_argument(
-        "--backend", choices=("full", "golden"), default="golden",
+        "--backend", choices=BACKEND_CHOICES, default="golden",
         help="campaign backend for detection objectives (default golden; "
-             "see `campaign --backend`)",
+             "pipeline-golden additionally scores measured_cycle_overhead "
+             "on the cycle-level pipeline; see `campaign --backend`)",
     )
     sweep_command.add_argument(
         "--out", help="stream per-point JSONL records to this file"
@@ -627,6 +670,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_command.add_argument(
         "--resume", action="store_true",
         help="skip shards already committed to --out",
+    )
+    sweep_command.add_argument(
+        "--stop-after-shards", type=int, default=None, metavar="N",
+        help="run at most N new shards then exit with partial results "
+             "(kill/resume exercise used by `make harness-smoke`)",
     )
     sweep_command.set_defaults(handler=cmd_dse_sweep)
 

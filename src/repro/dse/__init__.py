@@ -25,6 +25,7 @@ from repro.dse.engine import (
     DsePoint,
     DseSweep,
     DseWorkspace,
+    DseWorkspaceFactory,
     SweepResult,
     evaluate_point,
     load_points,
@@ -40,6 +41,7 @@ __all__ = [
     "DsePoint",
     "DseSweep",
     "DseWorkspace",
+    "DseWorkspaceFactory",
     "FrontierReport",
     "MonitorConfig",
     "OBJECTIVES",

@@ -1,4 +1,4 @@
-"""Sharded, resumable design-space sweep on the golden substrate.
+"""Sharded, resumable design-space sweep — a thin harness client.
 
 One :class:`DseSweep` evaluates every :class:`~repro.dse.space.MonitorConfig`
 of a :class:`~repro.dse.space.ConfigSpace` and scores it on the objective
@@ -10,23 +10,33 @@ vocabulary of :mod:`repro.dse.objectives`:
   miss count over the baseline cycle count — the Table-1 accounting,
   which the tier-1 suite pins as *exact* for this design
   (``monitored == base + penalty × misses``);
+* **measured cycle overhead** (``backend="pipeline-golden"`` only) runs
+  the monitored program on the cycle-level pipeline with the point's
+  miss penalty configured in the OS handler and *measures* the overhead
+  — the empirical check on the accounting, per penalty model;
 * **detection rate and latency** run the space's adversary — the seeded
   :mod:`repro.attacks` corpus or the §6.3 same-column pairs — through the
-  campaign kernels, forking each injection from a per-configuration
-  golden checkpoint store by default (``backend="golden"``);
+  campaign kernels of the selected :class:`~repro.exec.backends.Backend`
+  (default ``golden``: fork each injection from a per-configuration
+  checkpoint store);
 * **area and period** come from the Table-2 synthesis model.
 
-Execution mirrors :class:`repro.exec.runner.CampaignRunner`: points shard
-into fixed-size chunks, a :mod:`multiprocessing` pool evaluates shards on
-per-worker :class:`DseWorkspace` caches (golden runs, FHTs, adversary
-corpora, and penalty-independent measures are shared across the points
-that agree on them), results stream to a JSONL file with ``shard-done``
-commit markers, and ``resume=True`` replays committed shards instead of
-re-running them.  Every point's evaluation is deterministic given
-``(space, seed, index)``, so the point records — and any aggregate
-ordered by point index, such as the frontier — are identical for any
-worker count and either backend (shards *commit* in completion order,
-so only the line order of a multi-worker file varies).
+Execution runs on the generic harness (:mod:`repro.exec.harness`):
+:class:`DseWorkspaceFactory` describes how to build one
+:class:`DseWorkspace` per worker and evaluate one configuration;
+:class:`~repro.exec.harness.HarnessRunner` owns all sharding, JSONL
+streaming, ``shard-done`` commit markers, kill/resume, and worker-count
+invariance — the campaign engine and this sweep share one
+implementation, so the two resume protocols cannot diverge.  Sweep files
+written before the harness redesign load and resume byte-identically.
+
+Every point's evaluation is deterministic given ``(space, seed, index)``,
+so the point records — and any aggregate ordered by point index, such as
+the frontier — are identical for any worker count and either functional
+backend (shards *commit* in completion order, so only the line order of
+a multi-worker file varies).  With ``workers > 1`` the parent records
+the per-workload golden runs and adversary corpora once and ships them
+to the pool through shared memory (:mod:`repro.exec.sharing`).
 """
 
 from __future__ import annotations
@@ -34,21 +44,25 @@ from __future__ import annotations
 import os
 import statistics
 from dataclasses import dataclass, field, replace
-from typing import Iterable
 
 from repro.area.synthesis import SynthesisReport, synthesize
 from repro.attacks.corpus import AttackCorpus, resolve_classes
 from repro.cic.replay import replay_trace
 from repro.errors import ConfigurationError
 from repro.eval.common import baseline_run, workload_fht
-from repro.exec.golden import build_golden_store, run_one_golden
-from repro.exec.records import dump_line, load_lines
-from repro.exec.spec import BACKENDS, shard_seed
+from repro.exec.backends import Backend, get_backend
+from repro.exec.harness import (
+    HarnessRunner,
+    Job,
+    MeasureCache,
+    WorkspaceFactory,
+    validate_plan,
+)
+from repro.exec.records import load_lines
 from repro.faults.campaign import (
     CampaignContext,
     CampaignReport,
     WarmProcess,
-    run_one,
     same_column_pairs,
 )
 from repro.dse.objectives import DEFAULT_FRONTIER
@@ -61,9 +75,6 @@ from repro.workloads.suite import build, workload_inputs
 
 #: Configurations per shard: the unit of distribution *and* of resume.
 DEFAULT_DSE_CHUNK = 4
-
-#: A shard task: (shard_id, first index, configs, derived seed).
-_ShardTask = tuple[int, int, list, int]
 
 
 @dataclass(slots=True)
@@ -110,23 +121,29 @@ class DseWorkspace:
     Golden runs, FHTs, adversary corpora, and the penalty-independent
     measures — replay statistics and detection reports keyed by
     ``(workload, hash, iht, policy)`` — are shared across every point
-    that agrees on them, so a penalty-model axis multiplies the space
-    for free and repeated hash/policy combinations are measured once.
+    that agrees on them through the harness's
+    :class:`~repro.exec.harness.MeasureCache`, so a penalty-model axis
+    multiplies the space for free and repeated hash/policy combinations
+    are measured once.  (The cycle-measuring ``pipeline-golden`` backend
+    adds the penalty to the key: its monitored cycle counts *depend* on
+    the penalty model — that is the point of measuring.)
     """
 
-    def __init__(self, space: ConfigSpace, seed: int, backend: str = "golden"):
-        if backend not in BACKENDS:
-            raise ConfigurationError(
-                f"unknown backend {backend!r}; "
-                f"choose from: {', '.join(BACKENDS)}"
-            )
+    def __init__(
+        self,
+        space: ConfigSpace,
+        seed: int,
+        backend: str = "golden",
+        shared: dict | None = None,
+    ):
         self.space = space
         self.seed = seed
-        self.backend = backend
-        self._contexts: dict[str, CampaignContext] = {}
-        self._adversaries: dict[str, list] = {}
-        self._measures: dict[tuple, dict] = {}
-        self._synthesis: dict[tuple[int, str], SynthesisReport] = {}
+        self.backend: Backend = get_backend(backend)
+        shared = shared or {}
+        self._contexts = MeasureCache(shared.get("contexts"))
+        self._adversaries = MeasureCache(shared.get("adversaries"))
+        self._measures = MeasureCache()
+        self._synthesis = MeasureCache()
         self._baseline_synthesis = synthesize(None)
 
     # -- shared inputs ---------------------------------------------------
@@ -134,65 +151,78 @@ class DseWorkspace:
     def base_context(self, workload: str) -> CampaignContext:
         """Monitor-agnostic campaign context built from the cached golden
         run (the same record the Figure-6 replay consumes)."""
-        context = self._contexts.get(workload)
-        if context is None:
-            golden = baseline_run(workload, self.space.scale)
-            inputs = workload_inputs(workload, self.space.scale)
-            context = CampaignContext(
-                program=build(workload, self.space.scale),
-                inputs=list(inputs) if inputs else None,
-                golden_console=golden.console,
-                golden_exit=golden.exit_code,
-                executed_addresses=executed_addresses(golden.block_trace),
-                instruction_budget=max(10_000, golden.instructions * 20),
-                golden_instructions=golden.instructions,
-            )
-            self._contexts[workload] = context
-        return context
+        return self._contexts.get(
+            workload, lambda: self._build_context(workload)
+        )
+
+    def _build_context(self, workload: str) -> CampaignContext:
+        golden = baseline_run(workload, self.space.scale)
+        inputs = workload_inputs(workload, self.space.scale)
+        return CampaignContext(
+            program=build(workload, self.space.scale),
+            inputs=list(inputs) if inputs else None,
+            golden_console=golden.console,
+            golden_exit=golden.exit_code,
+            executed_addresses=executed_addresses(golden.block_trace),
+            instruction_budget=max(10_000, golden.instructions * 20),
+            golden_instructions=golden.instructions,
+        )
 
     def adversary(self, workload: str) -> list:
         """The seeded injection list scored for detection objectives."""
-        cached = self._adversaries.get(workload)
-        if cached is not None:
-            return cached
+        return self._adversaries.get(
+            workload, lambda: self._build_adversary(workload)
+        )
+
+    def _build_adversary(self, workload: str) -> list:
         space = self.space
         if space.adversary == "attacks":
             corpus = AttackCorpus.from_context(self.base_context(workload))
-            injections = corpus.build(
+            return corpus.build(
                 resolve_classes(space.attack_classes),
                 per_class=space.per_class,
                 seed=self.seed,
             )
-        elif space.adversary == "same-column":
+        if space.adversary == "same-column":
             golden = baseline_run(workload, space.scale)
-            injections = same_column_pairs(
+            return same_column_pairs(
                 golden.block_trace, space.pair_count, self.seed
             )
-        else:
-            injections = []
-        self._adversaries[workload] = injections
-        return injections
+        return []
 
     def synthesis(self, config: MonitorConfig) -> SynthesisReport:
         key = (config.iht_size, config.hash_name)
-        report = self._synthesis.get(key)
-        if report is None:
-            report = synthesize(config.iht_size, config.hash_name)
-            self._synthesis[key] = report
-        return report
+        return self._synthesis.get(
+            key, lambda: synthesize(config.iht_size, config.hash_name)
+        )
 
     @property
     def baseline_synthesis(self) -> SynthesisReport:
         return self._baseline_synthesis
 
+    def shared_payload(self) -> dict:
+        """The once-recorded inputs worth shipping to pool workers:
+        per-workload golden contexts and adversary corpora (measures stay
+        per-worker — they are what the sweep is about to compute)."""
+        for workload in self.space.workloads:
+            self.base_context(workload)
+            self.adversary(workload)
+        return {
+            "contexts": self._contexts.snapshot(),
+            "adversaries": self._adversaries.snapshot(),
+        }
+
     # -- per-point measurement -------------------------------------------
 
     def measure(self, workload: str, config: MonitorConfig) -> dict:
-        """Penalty-independent measures of one (workload, config) pair."""
+        """Measures of one (workload, config) pair, cached by the subset
+        of the configuration they actually depend on."""
         key = (workload, config.hash_name, config.iht_size, config.policy_name)
-        cached = self._measures.get(key)
-        if cached is not None:
-            return cached
+        if self.backend.measures_cycles:
+            key += (config.miss_penalty,)
+        return self._measures.get(key, lambda: self._measure(workload, config))
+
+    def _measure(self, workload: str, config: MonitorConfig) -> dict:
         space = self.space
         golden = baseline_run(workload, space.scale)
         fht = workload_fht(workload, space.scale, config.hash_name)
@@ -207,32 +237,35 @@ class DseWorkspace:
             "base_cycles": golden.cycles,
         }
         injections = self.adversary(workload)
-        if injections:
+        if injections or self.backend.measures_cycles:
             context = replace(
                 self.base_context(workload),
                 hash_name=config.hash_name,
                 iht_size=config.iht_size,
                 policy_name=config.policy_name,
             )
+            if self.backend.measures_cycles:
+                context = replace(context, miss_penalty=config.miss_penalty)
             warm = WarmProcess.from_context(context)
-            if self.backend == "golden":
-                store = build_golden_store(context, warm)
-                results = [
-                    run_one_golden(store, injection) for injection in injections
-                ]
-            else:
-                results = [
-                    run_one(context, injection, warm=warm)
-                    for injection in injections
-                ]
-            report = CampaignReport(results=results)
-            measures.update(
-                injections=report.total,
-                detected=report.detected,
-                detection_rate=report.detection_rate,
-                detection_latencies=report.detection_latencies(),
-            )
-        self._measures[key] = measures
+            state = self.backend.prepare(context, warm)
+            monitored_cycles = getattr(state, "golden_cycles", None)
+            if monitored_cycles is not None:
+                # The pipeline-golden recording *is* the measurement: the
+                # monitored pristine run's cycle count under this penalty.
+                measures["monitored_cycles"] = monitored_cycles
+            if injections:
+                report = CampaignReport(
+                    results=[
+                        self.backend.run(state, injection)
+                        for injection in injections
+                    ]
+                )
+                measures.update(
+                    injections=report.total,
+                    detected=report.detected,
+                    detection_rate=report.detection_rate,
+                    detection_latencies=report.detection_latencies(),
+                )
         return measures
 
 
@@ -243,6 +276,7 @@ def evaluate_point(
     per_workload: dict[str, dict] = {}
     miss_rates: list[float] = []
     overheads: list[float] = []
+    measured_overheads: list[float] = []
     injections = 0
     detected = 0
     latencies: list[int] = []
@@ -260,6 +294,13 @@ def evaluate_point(
         }
         miss_rates.append(measures["miss_rate"])
         overheads.append(overhead)
+        if "monitored_cycles" in measures:
+            measured = (
+                measures["monitored_cycles"] - measures["base_cycles"]
+            ) / measures["base_cycles"]
+            entry["monitored_cycles"] = measures["monitored_cycles"]
+            entry["measured_cycle_overhead"] = measured
+            measured_overheads.append(measured)
         if "injections" in measures:
             entry["injections"] = measures["injections"]
             entry["detected"] = measures["detected"]
@@ -281,6 +322,13 @@ def evaluate_point(
         ),
         "min_period": synthesis.min_period,
     }
+    if measured_overheads:
+        # Only present on cycle-measuring sweeps, so point payloads from
+        # the functional backends stay byte-identical to pre-redesign
+        # files (the artifact-compat fixtures pin this).
+        objectives["measured_cycle_overhead"] = statistics.fmean(
+            measured_overheads
+        )
     return DsePoint(
         index=index,
         shard=shard,
@@ -288,6 +336,65 @@ def evaluate_point(
         objectives=objectives,
         per_workload=per_workload,
     )
+
+
+@dataclass(slots=True)
+class DseWorkspaceFactory(WorkspaceFactory):
+    """The DSE client: space-derived workspaces, DsePoint wire format."""
+
+    space: ConfigSpace
+    seed: int
+    backend: str
+
+    record_type = "point"
+    kind = "DSE sweep"
+
+    def build(self, shared=None) -> DseWorkspace:
+        return DseWorkspace(self.space, self.seed, self.backend, shared=shared)
+
+    def shared_payload(self, workspace: DseWorkspace) -> dict:
+        return workspace.shared_payload()
+
+    def run_item(
+        self, workspace: DseWorkspace, index: int, shard: int, item
+    ) -> DsePoint:
+        return evaluate_point(workspace, index, shard, item)
+
+    def encode(self, record: DsePoint) -> dict:
+        return record.to_json()
+
+    def decode(self, data: dict) -> DsePoint:
+        return DsePoint.from_json(data)
+
+    def check_resume_header(self, header: dict, out: str) -> None:
+        """Refuse mixing cycle-measuring and functional point records.
+
+        The functional backends are differentially pinned to identical
+        points, so ``golden`` and ``full`` sweeps resume each other's
+        files freely — but a cycle-measuring backend writes points with
+        ``measured_cycle_overhead``/``monitored_cycles`` fields the
+        functional ones lack.  Resuming across that divide would yield a
+        file where only some points carry the measured objective, so it
+        is refused.
+        """
+        recorded = header.get("backend")
+        if recorded is None:
+            return
+        try:
+            recorded_measures = get_backend(recorded).measures_cycles
+        except ConfigurationError:
+            raise ConfigurationError(
+                f"{out}: cannot resume — written by unknown backend "
+                f"{recorded!r}"
+            ) from None
+        mine = get_backend(self.backend).measures_cycles
+        if recorded_measures != mine:
+            raise ConfigurationError(
+                f"{out}: cannot resume — written by backend {recorded!r} "
+                f"(measures cycles: {recorded_measures}), this sweep's "
+                f"{self.backend!r} (measures cycles: {mine}) would mix "
+                "point record shapes"
+            )
 
 
 # ----------------------------------------------------------------------
@@ -366,35 +473,12 @@ class SweepResult:
 
 
 # ----------------------------------------------------------------------
-# The sharded, resumable runner
+# The sweep: a thin client of the execution harness
 # ----------------------------------------------------------------------
 
 
-def _run_shard(
-    workspace: DseWorkspace, task: _ShardTask
-) -> tuple[int, list[DsePoint]]:
-    shard_id, start, configs, _seed = task
-    return shard_id, [
-        evaluate_point(workspace, start + offset, shard_id, config)
-        for offset, config in enumerate(configs)
-    ]
-
-
-_WORKER_WORKSPACE: DseWorkspace | None = None
-
-
-def _pool_init(space: ConfigSpace, seed: int, backend: str) -> None:
-    global _WORKER_WORKSPACE
-    _WORKER_WORKSPACE = DseWorkspace(space, seed, backend)
-
-
-def _pool_shard(task: _ShardTask) -> tuple[int, list[DsePoint]]:
-    assert _WORKER_WORKSPACE is not None, "pool worker used before _pool_init"
-    return _run_shard(_WORKER_WORKSPACE, task)
-
-
 class DseSweep:
-    """Shard configurations over a pool; stream points; resume cleanly."""
+    """Evaluate a configuration space on the execution harness."""
 
     def __init__(
         self,
@@ -403,102 +487,44 @@ class DseSweep:
         workers: int = 1,
         chunk_size: int = DEFAULT_DSE_CHUNK,
         backend: str = "golden",
+        share: bool = True,
     ):
-        if workers < 1:
-            raise ConfigurationError(f"workers must be >= 1, got {workers}")
-        if chunk_size < 1:
-            raise ConfigurationError(
-                f"chunk_size must be >= 1, got {chunk_size}"
-            )
-        if backend not in BACKENDS:
-            raise ConfigurationError(
-                f"unknown backend {backend!r}; "
-                f"choose from: {', '.join(BACKENDS)}"
-            )
+        validate_plan(workers=workers, chunk_size=chunk_size)
+        get_backend(backend)  # raises on unknown names
         self.space = space
         self.seed = seed
         self.workers = workers
         self.chunk_size = chunk_size
         self.backend = backend
+        self.share = share
+        self._factory = DseWorkspaceFactory(space, seed, backend)
         self._workspace: DseWorkspace | None = None
 
     @property
     def workspace(self) -> DseWorkspace:
-        """Parent-side workspace (lazy), for the serial execution path."""
+        """Parent-side workspace (lazy): the serial execution path and
+        the source of the pool's shared payload."""
         if self._workspace is None:
-            self._workspace = DseWorkspace(self.space, self.seed, self.backend)
+            self._workspace = self._factory.build()
         return self._workspace
 
-    # ------------------------------------------------------------------
-
-    def _shards(self, configs: list[MonitorConfig]) -> list[_ShardTask]:
-        return [
-            (
-                shard_id,
-                start,
-                configs[start : start + self.chunk_size],
-                shard_seed(self.seed, shard_id),
-            )
-            for shard_id, start in enumerate(
-                range(0, len(configs), self.chunk_size)
-            )
-        ]
-
-    def _header(self, total: int) -> dict:
-        return {
-            "type": "header",
-            "version": DSE_VERSION,
-            "space": self.space.to_json(),
-            "fingerprint": self.space.fingerprint(),
-            "seed": self.seed,
-            "total": total,
-            "chunk_size": self.chunk_size,
-            # Informational: both backends are differentially pinned to
-            # identical results, so resume does not validate it.
-            "backend": self.backend,
-        }
-
-    def _load_resume(
-        self, out: str, total: int
-    ) -> tuple[set[int], list[DsePoint]] | None:
-        """Committed shards and their points from a previous run's file."""
-        entries = load_lines(out)
-        if not entries:
-            return None
-        if entries[0].get("type") != "header":
-            raise ConfigurationError(f"{out}: not a DSE sweep file")
-        header = entries[0]
-        expected = self._header(total)
-        for key in ("fingerprint", "seed", "total", "chunk_size", "version"):
-            if header.get(key) != expected[key]:
-                raise ConfigurationError(
-                    f"{out}: cannot resume — {key} is {header.get(key)!r}, "
-                    f"this sweep has {expected[key]!r}"
-                )
-        marked = {
-            entry["shard"]
-            for entry in entries
-            if entry.get("type") == "shard-done"
-        }
-        by_shard: dict[int, dict[int, DsePoint]] = {}
-        for entry in entries:
-            if entry.get("type") == "point" and entry["shard"] in marked:
-                point = DsePoint.from_json(entry)
-                by_shard.setdefault(point.shard, {})[point.index] = point
-        done: set[int] = set()
-        points: list[DsePoint] = []
-        for shard_id in marked:
-            start = shard_id * self.chunk_size
-            expected_indexes = set(
-                range(start, min(start + self.chunk_size, total))
-            )
-            found = by_shard.get(shard_id, {})
-            if set(found) == expected_indexes:
-                done.add(shard_id)
-                points.extend(found.values())
-        return done, points
-
-    # ------------------------------------------------------------------
+    def _job(self) -> Job:
+        return Job(
+            factory=self._factory,
+            items=self.space.points(),
+            seed=self.seed,
+            version=DSE_VERSION,
+            payload={
+                "space": self.space.to_json(),
+                "fingerprint": self.space.fingerprint(),
+                # The functional backends are differentially pinned to
+                # identical points, so resume accepts golden <-> full
+                # freely; crossing the cycle-measuring divide is refused
+                # (see DseWorkspaceFactory.check_resume_header).
+                "backend": self.backend,
+            },
+            chunk_size=self.chunk_size,
+        )
 
     def run(
         self,
@@ -509,93 +535,27 @@ class DseSweep:
         """Evaluate the space; return the (possibly partial) result.
 
         ``stop_after_shards`` executes at most that many new shards and
-        returns a partial result — the engine's test hook for simulating
-        interruption, mirroring the campaign runner.
+        returns a partial result — the test/CLI hook for simulating
+        interruption, shared with the campaign client.
         """
-        configs = self.space.points()
-        total = len(configs)
-        out_path = os.fspath(out) if out is not None else None
-        if resume and out_path is None:
-            raise ConfigurationError("resume=True requires out=")
-
-        done_shards: set[int] = set()
-        points: list[DsePoint] = []
-        resuming = resume and out_path is not None and os.path.exists(out_path)
-        if resuming:
-            loaded = self._load_resume(out_path, total)
-            if loaded is None:
-                resuming = False  # empty file: died before the header
-            else:
-                done_shards, points = loaded
-
-        pending = [
-            task for task in self._shards(configs) if task[0] not in done_shards
-        ]
-        if stop_after_shards is not None:
-            pending = pending[:stop_after_shards]
-
-        handle = None
-        if out_path is not None:
-            handle = open(out_path, "a" if resuming else "w", encoding="utf-8")
-            if not resuming:
-                handle.write(dump_line(self._header(total)))
-                handle.flush()
-
-        def commit(shard_id: int, shard_points: list[DsePoint]) -> None:
-            points.extend(shard_points)
-            if handle is not None:
-                for point in shard_points:
-                    handle.write(dump_line(point.to_json()))
-                handle.write(
-                    dump_line(
-                        {
-                            "type": "shard-done",
-                            "shard": shard_id,
-                            "seed": shard_seed(self.seed, shard_id),
-                        }
-                    )
-                )
-                handle.flush()
-
-        try:
-            if self.workers == 1 or len(pending) <= 1:
-                workspace = self.workspace
-                for task in pending:
-                    commit(*_run_shard(workspace, task))
-            else:
-                self._run_pool(pending, commit)
-        finally:
-            if handle is not None:
-                handle.close()
-
+        job = self._job()
+        harness = HarnessRunner(
+            job,
+            workers=self.workers,
+            workspace_supplier=lambda: self.workspace,
+            share=self.share,
+        )
+        result = harness.run(
+            out=out, resume=resume, stop_after_shards=stop_after_shards
+        )
         return SweepResult(
             space=self.space,
             seed=self.seed,
             backend=self.backend,
-            total=total,
-            points=points,
-            out=out_path,
+            total=result.total,
+            points=result.records,
+            out=result.out,
         )
-
-    def _run_pool(self, pending: list[_ShardTask], commit) -> None:
-        import multiprocessing
-
-        method = (
-            "fork"
-            if "fork" in multiprocessing.get_all_start_methods()
-            else "spawn"
-        )
-        context = multiprocessing.get_context(method)
-        workers = min(self.workers, len(pending))
-        with context.Pool(
-            processes=workers,
-            initializer=_pool_init,
-            initargs=(self.space, self.seed, self.backend),
-        ) as pool:
-            for shard_id, shard_points in pool.imap_unordered(
-                _pool_shard, pending
-            ):
-                commit(shard_id, shard_points)
 
 
 # ----------------------------------------------------------------------

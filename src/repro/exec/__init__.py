@@ -7,16 +7,26 @@ faults per workload; this package is the substrate that makes such sweeps
 explorer (:mod:`repro.dse`) — scale across CPU cores without giving up
 reproducibility:
 
+* :mod:`repro.exec.harness` — the generic execution harness:
+  :class:`Job` + :class:`WorkspaceFactory` + :class:`HarnessRunner`, the
+  **single** implementation of sharding, JSONL streaming, commit
+  markers, kill/resume, and worker-count invariance that every sweep in
+  the repo (campaigns, attack sweeps, the design-space explorer) runs
+  on;
+* :mod:`repro.exec.backends` — the pluggable :class:`Backend` registry:
+  ``full`` replay, ``golden`` fork-at-fault
+  (:mod:`repro.exec.golden`), and the cycle-measuring
+  ``pipeline-golden`` (:mod:`repro.exec.pipeline_golden`);
 * :mod:`repro.exec.spec` — :class:`CampaignSpec`, the picklable campaign
   description every worker re-derives its simulator state from; its
-  ``backend`` field selects full replay (``"full"``) or golden-trace
-  fork-at-fault (``"golden"``) execution;
-* :mod:`repro.exec.runner` — :class:`CampaignRunner`, which shards fault
-  lists over a :mod:`multiprocessing` pool, streams results to JSONL, and
-  resumes interrupted campaigns from the last committed shard; each
-  worker holds one warm :class:`~repro.exec.runner.Workspace`;
-* :mod:`repro.exec.golden` — the checkpointed golden-trace store and the
-  fork-at-fault kernel :func:`~repro.exec.golden.run_one_golden`;
+  ``backend`` field names a registered backend;
+* :mod:`repro.exec.runner` — :class:`CampaignRunner`, the campaign
+  client of the harness; each worker holds one warm
+  :class:`~repro.exec.runner.Workspace`;
+* :mod:`repro.exec.sharing` — shared-memory shipping of once-recorded
+  checkpoint stores to pool workers;
+* :mod:`repro.exec.presets` — named campaign presets
+  (e.g. ``exhaustive-single-bit``);
 * :mod:`repro.exec.records` — :class:`FaultRecord` and the JSONL schema.
 
 Outcome taxonomy
@@ -61,28 +71,59 @@ or, from a shell, ``python -m repro campaign sha --scale tiny --faults 200
 --workers 4 --seed 42 --out sha.jsonl --resume``.
 """
 
-from repro.exec.golden import GoldenStore, build_golden_store, run_one_golden
-from repro.exec.records import FaultRecord, fault_from_json, fault_to_json
-from repro.exec.runner import (
-    DEFAULT_CHUNK_SIZE,
-    CampaignResult,
-    CampaignRunner,
-    Workspace,
+from repro.exec.backends import (
+    Backend,
+    backend_names,
+    get_backend,
+    register_backend,
 )
+from repro.exec.golden import GoldenStore, build_golden_store, run_one_golden
+from repro.exec.harness import (
+    DEFAULT_CHUNK_SIZE,
+    HarnessResult,
+    HarnessRunner,
+    Job,
+    MeasureCache,
+    WorkspaceFactory,
+)
+from repro.exec.pipeline_golden import (
+    PipelineGoldenStore,
+    build_pipeline_golden_store,
+    run_one_pipeline,
+    run_one_pipeline_golden,
+)
+from repro.exec.presets import CampaignPreset, get_campaign_preset
+from repro.exec.records import FaultRecord, fault_from_json, fault_to_json
+from repro.exec.runner import CampaignResult, CampaignRunner, Workspace
 from repro.exec.spec import BACKENDS, CampaignSpec, shard_seed
 
 __all__ = [
     "BACKENDS",
+    "Backend",
+    "CampaignPreset",
     "CampaignResult",
     "CampaignRunner",
     "CampaignSpec",
     "DEFAULT_CHUNK_SIZE",
     "FaultRecord",
     "GoldenStore",
+    "HarnessResult",
+    "HarnessRunner",
+    "Job",
+    "MeasureCache",
+    "PipelineGoldenStore",
     "Workspace",
+    "WorkspaceFactory",
+    "backend_names",
     "build_golden_store",
+    "build_pipeline_golden_store",
     "fault_from_json",
     "fault_to_json",
+    "get_backend",
+    "get_campaign_preset",
+    "register_backend",
     "run_one_golden",
+    "run_one_pipeline",
+    "run_one_pipeline_golden",
     "shard_seed",
 ]

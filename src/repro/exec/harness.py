@@ -1,0 +1,482 @@
+"""One execution harness: sharded, streamed, resumable evaluation runs.
+
+The paper's evaluation is a single shape repeated at different
+granularities — *run a monitored program under a perturbation and score
+the outcome* — and every experiment that scales it (fault campaigns,
+attack sweeps, whole design-space sweeps) needs the same machinery:
+shard a work list into fixed chunks, evaluate shards on a worker pool
+with warm per-worker state, stream records to a JSONL file with commit
+markers, and resume an interrupted run from the last committed shard.
+This module is that machinery, written **once**:
+
+* :class:`Job` — what to run: the item list in canonical index order,
+  the seed, the JSONL schema version and header payload (the client's
+  identity: spec/space + fingerprint), and the shard plan (chunk size);
+* :class:`WorkspaceFactory` — how to run it: a picklable recipe that
+  builds one warm workspace per worker, executes one item against it,
+  and encodes/decodes the client's record type for the wire;
+* :class:`HarnessRunner` — the engine: serial and pooled execution,
+  JSONL streaming, ``shard-done`` commit markers, kill/resume, and the
+  worker-count-invariance guarantees;
+* :class:`MeasureCache` — the workspace-layer memo for measures shared
+  across the items a worker evaluates.
+
+:class:`~repro.exec.runner.CampaignRunner` (items = perturbations,
+records = :class:`~repro.exec.records.FaultRecord`) and
+:class:`~repro.dse.engine.DseSweep` (items = monitor configurations,
+records = :class:`~repro.dse.engine.DsePoint`) are thin clients; the two
+resume protocols are one protocol and cannot diverge.  The on-disk JSONL
+formats are exactly the pre-harness ones — files written before the
+redesign load and resume byte-identically
+(``tests/harness/test_artifact_compat.py``).
+
+Guarantees (inherited by every client)
+    * **Determinism** — shard boundaries depend only on the item list
+      and ``chunk_size``; each shard's seed derives from ``(seed,
+      shard_id)``; aggregates ordered by item index are identical for
+      any ``workers`` value.
+    * **Durability** — a shard's records only count once its
+      ``shard-done`` marker is on disk; torn lines, orphaned records,
+      and duplicate lines from interrupted runs are all resolved in the
+      committed shard's favour on resume.
+    * **Identity** — resume refuses a file whose header fingerprint,
+      seed, total, chunk size, or schema version disagree with the job.
+
+Checkpoint-store sharing
+    With ``workers > 1`` the parent offers the factory's
+    :meth:`~WorkspaceFactory.shared_payload` to the pool through
+    :mod:`multiprocessing.shared_memory` (:mod:`repro.exec.sharing`):
+    golden runs and checkpoint stores are recorded once and attached by
+    every worker instead of re-recorded per worker.  Results are
+    identical either way; ``share=False`` opts a runner out (the
+    benchmarks measure both paths).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.exec.records import dump_line, load_lines
+from repro.exec.sharing import SharedPayload, publish, release
+from repro.exec.spec import shard_seed
+
+#: Items per shard when a job does not choose: the unit of work
+#: distribution *and* of resume.
+DEFAULT_CHUNK_SIZE = 16
+
+#: Header keys resume validates against the requesting job.
+RESUME_KEYS = ("fingerprint", "seed", "total", "chunk_size", "version")
+
+#: A shard task: (shard_id, first index, items, derived seed).
+ShardTask = tuple[int, int, list, int]
+
+
+def validate_plan(workers: int, chunk_size: int) -> None:
+    """Constructor-time validation shared by the harness and its clients."""
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+
+
+class WorkspaceFactory:
+    """Picklable recipe for per-worker state and per-item execution.
+
+    Instances cross process boundaries (pool initializers receive them),
+    so subclasses must stay plain data — everything heavyweight is built
+    inside :meth:`build`, once per worker.
+    """
+
+    #: JSONL line type of this client's records (``"record"``/``"point"``).
+    record_type: str = "record"
+    #: Human label for diagnostics ("campaign results", "DSE sweep").
+    kind: str = "results"
+
+    def build(self, shared=None):
+        """Materialize one worker's warm workspace.
+
+        *shared* is the attached :meth:`shared_payload` value when the
+        parent published one, else ``None``; a factory that supports
+        sharing should seed its workspace from it instead of re-deriving.
+        """
+        raise NotImplementedError
+
+    def shared_payload(self, workspace):
+        """The picklable once-recorded state to ship to pool workers.
+
+        Called on the parent's workspace before the pool starts; return
+        ``None`` (the default) to disable sharing for this factory.
+        """
+        return None
+
+    def run_item(self, workspace, index: int, shard: int, item):
+        """Execute one item; return the client's record (with
+        ``.index``/``.shard`` set to the given coordinates)."""
+        raise NotImplementedError
+
+    def encode(self, record) -> dict:
+        """Record -> its JSONL dict (``{"type": record_type, ...}``)."""
+        raise NotImplementedError
+
+    def decode(self, data: dict):
+        """JSONL dict -> record (inverse of :meth:`encode`)."""
+        raise NotImplementedError
+
+    def check_resume_header(self, header: dict, out: str) -> None:
+        """Client-specific resume validation beyond :data:`RESUME_KEYS`.
+
+        Called after the generic identity checks pass; raise
+        :class:`~repro.errors.ConfigurationError` to refuse the file
+        (e.g. a DSE sweep refusing to mix record shapes from a
+        cycle-measuring backend with functional-backend points).  The
+        default accepts everything the generic checks accepted.
+        """
+
+
+@dataclass(slots=True)
+class Job:
+    """One harness run: items, identity, and the shard plan.
+
+    ``payload`` carries the client's header identity — for campaigns the
+    serialized spec and its fingerprint, for DSE sweeps the space, its
+    fingerprint, and the informational backend — and is merged verbatim
+    into the JSONL header, so the wire format is exactly what each
+    client wrote before the harness existed.
+    """
+
+    factory: WorkspaceFactory
+    items: list
+    seed: int
+    version: int
+    payload: dict = field(default_factory=dict)
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+
+    def __post_init__(self) -> None:
+        validate_plan(workers=1, chunk_size=self.chunk_size)
+
+    @property
+    def total(self) -> int:
+        return len(self.items)
+
+    def header(self) -> dict:
+        """The JSONL header line (first line of every results file)."""
+        return {
+            "type": "header",
+            "version": self.version,
+            "seed": self.seed,
+            "total": self.total,
+            "chunk_size": self.chunk_size,
+            **self.payload,
+        }
+
+    def shards(self) -> list[ShardTask]:
+        """The shard plan: chunked items with derived per-shard seeds.
+
+        Boundaries depend only on the item list and ``chunk_size`` —
+        never on worker count or completion order — which is what makes
+        every aggregate worker-count invariant.
+        """
+        return [
+            (
+                shard_id,
+                start,
+                self.items[start : start + self.chunk_size],
+                shard_seed(self.seed, shard_id),
+            )
+            for shard_id, start in enumerate(
+                range(0, len(self.items), self.chunk_size)
+            )
+        ]
+
+
+@dataclass(slots=True)
+class HarnessResult:
+    """Outcome of one :meth:`HarnessRunner.run` call."""
+
+    job: Job
+    records: list = field(default_factory=list)
+    out: str | None = None
+
+    @property
+    def total(self) -> int:
+        return self.job.total
+
+    @property
+    def complete(self) -> bool:
+        return len(self.records) == self.total
+
+    def ordered(self) -> list:
+        """Records by canonical item index — identical for any worker
+        count and shard completion order."""
+        return sorted(self.records, key=lambda record: record.index)
+
+
+class MeasureCache:
+    """Per-worker keyed memo: measure once, reuse across items.
+
+    The workspace-layer cache the DSE engine's measures made necessary,
+    hoisted into the harness so every client's workspace shares one
+    implementation: measures keyed by whatever subset of an item's
+    configuration they depend on are computed on first request and
+    replayed for every later item that agrees on the key.  A cache can
+    be seeded from a shared payload (:meth:`WorkspaceFactory.
+    shared_payload`), so once-recorded parent state short-circuits the
+    first request too.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, seed: dict | None = None):
+        self._data: dict = dict(seed) if seed else {}
+
+    def get(self, key, build: Callable):
+        """The cached value for *key*, computing it via *build()* once."""
+        try:
+            return self._data[key]
+        except KeyError:
+            value = build()
+            self._data[key] = value
+            return value
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def snapshot(self) -> dict:
+        """A shallow copy suitable for seeding another cache."""
+        return dict(self._data)
+
+
+# ----------------------------------------------------------------------
+# Pool workers (module-level so they pickle under any start method)
+# ----------------------------------------------------------------------
+
+_WORKER_FACTORY: WorkspaceFactory | None = None
+_WORKER_WORKSPACE = None
+
+
+def _pool_init(factory: WorkspaceFactory, ticket: SharedPayload | None) -> None:
+    """Pool initializer: materialize this worker's workspace once —
+    from the parent's shared payload when one was published, otherwise
+    from scratch out of the picklable factory."""
+    global _WORKER_FACTORY, _WORKER_WORKSPACE
+    _WORKER_FACTORY = factory
+    shared = ticket.attach() if ticket is not None else None
+    _WORKER_WORKSPACE = factory.build(shared=shared)
+
+
+def _run_shard(
+    factory: WorkspaceFactory, workspace, task: ShardTask
+) -> tuple[int, list]:
+    shard_id, start, items, _seed = task
+    return shard_id, [
+        factory.run_item(workspace, start + offset, shard_id, item)
+        for offset, item in enumerate(items)
+    ]
+
+
+def _pool_shard(task: ShardTask) -> tuple[int, list]:
+    assert _WORKER_WORKSPACE is not None, "pool worker used before _pool_init"
+    return _run_shard(_WORKER_FACTORY, _WORKER_WORKSPACE, task)
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+
+
+class HarnessRunner:
+    """Execute one :class:`Job`: shard, stream, commit, resume.
+
+    The single implementation of the execution contract every client
+    inherits — see the module docstring for the guarantees.
+    """
+
+    def __init__(
+        self,
+        job: Job,
+        workers: int = 1,
+        workspace_supplier: Callable | None = None,
+        share: bool = True,
+    ):
+        validate_plan(workers=workers, chunk_size=job.chunk_size)
+        self.job = job
+        self.workers = workers
+        self.share = share
+        # An optional supplier lets the client hand over a parent-side
+        # workspace it can build more cheaply than the factory (e.g.
+        # around a prebuilt campaign context) — still lazily, so runs
+        # that touch no workspace never pay for one.
+        self._supplier = workspace_supplier
+        self._workspace = None
+
+    @property
+    def workspace(self):
+        """Parent-side workspace (lazy): the serial execution path and
+        the source of the pool's shared payload."""
+        if self._workspace is None:
+            build = self._supplier or self.job.factory.build
+            self._workspace = build()
+        return self._workspace
+
+    # ------------------------------------------------------------------
+
+    def _load_resume(self, out: str) -> tuple[set[int], list] | None:
+        """Committed shards and their records from a previous run's file.
+
+        Returns ``None`` for an empty file (a run that died before the
+        header flushed): the job simply starts fresh.  A shard only
+        counts as committed if its marker is present *and* exactly its
+        expected item indexes decode — a shard with corrupted or
+        orphaned record lines is re-run, and duplicate lines (from an
+        earlier run interrupted mid-shard and later re-run) collapse to
+        the last committed copy.
+        """
+        factory = self.job.factory
+        entries = load_lines(out)
+        if not entries:
+            return None
+        if entries[0].get("type") != "header":
+            raise ConfigurationError(f"{out}: not a {factory.kind} file")
+        header = entries[0]
+        expected = self.job.header()
+        for key in RESUME_KEYS:
+            if header.get(key) != expected[key]:
+                raise ConfigurationError(
+                    f"{out}: cannot resume — {key} is {header.get(key)!r}, "
+                    f"this {factory.kind} has {expected[key]!r}"
+                )
+        factory.check_resume_header(header, out)
+        marked = {
+            entry["shard"]
+            for entry in entries
+            if entry.get("type") == "shard-done"
+        }
+        by_shard: dict[int, dict[int, object]] = {}
+        for entry in entries:
+            if entry.get("type") == factory.record_type and entry["shard"] in marked:
+                record = factory.decode(entry)
+                by_shard.setdefault(record.shard, {})[record.index] = record
+        done: set[int] = set()
+        records: list = []
+        total = self.job.total
+        for shard_id in marked:
+            start = shard_id * self.job.chunk_size
+            expected_indexes = set(
+                range(start, min(start + self.job.chunk_size, total))
+            )
+            found = by_shard.get(shard_id, {})
+            if set(found) == expected_indexes:
+                done.add(shard_id)
+                records.extend(found.values())
+        return done, records
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        out: str | os.PathLike | None = None,
+        resume: bool = False,
+        stop_after_shards: int | None = None,
+    ) -> HarnessResult:
+        """Execute the job; return the (possibly partial) result.
+
+        Parameters
+        ----------
+        out:
+            JSONL results path.  Required for ``resume``.
+        resume:
+            Replay committed shards from *out* and run only the rest.
+        stop_after_shards:
+            Execute at most this many new shards, then return a partial
+            result — the test/CLI hook for simulating interruption.
+        """
+        job = self.job
+        out_path = os.fspath(out) if out is not None else None
+        if resume and out_path is None:
+            raise ConfigurationError("resume=True requires out=")
+
+        done_shards: set[int] = set()
+        records: list = []
+        resuming = resume and out_path is not None and os.path.exists(out_path)
+        if resuming:
+            loaded = self._load_resume(out_path)
+            if loaded is None:
+                resuming = False  # empty file: died before the header
+            else:
+                done_shards, records = loaded
+
+        pending = [
+            task for task in job.shards() if task[0] not in done_shards
+        ]
+        if stop_after_shards is not None:
+            pending = pending[:stop_after_shards]
+
+        handle = None
+        if out_path is not None:
+            handle = open(out_path, "a" if resuming else "w", encoding="utf-8")
+            if not resuming:
+                handle.write(dump_line(job.header()))
+                handle.flush()
+
+        def commit(shard_id: int, shard_records: list) -> None:
+            records.extend(shard_records)
+            if handle is not None:
+                for record in shard_records:
+                    handle.write(dump_line(job.factory.encode(record)))
+                handle.write(
+                    dump_line(
+                        {
+                            "type": "shard-done",
+                            "shard": shard_id,
+                            "seed": shard_seed(job.seed, shard_id),
+                        }
+                    )
+                )
+                handle.flush()
+
+        try:
+            if self.workers == 1 or len(pending) <= 1:
+                workspace = self.workspace
+                for task in pending:
+                    commit(*_run_shard(job.factory, workspace, task))
+            else:
+                self._run_pool(pending, commit)
+        finally:
+            if handle is not None:
+                handle.close()
+
+        return HarnessResult(job=job, records=records, out=out_path)
+
+    def _run_pool(self, pending: list[ShardTask], commit) -> None:
+        import multiprocessing
+
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        context = multiprocessing.get_context(method)
+        workers = min(self.workers, len(pending))
+        ticket = None
+        if self.share:
+            payload = self.job.factory.shared_payload(self.workspace)
+            if payload is not None:
+                ticket = publish(payload)
+        try:
+            with context.Pool(
+                processes=workers,
+                initializer=_pool_init,
+                initargs=(self.job.factory, ticket),
+            ) as pool:
+                for shard_id, shard_records in pool.imap_unordered(
+                    _pool_shard, pending
+                ):
+                    commit(shard_id, shard_records)
+        finally:
+            release(ticket)

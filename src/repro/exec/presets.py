@@ -1,0 +1,81 @@
+"""Named campaign presets: the fault campaigns people actually run.
+
+The DSE layer has had named spaces since it existed
+(:mod:`repro.dse.presets`); this is the campaign client's counterpart on
+the shared execution harness.  A preset bundles the scale/backend choice
+with a fault *plan* — how the injection list is generated from the
+campaign's golden run — so a multi-thousand-injection experiment is one
+CLI flag (``repro campaign sha --preset exhaustive-single-bit``) instead
+of a recipe.
+
+``exhaustive-single-bit`` is the §6.3 coverage claim measured without
+sampling: **every** single-bit flip of **every** executed word (32 ×
+executed words injections) at ``default`` scale.  It rides the golden
+backend plus the hang early-exit detector — the two changes that turned
+exhaustive campaigns from an overnight job into seconds
+(``benchmarks/bench_exhaustive_campaign.py`` commits the coverage
+numbers and throughput).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.faults.campaign import FaultCampaign
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignPreset:
+    """One named campaign shape: scale/backend defaults + fault plan."""
+
+    name: str
+    description: str
+    scale: str = "small"
+    backend: str = "full"
+    #: ``True``: every single-bit flip over executed words (the §6.3
+    #: claim, unsampled).  ``False``: *fault_count* seeded random flips.
+    exhaustive: bool = False
+    fault_count: int = 200
+
+    def faults(self, campaign: FaultCampaign, seed: int) -> list:
+        """The preset's injection list over *campaign*'s golden run."""
+        if self.exhaustive:
+            return campaign.exhaustive_single_bit()
+        return campaign.random_single_bit(self.fault_count, seed=seed)
+
+
+PRESETS: dict[str, CampaignPreset] = {
+    preset.name: preset
+    for preset in (
+        CampaignPreset(
+            name="exhaustive-single-bit",
+            description=(
+                "every single-bit flip of every executed word at default "
+                "scale on the golden backend (the unsampled §6.3 coverage)"
+            ),
+            scale="default",
+            backend="golden",
+            exhaustive=True,
+        ),
+        CampaignPreset(
+            name="smoke",
+            description=(
+                "32 seeded random single-bit flips at tiny scale on the "
+                "golden backend (CI kill/resume exercise)"
+            ),
+            scale="tiny",
+            backend="golden",
+            fault_count=32,
+        ),
+    )
+}
+
+
+def get_campaign_preset(name: str) -> CampaignPreset:
+    preset = PRESETS.get(name)
+    if preset is None:
+        raise ConfigurationError(
+            f"unknown campaign preset {name!r}; available: {', '.join(PRESETS)}"
+        )
+    return preset

@@ -1,35 +1,33 @@
-"""Parallel, resumable campaign execution.
+"""Parallel, resumable campaign execution — a thin harness client.
 
-:class:`CampaignRunner` shards a perturbation list — random faults, attack
+:class:`CampaignRunner` runs a perturbation list — random faults, attack
 scenarios from :mod:`repro.attacks`, or any mix of objects satisfying the
-:class:`repro.faults.models.Perturbation` protocol — into fixed-size
-chunks and executes them across a :mod:`multiprocessing` pool.  Each
-worker materializes a :class:`Workspace` once in its pool initializer,
-from the picklable :class:`~repro.exec.spec.CampaignSpec` (simulators
-never cross process boundaries): the golden run and
-:class:`~repro.faults.campaign.CampaignContext`, the warm per-worker
-caches (built program, FHT, decode cache — see
-:class:`~repro.faults.campaign.WarmProcess`), and, for the ``golden``
-backend, the checkpointed :class:`~repro.exec.golden.GoldenStore`.  Every
-injection of its shards then runs through the backend's kernel —
-:func:`repro.faults.campaign.run_one` (full replay) or
-:func:`repro.exec.golden.run_one_golden` (fork at the fault) — which share
-one classification tail and produce identical results.
+:class:`repro.faults.models.Perturbation` protocol — through the generic
+execution harness (:mod:`repro.exec.harness`).  All sharding, JSONL
+streaming, ``shard-done`` commit markers, kill/resume, and worker-count
+invariance live in :class:`~repro.exec.harness.HarnessRunner`; this
+module only contributes the campaign-shaped pieces:
 
-Determinism
-    Shard boundaries depend only on the perturbation list and
-    ``chunk_size``, and each shard's seed derives from ``(seed,
-    shard_id)`` — never from the worker that happens to run it.  Aggregate
-    results are therefore identical for any ``workers`` value *and* for
-    either backend, which the engine's tests and
-    ``benchmarks/bench_campaign_scaling.py`` assert.
+* :class:`CampaignWorkspaceFactory` — builds one :class:`Workspace` per
+  worker from the picklable :class:`~repro.exec.spec.CampaignSpec`
+  (simulators never cross process boundaries), executes one injection
+  through the spec's registered backend
+  (:mod:`repro.exec.backends`: ``full`` replay, ``golden`` fork-at-fault,
+  or cycle-measuring ``pipeline-golden``), and translates
+  :class:`~repro.exec.records.FaultRecord` to and from the JSONL wire;
+* :class:`CampaignRunner`/:class:`CampaignResult` — the stable public
+  API and result aggregation.
 
-Resumability
-    With ``out=`` set, per-fault records stream to a JSONL file (schema in
-    :mod:`repro.exec.records`) and every finished shard appends a
-    ``shard-done`` commit marker.  Re-running with ``resume=True`` replays
-    committed shards from the file and executes only the remainder; a file
-    written by a different spec/seed/fault-count is refused.
+The on-disk artifacts are byte-for-byte the pre-harness SPEC_VERSION-3
+format: existing campaign files load and resume unchanged
+(``tests/harness/test_artifact_compat.py`` pins this against committed
+pre-redesign fixtures).
+
+Determinism and resumability are the harness's guarantees — see
+:mod:`repro.exec.harness`.  With ``workers > 1`` the parent records the
+workspace once (golden run, warm caches, checkpoint store) and ships it
+to the pool through shared memory instead of every worker re-recording
+it (:mod:`repro.exec.sharing`).
 """
 
 from __future__ import annotations
@@ -38,24 +36,24 @@ import os
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.errors import ConfigurationError
 from repro.faults.campaign import (
     CampaignContext,
     CampaignReport,
     FaultCampaign,
     FaultResult,
     WarmProcess,
-    run_one,
 )
-from repro.exec.golden import GoldenStore, build_golden_store, run_one_golden
-from repro.exec.records import FaultRecord, dump_line, load_lines
-from repro.exec.spec import SPEC_VERSION, CampaignSpec, shard_seed
-
-#: Perturbations per shard; the unit of work distribution *and* of resume.
-DEFAULT_CHUNK_SIZE = 16
-
-#: A shard task: (shard_id, first index, perturbations, derived seed).
-_ShardTask = tuple[int, int, list, int]
+from repro.exec.backends import Backend, get_backend
+from repro.exec.harness import (
+    DEFAULT_CHUNK_SIZE,
+    HarnessResult,
+    HarnessRunner,
+    Job,
+    WorkspaceFactory,
+    validate_plan,
+)
+from repro.exec.records import FaultRecord
+from repro.exec.spec import SPEC_VERSION, CampaignSpec
 
 
 @dataclass(slots=True)
@@ -85,25 +83,23 @@ class CampaignResult:
         return self.report().summary()
 
 
-# ----------------------------------------------------------------------
-# Workspaces and shard execution (serial path and pool workers alike)
-# ----------------------------------------------------------------------
-
-
 @dataclass(slots=True)
 class Workspace:
     """Everything one worker holds warm across its injections.
 
-    Built once per process — by the pool initializer, or lazily by the
-    serial path — and reused for every shard that lands on the worker:
-    the context (golden reference), the :class:`WarmProcess` (built
-    program, FHT, shared decode cache), and, for ``backend="golden"``,
-    the checkpointed :class:`~repro.exec.golden.GoldenStore`.
+    Built once per process — by the harness's pool initializer, attached
+    from the parent's shared payload, or lazily by the serial path — and
+    reused for every shard that lands on the worker: the context (golden
+    reference), the :class:`WarmProcess` (built program, FHT, shared
+    decode cache), the spec's :class:`~repro.exec.backends.Backend`, and
+    the backend's prepared per-worker state (for the golden backends,
+    the checkpoint store).
     """
 
     context: CampaignContext
     warm: WarmProcess
-    golden: GoldenStore | None = None
+    backend: Backend
+    state: object
 
     @classmethod
     def build(
@@ -112,49 +108,51 @@ class Workspace:
         if context is None:
             context = spec.build_context()
         warm = WarmProcess.from_context(context)
-        golden = (
-            build_golden_store(context, warm)
-            if spec.backend == "golden"
-            else None
+        backend = get_backend(spec.backend)
+        return cls(
+            context=context,
+            warm=warm,
+            backend=backend,
+            state=backend.prepare(context, warm),
         )
-        return cls(context=context, warm=warm, golden=golden)
 
     def run_fault(self, fault) -> FaultResult:
-        if self.golden is not None:
-            return run_one_golden(self.golden, fault)
-        return run_one(self.context, fault, warm=self.warm)
+        return self.backend.run(self.state, fault)
 
 
-def _run_shard(
-    workspace: Workspace, task: _ShardTask
-) -> tuple[int, list[FaultRecord]]:
-    shard_id, start, faults, _seed = task
-    records = [
-        FaultRecord.from_result(
-            start + offset, shard_id, workspace.run_fault(fault)
-        )
-        for offset, fault in enumerate(faults)
-    ]
-    return shard_id, records
+@dataclass(slots=True)
+class CampaignWorkspaceFactory(WorkspaceFactory):
+    """The campaign client: spec-derived workspaces, FaultRecord wire."""
 
+    spec: CampaignSpec
 
-_WORKER_WORKSPACE: Workspace | None = None
+    record_type = "record"
+    kind = "campaign results"
 
+    def build(self, shared=None) -> Workspace:
+        if shared is not None:
+            return shared
+        return Workspace.build(self.spec)
 
-def _pool_init(spec: CampaignSpec) -> None:
-    """Pool initializer: materialize this worker's workspace once —
-    golden run, warm caches, and (golden backend) the checkpoint store."""
-    global _WORKER_WORKSPACE
-    _WORKER_WORKSPACE = Workspace.build(spec)
+    def shared_payload(self, workspace: Workspace) -> Workspace:
+        """Ship the whole recorded workspace: context, warm caches, and
+        the backend's prepared state (checkpoint stores included)."""
+        return workspace
 
+    def run_item(
+        self, workspace: Workspace, index: int, shard: int, item
+    ) -> FaultRecord:
+        return FaultRecord.from_result(index, shard, workspace.run_fault(item))
 
-def _pool_shard(task: _ShardTask) -> tuple[int, list[FaultRecord]]:
-    assert _WORKER_WORKSPACE is not None, "pool worker used before _pool_init"
-    return _run_shard(_WORKER_WORKSPACE, task)
+    def encode(self, record: FaultRecord) -> dict:
+        return record.to_json()
+
+    def decode(self, data: dict) -> FaultRecord:
+        return FaultRecord.from_json(data)
 
 
 class CampaignRunner:
-    """Shard faults over a worker pool; stream results; resume cleanly."""
+    """Run perturbation lists on the execution harness; resume cleanly."""
 
     def __init__(
         self,
@@ -162,20 +160,19 @@ class CampaignRunner:
         workers: int = 1,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         campaign: FaultCampaign | None = None,
+        share: bool = True,
     ):
-        if workers < 1:
-            raise ConfigurationError(f"workers must be >= 1, got {workers}")
-        if chunk_size < 1:
-            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
         self.spec = spec
         self.workers = workers
         self.chunk_size = chunk_size
+        self.share = share
         # An optional pre-built parent-side campaign skips re-running the
         # golden simulation when the caller already has an equivalent
-        # context (e.g. a hash/policy sweep over one program).  Pool
-        # workers still derive their own context from the spec.
+        # context (e.g. a hash/policy sweep over one program).
         self._campaign = campaign
         self._workspace: Workspace | None = None
+        self._factory = CampaignWorkspaceFactory(spec)
+        validate_plan(workers=workers, chunk_size=chunk_size)
 
     @property
     def campaign(self) -> FaultCampaign:
@@ -186,7 +183,8 @@ class CampaignRunner:
 
     @property
     def workspace(self) -> Workspace:
-        """Parent-side workspace (lazy), for the serial execution path."""
+        """Parent-side workspace (lazy): the serial path and the source
+        of the pool's shared payload."""
         if self._workspace is None:
             self._workspace = Workspace.build(
                 self.spec, context=self.campaign.context
@@ -195,78 +193,18 @@ class CampaignRunner:
 
     # ------------------------------------------------------------------
 
-    def _shards(self, perturbations: list, seed: int) -> list[_ShardTask]:
-        return [
-            (
-                shard_id,
-                start,
-                perturbations[start : start + self.chunk_size],
-                shard_seed(seed, shard_id),
-            )
-            for shard_id, start in enumerate(
-                range(0, len(perturbations), self.chunk_size)
-            )
-        ]
-
-    def _header(self, seed: int, total: int) -> dict:
-        return {
-            "type": "header",
-            "version": SPEC_VERSION,
-            "spec": self.spec.to_json(),
-            "fingerprint": self.spec.fingerprint(),
-            "seed": seed,
-            "total": total,
-            "chunk_size": self.chunk_size,
-        }
-
-    def _load_resume(
-        self, out: str, seed: int, total: int
-    ) -> tuple[set[int], list[FaultRecord]] | None:
-        """Committed shards and their records from a previous run's file.
-
-        Returns ``None`` for an empty file (a run that died before the
-        header flushed): the campaign simply starts fresh.  A shard only
-        counts as committed if its marker is present *and* exactly its
-        expected fault indexes decode — a shard with corrupted or orphaned
-        record lines is re-run, and duplicate lines (from an earlier run
-        interrupted mid-shard and later re-run) collapse to the last
-        committed copy.
-        """
-        entries = load_lines(out)
-        if not entries:
-            return None
-        if entries[0].get("type") != "header":
-            raise ConfigurationError(f"{out}: not a campaign results file")
-        header = entries[0]
-        expected = self._header(seed, total)
-        for key in ("fingerprint", "seed", "total", "chunk_size", "version"):
-            if header.get(key) != expected[key]:
-                raise ConfigurationError(
-                    f"{out}: cannot resume — {key} is {header.get(key)!r}, "
-                    f"this campaign has {expected[key]!r}"
-                )
-        marked = {
-            entry["shard"] for entry in entries if entry.get("type") == "shard-done"
-        }
-        by_shard: dict[int, dict[int, FaultRecord]] = {}
-        for entry in entries:
-            if entry.get("type") == "record" and entry["shard"] in marked:
-                record = FaultRecord.from_json(entry)
-                by_shard.setdefault(record.shard, {})[record.index] = record
-        done: set[int] = set()
-        records: list[FaultRecord] = []
-        for shard_id in marked:
-            start = shard_id * self.chunk_size
-            expected_indexes = set(
-                range(start, min(start + self.chunk_size, total))
-            )
-            found = by_shard.get(shard_id, {})
-            if set(found) == expected_indexes:
-                done.add(shard_id)
-                records.extend(found.values())
-        return done, records
-
-    # ------------------------------------------------------------------
+    def _job(self, perturbations: list, seed: int) -> Job:
+        return Job(
+            factory=self._factory,
+            items=perturbations,
+            seed=seed,
+            version=SPEC_VERSION,
+            payload={
+                "spec": self.spec.to_json(),
+                "fingerprint": self.spec.fingerprint(),
+            },
+            chunk_size=self.chunk_size,
+        )
 
     def run(
         self,
@@ -293,88 +231,22 @@ class CampaignRunner:
             Replay committed shards from *out* and run only the rest.
         stop_after_shards:
             Execute at most this many new shards, then return a partial
-            result — the engine's test hook for simulating interruption.
+            result — the test/CLI hook for simulating interruption.
         """
-        perturbations = list(perturbations)
-        total = len(perturbations)
-        out_path = os.fspath(out) if out is not None else None
-        if resume and out_path is None:
-            raise ConfigurationError("resume=True requires out=")
-
-        done_shards: set[int] = set()
-        records: list[FaultRecord] = []
-        resuming = resume and out_path is not None and os.path.exists(out_path)
-        if resuming:
-            loaded = self._load_resume(out_path, seed, total)
-            if loaded is None:
-                resuming = False  # empty file: died before the header
-            else:
-                done_shards, records = loaded
-
-        pending = [
-            task
-            for task in self._shards(perturbations, seed)
-            if task[0] not in done_shards
-        ]
-        if stop_after_shards is not None:
-            pending = pending[:stop_after_shards]
-
-        handle = None
-        if out_path is not None:
-            handle = open(out_path, "a" if resuming else "w", encoding="utf-8")
-            if not resuming:
-                handle.write(dump_line(self._header(seed, total)))
-                handle.flush()
-
-        def commit(shard_id: int, shard_records: list[FaultRecord]) -> None:
-            records.extend(shard_records)
-            if handle is not None:
-                for record in shard_records:
-                    handle.write(dump_line(record.to_json()))
-                handle.write(
-                    dump_line(
-                        {
-                            "type": "shard-done",
-                            "shard": shard_id,
-                            "seed": shard_seed(seed, shard_id),
-                        }
-                    )
-                )
-                handle.flush()
-
-        try:
-            if self.workers == 1 or len(pending) <= 1:
-                workspace = self.workspace
-                for task in pending:
-                    commit(*_run_shard(workspace, task))
-            else:
-                self._run_pool(pending, commit)
-        finally:
-            if handle is not None:
-                handle.close()
-
+        job = self._job(list(perturbations), seed)
+        harness = HarnessRunner(
+            job,
+            workers=self.workers,
+            workspace_supplier=lambda: self.workspace,
+            share=self.share,
+        )
+        result: HarnessResult = harness.run(
+            out=out, resume=resume, stop_after_shards=stop_after_shards
+        )
         return CampaignResult(
             spec=self.spec,
             seed=seed,
-            total=total,
-            records=records,
-            out=out_path,
+            total=result.total,
+            records=result.records,
+            out=result.out,
         )
-
-    def _run_pool(self, pending: list[_ShardTask], commit) -> None:
-        import multiprocessing
-
-        method = (
-            "fork"
-            if "fork" in multiprocessing.get_all_start_methods()
-            else "spawn"
-        )
-        context = multiprocessing.get_context(method)
-        workers = min(self.workers, len(pending))
-        with context.Pool(
-            processes=workers, initializer=_pool_init, initargs=(self.spec,)
-        ) as pool:
-            for shard_id, shard_records in pool.imap_unordered(
-                _pool_shard, pending
-            ):
-                commit(shard_id, shard_records)

@@ -1,0 +1,93 @@
+"""Checkpoint-store sharing: publish one recorded payload to every worker.
+
+Without sharing, every pool worker re-derives its warm state from the
+picklable job description in its initializer — for the golden backends
+that means each of *N* workers records its own monitored golden run and
+checkpoint store, so campaign warm-up scales with the worker count.  This
+module lets the parent record **once** and ship the result through
+:mod:`multiprocessing.shared_memory`: the payload is pickled into one
+named shared-memory block, workers attach by name and unpickle a private
+copy, and the block is unlinked when the pool shuts down.  One recording
+plus *N* unpickles replaces *N* recordings.
+
+Everything shipped this way is already picklable by construction — the
+campaign engine's contexts, warm caches, and golden stores are plain
+data / dataclasses precisely so they can cross process boundaries (see
+:mod:`repro.exec.spec`).  On platforms without
+:mod:`multiprocessing.shared_memory` the handle degrades to carrying the
+pickled bytes inline (one pipe copy per worker instead of a shared
+block); callers never need to care which transport was used.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+try:  # CPython >= 3.8; guarded so exotic builds degrade gracefully.
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - platform without shm support
+    _shm = None
+
+#: Parent-side handle for each published block, so :func:`release` can
+#: close + unlink the object that *created* the segment (re-attaching to
+#: unlink would double-register it with the resource tracker on 3.11).
+#: Pool workers attach through the parent's resource tracker, whose
+#: registry is a set — their extra registrations collapse into the
+#: parent's, and the single unlink in :func:`release` balances it.
+_PUBLISHED: dict[str, object] = {}
+
+
+@dataclass(frozen=True, slots=True)
+class SharedPayload:
+    """A picklable ticket for one published payload.
+
+    Exactly one of *name* (a shared-memory block holding the pickle) or
+    *inline* (the pickled bytes themselves, fallback transport) is set.
+    The ticket itself is tiny either way, so it travels safely through
+    pool-initializer arguments under both ``fork`` and ``spawn``.
+    """
+
+    size: int
+    name: str | None = None
+    inline: bytes | None = None
+
+    def attach(self):
+        """Materialize this process's private copy of the payload."""
+        if self.name is None:
+            return pickle.loads(self.inline)
+        block = _shm.SharedMemory(name=self.name)
+        try:
+            return pickle.loads(block.buf[: self.size])
+        finally:
+            block.close()
+
+
+def publish(payload) -> SharedPayload:
+    """Pickle *payload* into one shared block; return the ticket.
+
+    The caller owns the block's lifetime: pair every ``publish`` with a
+    :func:`release` once the consumers are done (the harness does this
+    when its pool closes).
+    """
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if _shm is None:  # pragma: no cover - platform without shm support
+        return SharedPayload(size=len(data), inline=data)
+    try:
+        block = _shm.SharedMemory(create=True, size=max(len(data), 1))
+    except OSError:  # pragma: no cover - e.g. /dev/shm full or absent
+        return SharedPayload(size=len(data), inline=data)
+    block.buf[: len(data)] = data
+    _PUBLISHED[block.name] = block
+    return SharedPayload(size=len(data), name=block.name)
+
+
+def release(ticket: SharedPayload | None) -> None:
+    """Unlink the shared block behind *ticket* (no-op for inline tickets)."""
+    if ticket is None or ticket.name is None:
+        return
+    block = _PUBLISHED.pop(ticket.name, None)
+    if block is None:  # pragma: no cover - already released
+        return
+    block.close()
+    block.unlink()

@@ -19,6 +19,7 @@ from dataclasses import asdict, dataclass
 from repro.asm.assembler import assemble
 from repro.asm.program import Program
 from repro.errors import ConfigurationError
+from repro.exec.backends import BACKENDS, get_backend
 from repro.faults.campaign import CampaignContext, FaultCampaign, build_context
 from repro.utils.seeds import derive_seed
 
@@ -26,11 +27,12 @@ from repro.utils.seeds import derive_seed
 #: v2: the spec gained ``backend`` (full-replay vs golden-trace fork).
 #: v3: HANG record details are canonical (``instruction limit N
 #: exceeded``, no pc suffix) — files from earlier versions would mix
-#: formats on resume, so the handshake refuses them.
+#: formats on resume, so the handshake refuses them.  The harness
+#: redesign (one ``HarnessRunner`` behind both clients) kept the format
+#: bit-for-bit: v3 files written before it resume unchanged.
 SPEC_VERSION = 3
 
-#: Valid values of :attr:`CampaignSpec.backend`.
-BACKENDS = ("full", "golden")
+__all__ = ["BACKENDS", "CampaignSpec", "SPEC_VERSION", "shard_seed"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -43,12 +45,14 @@ class CampaignSpec:
     remaining fields configure the monitor and the hang budget, mirroring
     :class:`~repro.faults.campaign.FaultCampaign`.
 
-    *backend* selects how each injection is executed — ``"full"``
-    re-simulates from instruction zero, ``"golden"`` forks the recorded
-    golden run at the nearest checkpoint before the fault
-    (:mod:`repro.exec.golden`).  Both produce identical
-    :class:`~repro.faults.campaign.FaultResult`\\ s; the choice is purely
-    a throughput knob and is recorded in results-file headers.
+    *backend* names a registered execution backend
+    (:mod:`repro.exec.backends`) — ``"full"`` re-simulates from
+    instruction zero, ``"golden"`` forks the recorded golden run at the
+    nearest checkpoint before the fault (:mod:`repro.exec.golden`), and
+    ``"pipeline-golden"`` does the same on the cycle-level pipeline with
+    measured cycle counts.  The functional pair produces identical
+    :class:`~repro.faults.campaign.FaultResult`\\ s; the choice is a
+    throughput / fidelity knob and is recorded in results-file headers.
     """
 
     workload: str | None = None
@@ -67,11 +71,7 @@ class CampaignSpec:
             raise ConfigurationError(
                 "CampaignSpec needs exactly one of workload= or source="
             )
-        if self.backend not in BACKENDS:
-            raise ConfigurationError(
-                f"unknown backend {self.backend!r}; "
-                f"choose from: {', '.join(BACKENDS)}"
-            )
+        get_backend(self.backend)  # raises on unknown names
 
     # ------------------------------------------------------------------
     # Derivation (runs identically in the parent and in every worker)

@@ -84,6 +84,11 @@ class FaultResult:
     outcome: Outcome
     detail: str = ""
     latency: int | None = None
+    #: Measured cycle count of the faulty run, when the executing backend
+    #: measures cycles (the cycle-level ``pipeline-golden`` backend).
+    #: ``None`` on the functional backends and for runs a raised machine
+    #: check cut short; never serialized into campaign records.
+    cycles: int | None = None
 
 
 @dataclass(slots=True)
@@ -171,6 +176,11 @@ class CampaignContext:
     instruction_budget: int = 10_000
     #: Instructions the pristine run executes (0 for hand-built contexts).
     golden_instructions: int = 0
+    #: OS cycle charge per IHT miss.  In-memory only (never part of the
+    #: serialized :class:`~repro.exec.spec.CampaignSpec`): outcomes do not
+    #: depend on it, but the cycle-measuring ``pipeline-golden`` backend
+    #: and the DSE penalty axis configure the handler through it.
+    miss_penalty: int = 100
 
 
 def build_context(
@@ -264,6 +274,7 @@ class WarmProcess:
             iht_size=context.iht_size,
             hash_name=self.hash_name,
             policy_name=context.policy_name,
+            miss_penalty=context.miss_penalty,
             fht=self.fht,
         ).monitor
 
@@ -357,6 +368,7 @@ def run_one(
             iht_size=context.iht_size,
             hash_name=context.hash_name,
             policy_name=context.policy_name,
+            miss_penalty=context.miss_penalty,
         ).monitor
         decode_cache = None
     persistents, transients = split_perturbation(fault)

@@ -170,6 +170,16 @@ class PipelineCPU:
 
     # ------------------------------------------------------------------
 
+    @property
+    def cycles(self) -> int:
+        """Cycles elapsed so far (valid mid-run and after a machine check)."""
+        return self._cycle
+
+    @property
+    def instructions(self) -> int:
+        """Instructions that have entered ID so far."""
+        return self._executed
+
     def _fetch_latch(self, address: int) -> _IFID:
         """Fetch into the IF/ID latch; out-of-text fetches are poisoned and
         raise a bus-error machine check only if the slot reaches decode

@@ -1,0 +1,241 @@
+"""Generic-engine guarantees, tested against a toy client.
+
+The campaign and DSE suites exercise the harness through the real
+clients; these tests pin the engine's contract in isolation — with a
+work item that is just an integer and a record that is just a pair — so
+a regression in sharding, commit markers, resume validation, or the
+shared-payload path is attributable to the harness itself.
+"""
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec.harness import (
+    HarnessRunner,
+    Job,
+    MeasureCache,
+    WorkspaceFactory,
+    validate_plan,
+)
+from repro.exec.sharing import publish, release
+
+SEED = 9
+ITEMS = list(range(23))  # chunk 5 -> shards of 5,5,5,5,3
+CHUNK = 5
+
+
+@dataclass(slots=True)
+class ToyRecord:
+    index: int
+    shard: int
+    value: int
+
+
+@dataclass(slots=True)
+class ToyFactory(WorkspaceFactory):
+    """Squares its items; workspace is a dict so sharing is observable."""
+
+    bias: int = 0
+
+    record_type = "record"
+    kind = "toy results"
+
+    def build(self, shared=None):
+        return {"bias": self.bias, "shared": shared is not None}
+
+    def shared_payload(self, workspace):
+        return {"bias": workspace["bias"]}
+
+    def run_item(self, workspace, index, shard, item):
+        return ToyRecord(index, shard, item * item + workspace["bias"])
+
+    def encode(self, record):
+        return {
+            "type": "record",
+            "index": record.index,
+            "shard": record.shard,
+            "value": record.value,
+        }
+
+    def decode(self, data):
+        return ToyRecord(data["index"], data["shard"], data["value"])
+
+
+def make_job(chunk_size=CHUNK, seed=SEED, items=None):
+    return Job(
+        factory=ToyFactory(),
+        items=list(ITEMS) if items is None else items,
+        seed=seed,
+        version=7,
+        payload={"fingerprint": "toy-fingerprint"},
+        chunk_size=chunk_size,
+    )
+
+
+def payloads(records):
+    return [
+        (record.index, record.shard, record.value)
+        for record in sorted(records, key=lambda r: r.index)
+    ]
+
+
+class TestExecution:
+    def test_serial_complete(self):
+        result = HarnessRunner(make_job()).run()
+        assert result.complete
+        assert payloads(result.records) == [
+            (i, i // CHUNK, i * i) for i in ITEMS
+        ]
+
+    def test_worker_count_invariant(self):
+        serial = HarnessRunner(make_job()).run()
+        pooled = HarnessRunner(make_job(), workers=4).run()
+        assert payloads(pooled.records) == payloads(serial.records)
+
+    def test_shared_payload_reaches_workers(self):
+        # The pool path publishes the parent workspace's payload; the
+        # toy factory records whether build() saw it.
+        job = make_job()
+        runner = HarnessRunner(job, workers=2)
+        result = runner.run()
+        assert result.complete
+        assert runner.workspace["shared"] is False  # parent built fresh
+
+    def test_share_false_skips_publication(self):
+        result = HarnessRunner(make_job(), workers=2, share=False).run()
+        assert result.complete
+
+    def test_ordered_is_index_sorted(self):
+        result = HarnessRunner(make_job(), workers=4).run()
+        assert [r.index for r in result.ordered()] == list(ITEMS)
+
+    def test_workspace_supplier_wins(self):
+        runner = HarnessRunner(
+            make_job(), workspace_supplier=lambda: {"bias": 100, "shared": False}
+        )
+        assert payloads(runner.run().records) == [
+            (i, i // CHUNK, i * i + 100) for i in ITEMS
+        ]
+
+
+class TestStreaming:
+    def test_jsonl_layout(self, tmp_path):
+        out = tmp_path / "toy.jsonl"
+        HarnessRunner(make_job()).run(out=out)
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        header, body = lines[0], lines[1:]
+        assert header["type"] == "header"
+        assert header["version"] == 7
+        assert header["fingerprint"] == "toy-fingerprint"
+        assert header["total"] == len(ITEMS)
+        assert header["chunk_size"] == CHUNK
+        records = [entry for entry in body if entry["type"] == "record"]
+        markers = [entry for entry in body if entry["type"] == "shard-done"]
+        assert len(records) == len(ITEMS)
+        assert len(markers) == 5
+        # Every shard's records precede its marker.
+        seen_markers: set[int] = set()
+        for entry in body:
+            if entry["type"] == "shard-done":
+                seen_markers.add(entry["shard"])
+            else:
+                assert entry["shard"] not in seen_markers
+
+
+class TestResume:
+    def test_kill_resume_completes(self, tmp_path):
+        out = tmp_path / "toy.jsonl"
+        partial = HarnessRunner(make_job()).run(out=out, stop_after_shards=2)
+        assert not partial.complete
+        assert len(partial.records) == 2 * CHUNK
+        resumed = HarnessRunner(make_job()).run(out=out, resume=True)
+        assert resumed.complete
+        assert payloads(resumed.records) == payloads(
+            HarnessRunner(make_job()).run().records
+        )
+
+    def test_resume_refuses_each_identity_key(self, tmp_path):
+        out = tmp_path / "toy.jsonl"
+        HarnessRunner(make_job()).run(out=out, stop_after_shards=1)
+        variants = {
+            "seed": make_job(seed=SEED + 1),
+            "chunk_size": make_job(chunk_size=CHUNK + 1),
+            "total": make_job(items=list(range(5))),
+        }
+        for key, job in variants.items():
+            with pytest.raises(ConfigurationError, match="cannot resume"):
+                HarnessRunner(job).run(out=out, resume=True)
+
+    def test_resume_refuses_foreign_file(self, tmp_path):
+        out = tmp_path / "bogus.jsonl"
+        out.write_text('{"type":"record"}\n')
+        with pytest.raises(ConfigurationError, match="not a toy results file"):
+            HarnessRunner(make_job()).run(out=out, resume=True)
+
+    def test_resume_requires_out(self):
+        with pytest.raises(ConfigurationError, match="requires out"):
+            HarnessRunner(make_job()).run(resume=True)
+
+    def test_empty_file_starts_fresh(self, tmp_path):
+        out = tmp_path / "empty.jsonl"
+        out.write_text("")
+        result = HarnessRunner(make_job()).run(out=out, resume=True)
+        assert result.complete
+
+    def test_uncommitted_records_rerun(self, tmp_path):
+        out = tmp_path / "torn.jsonl"
+        HarnessRunner(make_job()).run(out=out, stop_after_shards=2)
+        lines = out.read_text().splitlines()
+        assert json.loads(lines[-1])["type"] == "shard-done"
+        out.write_text("\n".join(lines[:-1]) + "\n")
+        resumed = HarnessRunner(make_job()).run(out=out, resume=True)
+        assert resumed.complete
+        assert sorted(r.index for r in resumed.records) == list(ITEMS)
+
+
+class TestValidation:
+    def test_bad_workers_and_chunks(self):
+        with pytest.raises(ConfigurationError):
+            HarnessRunner(make_job(), workers=0)
+        with pytest.raises(ConfigurationError):
+            make_job(chunk_size=0)
+        with pytest.raises(ConfigurationError):
+            validate_plan(workers=1, chunk_size=-3)
+
+
+class TestMeasureCache:
+    def test_builds_once(self):
+        cache = MeasureCache()
+        calls = []
+        for _ in range(3):
+            value = cache.get("key", lambda: calls.append(1) or 42)
+        assert value == 42
+        assert calls == [1]
+        assert "key" in cache
+        assert len(cache) == 1
+
+    def test_seeding_short_circuits(self):
+        cache = MeasureCache({"warm": "payload"})
+        assert cache.get("warm", lambda: pytest.fail("rebuilt")) == "payload"
+
+    def test_snapshot_is_a_copy(self):
+        cache = MeasureCache()
+        cache.get("a", lambda: 1)
+        snap = cache.snapshot()
+        snap["b"] = 2
+        assert "b" not in cache
+
+
+class TestSharing:
+    def test_publish_attach_release_roundtrip(self):
+        payload = {"numbers": list(range(1000)), "text": "golden"}
+        ticket = publish(payload)
+        try:
+            assert ticket.attach() == payload
+            assert ticket.attach() == payload  # attach is repeatable
+        finally:
+            release(ticket)
+        release(ticket)  # double release is a no-op

@@ -275,3 +275,21 @@ class TestWorkload:
     def test_unknown_workload(self, capsys):
         assert main(["workload", "quicksort"]) == 1
         assert "unknown workload" in capsys.readouterr().err
+
+
+class TestChoiceMirrors:
+    """The parser's literal choice tuples (kept literal so build_parser
+    stays free of the repro.exec import stack) must track the live
+    registries."""
+
+    def test_backend_choices_match_registry(self):
+        from repro.cli import BACKEND_CHOICES
+        from repro.exec.backends import backend_names
+
+        assert BACKEND_CHOICES == backend_names()
+
+    def test_campaign_preset_choices_match_registry(self):
+        from repro.cli import CAMPAIGN_PRESET_CHOICES
+        from repro.exec.presets import PRESETS
+
+        assert CAMPAIGN_PRESET_CHOICES == tuple(PRESETS)
