@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-smoke perf-smoke campaign-smoke attack-smoke \
-	dse-smoke harness-smoke clean
+	dse-smoke harness-smoke scaling-smoke clean
 
 test:  ## tier-1: the whole unit/integration suite, fail fast
 	$(PYTHON) -m pytest -x -q
@@ -37,6 +37,17 @@ attack-smoke:  ## tiny 2-worker attack sweep through the CLI, with resume
 	$(PYTHON) -m repro attack sha --scale tiny --class all --per-class 4 \
 	    --workers 2 --seed 42 --out results/attack_smoke.jsonl --resume \
 	    --json results/attack_smoke.json
+
+# scaling-smoke is the CI face of the parallel-scaling work: the full
+# invariance tier (worker count / batch plan / pool reuse / kill-resume
+# never change a byte of the results) plus a 2-worker micro-scaling
+# check on warm pools.  The 4-worker >= 2x gate itself lives in
+# bench_campaign_scaling.py::test_scaling_gate and skips - visibly,
+# never trivially passes - on hosts with < 4 effective cores.
+scaling-smoke:  ## scaling invariance tier + 2-worker micro-scaling check
+	$(PYTHON) -m pytest tests/exec/test_scaling_invariants.py \
+	    "benchmarks/bench_campaign_scaling.py::test_two_worker_micro_scaling" \
+	    -q
 
 # harness-smoke exercises the one execution harness through BOTH of its
 # clients: a campaign and a DSE sweep are each killed after their first

@@ -71,6 +71,7 @@ toolchain error (including assembly failures), ``2`` a
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro import __version__
@@ -88,7 +89,7 @@ EXIT_VIOLATION = 2
 #: defer their heavy imports to call time for the same reason).
 #: ``tests/test_cli.py`` pins both against the live registries.
 BACKEND_CHOICES = ("full", "golden", "pipeline-golden")
-CAMPAIGN_PRESET_CHOICES = ("exhaustive-single-bit", "smoke")
+CAMPAIGN_PRESET_CHOICES = ("exhaustive-single-bit", "smoke", "mibench-tiny")
 
 
 def _engine(name: str):
@@ -197,15 +198,35 @@ def _resolve_target(target: str) -> tuple[str | None, str | None, str | None]:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.exec import CampaignRunner, CampaignSpec, get_campaign_preset
+    from repro.exec import get_campaign_preset
+
+    # A preset supplies scale/backend defaults and the fault plan; any
+    # flag given explicitly overrides the preset's value.  A preset with
+    # a workload roster (e.g. mibench-tiny) accepts the target ``all``
+    # and sweeps every workload in the set.
+    preset = get_campaign_preset(args.preset) if args.preset else None
+    if args.target == "all" and preset is not None and preset.workloads:
+        for workload in preset.workloads:
+            out = None
+            if args.out:
+                root, ext = os.path.splitext(args.out)
+                out = f"{root}-{workload}{ext or '.jsonl'}"
+            status = _run_campaign(args, preset, workload, out)
+            if status != 0:
+                return status
+        return 0
+    return _run_campaign(args, preset, args.target, args.out)
+
+
+def _run_campaign(
+    args: argparse.Namespace, preset, target: str, out: str | None
+) -> int:
+    from repro.exec import CampaignRunner, CampaignSpec
     from repro.faults.campaign import Outcome
 
-    workload, source, name = _resolve_target(args.target)
+    workload, source, name = _resolve_target(target)
     if workload is None and source is None:
         return 1
-    # A preset supplies scale/backend defaults and the fault plan; any
-    # flag given explicitly overrides the preset's value.
-    preset = get_campaign_preset(args.preset) if args.preset else None
     scale = args.scale or (preset.scale if preset else "small")
     backend = args.backend or (preset.backend if preset else "full")
     spec = CampaignSpec(
@@ -218,7 +239,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         policy_name=args.policy,
         backend=backend,
     )
-    runner = CampaignRunner(spec, workers=args.workers, chunk_size=args.chunk)
+    runner = CampaignRunner(
+        spec,
+        workers=args.workers,
+        chunk_size=args.chunk,
+        batch_size=args.batch_size,
+    )
     if preset is not None and args.faults is None:
         faults = preset.faults(runner.campaign, seed=args.seed)
     else:
@@ -228,7 +254,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     result = runner.run(
         faults,
         seed=args.seed,
-        out=args.out,
+        out=out,
         resume=args.resume,
         stop_after_shards=args.stop_after_shards,
     )
@@ -238,9 +264,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     for outcome in Outcome:
         if counts[outcome]:
             print(f"  {outcome.value:20s} {counts[outcome]}")
-    if args.out:
+    if out:
         state = "complete" if result.complete else "partial"
-        print(f"; {state} results in {args.out} "
+        print(f"; {state} results in {out} "
               f"({len(result.records)}/{result.total} faults, "
               f"{args.workers} workers)", file=sys.stderr)
     return 0
@@ -517,6 +543,13 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_command.add_argument(
         "--chunk", type=int, default=16,
         help="faults per shard (the unit of distribution and resume)",
+    )
+    campaign_command.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="faults per batched-kernel call within a shard (default: the "
+             "whole shard at once — fastest for the golden backend, which "
+             "shares the pristine prefix across a batch); an execution "
+             "knob like --workers, never recorded in the artifact",
     )
     campaign_command.add_argument(
         "--backend", choices=BACKEND_CHOICES, default=None,

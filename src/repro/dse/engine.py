@@ -254,11 +254,10 @@ class DseWorkspace:
                 # monitored pristine run's cycle count under this penalty.
                 measures["monitored_cycles"] = monitored_cycles
             if injections:
+                # Batched kernel: one pass amortizes prefix replay and
+                # simulator construction over the whole adversary corpus.
                 report = CampaignReport(
-                    results=[
-                        self.backend.run(state, injection)
-                        for injection in injections
-                    ]
+                    results=self.backend.run_batch(state, injections)
                 )
                 measures.update(
                     injections=report.total,
@@ -488,6 +487,7 @@ class DseSweep:
         chunk_size: int = DEFAULT_DSE_CHUNK,
         backend: str = "golden",
         share: bool = True,
+        persistent: bool = True,
     ):
         validate_plan(workers=workers, chunk_size=chunk_size)
         get_backend(backend)  # raises on unknown names
@@ -497,6 +497,9 @@ class DseSweep:
         self.chunk_size = chunk_size
         self.backend = backend
         self.share = share
+        # Execution knob, never recorded in artifacts: reuse warm worker
+        # pools across runs and sweeps (:mod:`repro.exec.pool`).
+        self.persistent = persistent
         self._factory = DseWorkspaceFactory(space, seed, backend)
         self._workspace: DseWorkspace | None = None
 
@@ -544,6 +547,7 @@ class DseSweep:
             workers=self.workers,
             workspace_supplier=lambda: self.workspace,
             share=self.share,
+            persistent=self.persistent,
         )
         result = harness.run(
             out=out, resume=resume, stop_after_shards=stop_after_shards

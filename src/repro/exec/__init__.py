@@ -77,7 +77,12 @@ from repro.exec.backends import (
     get_backend,
     register_backend,
 )
-from repro.exec.golden import GoldenStore, build_golden_store, run_one_golden
+from repro.exec.golden import (
+    GoldenStore,
+    build_golden_store,
+    run_batch_golden,
+    run_one_golden,
+)
 from repro.exec.harness import (
     DEFAULT_CHUNK_SIZE,
     HarnessResult,
@@ -89,9 +94,11 @@ from repro.exec.harness import (
 from repro.exec.pipeline_golden import (
     PipelineGoldenStore,
     build_pipeline_golden_store,
+    run_batch_pipeline_golden,
     run_one_pipeline,
     run_one_pipeline_golden,
 )
+from repro.exec.pool import WarmPool, pool_stats, shutdown_pools
 from repro.exec.presets import CampaignPreset, get_campaign_preset
 from repro.exec.records import FaultRecord, fault_from_json, fault_to_json
 from repro.exec.runner import CampaignResult, CampaignRunner, Workspace
@@ -112,6 +119,7 @@ __all__ = [
     "Job",
     "MeasureCache",
     "PipelineGoldenStore",
+    "WarmPool",
     "Workspace",
     "WorkspaceFactory",
     "backend_names",
@@ -121,9 +129,13 @@ __all__ = [
     "fault_to_json",
     "get_backend",
     "get_campaign_preset",
+    "pool_stats",
     "register_backend",
+    "run_batch_golden",
+    "run_batch_pipeline_golden",
     "run_one_golden",
     "run_one_pipeline",
     "run_one_pipeline_golden",
     "shard_seed",
+    "shutdown_pools",
 ]

@@ -40,9 +40,10 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.faults.campaign import CampaignContext, FaultResult, WarmProcess, run_one
-from repro.exec.golden import build_golden_store, run_one_golden
+from repro.exec.golden import build_golden_store, run_batch_golden, run_one_golden
 from repro.exec.pipeline_golden import (
     build_pipeline_golden_store,
+    run_batch_pipeline_golden,
     run_one_pipeline_golden,
 )
 
@@ -65,6 +66,17 @@ class Backend:
     def run(self, state, fault) -> FaultResult:
         """Execute and classify one injection against prepared *state*."""
         raise NotImplementedError
+
+    def run_batch(self, state, faults) -> list[FaultResult]:
+        """Execute a batch of injections against prepared *state*.
+
+        Semantically ``[self.run(state, f) for f in faults]`` — and that
+        is the default — but backends with a batched kernel override this
+        to amortize per-injection setup (object construction, pristine
+        prefix replay) across the batch.  The scaling-invariance tier
+        pins batched ≡ unbatched per element.
+        """
+        return [self.run(state, fault) for fault in faults]
 
 
 @dataclass(frozen=True)
@@ -91,6 +103,9 @@ class GoldenBackend(Backend):
     def run(self, state, fault):
         return run_one_golden(state, fault)
 
+    def run_batch(self, state, faults):
+        return run_batch_golden(state, faults)
+
 
 @dataclass(frozen=True)
 class PipelineGoldenBackend(Backend):
@@ -103,6 +118,9 @@ class PipelineGoldenBackend(Backend):
 
     def run(self, state, fault):
         return run_one_pipeline_golden(state, fault)
+
+    def run_batch(self, state, faults):
+        return run_batch_pipeline_golden(state, faults)
 
 
 _REGISTRY: dict[str, Backend] = {}

@@ -304,6 +304,26 @@ def _delivery_ordinal(store: GoldenStore, persistents, transients) -> int | None
     return earliest
 
 
+def _apply_transient_position(store, transients, fork_instructions: int) -> None:
+    """Put transient fetch counters where the golden run left them.
+
+    At *fork_instructions* the faulty run is still pristine, so the golden
+    recording's per-address fetch counts are exact for it.
+    """
+    if fork_instructions == 0:
+        for part in transients:
+            reset = getattr(part, "reset", None)
+            if reset is not None:
+                reset()
+        return
+    counts = store.fetch_counts_at(
+        fork_instructions,
+        [address for part in transients for address in part.target_addresses()],
+    )
+    for part in transients:
+        part.seek(counts)
+
+
 def run_one_golden(store: GoldenStore, fault) -> FaultResult:
     """Classify one injection by forking the golden run at the fault.
 
@@ -342,22 +362,117 @@ def run_one_golden(store: GoldenStore, fault) -> FaultResult:
         hang_detector=context.golden_instructions,
     )
     simulator.restore(checkpoint.sim)
-    if checkpoint.instructions == 0:
-        for part in transients:
-            reset = getattr(part, "reset", None)
-            if reset is not None:
-                reset()
-    else:
-        counts = store.fetch_counts_at(
-            checkpoint.instructions,
-            [
-                address
-                for part in transients
-                for address in part.target_addresses()
-            ],
-        )
-        for part in transients:
-            part.seek(counts)
+    _apply_transient_position(store, transients, checkpoint.instructions)
     for part in persistents:
         part.apply_to_memory(simulator.state.memory)
     return classify_run(context, fault, simulator, probe)
+
+
+def run_batch_golden(store: GoldenStore, faults) -> list[FaultResult]:
+    """Classify a batch of injections, amortizing the pristine prefix.
+
+    Semantically ``[run_one_golden(store, f) for f in faults]`` — the
+    differential tests pin outcome, detail, and latency per element — but
+    built for throughput:
+
+    * **Prefix sharing.**  Faults are planned (delivery ordinal, unsafe
+      flag) and executed in delivery order.  One *advancer* simulator
+      replays the monitored pristine run forward, jumping via the nearest
+      store checkpoint whenever that is ahead of its position, and parks
+      exactly one instruction before each fault's first corrupted fetch.
+      Faults delivered at the same ordinal share one micro-snapshot, and
+      nearby fork points reuse the advanced prefix instead of re-running
+      it from the last coarse checkpoint (the dominant cost of
+      :func:`run_one_golden` at small checkpoint budgets).
+    * **Object reuse.**  One runner simulator and one checker serve the
+      whole batch; per fault they are restored from the micro-snapshot
+      (restores are complete by construction — see
+      ``tests/pipeline/test_snapshot.py``), so per-injection allocation
+      drops out of the hot loop.
+
+    Soundness: until the delivery ordinal the faulty run *is* the golden
+    run, so parking the fork at ``delivery - 1`` changes nothing the
+    classification can observe; detection latency is a fetch-ordinal
+    difference and is fork-point invariant.  Unsafe targets (text read as
+    data / stored to) and non-seekable transients take the
+    :func:`run_one_golden` path unchanged.
+    """
+    context = store.context
+    results: list[FaultResult | None] = [None] * len(faults)
+    planned: list[tuple[int, object, tuple, tuple, int]] = []
+    for index, fault in enumerate(faults):
+        persistents, transients = split_perturbation(fault)
+        unsafe = any(
+            address in store.unsafe_words
+            for part in persistents
+            for address in part.target_addresses()
+        )
+        delivery = _delivery_ordinal(store, persistents, transients)
+        if delivery is None and not unsafe:
+            results[index] = FaultResult(fault, Outcome.BENIGN, "")
+        elif unsafe or not all(hasattr(part, "seek") for part in transients):
+            results[index] = run_one_golden(store, fault)
+        else:
+            planned.append((index, fault, persistents, transients, delivery))
+    if not planned:
+        return results
+    planned.sort(key=lambda plan: plan[4])
+
+    advancer_checker = store.warm.fresh_checker(context)
+    advancer = FuncSim(
+        context.program,
+        monitor=advancer_checker,
+        max_instructions=context.instruction_budget,
+        decode_cache=store.warm.decode_cache,
+    )
+    advancer_position: int | None = None  # None until first restore
+
+    runner_checker = store.warm.fresh_checker(context)
+    runner = FuncSim(
+        context.program,
+        monitor=runner_checker,
+        max_instructions=context.instruction_budget,
+        decode_cache=store.warm.decode_cache,
+        hang_detector=context.golden_instructions,
+    )
+
+    micro_at: int | None = None
+    micro: tuple | None = None
+    for index, fault, persistents, transients, delivery in planned:
+        fork = delivery - 1
+        if micro_at != fork:
+            checkpoint = store.checkpoint_before(delivery)
+            if advancer_position is None or advancer_position > fork:
+                # First use, or a fallback run_one_golden interleaved a
+                # rewind: jump back via the coarse checkpoint.
+                advancer.restore(checkpoint.sim)
+                advancer_checker.restore(checkpoint.checker)
+                advancer_checker.handler.restore(checkpoint.handler)
+                advancer_position = checkpoint.instructions
+            elif checkpoint.instructions > advancer_position:
+                # A coarse checkpoint is ahead of the advancer: jumping
+                # beats replaying, and keeps the batch no slower than
+                # per-fault forking.
+                advancer.restore(checkpoint.sim)
+                advancer_checker.restore(checkpoint.checker)
+                advancer_checker.handler.restore(checkpoint.handler)
+                advancer_position = checkpoint.instructions
+            if fork > advancer_position:
+                advancer.run(until=fork)
+                advancer_position = fork
+            micro = (
+                advancer.snapshot(),
+                advancer_checker.snapshot(),
+                advancer_checker.handler.snapshot(),
+            )
+            micro_at = fork
+        probe = make_probe(persistents, transients)
+        runner.fetch_hook = probe
+        runner.restore(micro[0])
+        runner_checker.restore(micro[1])
+        runner_checker.handler.restore(micro[2])
+        _apply_transient_position(store, transients, fork)
+        for part in persistents:
+            part.apply_to_memory(runner.state.memory)
+        results[index] = classify_run(context, fault, runner, probe)
+    return results

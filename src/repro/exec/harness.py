@@ -117,6 +117,21 @@ class WorkspaceFactory:
         ``.index``/``.shard`` set to the given coordinates)."""
         raise NotImplementedError
 
+    def run_items(self, workspace, start: int, shard: int, items: list) -> list:
+        """Execute one shard's items; return their records in item order.
+
+        The default runs :meth:`run_item` per item.  Clients whose
+        backends have a *batched* kernel (e.g. the campaign factory
+        grouping golden-backend injections that fork from the same
+        checkpoint) override this to hand the kernel whole batches —
+        the records must be exactly what the per-item path produces,
+        which the scaling-invariance tier pins.
+        """
+        return [
+            self.run_item(workspace, start + offset, shard, item)
+            for offset, item in enumerate(items)
+        ]
+
     def encode(self, record) -> dict:
         """Record -> its JSONL dict (``{"type": record_type, ...}``)."""
         raise NotImplementedError
@@ -274,10 +289,7 @@ def _run_shard(
     factory: WorkspaceFactory, workspace, task: ShardTask
 ) -> tuple[int, list]:
     shard_id, start, items, _seed = task
-    return shard_id, [
-        factory.run_item(workspace, start + offset, shard_id, item)
-        for offset, item in enumerate(items)
-    ]
+    return shard_id, factory.run_items(workspace, start, shard_id, items)
 
 
 def _pool_shard(task: ShardTask) -> tuple[int, list]:
@@ -303,11 +315,18 @@ class HarnessRunner:
         workers: int = 1,
         workspace_supplier: Callable | None = None,
         share: bool = True,
+        persistent: bool = True,
     ):
         validate_plan(workers=workers, chunk_size=job.chunk_size)
         self.job = job
         self.workers = workers
         self.share = share
+        # Persistent runs draw workers from the process-wide warm pool
+        # registry (repro.exec.pool): the pool for this job's factory is
+        # built once and reused across shards, runs, and campaigns.
+        # persistent=False keeps the old build-and-tear-down pool per
+        # run (the invariance tests compare both paths).
+        self.persistent = persistent
         # An optional supplier lets the client hand over a parent-side
         # workspace it can build more cheaply than the factory (e.g.
         # around a prebuilt campaign context) — still lazily, so runs
@@ -453,7 +472,25 @@ class HarnessRunner:
 
         return HarnessResult(job=job, records=records, out=out_path)
 
+    def _shared_payload(self):
+        return self.job.factory.shared_payload(self.workspace)
+
     def _run_pool(self, pending: list[ShardTask], commit) -> None:
+        if self.persistent:
+            from repro.exec.pool import acquire
+
+            # Full worker count on purpose: a persistent pool outlives
+            # this run, so it is sized for the job family, not for the
+            # pending remainder of one resume.
+            pool = acquire(
+                self.job.factory,
+                self.workers,
+                self.share,
+                self._shared_payload if self.share else lambda: None,
+            )
+            for shard_id, shard_records in pool.imap_shards(pending):
+                commit(shard_id, shard_records)
+            return
         import multiprocessing
 
         method = (
@@ -465,7 +502,7 @@ class HarnessRunner:
         workers = min(self.workers, len(pending))
         ticket = None
         if self.share:
-            payload = self.job.factory.shared_payload(self.workspace)
+            payload = self._shared_payload()
             if payload is not None:
                 ticket = publish(payload)
         try:

@@ -290,14 +290,15 @@ def run_one_pipeline(
     return classify_pipeline_run(context, fault, cpu, probe)
 
 
-def run_one_pipeline_golden(store: PipelineGoldenStore, fault) -> FaultResult:
-    """Classify one injection by forking the recorded pipeline at the fault.
+def _plan_fork(
+    store: PipelineGoldenStore, fault
+) -> tuple[tuple, tuple, PipelineCheckpoint] | None:
+    """Pick the fork checkpoint for *fault*; ``None`` means benign-by-plan.
 
-    Produces the identical :class:`FaultResult` — outcome, detail,
-    latency, and measured cycles — as :func:`run_one_pipeline`, while
-    executing only the cycles after the nearest checkpoint.
+    ``None`` covers perturbations that are never fetched (even
+    speculatively) and never read as data: the faulty run is the recorded
+    pristine run, measured cycles included.
     """
-    context = store.context
     persistents, transients = split_perturbation(fault)
     unsafe = any(
         address in store.unsafe_words
@@ -319,16 +320,28 @@ def run_one_pipeline_golden(store: PipelineGoldenStore, fault) -> FaultResult:
             ):
                 earliest = ordinals[occurrence - 1]
     if earliest is None and not unsafe:
-        # Never fetched (even speculatively) and never read as data: the
-        # faulty run is the recorded pristine run, measured cycles included.
-        return FaultResult(fault, Outcome.BENIGN, "", cycles=store.golden_cycles)
+        return None
     seekable = all(hasattr(part, "seek") for part in transients)
     if unsafe or not seekable:
         checkpoint = store.checkpoints[0]
     else:
         checkpoint = store.checkpoint_before(earliest)
+    return persistents, transients, checkpoint
+
+
+def _run_fork(
+    store: PipelineGoldenStore, fault, plan, cpu: PipelineCPU, checker
+) -> FaultResult:
+    """Execute one planned fork on a (possibly reused) machine/monitor pair.
+
+    The restores are complete — every mutable field of the pipeline, the
+    checker, and the OS handler is covered by the snapshot protocol — so
+    a machine that just finished (or crashed out of) another injection is
+    indistinguishable from a fresh one.
+    """
+    persistents, transients, checkpoint = plan
     probe = make_probe(persistents, transients)
-    cpu, checker = _fresh_cpu(context, store.warm, probe)
+    cpu.fetch_hook = probe
     checker.restore(checkpoint.checker)
     checker.handler.restore(checkpoint.handler)
     cpu.restore(checkpoint.sim)
@@ -350,4 +363,47 @@ def run_one_pipeline_golden(store: PipelineGoldenStore, fault) -> FaultResult:
             part.seek(counts)
     for part in persistents:
         part.apply_to_memory(cpu.state.memory)
-    return classify_pipeline_run(context, fault, cpu, probe)
+    return classify_pipeline_run(store.context, fault, cpu, probe)
+
+
+def run_one_pipeline_golden(store: PipelineGoldenStore, fault) -> FaultResult:
+    """Classify one injection by forking the recorded pipeline at the fault.
+
+    Produces the identical :class:`FaultResult` — outcome, detail,
+    latency, and measured cycles — as :func:`run_one_pipeline`, while
+    executing only the cycles after the nearest checkpoint.
+    """
+    plan = _plan_fork(store, fault)
+    if plan is None:
+        return FaultResult(fault, Outcome.BENIGN, "", cycles=store.golden_cycles)
+    cpu, checker = _fresh_cpu(store.context, store.warm, None)
+    return _run_fork(store, fault, plan, cpu, checker)
+
+
+def run_batch_pipeline_golden(
+    store: PipelineGoldenStore, faults
+) -> list[FaultResult]:
+    """Classify a batch of injections on one reused machine/monitor pair.
+
+    Semantically ``[run_one_pipeline_golden(store, f) for f in faults]``
+    (pinned by the differential tests), with the per-injection
+    :class:`PipelineCPU` + checker construction hoisted out of the loop.
+    Unlike the functional :func:`repro.exec.golden.run_batch_golden`, no
+    prefix sharing is attempted: fork ordinals live in fetch-*sequence*
+    space (speculative slots included), which ``run(until=instructions)``
+    cannot address, so the coarse store checkpoints are already the best
+    fork points available.
+    """
+    cpu = checker = None
+    results = []
+    for fault in faults:
+        plan = _plan_fork(store, fault)
+        if plan is None:
+            results.append(
+                FaultResult(fault, Outcome.BENIGN, "", cycles=store.golden_cycles)
+            )
+            continue
+        if cpu is None:
+            cpu, checker = _fresh_cpu(store.context, store.warm, None)
+        results.append(_run_fork(store, fault, plan, cpu, checker))
+    return results

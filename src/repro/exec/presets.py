@@ -37,6 +37,11 @@ class CampaignPreset:
     #: claim, unsampled).  ``False``: *fault_count* seeded random flips.
     exhaustive: bool = False
     fault_count: int = 200
+    #: The workload set the preset is built for.  Empty means "any one
+    #: workload" (the classic presets); a non-empty tuple lets the CLI
+    #: target ``all`` to sweep the whole set, and gives tests/benchmarks
+    #: a named roster to iterate.
+    workloads: tuple[str, ...] = ()
 
     def faults(self, campaign: FaultCampaign, seed: int) -> list:
         """The preset's injection list over *campaign*'s golden run."""
@@ -67,6 +72,19 @@ PRESETS: dict[str, CampaignPreset] = {
             scale="tiny",
             backend="golden",
             fault_count=32,
+        ),
+        CampaignPreset(
+            name="mibench-tiny",
+            description=(
+                "24 seeded random single-bit flips per workload at tiny "
+                "scale on the golden backend, over the five MiBench-class "
+                "workloads beyond the bitcount/dijkstra/sha trio "
+                "(rijndael, susan, patricia, blowfish, basicmath)"
+            ),
+            scale="tiny",
+            backend="golden",
+            fault_count=24,
+            workloads=("rijndael", "susan", "patricia", "blowfish", "basicmath"),
         ),
     )
 }

@@ -119,12 +119,25 @@ class Workspace:
     def run_fault(self, fault) -> FaultResult:
         return self.backend.run(self.state, fault)
 
+    def run_batch(self, faults: list) -> list[FaultResult]:
+        """Classify *faults* through the backend's batched kernel.
+
+        Element-for-element identical to ``[self.run_fault(f) for f in
+        faults]`` (the backends pin this differentially); the batched
+        kernels amortize prefix replay and object construction.
+        """
+        return self.backend.run_batch(self.state, faults)
+
 
 @dataclass(slots=True)
 class CampaignWorkspaceFactory(WorkspaceFactory):
     """The campaign client: spec-derived workspaces, FaultRecord wire."""
 
     spec: CampaignSpec
+    #: Faults per batched-kernel call; ``None`` dispatches per item.  An
+    #: execution knob like ``workers`` — never serialized into headers,
+    #: so artifacts stay byte-identical across batch plans.
+    batch_size: int | None = None
 
     record_type = "record"
     kind = "campaign results"
@@ -144,6 +157,26 @@ class CampaignWorkspaceFactory(WorkspaceFactory):
     ) -> FaultRecord:
         return FaultRecord.from_result(index, shard, workspace.run_fault(item))
 
+    def run_items(
+        self, workspace: Workspace, start: int, shard: int, items: list
+    ) -> list[FaultRecord]:
+        """Run a shard through the backend's batched kernel.
+
+        With no ``batch_size`` the whole shard is one batch; otherwise
+        the shard is cut into ``batch_size`` slices.  Either way the
+        records are exactly what the per-item path yields — pinned by
+        ``tests/exec/test_scaling_invariants.py``.
+        """
+        size = self.batch_size or len(items)
+        records: list[FaultRecord] = []
+        for base in range(0, len(items), max(size, 1)):
+            chunk = items[base : base + size]
+            for offset, result in enumerate(workspace.run_batch(chunk)):
+                records.append(
+                    FaultRecord.from_result(start + base + offset, shard, result)
+                )
+        return records
+
     def encode(self, record: FaultRecord) -> dict:
         return record.to_json()
 
@@ -161,17 +194,25 @@ class CampaignRunner:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         campaign: FaultCampaign | None = None,
         share: bool = True,
+        batch_size: int | None = None,
+        persistent: bool = True,
     ):
         self.spec = spec
         self.workers = workers
         self.chunk_size = chunk_size
         self.share = share
+        # Execution knobs only — never recorded in artifacts: batch_size
+        # sizes the batched-kernel calls (None = whole shard at once),
+        # persistent reuses warm worker pools across runs and campaigns
+        # (:mod:`repro.exec.pool`).
+        self.batch_size = batch_size
+        self.persistent = persistent
         # An optional pre-built parent-side campaign skips re-running the
         # golden simulation when the caller already has an equivalent
         # context (e.g. a hash/policy sweep over one program).
         self._campaign = campaign
         self._workspace: Workspace | None = None
-        self._factory = CampaignWorkspaceFactory(spec)
+        self._factory = CampaignWorkspaceFactory(spec, batch_size=batch_size)
         validate_plan(workers=workers, chunk_size=chunk_size)
 
     @property
@@ -239,6 +280,7 @@ class CampaignRunner:
             workers=self.workers,
             workspace_supplier=lambda: self.workspace,
             share=self.share,
+            persistent=self.persistent,
         )
         result: HarnessResult = harness.run(
             out=out, resume=resume, stop_after_shards=stop_after_shards

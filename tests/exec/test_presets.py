@@ -1,0 +1,85 @@
+"""Campaign preset registry + the ``mibench-tiny`` workload roster.
+
+The preset registry is the CLI's contract (``tests/test_cli.py`` pins
+the parser's choice tuple against it); this file pins the presets'
+semantics — and gives the five MiBench-class workloads beyond the
+bitcount/dijkstra/sha trio (rijndael, susan, patricia, blowfish,
+basicmath) end-to-end campaign smoke coverage on the execution harness,
+not just the cache-shape assertions of ``tests/workloads``.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import CampaignRunner, CampaignSpec
+from repro.exec.presets import PRESETS, get_campaign_preset
+from repro.workloads import WORKLOAD_NAMES
+
+SEED = 7
+
+MIBENCH = get_campaign_preset("mibench-tiny")
+
+
+class TestRegistry:
+    def test_lookup_round_trips(self):
+        for name, preset in PRESETS.items():
+            assert get_campaign_preset(name) is preset
+            assert preset.name == name
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown campaign preset"):
+            get_campaign_preset("nosuch")
+
+    def test_rosters_name_real_workloads(self):
+        """Every preset's workload roster must resolve in the workload
+        suite — a renamed workload should fail here, not in the CLI."""
+        for preset in PRESETS.values():
+            for workload in preset.workloads:
+                assert workload in WORKLOAD_NAMES, (preset.name, workload)
+
+    def test_mibench_roster_extends_the_classic_trio(self):
+        assert MIBENCH.workloads == (
+            "rijndael",
+            "susan",
+            "patricia",
+            "blowfish",
+            "basicmath",
+        )
+        assert not set(MIBENCH.workloads) & {"bitcount", "dijkstra", "sha"}
+
+    def test_classic_presets_take_any_single_workload(self):
+        assert get_campaign_preset("smoke").workloads == ()
+        assert get_campaign_preset("exhaustive-single-bit").workloads == ()
+
+
+class TestMibenchTinySmoke:
+    """Each roster workload completes a tiny seeded campaign with full
+    detection coverage — the wiring the CLI's ``campaign all --preset
+    mibench-tiny`` sweep relies on."""
+
+    @pytest.mark.parametrize("workload", MIBENCH.workloads)
+    def test_campaign_completes_with_full_coverage(self, workload):
+        spec = CampaignSpec(
+            workload=workload, scale=MIBENCH.scale, backend=MIBENCH.backend
+        )
+        runner = CampaignRunner(spec, workers=1)
+        faults = MIBENCH.faults(runner.campaign, seed=SEED)
+        assert len(faults) == MIBENCH.fault_count
+        result = runner.run(faults, seed=SEED)
+        assert result.complete
+        report = result.report()
+        assert report.total == MIBENCH.fault_count
+        assert report.detection_rate == 1.0, report.summary()
+
+    def test_roster_faults_are_seed_deterministic(self):
+        spec = CampaignSpec(
+            workload=MIBENCH.workloads[0],
+            scale=MIBENCH.scale,
+            backend=MIBENCH.backend,
+        )
+        campaign = CampaignRunner(spec).campaign
+        first = MIBENCH.faults(campaign, seed=SEED)
+        second = MIBENCH.faults(campaign, seed=SEED)
+        assert [repr(fault) for fault in first] == [
+            repr(fault) for fault in second
+        ]
