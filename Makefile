@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-smoke perf-smoke campaign-smoke attack-smoke \
-	dse-smoke harness-smoke scaling-smoke clean
+	dse-smoke harness-smoke scaling-smoke obs-smoke clean
 
 test:  ## tier-1: the whole unit/integration suite, fail fast
 	$(PYTHON) -m pytest -x -q
@@ -72,6 +72,16 @@ dse-smoke:  ## tiny 2-worker DSE sweep through the CLI, with resume + frontier
 	    --json results/dse_smoke_frontier.json
 	$(PYTHON) -m repro dse report results/dse_smoke.jsonl \
 	    --out results/dse_smoke_report.txt
+
+# obs-smoke proves the telemetry pipeline end to end: a tiny golden
+# campaign leaves results/obs_smoke.metrics.json beside its JSONL
+# (manifest + merged spans/counters + per-shard stats), then
+# `repro stats --check` renders it and validates it against the metrics
+# schema — exiting 1 if the file is missing or malformed.
+obs-smoke:  ## tiny campaign -> metrics.json present, schema-valid, rendered
+	$(PYTHON) -m repro campaign bitcount --scale tiny --backend golden \
+	    --faults 24 --chunk 6 --seed 42 --out results/obs_smoke.jsonl
+	$(PYTHON) -m repro stats results/obs_smoke.metrics.json --check
 
 clean:
 	rm -rf results .pytest_cache

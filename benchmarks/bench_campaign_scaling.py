@@ -5,7 +5,9 @@ every registered execution backend (``full`` re-simulates every injection
 from instruction zero; ``golden`` forks the recorded golden run at the
 nearest checkpoint before the fault; ``pipeline-golden`` does the same on
 the cycle-level pipeline) at 1, 2, and 4 workers, records the throughput
-table under ``results/``, and asserts the engine's guarantees:
+table inside ``results/BENCH_bench_campaign_scaling.json`` (one
+schema-checked artifact per benchmark — no stray ``.txt`` sibling), and
+asserts the engine's guarantees:
 
 * aggregate statistics are byte-identical across backends, worker
   counts, *and* batch plans (outcomes are architectural);
@@ -111,7 +113,7 @@ def measurements():
     }
 
 
-def test_campaign_scaling(measurements, save_result, record_bench):
+def test_campaign_scaling(measurements, record_bench):
     cores = effective_cores()
     throughputs = measurements["throughputs"]
     unbatched = measurements["unbatched"]
@@ -140,8 +142,10 @@ def test_campaign_scaling(measurements, save_result, record_bench):
                 [backend, workers, "shard", f"{value:.1f}",
                  f"{value / baseline:.2f}x"]
             )
-    save_result("campaign_scaling", table.render())
+    # The rendered table rides inside the BENCH record (one artifact per
+    # benchmark, schema-checked) instead of a stray results/*.txt sibling.
     record_bench(
+        table=table.render().splitlines(),
         cores=os.cpu_count() or 1,
         effective_cores=cores,
         faults=FAULT_COUNT,

@@ -6,6 +6,12 @@ module accumulates a machine-readable ``results/BENCH_<module>.json`` —
 wall-clock seconds per test (recorded automatically) plus whatever key
 stats the test adds via ``record_bench`` — so the performance trajectory
 is trackable across PRs with ``git diff``-able artifacts.
+
+Every BENCH file carries a ``manifest`` block (host, effective cores,
+Python — :func:`repro.obs.metrics.environment`) so a committed number is
+never divorced from the machine that produced it, and conforms to
+:data:`repro.obs.schema.BENCH_SCHEMA` (pinned for every committed file
+by ``tests/obs/test_schema.py``).
 """
 
 from __future__ import annotations
@@ -16,7 +22,13 @@ import time
 
 import pytest
 
+from repro.obs.log import log
+from repro.obs.metrics import environment
+
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: One manifest per session: the numbers in a file were measured together.
+MANIFEST = environment()
 
 
 @pytest.fixture(scope="session")
@@ -32,7 +44,8 @@ def save_result(results_dir):
     def writer(name: str, text: str) -> None:
         path = results_dir / f"{name}.txt"
         path.write_text(text + "\n")
-        print(f"\n{text}\n[saved to {path}]")
+        print(f"\n{text}")
+        log.info(f"saved {name} table", path=str(path))
 
     return writer
 
@@ -67,6 +80,8 @@ def record_bench(results_dir, request, _bench_json_reset):
             except json.JSONDecodeError:
                 pass  # torn file from an interrupted run: start fresh
         _bench_json_reset.add(path)
+        # Provenance: which host measured the numbers in this file.
+        payload["manifest"] = MANIFEST
         entry = payload["results"].setdefault(request.node.name, {})
         entry.update(stats)
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -26,6 +26,14 @@ Commands
     Regenerate every paper table/figure into ``results/`` (equivalent to
     ``examples/paper_experiments.py``).
 
+``stats PATH``
+    Render the ``*.metrics.json`` telemetry artifacts written beside
+    campaign/DSE results files (:mod:`repro.obs`): run manifest, span
+    tree with wall-time shares, counters, and per-shard / per-worker
+    breakdowns.  PATH is one metrics file or a directory to scan
+    recursively; ``--check`` additionally validates every file against
+    the metrics schema.
+
 ``dse sweep|frontier|report``
     Drive the design-space explorer (:mod:`repro.dse`).  ``sweep``
     evaluates a configuration grid — ``--preset NAME`` or explicit axis
@@ -66,6 +74,15 @@ Exit codes are uniform across commands: ``0`` success, ``1`` usage or
 toolchain error (including assembly failures), ``2`` a
 :class:`~repro.errors.MonitorViolation` — so scripts can distinguish
 "the monitor caught tampering" from "the tool failed".
+
+Every subcommand takes the uniform observability flags: ``-v/--verbose``
+(debug-level progress), ``-q/--quiet`` (warnings and errors only), and
+``--no-telemetry`` (disable the :mod:`repro.obs` instruments — results
+are byte-identical either way).  Progress goes through the shared
+structured logger (:mod:`repro.obs.log`) on stderr; stdout stays
+machine-clean.  ``run``/``monitor``/``workload`` additionally take
+``--profile`` to print a host-time fetch/decode/execute/monitor phase
+breakdown of the simulated run.
 """
 
 from __future__ import annotations
@@ -77,6 +94,8 @@ import sys
 from repro import __version__
 from repro.asm.assembler import assemble
 from repro.errors import MonitorViolation, ReproError
+from repro.obs import core as obs_core
+from repro.obs.log import log, set_level
 from repro.osmodel.loader import load_process
 from repro.pipeline.cpu import PipelineCPU
 from repro.pipeline.funcsim import FuncSim
@@ -110,14 +129,34 @@ def cmd_asm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _maybe_profile(args: argparse.Namespace, simulator):
+    """Attach the opt-in phase profiler (``--profile``) to *simulator*."""
+    if not getattr(args, "profile", False):
+        return None
+    from repro.obs import PhaseProfiler
+
+    return PhaseProfiler().attach(simulator)
+
+
+def _run_profiled(args: argparse.Namespace, simulator):
+    """Run *simulator*, printing the phase table even when the run raises
+    (a ``monitor --flip`` violation still deserves its breakdown)."""
+    profiler = _maybe_profile(args, simulator)
+    try:
+        return simulator.run()
+    finally:
+        if profiler is not None:
+            print(profiler.render(), file=sys.stderr)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     program = assemble(_read_source(args.file), name=args.file)
     simulator = _engine(args.engine)(program, inputs=args.input or None)
-    result = simulator.run()
+    result = _run_profiled(args, simulator)
     if result.console:
         print(result.console, end="" if result.console.endswith("\n") else "\n")
-    print(f"; exit {result.exit_code}, {result.instructions} instructions, "
-          f"{result.cycles} cycles ({args.engine})", file=sys.stderr)
+    log.info(f"exit {result.exit_code}, {result.instructions} instructions, "
+             f"{result.cycles} cycles ({args.engine})")
     return result.exit_code
 
 
@@ -135,16 +174,16 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     for spec in args.flip or []:
         address_text, _, bit_text = spec.partition(":")
         simulator.state.memory.flip_bit(int(address_text, 0), int(bit_text))
-    result = simulator.run()  # a MonitorViolation exits 2 via main()
+    # A MonitorViolation exits 2 via main().
+    result = _run_profiled(args, simulator)
     stats = result.monitor_stats
     if result.console:
         print(result.console, end="" if result.console.endswith("\n") else "\n")
-    print(
-        f"; cycles {result.cycles}, lookups {stats.lookups}, "
+    log.info(
+        f"cycles {result.cycles}, lookups {stats.lookups}, "
         f"hits {stats.hits}, misses {stats.misses} "
         f"(miss rate {100 * stats.miss_rate:.2f}%), "
-        f"OS cycles {stats.os_cycles}",
-        file=sys.stderr,
+        f"OS cycles {stats.os_cycles}"
     )
     return result.exit_code
 
@@ -153,8 +192,8 @@ def cmd_workload(args: argparse.Namespace) -> int:
     from repro.workloads.suite import WORKLOAD_NAMES, build, workload_inputs
 
     if args.name not in WORKLOAD_NAMES:
-        print(f"unknown workload {args.name!r}; "
-              f"choose from: {', '.join(WORKLOAD_NAMES)}", file=sys.stderr)
+        log.error(f"unknown workload {args.name!r}; "
+                  f"choose from: {', '.join(WORKLOAD_NAMES)}")
         return 1
     program = build(args.name, args.scale)
     process = load_process(program, iht_size=args.iht, hash_name=args.hash)
@@ -163,14 +202,13 @@ def cmd_workload(args: argparse.Namespace) -> int:
         monitor=process.monitor,
         inputs=workload_inputs(args.name, args.scale),
     )
-    result = simulator.run()
+    result = _run_profiled(args, simulator)
     stats = result.monitor_stats
     print(result.console, end="" if result.console.endswith("\n") else "\n")
-    print(
-        f"; {args.name}[{args.scale}]: {result.instructions} instructions, "
+    log.info(
+        f"{args.name}[{args.scale}]: {result.instructions} instructions, "
         f"{result.cycles} cycles, miss rate {100 * stats.miss_rate:.2f}% "
-        f"@ IHT {args.iht}",
-        file=sys.stderr,
+        f"@ IHT {args.iht}"
     )
     return 0
 
@@ -189,10 +227,9 @@ def _resolve_target(target: str) -> tuple[str | None, str | None, str | None]:
         return target, None, None
     if os.path.exists(target):
         return None, _read_source(target), target
-    print(
+    log.error(
         f"unknown target {target!r}: not a workload "
-        f"({', '.join(WORKLOAD_NAMES)}) and no such file",
-        file=sys.stderr,
+        f"({', '.join(WORKLOAD_NAMES)}) and no such file"
     )
     return None, None, None
 
@@ -266,9 +303,9 @@ def _run_campaign(
             print(f"  {outcome.value:20s} {counts[outcome]}")
     if out:
         state = "complete" if result.complete else "partial"
-        print(f"; {state} results in {out} "
-              f"({len(result.records)}/{result.total} faults, "
-              f"{args.workers} workers)", file=sys.stderr)
+        log.info(f"{state} results in {out} "
+                 f"({len(result.records)}/{result.total} faults, "
+                 f"{args.workers} workers)")
     return 0
 
 
@@ -300,12 +337,11 @@ def cmd_attack(args: argparse.Namespace) -> int:
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(result.render_json())
-        print(f"; detection matrix written to {args.json}", file=sys.stderr)
+        log.info(f"detection matrix written to {args.json}")
     if result.out_files:
-        print(
-            f"; per-scenario records in {', '.join(result.out_files)} "
-            f"({args.workers} workers)",
-            file=sys.stderr,
+        log.info(
+            f"per-scenario records in {', '.join(result.out_files)} "
+            f"({args.workers} workers)"
         )
     return 0
 
@@ -356,14 +392,13 @@ def cmd_dse_sweep(args: argparse.Namespace) -> int:
         stop_after_shards=args.stop_after_shards,
     )
     print(result.table().render())
-    print(f"; {result.summary()}", file=sys.stderr)
+    log.info(f"{result.summary()}")
     if args.out:
         state = "complete" if result.complete else "partial"
-        print(
-            f"; {state} point records in {args.out} "
+        log.info(
+            f"{state} point records in {args.out} "
             f"({len(result.points)}/{result.total} configurations, "
-            f"{args.workers} workers)",
-            file=sys.stderr,
+            f"{args.workers} workers)"
         )
     return 0
 
@@ -376,7 +411,7 @@ def _frontier_report(args: argparse.Namespace):
     )
     header, points = load_points(args.points)
     if not points:
-        print(f"error: {args.points} holds no point records", file=sys.stderr)
+        log.error(f"error: {args.points} holds no point records")
         return None, None
     return header, FrontierReport.build(points, objectives)
 
@@ -389,7 +424,7 @@ def cmd_dse_frontier(args: argparse.Namespace) -> int:
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(report.render_json())
-        print(f"; frontier written to {args.json}", file=sys.stderr)
+        log.info(f"frontier written to {args.json}")
     return 0
 
 
@@ -427,8 +462,36 @@ def cmd_dse_report(args: argparse.Namespace) -> int:
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
-        print(f"; report written to {args.out}", file=sys.stderr)
+        log.info(f"report written to {args.out}")
     return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import find_metrics, load_metrics, render_metrics
+    from repro.obs.schema import validate_metrics
+
+    files = find_metrics(args.path)
+    if not files:
+        log.error(f"error: no metrics files under {args.path} "
+                  "(runs emit them beside --out when telemetry is on)")
+        return 1
+    status = 0
+    reports = []
+    for path in files:
+        payload = load_metrics(path)
+        if args.check:
+            errors = validate_metrics(payload)
+            for problem in errors:
+                log.error(f"{path}: {problem}")
+            if errors:
+                status = 1
+        reports.append(
+            render_metrics(payload, path=path if len(files) > 1 else None)
+        )
+    print("\n\n".join(reports))
+    if args.check and status == 0:
+        log.info(f"{len(files)} metrics file(s) schema-valid")
+    return status
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
@@ -462,9 +525,31 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
-    commands = parser.add_subparsers(dest="command", required=True)
 
-    asm_command = commands.add_parser("asm", help="assemble and list")
+    # Uniform observability flags, shared by every subcommand via the
+    # argparse parents= mechanism so `repro campaign -v ...` and
+    # `repro dse sweep -v ...` mean the same thing (repro.obs.log).
+    observability = argparse.ArgumentParser(add_help=False)
+    observability.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="debug-level progress on stderr",
+    )
+    observability.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only warnings and errors on stderr",
+    )
+    observability.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable execution telemetry (repro.obs counters/spans and "
+             "the *.metrics.json written beside --out); results are "
+             "byte-identical either way",
+    )
+
+    commands = parser.add_subparsers(dest="command", required=True)
+    obs = [observability]
+
+    asm_command = commands.add_parser("asm", help="assemble and list",
+                                      parents=obs)
     asm_command.add_argument("file")
     asm_command.set_defaults(handler=cmd_asm)
 
@@ -475,14 +560,25 @@ def build_parser() -> argparse.ArgumentParser:
             help="queue an integer for read_int (repeatable)",
         )
 
-    run_command = commands.add_parser("run", help="execute unmonitored")
+    def _profile_flag(sub):
+        sub.add_argument(
+            "--profile", action="store_true",
+            help="print a host-time fetch/decode/execute/monitor phase "
+                 "breakdown of the run to stderr (repro.obs.PhaseProfiler)",
+        )
+
+    run_command = commands.add_parser("run", help="execute unmonitored",
+                                      parents=obs)
     run_command.add_argument("file")
     _common_run_flags(run_command)
+    _profile_flag(run_command)
     run_command.set_defaults(handler=cmd_run)
 
-    monitor_command = commands.add_parser("monitor", help="execute monitored")
+    monitor_command = commands.add_parser("monitor", help="execute monitored",
+                                          parents=obs)
     monitor_command.add_argument("file")
     _common_run_flags(monitor_command)
+    _profile_flag(monitor_command)
     monitor_command.add_argument("--iht", type=int, default=8)
     monitor_command.add_argument("--hash", default="xor")
     monitor_command.add_argument("--policy", default="lru_half")
@@ -492,7 +588,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     monitor_command.set_defaults(handler=cmd_monitor)
 
-    workload_command = commands.add_parser("workload", help="run a workload")
+    workload_command = commands.add_parser("workload", help="run a workload",
+                                           parents=obs)
     workload_command.add_argument("name")
     workload_command.add_argument(
         "--scale", choices=("tiny", "small", "default"), default="small"
@@ -501,10 +598,11 @@ def build_parser() -> argparse.ArgumentParser:
                                   default="func")
     workload_command.add_argument("--iht", type=int, default=8)
     workload_command.add_argument("--hash", default="xor")
+    _profile_flag(workload_command)
     workload_command.set_defaults(handler=cmd_workload)
 
     campaign_command = commands.add_parser(
-        "campaign", help="parallel fault-injection campaign"
+        "campaign", help="parallel fault-injection campaign", parents=obs
     )
     campaign_command.add_argument(
         "target", help="workload name or assembly file path"
@@ -569,7 +667,8 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_command.set_defaults(handler=cmd_campaign)
 
     attack_command = commands.add_parser(
-        "attack", help="adversarial tampering sweep + detection matrix"
+        "attack", help="adversarial tampering sweep + detection matrix",
+        parents=obs,
     )
     attack_command.add_argument(
         "target", help="workload name or assembly file path"
@@ -633,7 +732,7 @@ def build_parser() -> argparse.ArgumentParser:
     dse_commands = dse_command.add_subparsers(dest="dse_command", required=True)
 
     sweep_command = dse_commands.add_parser(
-        "sweep", help="evaluate a monitor-configuration grid"
+        "sweep", help="evaluate a monitor-configuration grid", parents=obs
     )
     sweep_command.add_argument(
         "--preset", metavar="NAME",
@@ -712,7 +811,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_command.set_defaults(handler=cmd_dse_sweep)
 
     frontier_command = dse_commands.add_parser(
-        "frontier", help="Pareto frontier of a sweep file"
+        "frontier", help="Pareto frontier of a sweep file", parents=obs
     )
     frontier_command.add_argument(
         "points", help="JSONL sweep file written by `dse sweep --out`"
@@ -728,7 +827,7 @@ def build_parser() -> argparse.ArgumentParser:
     frontier_command.set_defaults(handler=cmd_dse_frontier)
 
     report_command = dse_commands.add_parser(
-        "report", help="ranked trade-off report of a sweep file"
+        "report", help="ranked trade-off report of a sweep file", parents=obs
     )
     report_command.add_argument(
         "points", help="JSONL sweep file written by `dse sweep --out`"
@@ -742,8 +841,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_command.set_defaults(handler=cmd_dse_report)
 
+    stats_command = commands.add_parser(
+        "stats", help="render run telemetry (*.metrics.json)", parents=obs
+    )
+    stats_command.add_argument(
+        "path", help="one metrics file, or a directory scanned recursively"
+    )
+    stats_command.add_argument(
+        "--check", action="store_true",
+        help="also validate each file against the metrics schema "
+             "(repro.obs.schema); exit 1 on any violation",
+    )
+    stats_command.set_defaults(handler=cmd_stats)
+
     experiments_command = commands.add_parser(
-        "experiments", help="regenerate paper tables/figures"
+        "experiments", help="regenerate paper tables/figures", parents=obs
     )
     experiments_command.add_argument(
         "--scale", choices=("tiny", "small", "default"), default="default"
@@ -752,21 +864,43 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _apply_observability(args: argparse.Namespace) -> None:
+    """Map the uniform flags onto the process-wide logger and telemetry.
+
+    The level is set unconditionally (not only when a flag is given) so
+    repeated in-process ``main()`` calls — the test suite's idiom — don't
+    leak one invocation's verbosity into the next.
+    """
+    if getattr(args, "quiet", False):
+        set_level("warning")
+    elif getattr(args, "verbose", False):
+        set_level("debug")
+    else:
+        set_level("info")
+    if getattr(args, "no_telemetry", False):
+        obs_core.set_enabled(False)
+    else:
+        obs_core.set_enabled(
+            os.environ.get(obs_core.ENV_SWITCH, "1") != "0"
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _apply_observability(args)
     try:
         return args.handler(args)
     except MonitorViolation as violation:
         # A detection event, not a tool failure: distinct exit code so
         # scripts can tell "tampering caught" from "invocation broken".
-        print(f"VIOLATION: {violation}", file=sys.stderr)
+        log.error(f"VIOLATION: {violation}")
         return EXIT_VIOLATION
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
+        log.error(f"error: {error}")
         return 1
     except OSError as error:
-        print(f"error: {error}", file=sys.stderr)
+        log.error(f"error: {error}")
         return 1
 
 

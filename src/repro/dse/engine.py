@@ -365,6 +365,15 @@ class DseWorkspaceFactory(WorkspaceFactory):
     def decode(self, data: dict) -> DsePoint:
         return DsePoint.from_json(data)
 
+    def describe(self) -> dict:
+        """Sweep provenance for the run's metrics manifest."""
+        return {
+            "backend": self.backend,
+            "workloads": list(self.space.workloads),
+            "scale": self.space.scale,
+            "adversary": self.space.adversary,
+        }
+
     def check_resume_header(self, header: dict, out: str) -> None:
         """Refuse mixing cycle-measuring and functional point records.
 

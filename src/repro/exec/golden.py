@@ -47,6 +47,7 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.obs import core as obs
 from repro.faults.campaign import (
     CampaignContext,
     FaultResult,
@@ -211,6 +212,13 @@ def build_golden_store(
         interval = checkpoint_interval(context.golden_instructions)
     if interval < 1:
         raise ConfigurationError(f"checkpoint interval must be >= 1: {interval}")
+    with obs.span("golden.record"):
+        return _record_golden_store(context, warm, interval)
+
+
+def _record_golden_store(
+    context: CampaignContext, warm: WarmProcess, interval: int
+) -> GoldenStore:
     checker = warm.fresh_checker(context)
     recorder = _FetchRecorder()
     simulator = FuncSim(
@@ -260,6 +268,8 @@ def build_golden_store(
     for address, reads in memory.word_reads.items():
         if reads > fetch_counts.get(address, 0):
             unsafe.add(address)
+    obs.count("golden.stores_recorded")
+    obs.count("golden.checkpoints", len(checkpoints))
     return GoldenStore(
         context=context,
         warm=warm,
@@ -343,9 +353,12 @@ def run_one_golden(store: GoldenStore, fault) -> FaultResult:
     if delivery is None and not unsafe:
         # No fetch ever delivers the corruption and no data read sees it:
         # the faulty run is the golden run, byte for byte.
+        obs.count("golden.benign_free")
         return FaultResult(fault, Outcome.BENIGN, "")
     seekable = all(hasattr(part, "seek") for part in transients)
+    obs.count("golden.fork")
     if unsafe or not seekable:
+        obs.count("golden.fork_at_zero")
         checkpoint = store.checkpoints[0]
     else:
         checkpoint = store.checkpoint_before(delivery)
@@ -409,8 +422,10 @@ def run_batch_golden(store: GoldenStore, faults) -> list[FaultResult]:
         )
         delivery = _delivery_ordinal(store, persistents, transients)
         if delivery is None and not unsafe:
+            obs.count("golden.benign_free")
             results[index] = FaultResult(fault, Outcome.BENIGN, "")
         elif unsafe or not all(hasattr(part, "seek") for part in transients):
+            obs.count("golden.batch.fallback")
             results[index] = run_one_golden(store, fault)
         else:
             planned.append((index, fault, persistents, transients, delivery))
@@ -439,9 +454,14 @@ def run_batch_golden(store: GoldenStore, faults) -> list[FaultResult]:
     micro_at: int | None = None
     micro: tuple | None = None
     for index, fault, persistents, transients, delivery in planned:
+        obs.count("golden.batch.fork")
         fork = delivery - 1
         if micro_at != fork:
             checkpoint = store.checkpoint_before(delivery)
+            # Prefix accounting: per-fault forking would replay from the
+            # coarse checkpoint every time; the advancer replays only the
+            # gap from wherever it already stands.
+            naive_prefix = max(fork - checkpoint.instructions, 0)
             if advancer_position is None or advancer_position > fork:
                 # First use, or a fallback run_one_golden interleaved a
                 # rewind: jump back via the coarse checkpoint.
@@ -457,15 +477,21 @@ def run_batch_golden(store: GoldenStore, faults) -> list[FaultResult]:
                 advancer_checker.restore(checkpoint.checker)
                 advancer_checker.handler.restore(checkpoint.handler)
                 advancer_position = checkpoint.instructions
+            replayed = max(fork - advancer_position, 0)
             if fork > advancer_position:
                 advancer.run(until=fork)
                 advancer_position = fork
+            obs.count("golden.batch.micro_snapshots")
+            obs.count("golden.batch.prefix_replayed", replayed)
+            obs.count("golden.batch.prefix_saved", naive_prefix - replayed)
             micro = (
                 advancer.snapshot(),
                 advancer_checker.snapshot(),
                 advancer_checker.handler.snapshot(),
             )
             micro_at = fork
+        else:
+            obs.count("golden.batch.micro_reuse")
         probe = make_probe(persistents, transients)
         runner.fetch_hook = probe
         runner.restore(micro[0])

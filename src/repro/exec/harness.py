@@ -50,15 +50,32 @@ Checkpoint-store sharing
     every worker instead of re-recorded per worker.  Results are
     identical either way; ``share=False`` opts a runner out (the
     benchmarks measure both paths).
+
+Telemetry
+    Every run is observed through :mod:`repro.obs`: workers accumulate
+    counters and spans process-locally and drain them per shard, the
+    parent merges each delta at shard commit (riding the same seam the
+    JSONL records cross), and a ``<out>.metrics.json`` manifest +
+    metrics artifact lands beside the results file.  Strictly an
+    observer — results files are byte-identical with telemetry on, off,
+    or at any verbosity (``tests/obs/test_neutrality.py`` pins this).
 """
 
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import ConfigurationError
+from repro.obs import core as obs
+from repro.obs.metrics import (
+    build_payload,
+    environment,
+    metrics_path,
+    write_metrics,
+)
 from repro.exec.records import dump_line, load_lines
 from repro.exec.sharing import SharedPayload, publish, release
 from repro.exec.spec import shard_seed
@@ -149,6 +166,16 @@ class WorkspaceFactory:
         cycle-measuring backend with functional-backend points).  The
         default accepts everything the generic checks accepted.
         """
+
+    def describe(self) -> dict:
+        """Client-specific manifest fields for the run's metrics artifact.
+
+        Merged verbatim into the ``manifest`` of the ``.metrics.json``
+        written beside the results file (backend, batch plan, workload
+        set, ...).  Provenance only — nothing here may influence
+        execution or the results artifact.  The default adds nothing.
+        """
+        return {}
 
 
 @dataclass(slots=True)
@@ -250,11 +277,14 @@ class MeasureCache:
     def get(self, key, build: Callable):
         """The cached value for *key*, computing it via *build()* once."""
         try:
-            return self._data[key]
+            value = self._data[key]
         except KeyError:
+            obs.count("measure_cache.miss")
             value = build()
             self._data[key] = value
             return value
+        obs.count("measure_cache.hit")
+        return value
 
     def __contains__(self, key) -> bool:
         return key in self._data
@@ -280,6 +310,10 @@ def _pool_init(factory: WorkspaceFactory, ticket: SharedPayload | None) -> None:
     from the parent's shared payload when one was published, otherwise
     from scratch out of the picklable factory."""
     global _WORKER_FACTORY, _WORKER_WORKSPACE
+    # Under fork the worker inherits the parent's accumulated telemetry;
+    # clear it so the first shard's drained delta holds only what this
+    # worker measured itself (parent-side counts are merged parent-side).
+    obs.local().clear()
     _WORKER_FACTORY = factory
     shared = ticket.attach() if ticket is not None else None
     _WORKER_WORKSPACE = factory.build(shared=shared)
@@ -287,12 +321,34 @@ def _pool_init(factory: WorkspaceFactory, ticket: SharedPayload | None) -> None:
 
 def _run_shard(
     factory: WorkspaceFactory, workspace, task: ShardTask
-) -> tuple[int, list]:
+) -> tuple[int, list, dict]:
+    """Execute one shard; return ``(shard_id, records, meta)``.
+
+    ``meta`` is the execution-side observation the parent folds in at
+    shard commit: which worker ran the shard, its wall seconds and record
+    count, and — when telemetry is enabled — the worker's drained
+    :class:`~repro.obs.core.Telemetry` delta (kernel counters and spans
+    accumulated since the previous drain; a worker's warm-up counters
+    ride along with its first shard).  Draining per shard is what keeps
+    persistent pool workers from leaking telemetry across runs.
+    """
     shard_id, start, items, _seed = task
-    return shard_id, factory.run_items(workspace, start, shard_id, items)
+    telemetry = obs.local()
+    started = time.perf_counter()
+    with telemetry.span("shard"):
+        records = factory.run_items(workspace, start, shard_id, items)
+    meta = {
+        "shard": shard_id,
+        "worker": os.getpid(),
+        "seconds": time.perf_counter() - started,
+        "records": len(records),
+    }
+    if telemetry.enabled:
+        meta["telemetry"] = telemetry.drain()
+    return shard_id, records, meta
 
 
-def _pool_shard(task: ShardTask) -> tuple[int, list]:
+def _pool_shard(task: ShardTask) -> tuple[int, list, dict]:
     assert _WORKER_WORKSPACE is not None, "pool worker used before _pool_init"
     return _run_shard(_WORKER_FACTORY, _WORKER_WORKSPACE, task)
 
@@ -420,57 +476,119 @@ class HarnessRunner:
         if resume and out_path is None:
             raise ConfigurationError("resume=True requires out=")
 
+        # Run-level telemetry is a dedicated instance: parent spans live
+        # here, worker deltas merge in at shard commit, and the process-
+        # local accumulator is drained around the run so client-side setup
+        # (contexts, corpora) and parent-side counters (pool reuse, shm
+        # publishes) are folded in without leaking across runs.  Pure
+        # observation: the results artifact is byte-identical either way.
+        collect = obs.enabled()
+        telem = obs.Telemetry(enabled=collect)
+        shard_stats: list[dict] = []
+        executed = 0
+        if collect:
+            telem.merge(obs.local().drain())
+
         done_shards: set[int] = set()
         records: list = []
         resuming = resume and out_path is not None and os.path.exists(out_path)
-        if resuming:
-            loaded = self._load_resume(out_path)
-            if loaded is None:
-                resuming = False  # empty file: died before the header
-            else:
-                done_shards, records = loaded
+        with telem.span("run"):
+            if resuming:
+                with telem.span("resume"):
+                    loaded = self._load_resume(out_path)
+                if loaded is None:
+                    resuming = False  # empty file: died before the header
+                else:
+                    done_shards, records = loaded
+                    telem.count("harness.resume.shards", len(done_shards))
+                    telem.count("harness.resume.records", len(records))
 
-        pending = [
-            task for task in job.shards() if task[0] not in done_shards
-        ]
-        if stop_after_shards is not None:
-            pending = pending[:stop_after_shards]
+            pending = [
+                task for task in job.shards() if task[0] not in done_shards
+            ]
+            if stop_after_shards is not None:
+                pending = pending[:stop_after_shards]
 
-        handle = None
-        if out_path is not None:
-            handle = open(out_path, "a" if resuming else "w", encoding="utf-8")
-            if not resuming:
-                handle.write(dump_line(job.header()))
-                handle.flush()
-
-        def commit(shard_id: int, shard_records: list) -> None:
-            records.extend(shard_records)
-            if handle is not None:
-                for record in shard_records:
-                    handle.write(dump_line(job.factory.encode(record)))
-                handle.write(
-                    dump_line(
-                        {
-                            "type": "shard-done",
-                            "shard": shard_id,
-                            "seed": shard_seed(job.seed, shard_id),
-                        }
-                    )
+            handle = None
+            if out_path is not None:
+                handle = open(
+                    out_path, "a" if resuming else "w", encoding="utf-8"
                 )
-                handle.flush()
+                if not resuming:
+                    handle.write(dump_line(job.header()))
+                    handle.flush()
 
-        try:
-            if self.workers == 1 or len(pending) <= 1:
-                workspace = self.workspace
-                for task in pending:
-                    commit(*_run_shard(job.factory, workspace, task))
-            else:
-                self._run_pool(pending, commit)
-        finally:
-            if handle is not None:
-                handle.close()
+            def commit(shard_id: int, shard_records: list, meta: dict) -> None:
+                nonlocal executed
+                records.extend(shard_records)
+                executed += len(shard_records)
+                telem.count("harness.shards.executed")
+                telem.count("harness.records.executed", len(shard_records))
+                if collect:
+                    telem.merge(meta.get("telemetry"))
+                    shard_stats.append(meta)
+                if handle is not None:
+                    for record in shard_records:
+                        handle.write(dump_line(job.factory.encode(record)))
+                    handle.write(
+                        dump_line(
+                            {
+                                "type": "shard-done",
+                                "shard": shard_id,
+                                "seed": shard_seed(job.seed, shard_id),
+                            }
+                        )
+                    )
+                    handle.flush()
+
+            try:
+                with telem.span("execute"):
+                    if self.workers == 1 or len(pending) <= 1:
+                        workspace = self.workspace
+                        for task in pending:
+                            commit(*_run_shard(job.factory, workspace, task))
+                    else:
+                        self._run_pool(pending, commit)
+            finally:
+                if handle is not None:
+                    handle.close()
+
+        if collect:
+            telem.merge(obs.local().drain())
+            execute = telem.spans.get("run/execute")
+            if executed and execute and execute["seconds"] > 0:
+                telem.gauge(
+                    "run.records_per_second", executed / execute["seconds"]
+                )
+            if out_path is not None:
+                self._write_metrics(out_path, telem, shard_stats, resuming)
 
         return HarnessResult(job=job, records=records, out=out_path)
+
+    def _write_metrics(
+        self, out_path: str, telem, shard_stats: list[dict], resumed: bool
+    ) -> None:
+        """Emit the ``.metrics.json`` sibling of a finished run's file."""
+        job = self.job
+        manifest = {
+            **environment(),
+            "kind": job.factory.kind,
+            "seed": job.seed,
+            "total": job.total,
+            "chunk_size": job.chunk_size,
+            "version": job.version,
+            "fingerprint": job.payload.get("fingerprint"),
+            "workers": self.workers,
+            "share": self.share,
+            "persistent": self.persistent,
+            "resumed": bool(resumed),
+            "out": os.path.basename(out_path),
+            **job.factory.describe(),
+        }
+        write_metrics(
+            metrics_path(out_path),
+            build_payload(manifest, telem, shard_stats),
+        )
 
     def _shared_payload(self):
         return self.job.factory.shared_payload(self.workspace)
@@ -488,8 +606,8 @@ class HarnessRunner:
                 self.share,
                 self._shared_payload if self.share else lambda: None,
             )
-            for shard_id, shard_records in pool.imap_shards(pending):
-                commit(shard_id, shard_records)
+            for shard_id, shard_records, meta in pool.imap_shards(pending):
+                commit(shard_id, shard_records, meta)
             return
         import multiprocessing
 
@@ -511,9 +629,9 @@ class HarnessRunner:
                 initializer=_pool_init,
                 initargs=(self.job.factory, ticket),
             ) as pool:
-                for shard_id, shard_records in pool.imap_unordered(
+                for shard_id, shard_records, meta in pool.imap_unordered(
                     _pool_shard, pending
                 ):
-                    commit(shard_id, shard_records)
+                    commit(shard_id, shard_records, meta)
         finally:
             release(ticket)

@@ -43,6 +43,7 @@ from repro.errors import (
     MonitorViolation,
     SimulationError,
 )
+from repro.obs import core as obs
 from repro.faults.campaign import (
     CampaignContext,
     FaultResult,
@@ -154,6 +155,13 @@ def build_pipeline_golden_store(
         interval = checkpoint_interval(context.golden_instructions)
     if interval < 1:
         raise ConfigurationError(f"checkpoint interval must be >= 1: {interval}")
+    with obs.span("pipeline_golden.record"):
+        return _record_pipeline_store(context, warm, interval)
+
+
+def _record_pipeline_store(
+    context: CampaignContext, warm: WarmProcess, interval: int
+) -> PipelineGoldenStore:
     recorder = _PipelineFetchRecorder()
     cpu, checker = _fresh_cpu(context, warm, recorder)
     memory = _ReadRecordingMemory(
@@ -195,6 +203,8 @@ def build_pipeline_golden_store(
     for address, reads in memory.word_reads.items():
         if reads > fetch_counts.get(address, 0):
             unsafe.add(address)
+    obs.count("pipeline_golden.stores_recorded")
+    obs.count("pipeline_golden.checkpoints", len(checkpoints))
     return PipelineGoldenStore(
         context=context,
         warm=warm,
@@ -375,7 +385,9 @@ def run_one_pipeline_golden(store: PipelineGoldenStore, fault) -> FaultResult:
     """
     plan = _plan_fork(store, fault)
     if plan is None:
+        obs.count("pipeline_golden.benign_by_plan")
         return FaultResult(fault, Outcome.BENIGN, "", cycles=store.golden_cycles)
+    obs.count("pipeline_golden.fork")
     cpu, checker = _fresh_cpu(store.context, store.warm, None)
     return _run_fork(store, fault, plan, cpu, checker)
 
@@ -399,11 +411,15 @@ def run_batch_pipeline_golden(
     for fault in faults:
         plan = _plan_fork(store, fault)
         if plan is None:
+            obs.count("pipeline_golden.benign_by_plan")
             results.append(
                 FaultResult(fault, Outcome.BENIGN, "", cycles=store.golden_cycles)
             )
             continue
+        obs.count("pipeline_golden.fork")
         if cpu is None:
             cpu, checker = _fresh_cpu(store.context, store.warm, None)
+        else:
+            obs.count("pipeline_golden.machine_reuse")
         results.append(_run_fork(store, fault, plan, cpu, checker))
     return results

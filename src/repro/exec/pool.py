@@ -44,6 +44,7 @@ import atexit
 import pickle
 from typing import Callable
 
+from repro.obs import core as obs
 from repro.exec.sharing import SharedPayload, publish, release
 
 #: Live pools kept before least-recently-used eviction kicks in.  Four
@@ -126,6 +127,7 @@ def acquire(
     key = _factory_key(factory, workers, share)
     pool = _POOLS.pop(key, None)
     if pool is None:
+        obs.count("pool.build")
         ticket = None
         if share:
             payload = payload_supplier()
@@ -133,7 +135,10 @@ def acquire(
                 ticket = publish(payload)
         pool = WarmPool(key, factory, workers, ticket)
         while len(_POOLS) >= MAX_POOLS:
+            obs.count("pool.evict")
             _POOLS.pop(next(iter(_POOLS))).close()
+    else:
+        obs.count("pool.reuse")
     _POOLS[key] = pool  # (re)append: most recently used sits last
     return pool
 

@@ -41,6 +41,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
+from repro.obs import core as obs
 from repro.attacks.scenario import AttackScenario
 from repro.errors import ConfigurationError
 from repro.faults.campaign import FaultResult, Outcome
@@ -155,5 +156,6 @@ def load_lines(path) -> list[dict]:
             try:
                 entries.append(json.loads(line))
             except json.JSONDecodeError:
+                obs.count("records.torn_lines")
                 continue
     return entries

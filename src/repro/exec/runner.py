@@ -36,6 +36,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.obs import core as obs
 from repro.faults.campaign import (
     CampaignContext,
     CampaignReport,
@@ -155,7 +156,9 @@ class CampaignWorkspaceFactory(WorkspaceFactory):
     def run_item(
         self, workspace: Workspace, index: int, shard: int, item
     ) -> FaultRecord:
-        return FaultRecord.from_result(index, shard, workspace.run_fault(item))
+        result = workspace.run_fault(item)
+        obs.count(f"outcome.{result.outcome.value}")
+        return FaultRecord.from_result(index, shard, result)
 
     def run_items(
         self, workspace: Workspace, start: int, shard: int, items: list
@@ -172,6 +175,7 @@ class CampaignWorkspaceFactory(WorkspaceFactory):
         for base in range(0, len(items), max(size, 1)):
             chunk = items[base : base + size]
             for offset, result in enumerate(workspace.run_batch(chunk)):
+                obs.count(f"outcome.{result.outcome.value}")
                 records.append(
                     FaultRecord.from_result(start + base + offset, shard, result)
                 )
@@ -182,6 +186,15 @@ class CampaignWorkspaceFactory(WorkspaceFactory):
 
     def decode(self, data: dict) -> FaultRecord:
         return FaultRecord.from_json(data)
+
+    def describe(self) -> dict:
+        """Campaign provenance for the run's metrics manifest."""
+        return {
+            "backend": self.spec.backend,
+            "batch_size": self.batch_size,
+            "workload": self.spec.workload,
+            "scale": self.spec.scale,
+        }
 
 
 class CampaignRunner:

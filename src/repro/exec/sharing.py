@@ -24,6 +24,8 @@ from __future__ import annotations
 import pickle
 from dataclasses import dataclass
 
+from repro.obs import core as obs
+
 try:  # CPython >= 3.8; guarded so exotic builds degrade gracefully.
     from multiprocessing import shared_memory as _shm
 except ImportError:  # pragma: no cover - platform without shm support
@@ -55,7 +57,9 @@ class SharedPayload:
     def attach(self):
         """Materialize this process's private copy of the payload."""
         if self.name is None:
+            obs.count("sharing.attach.inline")
             return pickle.loads(self.inline)
+        obs.count("sharing.attach")
         block = _shm.SharedMemory(name=self.name)
         try:
             return pickle.loads(block.buf[: self.size])
@@ -71,11 +75,14 @@ def publish(payload) -> SharedPayload:
     when its pool closes).
     """
     data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    obs.count("sharing.publish")
+    obs.observe("sharing.publish_bytes", len(data))
     if _shm is None:  # pragma: no cover - platform without shm support
         return SharedPayload(size=len(data), inline=data)
     try:
         block = _shm.SharedMemory(create=True, size=max(len(data), 1))
     except OSError:  # pragma: no cover - e.g. /dev/shm full or absent
+        obs.count("sharing.publish.inline_fallback")
         return SharedPayload(size=len(data), inline=data)
     block.buf[: len(data)] = data
     _PUBLISHED[block.name] = block

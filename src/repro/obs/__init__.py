@@ -1,0 +1,94 @@
+"""`repro.obs` — telemetry, structured logging, metrics, and profiling.
+
+The observability subsystem the execution tier reports through, built on
+one hard invariant: **telemetry is an execution-side observer** — result
+artifacts (campaign/DSE JSONL, reports, coverage matrices) are
+byte-identical with it enabled, disabled, or at any verbosity
+(``tests/obs/test_neutrality.py`` pins this, in the same spirit as the
+paper's CIC watching the fetch stream without steering it).
+
+Modules
+-------
+:mod:`repro.obs.core`
+    Process-local counters / gauges / histograms / monotonic spans, with
+    the drain/merge protocol the harness uses to move worker telemetry
+    across process boundaries at shard commit.
+:mod:`repro.obs.log`
+    The structured stderr logger behind every subcommand's
+    ``-v``/``--quiet`` flags.
+:mod:`repro.obs.metrics`
+    Run manifests and the ``<out>.metrics.json`` artifact written beside
+    every campaign/DSE results file.
+:mod:`repro.obs.stats`
+    Rendering for ``repro stats``: span trees, counters, per-shard and
+    per-worker tables.
+:mod:`repro.obs.schema`
+    Dependency-free JSON-schema validation for metrics and
+    ``BENCH_*.json`` artifacts.
+:mod:`repro.obs.profiler`
+    The opt-in fetch/decode/execute/monitor phase profiler for
+    ``FuncSim``/``PipelineCPU``.
+"""
+
+from repro.obs.core import (
+    ENV_SWITCH,
+    Telemetry,
+    count,
+    enabled,
+    gauge,
+    local,
+    observe,
+    scoped,
+    set_enabled,
+    span,
+)
+from repro.obs.log import LEVELS, StructuredLog, log, set_level
+from repro.obs.metrics import (
+    METRICS_VERSION,
+    environment,
+    load_metrics,
+    metrics_path,
+    span_coverage,
+    write_metrics,
+)
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.schema import (
+    BENCH_SCHEMA,
+    METRICS_SCHEMA,
+    validate,
+    validate_bench,
+    validate_metrics,
+)
+from repro.obs.stats import find_metrics, render_metrics, render_path
+
+__all__ = [
+    "ENV_SWITCH",
+    "Telemetry",
+    "count",
+    "gauge",
+    "observe",
+    "span",
+    "local",
+    "enabled",
+    "set_enabled",
+    "scoped",
+    "LEVELS",
+    "StructuredLog",
+    "log",
+    "set_level",
+    "METRICS_VERSION",
+    "environment",
+    "metrics_path",
+    "write_metrics",
+    "load_metrics",
+    "span_coverage",
+    "PhaseProfiler",
+    "METRICS_SCHEMA",
+    "BENCH_SCHEMA",
+    "validate",
+    "validate_metrics",
+    "validate_bench",
+    "find_metrics",
+    "render_metrics",
+    "render_path",
+]

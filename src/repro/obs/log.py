@@ -1,0 +1,100 @@
+"""Structured progress logging behind uniform verbosity levels.
+
+Every subcommand and benchmark used to narrate progress with ad-hoc
+``print(..., file=sys.stderr)`` calls; this module is the one logger they
+all share, so ``-v``/``--quiet`` mean the same thing everywhere:
+
+* messages carry an explicit **level** (``debug`` < ``info`` <
+  ``warning`` < ``error``); the process-wide threshold
+  (:func:`set_level`) drops anything below it — the CLI maps ``-v`` to
+  ``debug``, the default to ``info``, and ``-q``/``--quiet`` to
+  ``warning``;
+* messages are **structured**: ``log.info("campaign complete",
+  faults=200, workers=4)`` renders the human text first and the
+  machine-greppable ``key=value`` fields after it, in call order;
+* output goes to *stderr* (never stdout — command results stay clean for
+  pipes), prefixed with the same ``"; "`` convention the CLI's
+  diagnostics always used, so scripts scraping stderr keep working.
+
+The logger is intentionally tiny — no handlers, no configuration files,
+no :mod:`logging` dependency — because its job is uniformity, not
+routing.  Levels also count into the process telemetry
+(``log.<level>`` counters), so a run's metrics record how noisy it was.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs import core
+
+#: Severity order; the threshold keeps everything >= its value.
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+def _render_value(value) -> str:
+    text = str(value)
+    if " " in text or text == "":
+        return repr(text)
+    return text
+
+
+class StructuredLog:
+    """A leveled, structured, stderr-bound progress logger."""
+
+    __slots__ = ("name", "stream", "threshold")
+
+    def __init__(self, name: str = "repro", level: str = "info", stream=None):
+        self.name = name
+        self.stream = stream
+        self.threshold = LEVELS[level]
+
+    def set_level(self, level: str) -> None:
+        if level not in LEVELS:
+            raise ValueError(
+                f"unknown log level {level!r}; choose from: {', '.join(LEVELS)}"
+            )
+        self.threshold = LEVELS[level]
+
+    @property
+    def level(self) -> str:
+        for name, value in LEVELS.items():
+            if value == self.threshold:
+                return name
+        return str(self.threshold)  # pragma: no cover - custom threshold
+
+    def enabled_for(self, level: str) -> bool:
+        return LEVELS[level] >= self.threshold
+
+    def log(self, level: str, message: str, **fields) -> None:
+        """Emit one line: ``; message key=value ...`` (if level passes)."""
+        if LEVELS[level] < self.threshold:
+            return
+        core.count(f"log.{level}")
+        parts = [message]
+        parts.extend(
+            f"{key}={_render_value(value)}" for key, value in fields.items()
+        )
+        stream = self.stream if self.stream is not None else sys.stderr
+        print("; " + " ".join(parts), file=stream)
+
+    def debug(self, message: str, **fields) -> None:
+        self.log("debug", message, **fields)
+
+    def info(self, message: str, **fields) -> None:
+        self.log("info", message, **fields)
+
+    def warning(self, message: str, **fields) -> None:
+        self.log("warning", message, **fields)
+
+    def error(self, message: str, **fields) -> None:
+        self.log("error", message, **fields)
+
+
+#: The process-wide logger every CLI command and benchmark shares.
+log = StructuredLog()
+
+
+def set_level(level: str) -> None:
+    """Set the shared logger's threshold (the CLI's ``-v``/``-q`` hook)."""
+    log.set_level(level)

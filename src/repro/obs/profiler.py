@@ -1,0 +1,164 @@
+"""Opt-in phase profiler for the simulators: fetch/decode/execute/monitor.
+
+Answers "where does simulated time go on the *host*?" for one
+:class:`~repro.pipeline.funcsim.FuncSim` or
+:class:`~repro.pipeline.cpu.PipelineCPU` run by bucketing host wall time
+into the four phases the paper's pipeline names — fetch, decode,
+execute, and the monitor beside them.  Attachment is pure observation:
+
+* the simulator's ``_fetch``/``_decode``/``_execute`` (FuncSim) or
+  ``_fetch_latch``/``_decode``/``_execute_stage`` (PipelineCPU) bound
+  methods are shadowed by timing wrappers **on the instance** — the
+  class is untouched, other simulators in the process are unaffected,
+  and :meth:`PhaseProfiler.detach` restores the instance exactly;
+* the attached :class:`Monitor`, if any, is replaced by a transparent
+  proxy that times ``on_instruction``/``on_block_end`` and forwards
+  everything else (``.stats`` included, so ``RunResult.monitor_stats``
+  is the very same object either way).
+
+Because every wrapper returns its wrappee's result unchanged, a
+profiled run produces an identical :class:`RunResult` — cycles,
+instructions, exit code, console, monitor stats — which
+``tests/obs/test_profiler.py`` pins.  Attach **before** calling
+``run()``: the simulators read ``self.monitor`` into a local at the top
+of the loop, so a proxy installed mid-run would never be consulted.
+
+The profiler is deliberately not part of campaign telemetry: per-call
+wrappers cost real time on hot loops, so this is a hand tool
+(``repro run --profile``) rather than an always-on instrument.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: The four paper-named phase buckets, in pipeline order.
+PHASES = ("fetch", "decode", "execute", "monitor")
+
+#: Simulator kind -> (phase -> instance method to shadow).
+_TARGETS = {
+    "funcsim": {"fetch": "_fetch", "decode": "_decode", "execute": "_execute"},
+    "pipeline": {
+        "fetch": "_fetch_latch",
+        "decode": "_decode",
+        "execute": "_execute_stage",
+    },
+}
+
+
+class _MonitorProxy:
+    """Times a monitor's hook calls; forwards everything else untouched."""
+
+    __slots__ = ("_inner", "_profiler")
+
+    def __init__(self, inner, profiler: "PhaseProfiler"):
+        object.__setattr__(self, "_inner", inner)
+        object.__setattr__(self, "_profiler", profiler)
+
+    def on_instruction(self, address: int, word: int) -> None:
+        start = time.perf_counter()
+        try:
+            return self._inner.on_instruction(address, word)
+        finally:
+            self._profiler._charge("monitor", time.perf_counter() - start)
+
+    def on_block_end(self, end_address: int) -> int:
+        start = time.perf_counter()
+        try:
+            return self._inner.on_block_end(end_address)
+        finally:
+            self._profiler._charge("monitor", time.perf_counter() - start)
+
+    def __getattr__(self, name):
+        return getattr(object.__getattribute__(self, "_inner"), name)
+
+
+class PhaseProfiler:
+    """Host-time accounting of one simulator run, by pipeline phase."""
+
+    __slots__ = ("buckets", "_sim", "_kind", "_had_monitor")
+
+    def __init__(self):
+        self.buckets: dict[str, dict] = {
+            phase: {"calls": 0, "seconds": 0.0} for phase in PHASES
+        }
+        self._sim = None
+        self._kind: str | None = None
+        self._had_monitor = False
+
+    def _charge(self, phase: str, seconds: float) -> None:
+        entry = self.buckets[phase]
+        entry["calls"] += 1
+        entry["seconds"] += seconds
+
+    def _wrap(self, phase: str, method):
+        def timed(*args, **kwargs):
+            start = time.perf_counter()
+            try:
+                return method(*args, **kwargs)
+            finally:
+                self._charge(phase, time.perf_counter() - start)
+
+        return timed
+
+    @staticmethod
+    def kind_of(sim) -> str:
+        """Which shadow map fits *sim* (``"funcsim"``/``"pipeline"``)."""
+        if hasattr(sim, "_fetch_latch"):
+            return "pipeline"
+        if hasattr(sim, "_fetch"):
+            return "funcsim"
+        raise TypeError(
+            f"cannot profile {type(sim).__name__}: "
+            "no fetch/decode/execute phase methods found"
+        )
+
+    def attach(self, sim) -> "PhaseProfiler":
+        """Instrument *sim* in place (call before ``sim.run()``); returns self."""
+        if self._sim is not None:
+            raise RuntimeError("profiler already attached")
+        kind = self.kind_of(sim)
+        for phase, name in _TARGETS[kind].items():
+            setattr(sim, name, self._wrap(phase, getattr(sim, name)))
+        self._had_monitor = getattr(sim, "monitor", None) is not None
+        if self._had_monitor:
+            sim.monitor = _MonitorProxy(sim.monitor, self)
+        self._sim = sim
+        self._kind = kind
+        return self
+
+    def detach(self) -> None:
+        """Restore the simulator's own methods and monitor."""
+        sim, self._sim = self._sim, None
+        if sim is None:
+            return
+        for name in _TARGETS[self._kind].values():
+            # Deleting the instance attribute un-shadows the class method.
+            try:
+                delattr(sim, name)
+            except AttributeError:
+                pass
+        if self._had_monitor and isinstance(sim.monitor, _MonitorProxy):
+            sim.monitor = sim.monitor._inner
+
+    def report(self) -> dict:
+        """``{phase: {"calls", "seconds", "share"}}`` over measured time."""
+        total = sum(entry["seconds"] for entry in self.buckets.values())
+        return {
+            phase: {
+                "calls": entry["calls"],
+                "seconds": entry["seconds"],
+                "share": (entry["seconds"] / total) if total > 0 else 0.0,
+            }
+            for phase, entry in self.buckets.items()
+        }
+
+    def render(self) -> str:
+        """A small fixed-width table of the phase breakdown."""
+        lines = [f"{'phase':<10} {'calls':>10} {'seconds':>10} {'share':>7}"]
+        for phase, entry in self.report().items():
+            lines.append(
+                f"{phase:<10} {entry['calls']:>10} "
+                f"{entry['seconds']:>10.4f} {entry['share']:>6.1%}"
+            )
+        return "\n".join(lines)

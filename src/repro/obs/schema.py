@@ -1,0 +1,207 @@
+"""Minimal JSON-schema validation for committed result artifacts.
+
+Two artifact families leave the execution tier as JSON: the per-run
+``*.metrics.json`` telemetry files (:mod:`repro.obs.metrics`) and the
+committed ``results/BENCH_*.json`` benchmark records.  Both are checked
+against schemas here — by ``repro stats --check``, by ``make obs-smoke``,
+and by ``tests/obs/test_schema.py`` over every committed file — so a
+malformed artifact fails loudly instead of silently rotting.
+
+The validator supports the JSON-schema subset these artifacts need
+(``type`` including lists of types, ``properties``, ``required``,
+``additionalProperties`` as a schema or ``False``, ``items``, ``enum``,
+``minimum``) with **no external dependency**: the container bakes in the
+Python toolchain only, so the checker is ~60 lines of recursion rather
+than a ``jsonschema`` install.
+"""
+
+from __future__ import annotations
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(instance, name: str) -> bool:
+    expected = _TYPES[name]
+    if name in ("integer", "number") and isinstance(instance, bool):
+        return False
+    return isinstance(instance, expected)
+
+
+def validate(instance, schema: dict, path: str = "$") -> list[str]:
+    """Validate *instance* against *schema*; return human-readable errors.
+
+    An empty list means the instance conforms.  Errors name the failing
+    path (``$.results.test_x.seconds``) so artifact regressions are
+    one-glance diagnosable.
+    """
+    errors: list[str] = []
+    declared = schema.get("type")
+    if declared is not None:
+        names = declared if isinstance(declared, list) else [declared]
+        if not any(_type_ok(instance, name) for name in names):
+            errors.append(
+                f"{path}: expected {' or '.join(names)}, "
+                f"got {type(instance).__name__}"
+            )
+            return errors
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not one of {schema['enum']!r}")
+    minimum = schema.get("minimum")
+    if minimum is not None and isinstance(instance, (int, float)):
+        if not isinstance(instance, bool) and instance < minimum:
+            errors.append(f"{path}: {instance!r} is below minimum {minimum}")
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                errors.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for key, value in instance.items():
+            child_path = f"{path}.{key}"
+            if key in properties:
+                errors.extend(validate(value, properties[key], child_path))
+            elif additional is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+            elif isinstance(additional, dict):
+                errors.extend(validate(value, additional, child_path))
+    if isinstance(instance, list) and "items" in schema:
+        for index, value in enumerate(instance):
+            errors.extend(validate(value, schema["items"], f"{path}[{index}]"))
+    return errors
+
+
+#: One accumulated statistic kind inside a metrics payload.
+_SPAN_SCHEMA = {
+    "type": "object",
+    "required": ["count", "seconds"],
+    "properties": {
+        "count": {"type": "integer", "minimum": 1},
+        "seconds": {"type": "number", "minimum": 0},
+    },
+}
+
+_HISTOGRAM_SCHEMA = {
+    "type": "object",
+    "required": ["count", "sum", "min", "max"],
+    "properties": {
+        "count": {"type": "integer", "minimum": 1},
+        "sum": {"type": "number"},
+        "min": {"type": "number"},
+        "max": {"type": "number"},
+        "buckets": {"type": "object", "additionalProperties": {"type": "integer"}},
+    },
+}
+
+_TELEMETRY_SCHEMA = {
+    "type": "object",
+    "properties": {
+        "counters": {"type": "object", "additionalProperties": {"type": "integer"}},
+        "gauges": {"type": "object", "additionalProperties": {"type": "number"}},
+        "histograms": {
+            "type": "object", "additionalProperties": _HISTOGRAM_SCHEMA
+        },
+        "spans": {"type": "object", "additionalProperties": _SPAN_SCHEMA},
+    },
+    "additionalProperties": False,
+}
+
+#: Schema of one ``<run>.metrics.json`` artifact.
+METRICS_SCHEMA = {
+    "type": "object",
+    "required": ["type", "version", "manifest", "wall_seconds", "telemetry"],
+    "properties": {
+        "type": {"enum": ["metrics"]},
+        "version": {"type": "integer", "minimum": 1},
+        "manifest": {
+            "type": "object",
+            "required": [
+                "host", "python", "effective_cores", "workers",
+                "chunk_size", "kind", "seed", "total",
+            ],
+            "properties": {
+                "host": {"type": "string"},
+                "platform": {"type": "string"},
+                "python": {"type": "string"},
+                "effective_cores": {"type": "integer", "minimum": 1},
+                "cpu_count": {"type": "integer", "minimum": 1},
+                "workers": {"type": "integer", "minimum": 1},
+                "chunk_size": {"type": "integer", "minimum": 1},
+                "kind": {"type": "string"},
+                "seed": {"type": "integer"},
+                "total": {"type": "integer", "minimum": 0},
+                "version": {"type": "integer"},
+                "fingerprint": {"type": ["string", "null"]},
+                "backend": {"type": ["string", "null"]},
+                "batch_size": {"type": ["integer", "null"]},
+                "share": {"type": "boolean"},
+                "persistent": {"type": "boolean"},
+                "resumed": {"type": "boolean"},
+                "created": {"type": "string"},
+                "out": {"type": "string"},
+            },
+        },
+        "wall_seconds": {"type": "number", "minimum": 0},
+        "telemetry": _TELEMETRY_SCHEMA,
+        "shards": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["shard", "worker", "seconds", "records"],
+                "properties": {
+                    "shard": {"type": "integer", "minimum": 0},
+                    "worker": {"type": "integer"},
+                    "seconds": {"type": "number", "minimum": 0},
+                    "records": {"type": "integer", "minimum": 0},
+                    "telemetry": _TELEMETRY_SCHEMA,
+                },
+            },
+        },
+    },
+}
+
+#: Schema of one committed ``results/BENCH_<module>.json`` artifact.
+BENCH_SCHEMA = {
+    "type": "object",
+    "required": ["benchmark", "results"],
+    "properties": {
+        "benchmark": {"type": "string"},
+        "results": {
+            "type": "object",
+            "additionalProperties": {
+                "type": "object",
+                "required": ["seconds"],
+                "properties": {"seconds": {"type": "number", "minimum": 0}},
+            },
+        },
+        "manifest": {
+            "type": "object",
+            "required": ["host", "python", "effective_cores"],
+            "properties": {
+                "host": {"type": "string"},
+                "platform": {"type": "string"},
+                "python": {"type": "string"},
+                "effective_cores": {"type": "integer", "minimum": 1},
+                "cpu_count": {"type": "integer", "minimum": 1},
+                "created": {"type": "string"},
+            },
+        },
+    },
+}
+
+
+def validate_metrics(data) -> list[str]:
+    """Errors of a metrics payload against :data:`METRICS_SCHEMA`."""
+    return validate(data, METRICS_SCHEMA)
+
+
+def validate_bench(data) -> list[str]:
+    """Errors of a benchmark record against :data:`BENCH_SCHEMA`."""
+    return validate(data, BENCH_SCHEMA)

@@ -1,0 +1,169 @@
+"""Render ``*.metrics.json`` artifacts: span trees, counters, shard tables.
+
+The read side of the telemetry pipeline, and everything the ``repro
+stats`` subcommand does: point it at a run directory (or one metrics
+file) and it renders, per run —
+
+* the **manifest** (host, cores, plan, backend) as one provenance block;
+* the **span tree** — span paths split on ``/`` and indented, each node
+  with call count, accumulated seconds, and share of the root ``run``
+  span — plus the coverage line the acceptance gate reads (≥ 95% of
+  wall time must land in named child spans);
+* **counters**, **gauges**, and **histograms** (count / mean / min /
+  max), sorted by name so diffs are stable;
+* the **per-shard table** (worker pid, seconds, records, records/s) and
+  its **per-worker rollup** — the direct view of how evenly the harness
+  spread the run.
+
+Nothing here mutates anything; ``--check`` adds schema validation
+(:mod:`repro.obs.schema`) on top.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.metrics import (
+    METRICS_SUFFIX,
+    load_metrics,
+    per_worker,
+    span_coverage,
+)
+
+
+def find_metrics(path: str | os.PathLike) -> list[str]:
+    """Metrics files under *path*: itself if a file, else a sorted scan.
+
+    Directories are scanned recursively so ``repro stats runs/`` finds
+    every campaign and sweep below it.
+    """
+    target = os.fspath(path)
+    if os.path.isfile(target):
+        return [target]
+    found: list[str] = []
+    for root, _dirs, files in os.walk(target):
+        for name in files:
+            if name.endswith(METRICS_SUFFIX):
+                found.append(os.path.join(root, name))
+    return sorted(found)
+
+
+def _span_tree(spans: dict) -> list[tuple[int, str, dict]]:
+    """Span paths as (depth, leaf name, entry), parents before children."""
+    rows = []
+    for path in sorted(spans):
+        parts = path.split("/")
+        rows.append((len(parts) - 1, parts[-1], spans[path]))
+    return rows
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 100:
+        return f"{seconds:.1f}s"
+    if seconds >= 0.1:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1000:.2f}ms"
+
+
+def render_metrics(payload: dict, path: str | None = None) -> str:
+    """One metrics artifact as a human-readable report."""
+    lines: list[str] = []
+    if path:
+        lines.append(f"== {path} ==")
+    manifest = payload.get("manifest", {})
+    plan = (
+        f"workers={manifest.get('workers')} "
+        f"chunk_size={manifest.get('chunk_size')} "
+        f"share={manifest.get('share')} persistent={manifest.get('persistent')}"
+    )
+    lines.append(
+        f"{manifest.get('kind', 'run')}: {manifest.get('total')} items, "
+        f"seed {manifest.get('seed')}"
+        + (", resumed" if manifest.get("resumed") else "")
+    )
+    backend = manifest.get("backend")
+    if backend:
+        batch = manifest.get("batch_size")
+        lines.append(
+            f"backend: {backend} (batch_size={'shard' if batch is None else batch})"
+        )
+    lines.append(f"plan: {plan}")
+    lines.append(
+        f"host: {manifest.get('host')} "
+        f"(effective cores {manifest.get('effective_cores')}, "
+        f"python {manifest.get('python')})"
+    )
+    wall = payload.get("wall_seconds", 0.0)
+    lines.append(f"wall: {_format_seconds(wall)}")
+
+    telemetry = payload.get("telemetry", {})
+    spans = telemetry.get("spans", {})
+    if spans:
+        lines.append("")
+        lines.append("spans (path, calls, seconds, share of run):")
+        root = spans.get("run", {}).get("seconds", 0.0)
+        for depth, name, entry in _span_tree(spans):
+            share = (entry["seconds"] / root) if root > 0 else 0.0
+            lines.append(
+                f"  {'  ' * depth}{name:<{max(28 - 2 * depth, 8)}} "
+                f"{entry['count']:>8} {_format_seconds(entry['seconds']):>10} "
+                f"{share:>6.1%}"
+            )
+        lines.append(f"coverage: {span_coverage(payload):.1%} of run in named phases")
+
+    counters = telemetry.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<40} {counters[name]:>12}")
+
+    gauges = telemetry.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<40} {gauges[name]:>12g}")
+
+    histograms = telemetry.get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append("histograms (count, mean, min, max):")
+        for name in sorted(histograms):
+            entry = histograms[name]
+            mean = entry["sum"] / entry["count"] if entry["count"] else 0.0
+            lines.append(
+                f"  {name:<32} {entry['count']:>8} {mean:>10.3f} "
+                f"{entry['min']:>10.3f} {entry['max']:>10.3f}"
+            )
+
+    shards = payload.get("shards", [])
+    if shards:
+        lines.append("")
+        lines.append("shards (worker, seconds, records, records/s):")
+        for shard in sorted(shards, key=lambda entry: entry.get("shard", 0)):
+            seconds = shard.get("seconds", 0.0)
+            records = shard.get("records", 0)
+            rate = records / seconds if seconds > 0 else 0.0
+            lines.append(
+                f"  shard {shard.get('shard'):>4}  worker {shard.get('worker'):>8}  "
+                f"{_format_seconds(seconds):>10}  {records:>6}  {rate:>8.0f}/s"
+            )
+        lines.append("")
+        lines.append("workers (shards, seconds, records):")
+        for worker, entry in sorted(per_worker(shards).items()):
+            lines.append(
+                f"  worker {worker:>8}  {entry['shards']:>4} shards  "
+                f"{_format_seconds(entry['seconds']):>10}  "
+                f"{entry['records']:>6} records"
+            )
+    return "\n".join(lines)
+
+
+def render_path(path: str | os.PathLike) -> tuple[str, int]:
+    """Render every metrics file under *path*; returns (text, file count)."""
+    files = find_metrics(path)
+    reports = [
+        render_metrics(load_metrics(found), path=found) for found in files
+    ]
+    return "\n\n".join(reports), len(files)

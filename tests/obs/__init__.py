@@ -1,0 +1,1 @@
+"""Observability subsystem tests (:mod:`repro.obs`)."""

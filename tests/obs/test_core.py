@@ -1,0 +1,135 @@
+"""Telemetry core: instruments, span trees, the drain/merge protocol."""
+
+import pytest
+
+from repro.obs import core
+from repro.obs.core import Telemetry
+
+
+@pytest.fixture
+def telemetry():
+    return Telemetry(enabled=True)
+
+
+class TestCounters:
+    def test_count_accumulates(self, telemetry):
+        telemetry.count("a")
+        telemetry.count("a", 4)
+        assert telemetry.counters == {"a": 5}
+
+    def test_disabled_is_a_noop(self):
+        off = Telemetry(enabled=False)
+        off.count("a")
+        off.gauge("g", 1.0)
+        off.observe("h", 1.0)
+        with off.span("s"):
+            pass
+        assert off.empty
+
+
+class TestGauges:
+    def test_gauge_keeps_latest(self, telemetry):
+        telemetry.gauge("g", 1.5)
+        telemetry.gauge("g", 2.5)
+        assert telemetry.gauges == {"g": 2.5}
+
+
+class TestHistograms:
+    def test_summary_statistics(self, telemetry):
+        for value in (1.0, 3.0, 8.0):
+            telemetry.observe("h", value)
+        entry = telemetry.histograms["h"]
+        assert entry["count"] == 3
+        assert entry["sum"] == 12.0
+        assert entry["min"] == 1.0
+        assert entry["max"] == 8.0
+        # Power-of-two buckets: 1 -> 2**0, 3 -> 2**2, 8 -> 2**3.
+        assert entry["buckets"] == {"0": 1, "2": 1, "3": 1}
+
+
+class TestSpans:
+    def test_nested_spans_record_paths(self, telemetry):
+        with telemetry.span("run"):
+            with telemetry.span("execute"):
+                pass
+            with telemetry.span("execute"):
+                pass
+        assert set(telemetry.spans) == {"run", "run/execute"}
+        assert telemetry.spans["run"]["count"] == 1
+        assert telemetry.spans["run/execute"]["count"] == 2
+
+    def test_span_charged_when_body_raises(self, telemetry):
+        with pytest.raises(ValueError):
+            with telemetry.span("boom"):
+                raise ValueError("x")
+        assert telemetry.spans["boom"]["count"] == 1
+        assert telemetry.spans["boom"]["seconds"] >= 0.0
+        # The stack unwound: a later span is not nested under "boom".
+        with telemetry.span("after"):
+            pass
+        assert "after" in telemetry.spans
+
+
+class TestMovement:
+    def test_drain_resets(self, telemetry):
+        telemetry.count("a")
+        delta = telemetry.drain()
+        assert delta == {"counters": {"a": 1}}
+        assert telemetry.empty
+
+    def test_snapshot_is_detached(self, telemetry):
+        telemetry.count("a")
+        telemetry.observe("h", 2.0)
+        data = telemetry.snapshot()
+        telemetry.count("a")
+        telemetry.observe("h", 4.0)
+        assert data["counters"] == {"a": 1}
+        assert data["histograms"]["h"]["count"] == 1
+
+    def test_merge_adds_counters_spans_histograms(self, telemetry):
+        other = Telemetry()
+        for instance in (telemetry, other):
+            instance.count("a", 2)
+            instance.observe("h", 4.0)
+            with instance.span("s"):
+                pass
+        telemetry.merge(other.drain())
+        assert telemetry.counters == {"a": 4}
+        assert telemetry.histograms["h"]["count"] == 2
+        assert telemetry.spans["s"]["count"] == 2
+
+    def test_merge_keeps_newest_gauge(self, telemetry):
+        telemetry.gauge("g", 1.0)
+        telemetry.merge({"gauges": {"g": 9.0}})
+        assert telemetry.gauges["g"] == 9.0
+
+    def test_merge_none_and_empty(self, telemetry):
+        telemetry.merge(None)
+        telemetry.merge({})
+        assert telemetry.empty
+
+    def test_merge_ignores_enabled(self):
+        off = Telemetry(enabled=False)
+        off.merge({"counters": {"a": 1}})
+        assert off.counters == {"a": 1}
+
+
+class TestModuleFace:
+    def test_scoped_restores(self):
+        before = core.enabled()
+        with core.scoped(not before):
+            assert core.enabled() is (not before)
+        assert core.enabled() is before
+
+    def test_module_delegates_hit_local(self):
+        with core.scoped(True):
+            core.local().clear()
+            core.count("x")
+            core.gauge("g", 2.0)
+            core.observe("h", 1.0)
+            with core.span("s"):
+                pass
+            data = core.local().drain()
+        assert data["counters"] == {"x": 1}
+        assert data["gauges"] == {"g": 2.0}
+        assert "s" in data["spans"]

@@ -1,0 +1,67 @@
+"""The shared structured logger: levels, rendering, the stderr contract."""
+
+import io
+
+import pytest
+
+from repro.obs import core
+from repro.obs.log import LEVELS, StructuredLog
+
+
+def make_log(level="info"):
+    stream = io.StringIO()
+    return StructuredLog(level=level, stream=stream), stream
+
+
+class TestLevels:
+    def test_threshold_drops_lower_levels(self):
+        log, stream = make_log("warning")
+        log.debug("d")
+        log.info("i")
+        log.warning("w")
+        log.error("e")
+        lines = stream.getvalue().splitlines()
+        assert lines == ["; w", "; e"]
+
+    def test_set_level(self):
+        log, stream = make_log("info")
+        log.set_level("debug")
+        log.debug("now visible")
+        assert stream.getvalue() == "; now visible\n"
+        assert log.level == "debug"
+
+    def test_unknown_level_rejected(self):
+        log, _ = make_log()
+        with pytest.raises(ValueError, match="unknown log level"):
+            log.set_level("chatty")
+
+    def test_enabled_for(self):
+        log, _ = make_log("warning")
+        assert not log.enabled_for("info")
+        assert log.enabled_for("error")
+
+    def test_order(self):
+        assert LEVELS["debug"] < LEVELS["info"] < LEVELS["warning"] < LEVELS["error"]
+
+
+class TestRendering:
+    def test_prefix_and_fields_in_call_order(self):
+        log, stream = make_log()
+        log.info("campaign complete", faults=200, workers=4)
+        assert stream.getvalue() == "; campaign complete faults=200 workers=4\n"
+
+    def test_values_with_spaces_are_quoted(self):
+        log, stream = make_log()
+        log.info("saved", path="a b.txt", empty="")
+        assert stream.getvalue() == "; saved path='a b.txt' empty=''\n"
+
+
+class TestTelemetryCoupling:
+    def test_emitted_levels_are_counted(self):
+        log, _ = make_log("info")
+        with core.scoped(True):
+            core.local().clear()
+            log.info("hello")
+            log.debug("dropped")  # below threshold: not counted either
+            data = core.local().drain()
+        assert data["counters"] == {"log.info": 1}

@@ -1,0 +1,118 @@
+"""The mini JSON-schema validator, and every committed artifact against it."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.obs.schema import (
+    BENCH_SCHEMA,
+    METRICS_SCHEMA,
+    validate,
+    validate_bench,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parents[2] / "results"
+
+
+class TestValidator:
+    def test_type_mismatch_names_path(self):
+        schema = {
+            "type": "object",
+            "properties": {"a": {"type": "object", "properties": {
+                "b": {"type": "integer"}}}},
+        }
+        errors = validate({"a": {"b": "nope"}}, schema)
+        assert errors == ["$.a.b: expected integer, got str"]
+
+    def test_required(self):
+        errors = validate({}, {"type": "object", "required": ["x"]})
+        assert errors == ["$: missing required key 'x'"]
+
+    def test_additional_properties_false(self):
+        schema = {"type": "object", "properties": {}, "additionalProperties": False}
+        assert validate({"rogue": 1}, schema) == ["$: unexpected key 'rogue'"]
+
+    def test_additional_properties_schema(self):
+        schema = {"type": "object", "additionalProperties": {"type": "integer"}}
+        assert validate({"a": 1, "b": 2}, schema) == []
+        assert validate({"a": "x"}, schema) != []
+
+    def test_enum(self):
+        assert validate("other", {"enum": ["metrics"]}) != []
+        assert validate("metrics", {"enum": ["metrics"]}) == []
+
+    def test_minimum(self):
+        assert validate(-1, {"type": "integer", "minimum": 0}) != []
+        assert validate(0, {"type": "integer", "minimum": 0}) == []
+
+    def test_bool_is_not_a_number(self):
+        assert validate(True, {"type": "integer"}) != []
+        assert validate(True, {"type": "boolean"}) == []
+
+    def test_items(self):
+        schema = {"type": "array", "items": {"type": "string"}}
+        assert validate(["a", "b"], schema) == []
+        errors = validate(["a", 3], schema)
+        assert errors == ["$[1]: expected string, got int"]
+
+    def test_type_lists(self):
+        schema = {"type": ["string", "null"]}
+        assert validate(None, schema) == []
+        assert validate("x", schema) == []
+        assert validate(3, schema) != []
+
+
+class TestMetricsSchema:
+    def test_minimal_payload_conforms(self):
+        payload = {
+            "type": "metrics",
+            "version": 1,
+            "manifest": {
+                "host": "h", "python": "3.11", "effective_cores": 1,
+                "workers": 1, "chunk_size": 16, "kind": "campaign results",
+                "seed": 42, "total": 10,
+            },
+            "wall_seconds": 0.5,
+            "telemetry": {"counters": {"a": 1}},
+            "shards": [
+                {"shard": 0, "worker": 123, "seconds": 0.1, "records": 5},
+            ],
+        }
+        assert validate(payload, METRICS_SCHEMA) == []
+
+    def test_rogue_telemetry_kind_rejected(self):
+        payload = {
+            "type": "metrics",
+            "version": 1,
+            "manifest": {
+                "host": "h", "python": "3.11", "effective_cores": 1,
+                "workers": 1, "chunk_size": 16, "kind": "campaign results",
+                "seed": 42, "total": 10,
+            },
+            "wall_seconds": 0.5,
+            "telemetry": {"surprises": {}},
+        }
+        errors = validate(payload, METRICS_SCHEMA)
+        assert any("surprises" in error for error in errors)
+
+
+class TestCommittedArtifacts:
+    """Every committed results/BENCH_*.json must conform to BENCH_SCHEMA."""
+
+    bench_files = sorted(RESULTS_DIR.glob("BENCH_*.json"))
+
+    def test_artifacts_exist(self):
+        assert self.bench_files, f"no BENCH_*.json under {RESULTS_DIR}"
+
+    @pytest.mark.parametrize(
+        "path", bench_files, ids=[path.name for path in bench_files]
+    )
+    def test_committed_bench_file_conforms(self, path):
+        data = json.loads(path.read_text())
+        assert validate_bench(data) == []
+        assert data["benchmark"] == path.stem.removeprefix("BENCH_")
+
+    def test_bench_schema_rejects_malformed(self):
+        broken = {"benchmark": "x", "results": {"t": {"seconds": "fast"}}}
+        assert validate(broken, BENCH_SCHEMA) != []
