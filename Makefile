@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-smoke perf-smoke campaign-smoke attack-smoke \
-	dse-smoke harness-smoke scaling-smoke obs-smoke clean
+	dse-smoke harness-smoke scaling-smoke obs-smoke coverage-smoke clean
 
 test:  ## tier-1: the whole unit/integration suite, fail fast
 	$(PYTHON) -m pytest -x -q
@@ -82,6 +82,19 @@ obs-smoke:  ## tiny campaign -> metrics.json present, schema-valid, rendered
 	$(PYTHON) -m repro campaign bitcount --scale tiny --backend golden \
 	    --faults 24 --chunk 6 --seed 42 --out results/obs_smoke.jsonl
 	$(PYTHON) -m repro stats results/obs_smoke.metrics.json --check
+
+# coverage-smoke is the ground-truth gate (docs/COVERAGE.md): every
+# committed matrix under results/coverage/ must be schema-valid with an
+# intact fingerprint, and two corpora are re-derived and diffed cell by
+# cell against their committed ground truth.  The attack corpus re-runs
+# whole; the pair corpus re-runs its cheapest workload (--workload
+# bitcount) so the gate stays minutes, not hours — `repro coverage diff`
+# with no restriction re-derives everything.
+coverage-smoke:  ## committed coverage matrices: check + cell-by-cell diff
+	$(PYTHON) -m repro coverage check results/coverage
+	$(PYTHON) -m repro coverage diff results/coverage/attacks_tiny.json
+	$(PYTHON) -m repro coverage diff results/coverage/pairs_tiny.json \
+	    --workload bitcount
 
 clean:
 	rm -rf results .pytest_cache

@@ -1,0 +1,57 @@
+"""Coverage-corpus benchmark: exhaustive attack placement throughput.
+
+Re-derives the ``attacks-tiny`` ground-truth corpus — every attack
+generator at every eligible CFG site on the trio, both hashes — and
+asserts it is *fingerprint-identical* to the committed matrix, so the
+benchmark doubles as a full regeneration of one corpus per run.  The
+committed pair corpora are far larger (hundreds of thousands of
+injections); their stats are recorded from the committed artifacts
+rather than re-run here — ``repro coverage diff`` is their gate.
+"""
+
+import pathlib
+
+from repro.coverage import get_corpus, load_payload, run_coverage
+
+RESULTS = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def test_attacks_tiny_corpus(benchmark, record_bench):
+    spec = get_corpus("attacks-tiny")
+    payload = benchmark.pedantic(
+        run_coverage, args=(spec,), rounds=1, iterations=1
+    )
+    committed = load_payload(RESULTS / "coverage" / "attacks_tiny.json")
+
+    total = payload["manifest"]["total_injections"]
+    seconds = payload["manifest"]["wall_seconds"]
+    corpus_sizes = {}
+    for name in ("pairs_tiny", "pairs_small", "attacks_tiny"):
+        artifact = load_payload(RESULTS / "coverage" / f"{name}.json")
+        corpus_sizes[name] = artifact["manifest"]["total_injections"]
+    record_bench(
+        injections=total,
+        injections_per_second=round(total / seconds, 1),
+        cells=len(payload["cells"]),
+        fingerprint=payload["manifest"]["fingerprint"],
+        corpus_sizes=corpus_sizes,
+    )
+
+    # The re-derived matrix IS the committed ground truth.
+    assert (
+        payload["manifest"]["fingerprint"]
+        == committed["manifest"]["fingerprint"]
+    )
+    assert payload["cells"] == committed["cells"]
+
+    # The CRC-32 ablation detects the entire exhaustive placement space;
+    # under XOR the only escapes in the whole ground truth are the known
+    # structural weakness — column-cancelling NOP slides on sha.
+    for cell in payload["cells"]:
+        if cell["hash"] == "crc32":
+            assert cell["detection_rate"] == 1.0, cell
+            assert cell["escapes"] == []
+        elif cell["escapes"]:
+            assert cell["workload"] == "sha", cell
+            assert cell["subject"].startswith("nop-slide"), cell
+            assert all("nop-slide" in entry for entry in cell["escapes"])

@@ -123,12 +123,21 @@ class AttackCorpus:
         return [scenarios[index] for index in picks]
 
     def build(
-        self, classes=("all",), per_class: int = 8, seed: int = 0
+        self, classes=("all",), per_class: int | None = 8, seed: int = 0
     ) -> list[AttackScenario]:
-        """The corpus for a sweep: up to *per_class* scenarios per class."""
+        """The corpus for a sweep: up to *per_class* scenarios per class.
+
+        ``per_class=None`` skips sampling entirely and concatenates the
+        complete canonical enumerations — every generator at every
+        eligible CFG site — which is what the exhaustive attack-placement
+        coverage corpus (:mod:`repro.coverage`) runs.
+        """
         corpus: list[AttackScenario] = []
         for attack_class in resolve_classes(classes):
-            corpus.extend(self.sample(attack_class, per_class, seed))
+            if per_class is None:
+                corpus.extend(self.enumerate(attack_class))
+            else:
+                corpus.extend(self.sample(attack_class, per_class, seed))
         return corpus
 
     def class_counts(self) -> dict[str, int]:

@@ -26,6 +26,16 @@ Commands
     Regenerate every paper table/figure into ``results/`` (equivalent to
     ``examples/paper_experiments.py``).
 
+``coverage run|diff|check``
+    The exhaustive ground-truth gate (:mod:`repro.coverage`).  ``run``
+    executes a named corpus — every 2-bit same-column pair, or every
+    attack generator at every eligible CFG site — and writes the reduced
+    coverage matrix; ``check`` validates committed matrices (schema,
+    fingerprint, internal consistency); ``diff`` re-derives a matrix from
+    the spec embedded in the artifact (``--workload`` restricts the
+    re-derivation) and reports divergence cell by cell, exiting 1 on any
+    delta.  ``make coverage-smoke`` runs the CI subset.
+
 ``stats PATH``
     Render the ``*.metrics.json`` telemetry artifacts written beside
     campaign/DSE results files (:mod:`repro.obs`): run manifest, span
@@ -109,6 +119,7 @@ EXIT_VIOLATION = 2
 #: ``tests/test_cli.py`` pins both against the live registries.
 BACKEND_CHOICES = ("full", "golden", "pipeline-golden")
 CAMPAIGN_PRESET_CHOICES = ("exhaustive-single-bit", "smoke", "mibench-tiny")
+COVERAGE_CORPUS_CHOICES = ("pairs-tiny", "pairs-small", "attacks-tiny")
 
 
 def _engine(name: str):
@@ -494,6 +505,109 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return status
 
 
+def _coverage_files(path: str) -> list[str]:
+    """One artifact file, or every ``*.json`` under a directory."""
+    if os.path.isdir(path):
+        found = []
+        for root, _dirs, files in os.walk(path):
+            for name in sorted(files):
+                if name.endswith(".json"):
+                    found.append(os.path.join(root, name))
+        return sorted(found)
+    return [path]
+
+
+def cmd_coverage_run(args: argparse.Namespace) -> int:
+    from repro.coverage import (
+        default_artifact_path,
+        get_corpus,
+        render_payload,
+        run_coverage,
+    )
+
+    spec = get_corpus(args.corpus)
+    payload = run_coverage(
+        spec,
+        workers=args.workers,
+        chunk_size=args.chunk,
+        batch_size=args.batch_size,
+        progress=log.info,
+    )
+    out = args.out or default_artifact_path(spec.name)
+    directory = os.path.dirname(out)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write(render_payload(payload))
+    manifest = payload["manifest"]
+    print(
+        f"coverage {spec.name}: {manifest['total_injections']} injections, "
+        f"{len(payload['cells'])} cells, fingerprint "
+        f"{manifest['fingerprint']} -> {out}"
+    )
+    return 0
+
+
+def cmd_coverage_check(args: argparse.Namespace) -> int:
+    from repro.coverage import check_payload, load_payload
+
+    files = _coverage_files(args.path)
+    if not files:
+        log.error(f"error: no coverage artifacts under {args.path}")
+        return 1
+    status = 0
+    for path in files:
+        errors = check_payload(load_payload(path))
+        for problem in errors:
+            log.error(f"{path}: {problem}")
+        if errors:
+            status = 1
+    if status == 0:
+        log.info(f"{len(files)} coverage matrix(es) sound")
+    return status
+
+
+def cmd_coverage_diff(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.coverage import (
+        CoverageSpec,
+        diff_payloads,
+        load_payload,
+        render_deltas,
+        run_coverage,
+    )
+
+    expected = load_payload(args.path)
+    workloads = tuple(args.workload) if args.workload else None
+    if args.against is not None:
+        actual = load_payload(args.against)
+    else:
+        spec = CoverageSpec.from_json(expected["spec"])
+        if workloads:
+            unknown = set(workloads) - set(spec.targets())
+            if unknown:
+                log.error(
+                    f"error: {', '.join(sorted(unknown))} not in corpus "
+                    f"{spec.name!r} (targets: {', '.join(spec.targets())})"
+                )
+                return 1
+            if spec.workloads:
+                # Source-based corpora have a single target; restricting
+                # to it is the identity, and workloads= must stay unset.
+                spec = dataclasses.replace(spec, workloads=workloads)
+        actual = run_coverage(
+            spec,
+            workers=args.workers,
+            chunk_size=args.chunk,
+            batch_size=args.batch_size,
+            progress=log.info,
+        )
+    deltas = diff_payloads(expected, actual, workloads=workloads)
+    print(render_deltas(deltas))
+    return 1 if deltas else 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     import importlib.util
     import pathlib
@@ -840,6 +954,75 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", help="also write the rendered report to this file"
     )
     report_command.set_defaults(handler=cmd_dse_report)
+
+    coverage_command = commands.add_parser(
+        "coverage",
+        help="exhaustive ground-truth coverage matrices (run/diff/check)",
+    )
+    coverage_commands = coverage_command.add_subparsers(
+        dest="coverage_command", required=True
+    )
+
+    def _coverage_exec_flags(sub):
+        sub.add_argument(
+            "--workers", type=int, default=1,
+            help="worker processes (default 1: serial, in-process)",
+        )
+        sub.add_argument(
+            "--chunk", type=int, default=64,
+            help="injections per shard (default 64; an execution knob — "
+                 "the matrix is identical for any value)",
+        )
+        sub.add_argument(
+            "--batch-size", type=int, default=None, metavar="N",
+            help="injections per batched-kernel call within a shard "
+                 "(see `campaign --batch-size`)",
+        )
+
+    coverage_run_command = coverage_commands.add_parser(
+        "run", help="execute a named corpus and write its matrix",
+        parents=obs,
+    )
+    coverage_run_command.add_argument(
+        "corpus", choices=COVERAGE_CORPUS_CHOICES,
+        help="named corpus from repro.coverage "
+             f"({', '.join(COVERAGE_CORPUS_CHOICES)})",
+    )
+    coverage_run_command.add_argument(
+        "--out", help="artifact path (default: results/coverage/<name>.json)"
+    )
+    _coverage_exec_flags(coverage_run_command)
+    coverage_run_command.set_defaults(handler=cmd_coverage_run)
+
+    coverage_diff_command = coverage_commands.add_parser(
+        "diff",
+        help="re-derive a committed matrix and report per-cell deltas",
+        parents=obs,
+    )
+    coverage_diff_command.add_argument(
+        "path", help="committed coverage matrix artifact"
+    )
+    coverage_diff_command.add_argument(
+        "--against", metavar="FILE",
+        help="compare against another matrix file instead of re-deriving",
+    )
+    coverage_diff_command.add_argument(
+        "--workload", action="append", metavar="NAME",
+        help="restrict the re-derivation and comparison to these corpus "
+             "targets (repeatable; default: the whole corpus)",
+    )
+    _coverage_exec_flags(coverage_diff_command)
+    coverage_diff_command.set_defaults(handler=cmd_coverage_diff)
+
+    coverage_check_command = coverage_commands.add_parser(
+        "check",
+        help="validate matrix artifacts (schema, fingerprint, consistency)",
+        parents=obs,
+    )
+    coverage_check_command.add_argument(
+        "path", help="one matrix file, or a directory scanned recursively"
+    )
+    coverage_check_command.set_defaults(handler=cmd_coverage_check)
 
     stats_command = commands.add_parser(
         "stats", help="render run telemetry (*.metrics.json)", parents=obs

@@ -1,0 +1,59 @@
+"""Exhaustive ground-truth coverage corpora and the matrix diff gate.
+
+This package turns the execution harness's exhaustive enumerators
+(:mod:`repro.faults.enumerators`) into *committed ground truth*: named
+corpora (:data:`~repro.coverage.spec.CORPORA`) whose complete fault
+spaces — every 2-bit same-column pair the XOR checksum provably cannot
+see, every attack generator at every eligible CFG site — are run once,
+reduced to canonical coverage matrices
+(:mod:`repro.coverage.matrix`), and checked into ``results/coverage/``.
+``repro coverage diff`` re-derives a matrix from the spec embedded in
+the artifact and reports any divergence cell by cell
+(:mod:`repro.coverage.diff`), so a behavioural change to the monitor,
+the hashes, or the simulator shows up as a named coordinate, not a
+failing fingerprint.
+"""
+
+from repro.coverage.diff import (
+    Delta,
+    check_payload,
+    diff_payloads,
+    render_deltas,
+)
+from repro.coverage.matrix import (
+    COVERAGE_VERSION,
+    CoverageCell,
+    build_payload,
+    fault_label,
+    fingerprint,
+    load_payload,
+    reduce_cell,
+    render_payload,
+)
+from repro.coverage.runner import run_coverage
+from repro.coverage.spec import (
+    CORPORA,
+    CoverageSpec,
+    default_artifact_path,
+    get_corpus,
+)
+
+__all__ = [
+    "CORPORA",
+    "COVERAGE_VERSION",
+    "CoverageCell",
+    "CoverageSpec",
+    "Delta",
+    "build_payload",
+    "check_payload",
+    "default_artifact_path",
+    "diff_payloads",
+    "fault_label",
+    "fingerprint",
+    "get_corpus",
+    "load_payload",
+    "reduce_cell",
+    "render_deltas",
+    "render_payload",
+    "run_coverage",
+]

@@ -1,0 +1,240 @@
+"""Cell-by-cell comparison and validation of coverage matrices.
+
+``diff`` answers "did the monitor's ground truth move?": given a
+committed matrix and a freshly derived one, it reports every changed
+coordinate down to the individual outcome count, latency bucket, or
+escape entry — never just "fingerprints differ".  ``check`` answers
+"is this artifact internally sound?": schema-valid, fingerprint intact,
+and every cell's derived quantities consistent with its counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.campaign import DETECTED, Outcome
+from repro.coverage.matrix import fingerprint
+
+#: Escape/bucket examples listed per delta before eliding the rest.
+_EXAMPLE_LIMIT = 5
+
+#: Spec fields compared field-by-field on a diff.
+_SPEC_FIELDS = (
+    "name", "kind", "scale", "workloads", "source", "source_name",
+    "hash_names", "policy_names", "iht_size", "backend", "classes", "seed",
+)
+
+
+@dataclass(slots=True)
+class Delta:
+    """One divergence between expected and actual matrices."""
+
+    cell: str          # "workload/subject/hash/policy", or "<spec>"
+    field: str
+    expected: object
+    actual: object
+
+    def render(self) -> str:
+        return (
+            f"{self.cell}: {self.field}: "
+            f"expected {self.expected!r}, got {self.actual!r}"
+        )
+
+
+def _cell_key(cell: dict) -> tuple[str, str, str, str]:
+    return (cell["workload"], cell["subject"], cell["hash"], cell["policy"])
+
+
+def _cell_label(key: tuple[str, str, str, str]) -> str:
+    return "/".join(key)
+
+
+def _elide(entries) -> str:
+    entries = sorted(entries)
+    shown = ", ".join(entries[:_EXAMPLE_LIMIT])
+    extra = len(entries) - _EXAMPLE_LIMIT
+    return shown + (f", … +{extra} more" if extra > 0 else "")
+
+
+def _diff_cell(key, expected: dict, actual: dict) -> list[Delta]:
+    label = _cell_label(key)
+    deltas: list[Delta] = []
+    for field in ("total", "detection_rate"):
+        if expected[field] != actual[field]:
+            deltas.append(Delta(label, field, expected[field], actual[field]))
+    for outcome in sorted(set(expected["outcomes"]) | set(actual["outcomes"])):
+        want = expected["outcomes"].get(outcome, 0)
+        got = actual["outcomes"].get(outcome, 0)
+        if want != got:
+            deltas.append(Delta(label, f"outcomes[{outcome}]", want, got))
+    histogram_expected = expected["latency_histogram"]
+    histogram_actual = actual["latency_histogram"]
+    buckets = set(histogram_expected) | set(histogram_actual)
+    for bucket in sorted(buckets, key=int):
+        want = histogram_expected.get(bucket, 0)
+        got = histogram_actual.get(bucket, 0)
+        if want != got:
+            deltas.append(
+                Delta(label, f"latency_histogram[{bucket}]", want, got)
+            )
+    escapes_expected = set(expected["escapes"])
+    escapes_actual = set(actual["escapes"])
+    missing = escapes_expected - escapes_actual
+    if missing:
+        deltas.append(
+            Delta(
+                label,
+                f"escapes ({len(missing)} missing)",
+                _elide(missing),
+                "absent",
+            )
+        )
+    extra = escapes_actual - escapes_expected
+    if extra:
+        deltas.append(
+            Delta(
+                label,
+                f"escapes ({len(extra)} new)",
+                "absent",
+                _elide(extra),
+            )
+        )
+    return deltas
+
+
+def filter_cells(cells: list[dict], workloads) -> list[dict]:
+    """Restrict a cell list to a workload subset (for partial re-derives)."""
+    if not workloads:
+        return cells
+    keep = set(workloads)
+    return [cell for cell in cells if cell["workload"] in keep]
+
+
+def diff_payloads(
+    expected: dict, actual: dict, workloads=None
+) -> list[Delta]:
+    """Every divergence between two matrix documents.
+
+    *workloads* restricts the comparison to a subset of targets — used
+    when the actual matrix was re-derived for only part of the corpus
+    (``repro coverage diff --workload``); the spec's ``workloads`` field
+    is then exempt from comparison.
+    """
+    deltas: list[Delta] = []
+    for field in _SPEC_FIELDS:
+        if workloads and field == "workloads":
+            continue
+        want = expected["spec"].get(field)
+        got = actual["spec"].get(field)
+        if want != got:
+            deltas.append(Delta("<spec>", field, want, got))
+    expected_cells = {
+        _cell_key(cell): cell
+        for cell in filter_cells(expected["cells"], workloads)
+    }
+    actual_cells = {
+        _cell_key(cell): cell
+        for cell in filter_cells(actual["cells"], workloads)
+    }
+    for key in sorted(set(expected_cells) | set(actual_cells)):
+        want = expected_cells.get(key)
+        got = actual_cells.get(key)
+        if want is None:
+            deltas.append(Delta(_cell_label(key), "cell", "absent", "present"))
+        elif got is None:
+            deltas.append(Delta(_cell_label(key), "cell", "present", "absent"))
+        else:
+            deltas.extend(_diff_cell(key, want, got))
+    return deltas
+
+
+def render_deltas(deltas: list[Delta]) -> str:
+    if not deltas:
+        return "coverage matrices identical"
+    lines = [f"{len(deltas)} coverage delta(s):"]
+    lines.extend(f"  {delta.render()}" for delta in deltas)
+    return "\n".join(lines)
+
+
+def check_payload(payload: dict) -> list[str]:
+    """Internal-soundness errors of one matrix document (empty = sound).
+
+    Validates the obs schema, recomputes the fingerprint, and re-derives
+    every cell's dependent quantities from its own counts.
+    """
+    from repro.obs.schema import validate_coverage
+
+    errors = list(validate_coverage(payload))
+    if errors:
+        # Structural problems make the semantic checks unreliable.
+        return errors
+    recomputed = fingerprint(payload["spec"], payload["cells"])
+    recorded = payload["manifest"]["fingerprint"]
+    if recorded != recomputed:
+        errors.append(
+            f"manifest.fingerprint: recorded {recorded!r} but spec+cells "
+            f"hash to {recomputed!r}"
+        )
+    detected_values = {outcome.value for outcome in DETECTED}
+    escape_values = {
+        Outcome.SDC.value, Outcome.HANG.value, Outcome.CRASHED.value
+    }
+    total_injections = 0
+    previous_key = None
+    for position, cell in enumerate(payload["cells"]):
+        key = _cell_key(cell)
+        label = _cell_label(key)
+        if previous_key is not None and key <= previous_key:
+            errors.append(
+                f"cells[{position}] ({label}): out of canonical order "
+                "(or duplicate coordinate)"
+            )
+        previous_key = key
+        outcome_sum = sum(cell["outcomes"].values())
+        if outcome_sum != cell["total"]:
+            errors.append(
+                f"{label}: outcomes sum to {outcome_sum}, total says "
+                f"{cell['total']}"
+            )
+        detected = sum(
+            count
+            for outcome, count in cell["outcomes"].items()
+            if outcome in detected_values
+        )
+        expected_rate = (
+            round(detected / cell["total"], 6) if cell["total"] else 0.0
+        )
+        if cell["detection_rate"] != expected_rate:
+            errors.append(
+                f"{label}: detection_rate {cell['detection_rate']} != "
+                f"{expected_rate} derived from outcome counts"
+            )
+        histogram_sum = sum(cell["latency_histogram"].values())
+        if histogram_sum > detected:
+            errors.append(
+                f"{label}: latency histogram holds {histogram_sum} "
+                f"detections but outcomes only {detected}"
+            )
+        escapes_expected = sum(
+            count
+            for outcome, count in cell["outcomes"].items()
+            if outcome in escape_values
+        )
+        if len(cell["escapes"]) != escapes_expected:
+            errors.append(
+                f"{label}: {len(cell['escapes'])} escape entries but "
+                f"outcome counts imply {escapes_expected}"
+            )
+        total_injections += cell["total"]
+    recorded_total = payload["manifest"]["total_injections"]
+    per_config = len(payload["spec"]["hash_names"]) * len(
+        payload["spec"]["policy_names"]
+    )
+    if recorded_total != total_injections:
+        errors.append(
+            f"manifest.total_injections {recorded_total} != "
+            f"{total_injections} summed over cells"
+        )
+    if per_config == 0:
+        errors.append("<spec>: empty hash_names × policy_names cross")
+    return errors

@@ -1,0 +1,139 @@
+"""Coverage-corpus specifications and the named ground-truth registry.
+
+A :class:`CoverageSpec` names one *complete* fault space — which
+enumerator (:mod:`repro.faults.enumerators`), which workloads at which
+scale, crossed with which monitor configurations — and is embedded
+verbatim in the matrix artifact it produces, so ``repro coverage diff``
+can re-derive a committed matrix from nothing but the artifact itself.
+
+The committed corpora (:data:`CORPORA`) are scoped by measured cost on
+the golden backend: same-column pairs that XOR cannot see survive to
+full-length SDC replays (tens of injections per second, not thousands),
+so the pair corpora pick the workloads whose exhaustive spaces stay
+regenerable in minutes, while attack placements — detected almost
+immediately — afford the full trio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.errors import ConfigurationError
+from repro.faults.enumerators import (
+    AttackPlacement,
+    ExhaustiveSameColumnPairs,
+    FaultEnumerator,
+)
+
+#: Enumerator kinds a coverage corpus can run.
+KINDS = ("pairs", "attacks")
+
+#: Cell subject used for the single-celled pair corpora.
+PAIR_SUBJECT = "same-column-pair"
+
+
+@dataclass(frozen=True, slots=True)
+class CoverageSpec:
+    """Self-contained description of one coverage corpus.
+
+    Exactly one of *workloads* (names from the suite, built at *scale*)
+    or *source* (raw assembly text, labelled *source_name*) selects the
+    programs; *kind* selects the exhaustive enumerator; the hash/policy
+    tuples span the monitor-configuration axes of the matrix.
+    """
+
+    name: str
+    kind: str
+    scale: str = "tiny"
+    workloads: tuple[str, ...] = ()
+    source: str | None = None
+    source_name: str | None = None
+    hash_names: tuple[str, ...] = ("xor", "crc32")
+    policy_names: tuple[str, ...] = ("lru_half",)
+    iht_size: int = 8
+    backend: str = "golden"
+    #: Attack classes for ``kind="attacks"`` (resolved like the CLI's
+    #: ``--class``); ignored by the bit-flip kinds.
+    classes: tuple[str, ...] = ("all",)
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigurationError(
+                f"unknown coverage kind {self.kind!r}; available: "
+                f"{', '.join(KINDS)}"
+            )
+        if bool(self.workloads) == (self.source is not None):
+            raise ConfigurationError(
+                "CoverageSpec needs exactly one of workloads= or source="
+            )
+
+    # ------------------------------------------------------------------
+
+    def targets(self) -> tuple[str, ...]:
+        """Per-program matrix row labels (workload names, or the source)."""
+        if self.workloads:
+            return self.workloads
+        return (self.source_name or "inline-source",)
+
+    def enumerator(self) -> FaultEnumerator:
+        if self.kind == "pairs":
+            return ExhaustiveSameColumnPairs()
+        return AttackPlacement(classes=self.classes)
+
+    def to_json(self) -> dict:
+        data = asdict(self)
+        data["workloads"] = list(self.workloads)
+        data["hash_names"] = list(self.hash_names)
+        data["policy_names"] = list(self.policy_names)
+        data["classes"] = list(self.classes)
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CoverageSpec":
+        fields = dict(data)
+        for key in ("workloads", "hash_names", "policy_names", "classes"):
+            if fields.get(key) is not None:
+                fields[key] = tuple(fields[key])
+        return cls(**fields)
+
+
+#: The committed ground-truth corpora under ``results/coverage/``.
+CORPORA: dict[str, CoverageSpec] = {
+    spec.name: spec
+    for spec in (
+        CoverageSpec(
+            name="pairs-tiny",
+            kind="pairs",
+            scale="tiny",
+            workloads=("bitcount", "dijkstra"),
+        ),
+        CoverageSpec(
+            name="pairs-small",
+            kind="pairs",
+            scale="small",
+            workloads=("dijkstra",),
+        ),
+        CoverageSpec(
+            name="attacks-tiny",
+            kind="attacks",
+            scale="tiny",
+            workloads=("bitcount", "dijkstra", "sha"),
+        ),
+    )
+}
+
+
+def get_corpus(name: str) -> CoverageSpec:
+    spec = CORPORA.get(name)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown coverage corpus {name!r}; available: "
+            f"{', '.join(CORPORA)}"
+        )
+    return spec
+
+
+def default_artifact_path(name: str) -> str:
+    """Where the committed matrix of corpus *name* lives."""
+    return f"results/coverage/{name.replace('-', '_')}.json"

@@ -164,6 +164,7 @@ class DseWorkspace:
             golden_console=golden.console,
             golden_exit=golden.exit_code,
             executed_addresses=executed_addresses(golden.block_trace),
+            executed_blocks=tuple(sorted(golden.block_trace.unique_blocks())),
             instruction_budget=max(10_000, golden.instructions * 20),
             golden_instructions=golden.instructions,
         )

@@ -23,6 +23,14 @@ from repro.faults.campaign import (
     build_context,
     run_one,
 )
+from repro.faults.enumerators import (
+    ENUMERATORS,
+    AttackPlacement,
+    ExhaustiveSameColumnPairs,
+    ExhaustiveSingleBit,
+    FaultEnumerator,
+    get_enumerator,
+)
 from repro.faults.models import (
     BitFlipFault,
     FetchProbe,
@@ -35,8 +43,14 @@ from repro.faults.models import (
 )
 
 __all__ = [
+    "AttackPlacement",
     "BitFlipFault",
     "CampaignContext",
+    "ENUMERATORS",
+    "ExhaustiveSameColumnPairs",
+    "ExhaustiveSingleBit",
+    "FaultEnumerator",
+    "get_enumerator",
     "CampaignReport",
     "FaultCampaign",
     "FaultResult",

@@ -44,6 +44,10 @@ from repro.asm.program import Program
 from repro.cfg.hashgen import build_fht
 from repro.cic.fht import FullHashTable
 from repro.cic.hashes import get_hash
+from repro.faults.enumerators import (
+    ExhaustiveSingleBit,
+    seeded_same_column_pairs,
+)
 from repro.faults.models import (
     BitFlipFault,
     FetchProbe,
@@ -173,6 +177,11 @@ class CampaignContext:
     golden_console: str = ""
     golden_exit: int = 0
     executed_addresses: tuple[int, ...] = ()
+    #: Distinct executed dynamic blocks, sorted ``(start, end)`` pairs —
+    #: the canonical input to block-confined fault enumerators
+    #: (:mod:`repro.faults.enumerators`).  Empty for hand-built contexts
+    #: that never enumerate block-confined spaces.
+    executed_blocks: tuple[tuple[int, int], ...] = ()
     instruction_budget: int = 10_000
     #: Instructions the pristine run executes (0 for hand-built contexts).
     golden_instructions: int = 0
@@ -203,6 +212,7 @@ def build_context(
         golden_console=golden.console,
         golden_exit=golden.exit_code,
         executed_addresses=executed_addresses(golden.block_trace),
+        executed_blocks=tuple(sorted(golden.block_trace.unique_blocks())),
         instruction_budget=max(
             10_000, golden.instructions * instruction_budget_factor
         ),
@@ -220,23 +230,12 @@ def same_column_pairs(
     basic block.  Shared by the fault-analysis harness and the DSE
     engine's ``same-column`` adversary so both draw the identical
     deterministic pair list for a given ``(trace, count, seed)``.
+
+    Implementation (and the exhaustive generalization of this space) lives
+    in :mod:`repro.faults.enumerators`; this wrapper keeps the historical
+    ``block_trace``-based signature its call sites use.
     """
-    rng = random.Random(seed)
-    blocks = [
-        event
-        for event in block_trace.unique_blocks()
-        if event[1] - event[0] >= 4  # at least two instructions
-    ]
-    pairs: list[tuple[BitFlipFault, ...]] = []
-    attempts = 0
-    while len(pairs) < count and attempts < 50 * count:
-        attempts += 1
-        start, end = rng.choice(blocks)
-        addresses = list(range(start, end + 4, 4))
-        first, second = rng.sample(addresses, 2)
-        bit = rng.randrange(32)
-        pairs.append((BitFlipFault(first, (bit,)), BitFlipFault(second, (bit,))))
-    return pairs
+    return seeded_same_column_pairs(block_trace.unique_blocks(), count, seed)
 
 
 @dataclass(slots=True)
@@ -513,9 +512,12 @@ class FaultCampaign:
         self, addresses: tuple[int, ...] | None = None
     ) -> list[BitFlipFault]:
         """Every single-bit flip over the given (default: executed) words."""
-        pool = addresses if addresses is not None else self.executed_addresses
+        if addresses is None:
+            return ExhaustiveSingleBit().enumerate(self.context)
         return [
-            BitFlipFault(address, (bit,)) for address in pool for bit in range(32)
+            BitFlipFault(address, (bit,))
+            for address in addresses
+            for bit in range(32)
         ]
 
     # ------------------------------------------------------------------

@@ -1,0 +1,234 @@
+"""Pluggable fault enumerators: complete, canonical injection lists.
+
+The coverage story of the paper (§6.3) rests on *complete* fault spaces:
+"every single-bit flip", "every same-column pair", "every attack site".
+Before this module, each complete (or sampled) space was enumerated by
+ad-hoc code scattered across :mod:`repro.faults.campaign`,
+:mod:`repro.eval.fault_analysis`, and :mod:`repro.dse.engine`.  A
+:class:`FaultEnumerator` packages one fault space behind two operations:
+
+``enumerate(context)``
+    **Every** perturbation of the space over the context's golden run, in
+    canonical order (sorted by address/site, never by hash-table or RNG
+    order).  Complete and duplicate-free by construction — the property
+    tier in ``tests/coverage/test_enumerators.py`` pins both against
+    brute force — and a pure function of the context, so any process
+    enumerates the identical list (what lets exhaustive corpora shard
+    across workers and resume).
+
+``sample(context, count, seed)``
+    A seeded, order-preserving subset of ``enumerate`` — by construction
+    a subset of the exhaustive space, so sampled corpora are contained in
+    the committed ground-truth matrices (pinned by the coverage tier).
+
+Registered enumerators (:data:`ENUMERATORS`):
+
+=====================  ==================================================
+``single-bit``         every single-bit flip of every executed word —
+                       the §6.3 claim, 32 × executed words
+``same-column-pair``   every pair of words inside one executed dynamic
+                       block, flipped at the same bit position — the
+                       even-weight column pattern XOR provably misses
+``attack-placement``   every :mod:`repro.attacks` generator at every
+                       eligible CFG site, transient variants included
+=====================  ==================================================
+
+The legacy seeded pair sampler :func:`seeded_same_column_pairs` also
+lives here (re-exported as :func:`repro.faults.campaign.same_column_pairs`
+for its long-standing call sites).  Its draw sequence is deliberately
+byte-for-byte the historical one — committed DSE and fault-analysis
+artifacts depend on it — which is why it samples *with* replacement from
+the trace's block set rather than subsetting the canonical enumeration.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+from repro.faults.models import BitFlipFault
+
+
+@runtime_checkable
+class FaultEnumerator(Protocol):
+    """One complete fault space over a campaign context."""
+
+    name: str
+
+    def enumerate(self, context) -> list:
+        """Every perturbation of the space, canonical order, no dupes."""
+        ...
+
+    def sample(self, context, count: int, seed: int) -> list:
+        """Seeded order-preserving subset of :meth:`enumerate`."""
+        ...
+
+
+def _subset(items: list, count: int, seed: int) -> list:
+    """Order-preserving seeded subset (the :class:`AttackCorpus` idiom)."""
+    if count < 0:
+        raise ConfigurationError(f"sample count must be >= 0, got {count}")
+    if count >= len(items):
+        return list(items)
+    rng = random.Random(seed)
+    picks = sorted(rng.sample(range(len(items)), count))
+    return [items[index] for index in picks]
+
+
+def _executed_blocks(context) -> tuple[tuple[int, int], ...]:
+    blocks = getattr(context, "executed_blocks", ())
+    if not blocks:
+        raise ConfigurationError(
+            "context carries no executed_blocks; build it with "
+            "repro.faults.campaign.build_context (hand-built contexts "
+            "must fill executed_blocks to enumerate block-confined spaces)"
+        )
+    return blocks
+
+
+@dataclass(frozen=True, slots=True)
+class ExhaustiveSingleBit:
+    """Every single-bit flip of every executed word."""
+
+    name: str = "single-bit"
+
+    def enumerate(self, context) -> list[BitFlipFault]:
+        return [
+            BitFlipFault(address, (bit,))
+            for address in sorted(context.executed_addresses)
+            for bit in range(32)
+        ]
+
+    def sample(self, context, count: int, seed: int) -> list[BitFlipFault]:
+        return _subset(self.enumerate(context), count, seed)
+
+
+@dataclass(frozen=True, slots=True)
+class ExhaustiveSameColumnPairs:
+    """Every same-column word pair inside one executed dynamic block.
+
+    The §6.3 adversarial pattern: two words of one monitored block flipped
+    at the same bit position form an even-weight column-aligned error that
+    the XOR checksum provably cannot see.  Enumeration is over the
+    context's ``executed_blocks`` — for every block, every unordered
+    address pair ``(a < b)``, every bit column — sorted by block start,
+    then pair, then bit.  A pair of addresses shared by two distinct
+    dynamic blocks (same start, different ends) is enumerated once.
+    """
+
+    name: str = "same-column-pair"
+
+    def enumerate(self, context) -> list[tuple[BitFlipFault, ...]]:
+        pairs: list[tuple[BitFlipFault, ...]] = []
+        seen: set[tuple[int, int, int]] = set()
+        for start, end in _executed_blocks(context):
+            addresses = list(range(start, end + 4, 4))
+            for i, first in enumerate(addresses):
+                for second in addresses[i + 1 :]:
+                    for bit in range(32):
+                        key = (first, second, bit)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        pairs.append(
+                            (
+                                BitFlipFault(first, (bit,)),
+                                BitFlipFault(second, (bit,)),
+                            )
+                        )
+        return pairs
+
+    def sample(self, context, count: int, seed: int) -> list:
+        return _subset(self.enumerate(context), count, seed)
+
+
+@dataclass(frozen=True, slots=True)
+class AttackPlacement:
+    """Every attack generator at every eligible CFG site.
+
+    Wraps :class:`repro.attacks.corpus.AttackCorpus` enumeration across
+    the requested classes (default: all ten, transient variants included)
+    in canonical class-then-site order.  ``sample`` draws the corpus's
+    per-class seeded sample, so the sampled corpora the attack matrix and
+    DSE sweeps use are index-for-index subsets of this enumeration.
+    """
+
+    classes: tuple[str, ...] = ("all",)
+    name: str = "attack-placement"
+
+    def _corpus(self, context):
+        from repro.attacks.corpus import AttackCorpus
+
+        return AttackCorpus.from_context(context)
+
+    def _classes(self) -> tuple[str, ...]:
+        from repro.attacks.corpus import resolve_classes
+
+        return resolve_classes(self.classes)
+
+    def enumerate(self, context) -> list:
+        corpus = self._corpus(context)
+        scenarios: list = []
+        for attack_class in self._classes():
+            scenarios.extend(corpus.enumerate(attack_class))
+        return scenarios
+
+    def sample(self, context, count: int, seed: int) -> list:
+        """Up to *count* scenarios per class (the sampled-corpus shape)."""
+        return self._corpus(context).build(
+            self._classes(), per_class=count, seed=seed
+        )
+
+
+#: Registry of the complete fault spaces, by canonical name.
+ENUMERATORS: dict[str, FaultEnumerator] = {
+    enumerator.name: enumerator
+    for enumerator in (
+        ExhaustiveSingleBit(),
+        ExhaustiveSameColumnPairs(),
+        AttackPlacement(),
+    )
+}
+
+
+def get_enumerator(name: str) -> FaultEnumerator:
+    enumerator = ENUMERATORS.get(name)
+    if enumerator is None:
+        raise ConfigurationError(
+            f"unknown fault enumerator {name!r}; available: "
+            f"{', '.join(ENUMERATORS)}"
+        )
+    return enumerator
+
+
+def seeded_same_column_pairs(
+    blocks, count: int, seed: int
+) -> list[tuple[BitFlipFault, ...]]:
+    """The historical seeded same-column pair sampler (draw-compatible).
+
+    *blocks* is an iterable of ``(start, end)`` block identities — the
+    call sites pass ``block_trace.unique_blocks()`` — consumed in the
+    iteration order given, and pairs are drawn with replacement.  Both
+    quirks are load-bearing: committed fault-analysis and DSE artifacts
+    pin this exact draw sequence for a given ``(blocks, count, seed)``.
+    New code wanting a principled subset should use
+    ``ExhaustiveSameColumnPairs().sample`` instead.
+    """
+    rng = random.Random(seed)
+    eligible = [
+        block
+        for block in blocks
+        if block[1] - block[0] >= 4  # at least two instructions
+    ]
+    pairs: list[tuple[BitFlipFault, ...]] = []
+    attempts = 0
+    while len(pairs) < count and attempts < 50 * count:
+        attempts += 1
+        start, end = rng.choice(eligible)
+        addresses = list(range(start, end + 4, 4))
+        first, second = rng.sample(addresses, 2)
+        bit = rng.randrange(32)
+        pairs.append((BitFlipFault(first, (bit,)), BitFlipFault(second, (bit,))))
+    return pairs

@@ -197,6 +197,86 @@ BENCH_SCHEMA = {
 }
 
 
+#: One cell of a committed coverage matrix (``results/coverage/*.json``).
+_COVERAGE_CELL_SCHEMA = {
+    "type": "object",
+    "required": [
+        "workload", "subject", "hash", "policy", "total", "outcomes",
+        "detection_rate", "latency_histogram", "escapes",
+    ],
+    "additionalProperties": False,
+    "properties": {
+        "workload": {"type": "string"},
+        "subject": {"type": "string"},
+        "hash": {"type": "string"},
+        "policy": {"type": "string"},
+        "total": {"type": "integer", "minimum": 0},
+        "outcomes": {
+            "type": "object",
+            "additionalProperties": {"type": "integer", "minimum": 0},
+        },
+        "detection_rate": {"type": "number", "minimum": 0},
+        "latency_histogram": {
+            "type": "object",
+            "additionalProperties": {"type": "integer", "minimum": 1},
+        },
+        "escapes": {"type": "array", "items": {"type": "string"}},
+    },
+}
+
+#: Schema of one committed ``results/coverage/*.json`` ground-truth matrix.
+COVERAGE_SCHEMA = {
+    "type": "object",
+    "required": ["type", "version", "spec", "manifest", "cells"],
+    "additionalProperties": False,
+    "properties": {
+        "type": {"enum": ["coverage"]},
+        "version": {"type": "integer", "minimum": 1},
+        "spec": {
+            "type": "object",
+            "required": [
+                "name", "kind", "scale", "workloads", "hash_names",
+                "policy_names", "iht_size", "backend", "classes", "seed",
+            ],
+            "properties": {
+                "name": {"type": "string"},
+                "kind": {"enum": ["pairs", "attacks"]},
+                "scale": {"type": "string"},
+                "workloads": {"type": "array", "items": {"type": "string"}},
+                "source": {"type": ["string", "null"]},
+                "source_name": {"type": ["string", "null"]},
+                "hash_names": {"type": "array", "items": {"type": "string"}},
+                "policy_names": {"type": "array", "items": {"type": "string"}},
+                "iht_size": {"type": "integer", "minimum": 1},
+                "backend": {"type": "string"},
+                "classes": {"type": "array", "items": {"type": "string"}},
+                "seed": {"type": "integer"},
+            },
+        },
+        "manifest": {
+            "type": "object",
+            "required": [
+                "host", "python", "effective_cores", "fingerprint",
+                "total_injections", "wall_seconds", "workers",
+            ],
+            "properties": {
+                "host": {"type": "string"},
+                "platform": {"type": "string"},
+                "python": {"type": "string"},
+                "effective_cores": {"type": "integer", "minimum": 1},
+                "cpu_count": {"type": "integer", "minimum": 1},
+                "created": {"type": "string"},
+                "fingerprint": {"type": "string"},
+                "total_injections": {"type": "integer", "minimum": 0},
+                "wall_seconds": {"type": "number", "minimum": 0},
+                "workers": {"type": "integer", "minimum": 1},
+            },
+        },
+        "cells": {"type": "array", "items": _COVERAGE_CELL_SCHEMA},
+    },
+}
+
+
 def validate_metrics(data) -> list[str]:
     """Errors of a metrics payload against :data:`METRICS_SCHEMA`."""
     return validate(data, METRICS_SCHEMA)
@@ -205,3 +285,8 @@ def validate_metrics(data) -> list[str]:
 def validate_bench(data) -> list[str]:
     """Errors of a benchmark record against :data:`BENCH_SCHEMA`."""
     return validate(data, BENCH_SCHEMA)
+
+
+def validate_coverage(data) -> list[str]:
+    """Errors of a coverage matrix against :data:`COVERAGE_SCHEMA`."""
+    return validate(data, COVERAGE_SCHEMA)

@@ -1,0 +1,282 @@
+"""The FaultEnumerator protocol: completeness, canonical order, subsets.
+
+Property tier for :mod:`repro.faults.enumerators`: every registered
+enumerator's ``enumerate`` must equal an independent brute force over the
+same space (complete AND duplicate-free), its order must be a pure
+function of the context, and ``sample`` must be an order-preserving
+subset.  Campaign-level determinism — identical records for any worker
+count and batch plan — is pinned on a toy program at the bottom.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.faults.campaign import CampaignContext, build_context
+from repro.faults.enumerators import (
+    ENUMERATORS,
+    AttackPlacement,
+    ExhaustiveSameColumnPairs,
+    ExhaustiveSingleBit,
+    FaultEnumerator,
+    get_enumerator,
+    seeded_same_column_pairs,
+)
+from tests.conftest import assemble_with_exit
+
+TOY_BODY = """
+main:   li $t0, 6
+        li $s0, 0
+loop:   addu $s0, $s0, $t0
+        addi $t0, $t0, -1
+        bgtz $t0, loop
+        move $a0, $s0
+        li $v0, 1
+        syscall
+"""
+
+
+def synthetic_context(blocks, addresses=()):
+    """A hand-built context carrying only what bit-flip enumerators read."""
+    return CampaignContext(
+        program=None,
+        executed_addresses=tuple(addresses),
+        executed_blocks=tuple(blocks),
+    )
+
+
+#: Random block layouts: word-aligned starts, 1..6 instructions each,
+#: overlaps allowed (two dynamic blocks may share a start).
+block_strategy = st.lists(
+    st.tuples(st.integers(0, 40), st.integers(1, 6)).map(
+        lambda t: (0x400000 + 4 * t[0], 0x400000 + 4 * (t[0] + t[1] - 1))
+    ),
+    min_size=1,
+    max_size=8,
+).map(lambda blocks: tuple(sorted(set(blocks))))
+
+
+def brute_force_pair_keys(blocks):
+    """Independent recomputation of the same-column pair space as a set."""
+    keys = set()
+    for start, end in blocks:
+        addresses = range(start, end + 4, 4)
+        for first in addresses:
+            for second in addresses:
+                if first < second:
+                    for bit in range(32):
+                        keys.add((first, second, bit))
+    return keys
+
+
+def pair_key(pair):
+    first, second = pair
+    return (first.address, second.address, first.bits[0])
+
+
+class TestExhaustiveSameColumnPairs:
+    @settings(max_examples=50, deadline=None)
+    @given(blocks=block_strategy)
+    def test_complete_and_duplicate_free(self, blocks):
+        enumerated = ExhaustiveSameColumnPairs().enumerate(
+            synthetic_context(blocks)
+        )
+        keys = [pair_key(pair) for pair in enumerated]
+        assert len(keys) == len(set(keys)), "duplicate pair enumerated"
+        assert set(keys) == brute_force_pair_keys(blocks)
+
+    @settings(max_examples=25, deadline=None)
+    @given(blocks=block_strategy)
+    def test_order_is_deterministic(self, blocks):
+        context = synthetic_context(blocks)
+        enumerator = ExhaustiveSameColumnPairs()
+        assert enumerator.enumerate(context) == enumerator.enumerate(context)
+
+    @settings(max_examples=25, deadline=None)
+    @given(blocks=block_strategy, seed=st.integers(0, 2**16))
+    def test_sample_is_order_preserving_subset(self, blocks, seed):
+        context = synthetic_context(blocks)
+        enumerator = ExhaustiveSameColumnPairs()
+        full = enumerator.enumerate(context)
+        sampled = enumerator.sample(context, min(7, len(full)), seed)
+        positions = [full.index(pair) for pair in sampled]
+        assert positions == sorted(positions)
+        assert len(set(positions)) == len(positions)
+
+    def test_both_flips_share_the_bit_column(self):
+        blocks = ((0x400000, 0x40000C),)
+        for first, second in ExhaustiveSameColumnPairs().enumerate(
+            synthetic_context(blocks)
+        ):
+            assert first.bits == second.bits
+            assert len(first.bits) == 1
+            assert first.address < second.address
+
+    def test_single_word_block_enumerates_nothing(self):
+        context = synthetic_context(((0x400000, 0x400000),))
+        assert ExhaustiveSameColumnPairs().enumerate(context) == []
+
+    def test_missing_executed_blocks_is_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            ExhaustiveSameColumnPairs().enumerate(
+                synthetic_context((), addresses=(0x400000,))
+            )
+
+
+class TestExhaustiveSingleBit:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        addresses=st.lists(
+            st.integers(0, 60).map(lambda n: 0x400000 + 4 * n),
+            min_size=1,
+            max_size=12,
+            unique=True,
+        )
+    )
+    def test_complete_and_duplicate_free(self, addresses):
+        enumerated = ExhaustiveSingleBit().enumerate(
+            synthetic_context((), addresses=addresses)
+        )
+        keys = [(fault.address, fault.bits) for fault in enumerated]
+        assert len(keys) == len(set(keys))
+        assert set(keys) == {
+            (address, (bit,)) for address in addresses for bit in range(32)
+        }
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_sample_is_order_preserving_subset(self, seed):
+        context = synthetic_context((), addresses=(0x400000, 0x400004))
+        enumerator = ExhaustiveSingleBit()
+        full = enumerator.enumerate(context)
+        sampled = enumerator.sample(context, 9, seed)
+        positions = [full.index(fault) for fault in sampled]
+        assert positions == sorted(positions)
+
+
+class TestSeededSamplerContainment:
+    """The legacy with-replacement sampler stays inside the exhaustive
+    space (same blocks, same-column, intra-block pairs)."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(blocks=block_strategy, seed=st.integers(0, 2**16))
+    def test_draws_are_contained_in_exhaustive_space(self, blocks, seed):
+        eligible = [b for b in blocks if b[1] - b[0] >= 4]
+        if not eligible:
+            return
+        exhaustive = brute_force_pair_keys(blocks)
+        for first, second in seeded_same_column_pairs(blocks, 25, seed):
+            low, high = sorted((first.address, second.address))
+            assert (low, high, first.bits[0]) in exhaustive
+
+    def test_draw_sequence_is_deterministic(self):
+        blocks = ((0x400000, 0x400010), (0x400020, 0x400028))
+        assert seeded_same_column_pairs(blocks, 12, 7) == (
+            seeded_same_column_pairs(blocks, 12, 7)
+        )
+
+
+class TestRegistry:
+    def test_every_registered_enumerator_satisfies_the_protocol(self):
+        for name, enumerator in ENUMERATORS.items():
+            assert isinstance(enumerator, FaultEnumerator)
+            assert enumerator.name == name
+
+    def test_registry_names(self):
+        assert set(ENUMERATORS) == {
+            "single-bit", "same-column-pair", "attack-placement"
+        }
+
+    def test_get_enumerator(self):
+        assert get_enumerator("single-bit") is ENUMERATORS["single-bit"]
+        with pytest.raises(ConfigurationError):
+            get_enumerator("no-such-space")
+
+
+@pytest.fixture(scope="module")
+def toy_context():
+    return build_context(assemble_with_exit(TOY_BODY, name="toy"))
+
+
+class TestOnRealContext:
+    """Enumerators over a genuinely executed program agree with the same
+    brute force, and build_context feeds them canonical blocks."""
+
+    def test_context_blocks_are_sorted_canonical(self, toy_context):
+        assert list(toy_context.executed_blocks) == sorted(
+            set(toy_context.executed_blocks)
+        )
+
+    def test_pairs_match_brute_force_over_context(self, toy_context):
+        enumerated = ExhaustiveSameColumnPairs().enumerate(toy_context)
+        keys = {pair_key(pair) for pair in enumerated}
+        assert keys == brute_force_pair_keys(toy_context.executed_blocks)
+        assert len(enumerated) == len(keys)
+
+    def test_attack_placement_concatenates_full_enumerations(
+        self, toy_context
+    ):
+        from repro.attacks.corpus import AttackCorpus, resolve_classes
+
+        placement = AttackPlacement()
+        scenarios = placement.enumerate(toy_context)
+        corpus = AttackCorpus.from_context(toy_context)
+        expected = []
+        for attack_class in resolve_classes(("all",)):
+            expected.extend(corpus.enumerate(attack_class))
+        assert scenarios == expected
+        labels = [(s.attack_class, s.label, s.occurrence) for s in scenarios]
+        assert len(labels) == len(set(labels))
+
+    def test_attack_sample_is_per_class_subset(self, toy_context):
+        placement = AttackPlacement()
+        full = placement.enumerate(toy_context)
+        sampled = placement.sample(toy_context, 3, seed=42)
+        assert all(scenario in full for scenario in sampled)
+        by_class = {}
+        for scenario in sampled:
+            by_class.setdefault(scenario.attack_class, []).append(scenario)
+        for attack_class, group in by_class.items():
+            assert len(group) <= 3
+
+
+class TestCampaignDeterminism:
+    """Exhaustive enumerations run identically across worker counts and
+    batch plans — the property that makes coverage matrices re-derivable
+    on any host."""
+
+    @pytest.fixture(scope="class")
+    def rig(self):
+        from repro.exec.runner import CampaignRunner
+        from repro.exec.spec import CampaignSpec
+
+        source = TOY_BODY + "        li $v0, 10\n        syscall\n"
+        spec = CampaignSpec(source=source, name="toy", backend="golden")
+        context = spec.build_context()
+        items = ExhaustiveSameColumnPairs().enumerate(context)[:96]
+        baseline = CampaignRunner(spec, workers=1, chunk_size=16).run(
+            items, seed=3
+        )
+        return spec, items, self.verdicts(baseline)
+
+    @staticmethod
+    def verdicts(result):
+        return [
+            (r.index, r.outcome, r.detail, r.latency)
+            for r in sorted(result.records, key=lambda r: r.index)
+        ]
+
+    @pytest.mark.parametrize(
+        "workers,batch_size", [(2, None), (1, 5), (2, 7)]
+    )
+    def test_records_invariant(self, rig, workers, batch_size):
+        from repro.exec.runner import CampaignRunner
+
+        spec, items, baseline = rig
+        variant = CampaignRunner(
+            spec, workers=workers, chunk_size=11, batch_size=batch_size
+        ).run(items, seed=3)
+        assert self.verdicts(variant) == baseline

@@ -1,0 +1,295 @@
+"""Matrix reduction, fingerprints, round-trips, and the committed corpora.
+
+The committed ground-truth files under ``results/coverage/`` are
+first-class test subjects here: every one must be schema-valid,
+fingerprint-intact, internally consistent, and generated from a spec
+that still matches the live :data:`repro.coverage.CORPORA` registry —
+so editing a corpus definition without regenerating its artifact fails
+loudly.
+"""
+
+from __future__ import annotations
+
+import copy
+import glob
+import json
+import os
+
+import pytest
+
+from repro.coverage import (
+    CORPORA,
+    CoverageCell,
+    CoverageSpec,
+    build_payload,
+    check_payload,
+    default_artifact_path,
+    diff_payloads,
+    fault_label,
+    fingerprint,
+    get_corpus,
+    load_payload,
+    reduce_cell,
+    render_payload,
+    run_coverage,
+)
+from repro.coverage.matrix import sort_cells
+from repro.errors import ConfigurationError
+from repro.exec.records import FaultRecord
+from repro.faults.campaign import Outcome
+from repro.faults.models import BitFlipFault, TransientFetchFault
+
+RESULTS_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "..", "results", "coverage"
+)
+
+TOY_SOURCE = """
+main:   li $t0, 6
+        li $s0, 0
+loop:   addu $s0, $s0, $t0
+        addi $t0, $t0, -1
+        bgtz $t0, loop
+        move $a0, $s0
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+"""
+
+
+def toy_spec(**overrides) -> CoverageSpec:
+    fields = dict(
+        name="toy",
+        kind="pairs",
+        source=TOY_SOURCE,
+        source_name="toy.s",
+        hash_names=("xor",),
+        policy_names=("lru_half",),
+    )
+    fields.update(overrides)
+    return CoverageSpec(**fields)
+
+
+def record(index, fault, outcome, latency=None):
+    return FaultRecord(
+        index=index, shard=0, fault=fault, outcome=outcome, latency=latency
+    )
+
+
+class TestFaultLabels:
+    def test_bitflip(self):
+        assert fault_label(BitFlipFault(0x400010, (7,))) == "bitflip@0x400010:b7"
+
+    def test_pair(self):
+        pair = (BitFlipFault(0x400000, (3,)), BitFlipFault(0x400008, (3,)))
+        assert fault_label(pair) == (
+            "bitflip@0x400000:b3+bitflip@0x400008:b3"
+        )
+
+    def test_transient(self):
+        fault = TransientFetchFault(0x400004, (1, 2), occurrence=3)
+        assert fault_label(fault) == "transient@0x400004:b1,2:n3"
+
+    def test_unlabelable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fault_label(object())
+
+
+class TestReduceCell:
+    def test_counts_rate_histogram_escapes(self):
+        flip = BitFlipFault(0x400000, (0,))
+        records = [
+            record(0, flip, Outcome.DETECTED_CIC, latency=2),
+            record(1, flip, Outcome.DETECTED_CIC, latency=2),
+            record(2, flip, Outcome.DETECTED_BASELINE, latency=0),
+            record(3, flip, Outcome.SDC),
+            record(4, flip, Outcome.HANG),
+            record(5, flip, Outcome.BENIGN),
+        ]
+        cell = reduce_cell("toy", "subject", "xor", "lru_half", records)
+        assert cell.total == 6
+        assert cell.outcomes == {
+            "detected-cic": 2,
+            "detected-baseline": 1,
+            "silent-corruption": 1,
+            "hang": 1,
+            "benign": 1,
+            "crashed": 0,
+        }
+        assert cell.detection_rate == round(3 / 6, 6)
+        assert cell.latency_histogram == {"2": 2, "0": 1}
+        assert cell.escapes == [
+            "3|bitflip@0x400000:b0|silent-corruption",
+            "4|bitflip@0x400000:b0|hang",
+        ]
+
+    def test_reduction_is_order_sensitive_fold_of_sorted_records(self):
+        """Same multiset of records → same cell (the runner sorts first)."""
+        flip = BitFlipFault(0x400000, (0,))
+        records = [
+            record(0, flip, Outcome.SDC),
+            record(1, flip, Outcome.DETECTED_CIC, latency=1),
+        ]
+        cell_a = reduce_cell("t", "s", "xor", "lru_half", records)
+        cell_b = reduce_cell("t", "s", "xor", "lru_half", list(records))
+        assert cell_a.to_json() == cell_b.to_json()
+
+    def test_empty_cell(self):
+        cell = reduce_cell("t", "s", "xor", "lru_half", [])
+        assert cell.total == 0
+        assert cell.detection_rate == 0.0
+        assert cell.escapes == []
+
+
+class TestCellAndSpecRoundTrip:
+    def test_cell_round_trip(self):
+        cell = CoverageCell(
+            workload="toy",
+            subject="same-column-pair",
+            hash_name="xor",
+            policy_name="lru_half",
+            total=3,
+            outcomes={"detected-cic": 3},
+            detection_rate=1.0,
+            latency_histogram={"0": 3},
+            escapes=[],
+        )
+        assert CoverageCell.from_json(cell.to_json()).to_json() == cell.to_json()
+
+    def test_spec_round_trip(self):
+        for spec in CORPORA.values():
+            assert CoverageSpec.from_json(spec.to_json()) == spec
+
+    def test_sort_cells_canonical(self):
+        cells = [
+            CoverageCell("b", "s", "xor", "lru_half"),
+            CoverageCell("a", "t", "xor", "lru_half"),
+            CoverageCell("a", "s", "crc32", "lru_half"),
+            CoverageCell("a", "s", "xor", "lru_half"),
+        ]
+        assert [cell.key for cell in sort_cells(cells)] == sorted(
+            cell.key for cell in cells
+        )
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            CoverageSpec(name="bad", kind="no-such-kind", workloads=("sha",))
+        with pytest.raises(ConfigurationError):
+            CoverageSpec(name="bad", kind="pairs")  # neither source
+        with pytest.raises(ConfigurationError):
+            CoverageSpec(
+                name="bad", kind="pairs", workloads=("sha",), source="x"
+            )
+        with pytest.raises(ConfigurationError):
+            get_corpus("no-such-corpus")
+
+
+class TestFingerprint:
+    def test_depends_on_cells_not_manifest(self):
+        spec = toy_spec()
+        cell = reduce_cell("toy.s", "same-column-pair", "xor", "lru_half", [])
+        payload_a = build_payload(spec, [cell], 0, 1.0, workers=1)
+        payload_b = build_payload(spec, [cell], 0, 99.0, workers=4)
+        assert (
+            payload_a["manifest"]["fingerprint"]
+            == payload_b["manifest"]["fingerprint"]
+        )
+        assert payload_a["manifest"]["wall_seconds"] != (
+            payload_b["manifest"]["wall_seconds"]
+        )
+
+    def test_sensitive_to_any_cell_change(self):
+        spec_json = toy_spec().to_json()
+        cells = [
+            reduce_cell(
+                "toy.s",
+                "same-column-pair",
+                "xor",
+                "lru_half",
+                [record(0, BitFlipFault(0x400000, (0,)), Outcome.DETECTED_CIC, 1)],
+            ).to_json()
+        ]
+        base = fingerprint(spec_json, cells)
+        mutated = copy.deepcopy(cells)
+        mutated[0]["outcomes"]["detected-cic"] = 0
+        assert fingerprint(spec_json, mutated) != base
+
+
+class TestToyPayloadEndToEnd:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return run_coverage(toy_spec())
+
+    def test_sound_and_self_identical(self, payload):
+        assert check_payload(payload) == []
+        assert diff_payloads(payload, payload) == []
+
+    def test_render_load_round_trip(self, payload, tmp_path):
+        path = tmp_path / "toy.json"
+        path.write_text(render_payload(payload), encoding="utf-8")
+        assert load_payload(path) == payload
+        assert check_payload(load_payload(path)) == []
+
+    def test_rerun_is_fingerprint_identical(self, payload):
+        again = run_coverage(toy_spec())
+        assert (
+            again["manifest"]["fingerprint"]
+            == payload["manifest"]["fingerprint"]
+        )
+        assert again["cells"] == payload["cells"]
+
+    def test_worker_and_batch_invariance(self, payload):
+        variant = run_coverage(toy_spec(), workers=2, chunk_size=9, batch_size=5)
+        assert variant["cells"] == payload["cells"]
+        assert (
+            variant["manifest"]["fingerprint"]
+            == payload["manifest"]["fingerprint"]
+        )
+
+    def test_check_catches_internal_inconsistency(self, payload):
+        broken = copy.deepcopy(payload)
+        broken["cells"][0]["total"] += 1
+        errors = check_payload(broken)
+        assert errors
+        assert any("outcomes sum" in error for error in errors)
+
+    def test_load_rejects_non_coverage_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"type": "metrics"}), encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            load_payload(path)
+
+
+def committed_artifacts() -> list[str]:
+    return sorted(glob.glob(os.path.join(RESULTS_DIR, "*.json")))
+
+
+class TestCommittedGroundTruth:
+    def test_all_three_corpora_are_committed(self):
+        committed = {os.path.basename(path) for path in committed_artifacts()}
+        expected = {
+            os.path.basename(default_artifact_path(name)) for name in CORPORA
+        }
+        assert expected <= committed
+
+    @pytest.mark.parametrize(
+        "path", committed_artifacts(), ids=os.path.basename
+    )
+    def test_committed_matrix_is_sound(self, path):
+        payload = load_payload(path)
+        assert check_payload(payload) == []
+
+    @pytest.mark.parametrize(
+        "path", committed_artifacts(), ids=os.path.basename
+    )
+    def test_committed_spec_matches_registry(self, path):
+        """A corpus definition change without regeneration fails here."""
+        payload = load_payload(path)
+        spec = CoverageSpec.from_json(payload["spec"])
+        assert spec == CORPORA[spec.name]
+
+    def test_artifact_serialization_is_stable(self):
+        for path in committed_artifacts():
+            payload = load_payload(path)
+            with open(path, encoding="utf-8") as handle:
+                assert handle.read() == render_payload(payload)

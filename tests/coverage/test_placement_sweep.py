@@ -1,0 +1,100 @@
+"""Exhaustive attack placement: golden backend ≡ full replay.
+
+The committed attack matrices are generated on the golden
+(fork-at-checkpoint) backend; this differential pins every scenario of
+the exhaustive placement — all ten attack classes, every eligible CFG
+site — to the full-replay backend on outcome, detail, AND latency, so
+the fast backend cannot drift from ground truth unnoticed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.generators import ATTACK_CLASSES
+from repro.exec.runner import CampaignRunner
+from repro.exec.spec import CampaignSpec
+from repro.faults.enumerators import AttackPlacement
+
+#: Branches, a loop, straight-line arithmetic, and an input-dependent
+#: compare: every generator finds at least one eligible site here.
+SOURCE = """
+        .data
+secret: .word 7351
+        .text
+main:   li   $v0, 5
+        syscall
+        move $t0, $v0
+        lw   $t1, secret
+        li   $t2, 3
+acc:    addu $t3, $t3, $t2
+        addi $t2, $t2, -1
+        bgtz $t2, acc
+check:  bne  $t0, $t1, deny
+grant:  li   $a0, 1
+        j    report
+deny:   li   $a0, 0
+report: li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+"""
+
+
+def spec_for(backend: str) -> CampaignSpec:
+    return CampaignSpec(
+        source=SOURCE, name="gatekeeper", inputs=(7351,), backend=backend
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """Exhaustive placement run on both backends over one shared context."""
+    full_spec = spec_for("full")
+    context = full_spec.build_context()
+    scenarios = AttackPlacement().enumerate(context)
+    results = {}
+    for backend in ("full", "golden"):
+        runner = CampaignRunner(spec_for(backend), chunk_size=32)
+        results[backend] = sorted(
+            runner.run(scenarios, seed=42).records,
+            key=lambda record: record.index,
+        )
+    return scenarios, results
+
+
+class TestGoldenEqualsFull:
+    def test_every_class_is_exercised(self, sweep):
+        scenarios, _results = sweep
+        assert {s.attack_class for s in scenarios} == set(ATTACK_CLASSES)
+
+    def test_outcome_detail_latency_identical(self, sweep):
+        scenarios, results = sweep
+        assert len(results["full"]) == len(scenarios)
+        for full, golden in zip(results["full"], results["golden"]):
+            coordinate = (full.index, full.fault.attack_class, full.fault.label)
+            assert full.index == golden.index
+            assert full.outcome == golden.outcome, coordinate
+            assert full.detail == golden.detail, coordinate
+            assert full.latency == golden.latency, coordinate
+
+
+class TestSampleContainment:
+    """The seeded per-class samples the attack matrix sweeps are built
+    from are subsets of the exhaustive placement, index for index."""
+
+    @pytest.mark.parametrize("per_class", [1, 3, 8])
+    def test_sample_subset_of_enumeration(self, sweep, per_class):
+        scenarios, _results = sweep
+        context = spec_for("full").build_context()
+        placement = AttackPlacement()
+        sampled = placement.sample(context, per_class, seed=42)
+        positions = [scenarios.index(s) for s in sampled]
+        assert len(positions) == len(set(positions))
+        # Within one class, canonical order is preserved.
+        by_class: dict[str, list[int]] = {}
+        for scenario, position in zip(sampled, positions):
+            by_class.setdefault(scenario.attack_class, []).append(position)
+        for attack_class, group in by_class.items():
+            assert group == sorted(group), attack_class
+            assert len(group) <= per_class
