@@ -5,7 +5,11 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-smoke perf-smoke campaign-smoke attack-smoke \
-	dse-smoke harness-smoke scaling-smoke obs-smoke coverage-smoke clean
+	dse-smoke harness-smoke scaling-smoke obs-smoke coverage-smoke \
+	trace-smoke bench-gate clean
+
+# Regression threshold (percent) for `make bench-gate`.
+BENCH_GATE ?= 25
 
 test:  ## tier-1: the whole unit/integration suite, fail fast
 	$(PYTHON) -m pytest -x -q
@@ -95,6 +99,46 @@ coverage-smoke:  ## committed coverage matrices: check + cell-by-cell diff
 	$(PYTHON) -m repro coverage diff results/coverage/attacks_tiny.json
 	$(PYTHON) -m repro coverage diff results/coverage/pairs_tiny.json \
 	    --workload bitcount
+	# A fresh run also leaves an aggregated, schema-valid telemetry
+	# sibling beside its artifact (parity with campaign/DSE --out).
+	$(PYTHON) -m repro coverage run attacks-tiny \
+	    --out results/coverage_smoke.json
+	$(PYTHON) -m repro stats results/coverage_smoke.metrics.json --check
+
+# trace-smoke proves the live half of the observability stack end to
+# end: a tiny campaign runs in the background while `repro top` tails
+# its event log to completion, then the run is exported as a
+# Chrome/Perfetto trace (schema-checked by the exporter) and its metrics
+# artifact is self-diffed under a gate — which must report +0.0% and
+# exit 0.
+trace-smoke:  ## background campaign -> live follow -> trace export -> self-diff
+	rm -f results/trace_smoke.jsonl results/trace_smoke.events.jsonl \
+	    results/trace_smoke.metrics.json results/trace_smoke.trace.json
+	$(PYTHON) -m repro campaign bitcount --scale tiny --backend golden \
+	    --faults 48 --chunk 8 --seed 42 \
+	    --out results/trace_smoke.jsonl & \
+	$(PYTHON) -m repro top results/trace_smoke.jsonl --timeout 120; \
+	status=$$?; wait; test $$status -eq 0
+	$(PYTHON) -m repro stats results/trace_smoke.jsonl \
+	    --export-trace results/trace_smoke.trace.json
+	$(PYTHON) -m repro stats diff results/trace_smoke.metrics.json \
+	    results/trace_smoke.metrics.json --gate 5
+
+# bench-gate compares every committed BENCH_*.json against the
+# PREV_BENCH_*.json stash the benchmark harness leaves behind when it
+# overwrites one (benchmarks/conftest.py), failing on any >= BENCH_GATE
+# percent regression.  Opt-in rather than CI-wired: wall-clock numbers
+# on shared runners are too noisy to gate merges on.
+bench-gate:  ## diff fresh BENCH_*.json against PREV_ stashes, gate regressions
+	@found=0; \
+	for current in results/BENCH_*.json; do \
+	    prev="results/PREV_$$(basename $$current)"; \
+	    [ -f "$$current" ] && [ -f "$$prev" ] || continue; \
+	    found=1; \
+	    $(PYTHON) -m repro stats diff "$$prev" "$$current" \
+	        --gate $(BENCH_GATE) || exit 1; \
+	done; \
+	[ $$found -eq 1 ] || echo "bench-gate: no PREV_BENCH_*.json stashes yet (run make bench twice)"
 
 clean:
 	rm -rf results .pytest_cache

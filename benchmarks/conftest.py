@@ -79,6 +79,12 @@ def record_bench(results_dir, request, _bench_json_reset):
                 payload = json.loads(path.read_text())
             except json.JSONDecodeError:
                 pass  # torn file from an interrupted run: start fresh
+        elif path.exists():
+            # First write of the session overwrites the committed
+            # numbers; stash them so `make bench-gate` can diff the
+            # fresh file against them (`repro stats diff`).  PREV_ files
+            # stay untracked: the BENCH_ gitignore negation skips them.
+            (results_dir / f"PREV_{path.name}").write_text(path.read_text())
         _bench_json_reset.add(path)
         # Provenance: which host measured the numbers in this file.
         payload["manifest"] = MANIFEST

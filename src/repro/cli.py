@@ -38,11 +38,27 @@ Commands
 
 ``stats PATH``
     Render the ``*.metrics.json`` telemetry artifacts written beside
-    campaign/DSE results files (:mod:`repro.obs`): run manifest, span
-    tree with wall-time shares, counters, and per-shard / per-worker
-    breakdowns.  PATH is one metrics file or a directory to scan
-    recursively; ``--check`` additionally validates every file against
-    the metrics schema.
+    campaign/DSE/coverage results files (:mod:`repro.obs`): run
+    manifest, span tree with wall-time shares, counters, and per-shard /
+    per-worker breakdowns.  PATH is one metrics file or a directory to
+    scan recursively; ``--check`` additionally validates every file —
+    and its ``*.events.jsonl`` sibling when present — against the
+    schemas.  ``--follow`` tails the run's live event log instead
+    (shard progress, per-worker throughput, cache-hit rate, ETA),
+    degrading to the final summary when the run already finished;
+    ``--export-trace FILE`` converts the event timeline plus span tree
+    to Chrome/Perfetto ``trace_event`` JSON.
+
+``stats diff A B [--gate PCT]``
+    Compare two metrics or ``BENCH_*.json`` artifacts metric by metric
+    (wall seconds, records/s, cache-hit rates, span shares, per-test
+    bench numbers), each drift signed toward *worse*; with ``--gate``
+    the exit code becomes the regression gate: 1 when anything got at
+    least PCT percent worse.
+
+``top PATH``
+    Alias of ``stats PATH --follow`` — the live view of an in-flight
+    run.
 
 ``dse sweep|frontier|report``
     Drive the design-space explorer (:mod:`repro.dse`).  ``sweep``
@@ -478,8 +494,28 @@ def cmd_dse_report(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
+    # `repro stats diff A B` rides the same subcommand: the positional
+    # `path` doubles as the verb so `repro stats PATH [--check]` keeps
+    # its exact historical shape.
+    if args.path == "diff":
+        return _stats_diff(args)
+    if args.extra:
+        log.error(
+            "error: `repro stats` takes one path "
+            "(did you mean `repro stats diff A B`?)"
+        )
+        return 1
+    if args.follow:
+        return _stats_follow(args)
+    if args.export_trace:
+        return _stats_export_trace(args)
+    return _stats_render(args)
+
+
+def _stats_render(args: argparse.Namespace) -> int:
     from repro.obs import find_metrics, load_metrics, render_metrics
-    from repro.obs.schema import validate_metrics
+    from repro.obs.events import read_events, resolve_events_path
+    from repro.obs.schema import validate_events, validate_metrics
 
     files = find_metrics(args.path)
     if not files:
@@ -488,10 +524,18 @@ def cmd_stats(args: argparse.Namespace) -> int:
         return 1
     status = 0
     reports = []
+    events_checked = 0
     for path in files:
         payload = load_metrics(path)
         if args.check:
             errors = validate_metrics(payload)
+            events_file = resolve_events_path(path)
+            if os.path.exists(events_file):
+                events_checked += 1
+                errors += [
+                    f"{os.path.basename(events_file)}: {problem}"
+                    for problem in validate_events(read_events(events_file))
+                ]
             for problem in errors:
                 log.error(f"{path}: {problem}")
             if errors:
@@ -501,50 +545,92 @@ def cmd_stats(args: argparse.Namespace) -> int:
         )
     print("\n\n".join(reports))
     if args.check and status == 0:
-        log.info(f"{len(files)} metrics file(s) schema-valid")
+        log.info(
+            f"{len(files)} metrics file(s) schema-valid"
+            + (
+                f" ({events_checked} event log(s) checked)"
+                if events_checked
+                else ""
+            )
+        )
     return status
 
 
+def _stats_follow(args: argparse.Namespace) -> int:
+    from repro.obs import follow_path
+
+    return follow_path(
+        args.path,
+        interval=args.interval,
+        timeout=args.timeout,
+        verbose=getattr(args, "verbose", False),
+    )
+
+
+def _stats_export_trace(args: argparse.Namespace) -> int:
+    from repro.obs import export_trace
+
+    trace = export_trace(args.path, args.export_trace)
+    log.info(
+        f"trace with {len(trace['traceEvents'])} events written to "
+        f"{args.export_trace} (load in https://ui.perfetto.dev "
+        "or chrome://tracing)"
+    )
+    return 0
+
+
+def _stats_diff(args: argparse.Namespace) -> int:
+    from repro.obs import diff_artifacts, render_diff
+
+    if len(args.extra) != 2:
+        log.error("error: usage: repro stats diff A B [--gate PCT]")
+        return 1
+    report = diff_artifacts(args.extra[0], args.extra[1])
+    print(render_diff(report, gate=args.gate))
+    if args.gate is not None and report.worst >= args.gate:
+        return 1
+    return 0
+
+
 def _coverage_files(path: str) -> list[str]:
-    """One artifact file, or every ``*.json`` under a directory."""
+    """One artifact file, or every matrix ``*.json`` under a directory.
+
+    Observability siblings (``*.metrics.json`` written beside coverage
+    artifacts) are not matrices and are skipped — ``repro stats --check``
+    owns them.
+    """
     if os.path.isdir(path):
         found = []
         for root, _dirs, files in os.walk(path):
             for name in sorted(files):
-                if name.endswith(".json"):
+                if name.endswith(".json") and not name.endswith(".metrics.json"):
                     found.append(os.path.join(root, name))
         return sorted(found)
     return [path]
 
 
 def cmd_coverage_run(args: argparse.Namespace) -> int:
-    from repro.coverage import (
-        default_artifact_path,
-        get_corpus,
-        render_payload,
-        run_coverage,
-    )
+    from repro.coverage import default_artifact_path, get_corpus, run_coverage
+    from repro.obs.metrics import metrics_path
 
     spec = get_corpus(args.corpus)
+    out = args.out or default_artifact_path(spec.name)
     payload = run_coverage(
         spec,
         workers=args.workers,
         chunk_size=args.chunk,
         batch_size=args.batch_size,
         progress=log.info,
+        out=out,
     )
-    out = args.out or default_artifact_path(spec.name)
-    directory = os.path.dirname(out)
-    if directory:
-        os.makedirs(directory, exist_ok=True)
-    with open(out, "w", encoding="utf-8") as handle:
-        handle.write(render_payload(payload))
     manifest = payload["manifest"]
     print(
         f"coverage {spec.name}: {manifest['total_injections']} injections, "
         f"{len(payload['cells'])} cells, fingerprint "
         f"{manifest['fingerprint']} -> {out}"
     )
+    if obs_core.enabled():
+        log.info(f"run telemetry in {metrics_path(out)}")
     return 0
 
 
@@ -1025,17 +1111,75 @@ def build_parser() -> argparse.ArgumentParser:
     coverage_check_command.set_defaults(handler=cmd_coverage_check)
 
     stats_command = commands.add_parser(
-        "stats", help="render run telemetry (*.metrics.json)", parents=obs
+        "stats",
+        help="render, follow, export, or diff run telemetry",
+        parents=obs,
     )
     stats_command.add_argument(
-        "path", help="one metrics file, or a directory scanned recursively"
+        "path",
+        help="one metrics file or a directory scanned recursively; "
+             "or the verb `diff` followed by two artifacts",
+    )
+    stats_command.add_argument(
+        "extra", nargs="*",
+        help="for `stats diff`: the two artifacts to compare "
+             "(*.metrics.json or BENCH_*.json)",
     )
     stats_command.add_argument(
         "--check", action="store_true",
-        help="also validate each file against the metrics schema "
+        help="also validate each file against the metrics schema — and "
+             "its *.events.jsonl sibling when present — "
              "(repro.obs.schema); exit 1 on any violation",
     )
+    stats_command.add_argument(
+        "--follow", action="store_true",
+        help="tail the run's *.events.jsonl live (alias: `repro top`); "
+             "prints shard progress, throughput, cache hits, and ETA, "
+             "or just the final summary when the run already finished",
+    )
+    stats_command.add_argument(
+        "--interval", type=float, default=0.2, metavar="SECONDS",
+        help="--follow poll interval (default 0.2s)",
+    )
+    stats_command.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="--follow gives up (exit 1) after this long without a "
+             "run-finished event (default: wait forever)",
+    )
+    stats_command.add_argument(
+        "--export-trace", metavar="FILE",
+        help="write the run as Chrome/Perfetto trace_event JSON "
+             "(event timeline + span tree; open in ui.perfetto.dev)",
+    )
+    stats_command.add_argument(
+        "--gate", type=float, default=None, metavar="PCT",
+        help="for `stats diff`: exit 1 when any gated metric regressed "
+             "by at least PCT percent",
+    )
     stats_command.set_defaults(handler=cmd_stats)
+
+    top_command = commands.add_parser(
+        "top",
+        help="live view of a running campaign/sweep "
+             "(alias of `stats --follow`)",
+        parents=obs,
+    )
+    top_command.add_argument(
+        "path", help="the run's results, metrics, or events file"
+    )
+    top_command.add_argument(
+        "--interval", type=float, default=0.2, metavar="SECONDS",
+        help="poll interval (default 0.2s)",
+    )
+    top_command.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="give up (exit 1) after this long without a run-finished "
+             "event (default: wait forever)",
+    )
+    top_command.set_defaults(
+        handler=cmd_stats, follow=True, check=False,
+        export_trace=None, gate=None, extra=[],
+    )
 
     experiments_command = commands.add_parser(
         "experiments", help="regenerate paper tables/figures", parents=obs

@@ -56,7 +56,11 @@ Telemetry
     counters and spans process-locally and drain them per shard, the
     parent merges each delta at shard commit (riding the same seam the
     JSONL records cross), and a ``<out>.metrics.json`` manifest +
-    metrics artifact lands beside the results file.  Strictly an
+    metrics artifact lands beside the results file.  Runs with an
+    ``out`` also stream a live ``<out>.events.jsonl`` event log at the
+    same commit seam (:mod:`repro.obs.events`): run-started /
+    shard-committed / worker-heartbeat / resume / run-finished lines
+    that ``repro stats --follow`` tails in flight.  Strictly an
     observer — results files are byte-identical with telemetry on, off,
     or at any verbosity (``tests/obs/test_neutrality.py`` pins this).
 """
@@ -70,6 +74,7 @@ from typing import Callable
 
 from repro.errors import ConfigurationError
 from repro.obs import core as obs
+from repro.obs.events import EventWriter, events_path
 from repro.obs.metrics import (
     build_payload,
     environment,
@@ -236,11 +241,22 @@ class Job:
 
 @dataclass(slots=True)
 class HarnessResult:
-    """Outcome of one :meth:`HarnessRunner.run` call."""
+    """Outcome of one :meth:`HarnessRunner.run` call.
+
+    ``telemetry`` and ``shard_stats`` carry the run-level observation
+    (the merged :class:`~repro.obs.core.Telemetry` snapshot and the
+    per-shard commit metadata) when telemetry was enabled — the same
+    material the ``.metrics.json`` artifact is built from, exposed so
+    in-process clients (e.g. :func:`repro.coverage.runner.run_coverage`)
+    can aggregate runs that never named an ``out`` file.  Both are empty
+    with telemetry off; neither influences the records.
+    """
 
     job: Job
     records: list = field(default_factory=list)
     out: str | None = None
+    telemetry: dict | None = None
+    shard_stats: list = field(default_factory=list)
 
     @property
     def total(self) -> int:
@@ -503,11 +519,22 @@ class HarnessRunner:
                     telem.count("harness.resume.shards", len(done_shards))
                     telem.count("harness.resume.records", len(records))
 
-            pending = [
-                task for task in job.shards() if task[0] not in done_shards
-            ]
+            plan = job.shards()
+            pending = [task for task in plan if task[0] not in done_shards]
             if stop_after_shards is not None:
                 pending = pending[:stop_after_shards]
+
+            # The event log rides the same switch as the rest of the
+            # telemetry (pure observer; repro.obs.events) and the same
+            # lifecycle as the results file: fresh runs truncate, resumed
+            # sessions append after the committed prefix — terminating a
+            # tail torn by a mid-append kill.
+            events = None
+            if out_path is not None and collect:
+                with telem.span("events"):
+                    events = EventWriter(
+                        events_path(out_path), fresh=not resuming
+                    )
 
             handle = None
             if out_path is not None:
@@ -517,6 +544,35 @@ class HarnessRunner:
                 if not resuming:
                     handle.write(dump_line(job.header()))
                     handle.flush()
+
+            progress = {
+                "shards_done": len(done_shards),
+                "total": job.total,
+                "cache_hits": 0,
+                "cache_misses": 0,
+                "workers": {},
+            }
+            exec_started = time.perf_counter()
+            if events is not None:
+                with telem.span("events"):
+                    events.emit(
+                        "run-started",
+                        kind=job.factory.kind,
+                        seed=job.seed,
+                        total=job.total,
+                        chunk_size=job.chunk_size,
+                        workers=self.workers,
+                        shards_total=len(plan),
+                        shards_pending=len(pending),
+                        records_done=len(records),
+                        resumed=resuming,
+                    )
+                    if resuming:
+                        events.emit(
+                            "resume",
+                            shards_done=len(done_shards),
+                            records_done=len(records),
+                        )
 
             def commit(shard_id: int, shard_records: list, meta: dict) -> None:
                 nonlocal executed
@@ -540,6 +596,12 @@ class HarnessRunner:
                         )
                     )
                     handle.flush()
+                if events is not None:
+                    self._emit_commit(
+                        events, progress, meta, shard_id,
+                        len(shard_records), len(records), len(plan),
+                        executed, time.perf_counter() - exec_started,
+                    )
 
             try:
                 with telem.span("execute"):
@@ -549,9 +611,26 @@ class HarnessRunner:
                             commit(*_run_shard(job.factory, workspace, task))
                     else:
                         self._run_pool(pending, commit)
+                if events is not None:
+                    wall = time.perf_counter() - exec_started
+                    with telem.span("events"):
+                        events.emit(
+                            "run-finished",
+                            records_done=len(records),
+                            total=job.total,
+                            complete=len(records) == job.total,
+                            shards_done=progress["shards_done"],
+                            shards_total=len(plan),
+                            wall_seconds=round(wall, 6),
+                            throughput=(
+                                round(executed / wall, 3) if wall > 0 else 0.0
+                            ),
+                        )
             finally:
                 if handle is not None:
                     handle.close()
+                if events is not None:
+                    events.close()
 
         if collect:
             telem.merge(obs.local().drain())
@@ -563,7 +642,75 @@ class HarnessRunner:
             if out_path is not None:
                 self._write_metrics(out_path, telem, shard_stats, resuming)
 
-        return HarnessResult(job=job, records=records, out=out_path)
+        return HarnessResult(
+            job=job,
+            records=records,
+            out=out_path,
+            telemetry=telem.snapshot() if collect else None,
+            shard_stats=shard_stats,
+        )
+
+    @staticmethod
+    def _emit_commit(
+        events: EventWriter,
+        progress: dict,
+        meta: dict,
+        shard_id: int,
+        shard_records: int,
+        records_done: int,
+        shards_total: int,
+        executed: int,
+        elapsed: float,
+    ) -> None:
+        """Emit the ``shard-committed`` + ``worker-heartbeat`` pair.
+
+        Throughput counts only *this session's* records over its own
+        elapsed time (resumed records were free), so the ETA is honest
+        for resumed runs too.
+        """
+        progress["shards_done"] += 1
+        counters = (meta.get("telemetry") or {}).get("counters", {})
+        progress["cache_hits"] += counters.get("measure_cache.hit", 0)
+        progress["cache_misses"] += counters.get("measure_cache.miss", 0)
+        rate = executed / elapsed if elapsed > 0 else 0.0
+        total = progress.get("total")
+        events.emit(
+            "shard-committed",
+            shard=shard_id,
+            worker=meta["worker"],
+            seconds=round(meta["seconds"], 6),
+            records=shard_records,
+            records_done=records_done,
+            total=total,
+            shards_done=progress["shards_done"],
+            shards_total=shards_total,
+            throughput=round(rate, 3),
+            eta_seconds=(
+                round((total - records_done) / rate, 3)
+                if rate > 0 and total is not None
+                else None
+            ),
+            cache_hits=progress["cache_hits"],
+            cache_misses=progress["cache_misses"],
+        )
+        worker = progress["workers"].setdefault(
+            meta["worker"], {"shards": 0, "records": 0, "seconds": 0.0}
+        )
+        worker["shards"] += 1
+        worker["records"] += shard_records
+        worker["seconds"] += meta["seconds"]
+        events.emit(
+            "worker-heartbeat",
+            worker=meta["worker"],
+            shards=worker["shards"],
+            records=worker["records"],
+            seconds=round(worker["seconds"], 6),
+            throughput=(
+                round(worker["records"] / worker["seconds"], 3)
+                if worker["seconds"] > 0
+                else 0.0
+            ),
+        )
 
     def _write_metrics(
         self, out_path: str, telem, shard_stats: list[dict], resumed: bool

@@ -59,13 +59,21 @@ from repro.exec.spec import SPEC_VERSION, CampaignSpec
 
 @dataclass(slots=True)
 class CampaignResult:
-    """Outcome of one :meth:`CampaignRunner.run` call."""
+    """Outcome of one :meth:`CampaignRunner.run` call.
+
+    ``telemetry``/``shard_stats`` relay the harness's run-level
+    observation (see :class:`~repro.exec.harness.HarnessResult`) so
+    callers that aggregate many campaigns — coverage runs foremost — can
+    build one metrics artifact without each inner run naming an ``out``.
+    """
 
     spec: CampaignSpec
     seed: int
     total: int
     records: list[FaultRecord] = field(default_factory=list)
     out: str | None = None
+    telemetry: dict | None = None
+    shard_stats: list = field(default_factory=list)
 
     @property
     def complete(self) -> bool:
@@ -304,4 +312,6 @@ class CampaignRunner:
             total=result.total,
             records=result.records,
             out=result.out,
+            telemetry=result.telemetry,
+            shard_stats=result.shard_stats,
         )

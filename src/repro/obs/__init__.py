@@ -19,12 +19,22 @@ Modules
 :mod:`repro.obs.metrics`
     Run manifests and the ``<out>.metrics.json`` artifact written beside
     every campaign/DSE results file.
+:mod:`repro.obs.events`
+    The live half: the append-only, crash-tolerant ``<out>.events.jsonl``
+    stream the harness emits at the shard-commit seam, its reader, and
+    the tail-following generator behind ``repro stats --follow``.
 :mod:`repro.obs.stats`
     Rendering for ``repro stats``: span trees, counters, per-shard and
-    per-worker tables.
+    per-worker tables, and the live follow view (``repro top``).
+:mod:`repro.obs.trace`
+    Chrome/Perfetto ``trace_event`` export of a run's event timeline and
+    span tree (``repro stats --export-trace``).
+:mod:`repro.obs.diff`
+    Cross-run regression diffs over metrics/BENCH artifacts with a
+    thresholded gate (``repro stats diff A B --gate pct``).
 :mod:`repro.obs.schema`
-    Dependency-free JSON-schema validation for metrics and
-    ``BENCH_*.json`` artifacts.
+    Dependency-free JSON-schema validation for metrics, event-log,
+    trace, coverage, and ``BENCH_*.json`` artifacts.
 :mod:`repro.obs.profiler`
     The opt-in fetch/decode/execute/monitor phase profiler for
     ``FuncSim``/``PipelineCPU``.
@@ -42,6 +52,22 @@ from repro.obs.core import (
     set_enabled,
     span,
 )
+from repro.obs.diff import (
+    DiffReport,
+    DiffRow,
+    diff_artifacts,
+    load_artifact,
+    render_diff,
+)
+from repro.obs.events import (
+    EVENT_TYPES,
+    EVENTS_SUFFIX,
+    EventWriter,
+    events_path,
+    follow_events,
+    read_events,
+    resolve_events_path,
+)
 from repro.obs.log import LEVELS, StructuredLog, log, set_level
 from repro.obs.metrics import (
     METRICS_VERSION,
@@ -54,12 +80,23 @@ from repro.obs.metrics import (
 from repro.obs.profiler import PhaseProfiler
 from repro.obs.schema import (
     BENCH_SCHEMA,
+    EVENTS_SCHEMA,
     METRICS_SCHEMA,
+    TRACE_SCHEMA,
     validate,
     validate_bench,
+    validate_events,
     validate_metrics,
+    validate_trace,
 )
-from repro.obs.stats import find_metrics, render_metrics, render_path
+from repro.obs.stats import (
+    FollowView,
+    find_metrics,
+    follow_path,
+    render_metrics,
+    render_path,
+)
+from repro.obs.trace import build_trace, collect_sources, export_trace
 
 __all__ = [
     "ENV_SWITCH",
@@ -85,10 +122,31 @@ __all__ = [
     "PhaseProfiler",
     "METRICS_SCHEMA",
     "BENCH_SCHEMA",
+    "EVENTS_SCHEMA",
+    "TRACE_SCHEMA",
     "validate",
     "validate_metrics",
     "validate_bench",
+    "validate_events",
+    "validate_trace",
     "find_metrics",
     "render_metrics",
     "render_path",
+    "FollowView",
+    "follow_path",
+    "EVENT_TYPES",
+    "EVENTS_SUFFIX",
+    "EventWriter",
+    "events_path",
+    "resolve_events_path",
+    "read_events",
+    "follow_events",
+    "build_trace",
+    "collect_sources",
+    "export_trace",
+    "DiffReport",
+    "DiffRow",
+    "diff_artifacts",
+    "load_artifact",
+    "render_diff",
 ]

@@ -1,11 +1,15 @@
 """Minimal JSON-schema validation for committed result artifacts.
 
-Two artifact families leave the execution tier as JSON: the per-run
-``*.metrics.json`` telemetry files (:mod:`repro.obs.metrics`) and the
-committed ``results/BENCH_*.json`` benchmark records.  Both are checked
-against schemas here — by ``repro stats --check``, by ``make obs-smoke``,
-and by ``tests/obs/test_schema.py`` over every committed file — so a
-malformed artifact fails loudly instead of silently rotting.
+Several artifact families leave the execution tier as JSON: the per-run
+``*.metrics.json`` telemetry files (:mod:`repro.obs.metrics`), the live
+``*.events.jsonl`` event logs (:mod:`repro.obs.events`), exported
+Chrome/Perfetto traces (:mod:`repro.obs.trace`), committed
+``results/coverage/*.json`` matrices, and the committed
+``results/BENCH_*.json`` benchmark records.  All are checked against
+schemas here — by ``repro stats --check``, by ``make obs-smoke`` /
+``make trace-smoke``, and by ``tests/obs/test_schema.py`` over every
+committed file — so a malformed artifact fails loudly instead of
+silently rotting.
 
 The validator supports the JSON-schema subset these artifacts need
 (``type`` including lists of types, ``properties``, ``required``,
@@ -277,9 +281,100 @@ COVERAGE_SCHEMA = {
 }
 
 
+#: One line of a ``*.events.jsonl`` live event log (:mod:`repro.obs.events`).
+#: Kind-specific fields (shard, worker, throughput, ...) are additional
+#: properties on purpose — the envelope (type/seq/t) is the contract.
+_EVENT_SCHEMA = {
+    "type": "object",
+    "required": ["type", "seq", "t"],
+    "properties": {
+        "type": {
+            "enum": [
+                "run-started", "resume", "torn-marker", "shard-committed",
+                "worker-heartbeat", "run-finished",
+            ],
+        },
+        "seq": {"type": "integer", "minimum": 0},
+        "t": {"type": "number", "minimum": 0},
+    },
+}
+
+#: Schema of a parsed event log: the list :func:`repro.obs.events.
+#: read_events` returns.
+EVENTS_SCHEMA = {"type": "array", "items": _EVENT_SCHEMA}
+
+#: One Chrome/Perfetto ``trace_event``.  ``ph`` is the phase letter —
+#: this exporter emits ``X`` (complete), ``C`` (counter), ``i``
+#: (instant), and ``M`` (metadata); viewers ignore letters they don't
+#: know, so the enum is the exporter's vocabulary, not the format's.
+_TRACE_EVENT_SCHEMA = {
+    "type": "object",
+    "required": ["name", "ph", "ts", "pid", "tid"],
+    "properties": {
+        "name": {"type": "string"},
+        "ph": {"enum": ["X", "C", "i", "M"]},
+        "ts": {"type": "number", "minimum": 0},
+        "dur": {"type": "number", "minimum": 0},
+        "pid": {"type": "integer"},
+        "tid": {"type": "integer"},
+        "cat": {"type": "string"},
+        "s": {"enum": ["g", "p", "t"]},
+        "args": {"type": "object"},
+    },
+}
+
+#: Schema of one exported Chrome/Perfetto trace (``repro stats
+#: --export-trace``): the JSON-object form of the trace_event format.
+TRACE_SCHEMA = {
+    "type": "object",
+    "required": ["traceEvents"],
+    "properties": {
+        "traceEvents": {"type": "array", "items": _TRACE_EVENT_SCHEMA},
+        "displayTimeUnit": {"enum": ["ms", "ns"]},
+        "otherData": {"type": "object"},
+    },
+}
+
+
 def validate_metrics(data) -> list[str]:
     """Errors of a metrics payload against :data:`METRICS_SCHEMA`."""
     return validate(data, METRICS_SCHEMA)
+
+
+def validate_events(data) -> list[str]:
+    """Errors of a parsed event log against :data:`EVENTS_SCHEMA`.
+
+    Beyond the per-event shape, the log-level invariants the writer
+    maintains are checked too: strictly increasing ``seq`` and
+    non-decreasing ``t``.
+    """
+    errors = validate(data, EVENTS_SCHEMA)
+    if not isinstance(data, list):
+        return errors
+    last_seq = None
+    last_t = None
+    for index, event in enumerate(data):
+        if not isinstance(event, dict):
+            continue
+        seq, t = event.get("seq"), event.get("t")
+        if isinstance(seq, int) and not isinstance(seq, bool):
+            if last_seq is not None and seq <= last_seq:
+                errors.append(
+                    f"$[{index}]: seq {seq} not greater than previous {last_seq}"
+                )
+            last_seq = seq
+        if isinstance(t, (int, float)) and not isinstance(t, bool):
+            if last_t is not None and t < last_t:
+                errors.append(
+                    f"$[{index}]: t {t} decreases from previous {last_t}"
+                )
+            last_t = t
+    return errors
+
+
+def validate_trace(data) -> list[str]:
+    """Errors of an exported trace against :data:`TRACE_SCHEMA`."""
+    return validate(data, TRACE_SCHEMA)
 
 
 def validate_bench(data) -> list[str]:

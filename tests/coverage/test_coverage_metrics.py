@@ -1,0 +1,119 @@
+"""Coverage runs emit the same observability siblings as campaigns.
+
+``run_coverage(..., out=...)`` with telemetry enabled writes an
+aggregated, schema-valid ``<out>.metrics.json`` beside the coverage
+artifact — telemetry merged across every inner campaign, shards
+renumbered into one sequence, a manifest carrying the corpus identity —
+while the coverage artifact itself stays byte-identical with the switch
+on or off, and ``repro coverage check DIR`` never mistakes the sibling
+for a matrix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.coverage import CoverageSpec, run_coverage
+from repro.exec.pool import shutdown_pools
+from repro.obs import core as obs
+from repro.obs.metrics import load_metrics, metrics_path
+from repro.obs.schema import validate_metrics
+
+TOY_SOURCE = """
+main:   li $t0, 6
+        li $s0, 0
+loop:   addu $s0, $s0, $t0
+        addi $t0, $t0, -1
+        bgtz $t0, loop
+        move $a0, $s0
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+"""
+
+TOY_SPEC = CoverageSpec(
+    name="toy",
+    kind="pairs",
+    source=TOY_SOURCE,
+    source_name="toy.s",
+    hash_names=("xor", "crc32"),
+    policy_names=("lru_half",),
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_pools():
+    shutdown_pools()
+    # Trailing coverage counters from other tests live in the ambient
+    # telemetry until some harness run drains them; start clean so the
+    # aggregate below reconciles exactly.
+    obs.local().clear()
+    yield
+    shutdown_pools()
+
+
+def run_toy(out, *, telemetry):
+    with obs.scoped(telemetry):
+        return run_coverage(TOY_SPEC, out=out)
+
+
+class TestMetricsSibling:
+    def test_schema_valid_aggregate(self, tmp_path):
+        out = tmp_path / "toy.json"
+        payload = run_toy(out, telemetry=True)
+        sibling = metrics_path(out)
+        assert os.path.exists(sibling)
+        metrics = load_metrics(sibling)
+        assert validate_metrics(metrics) == []
+        manifest = metrics["manifest"]
+        assert manifest["kind"] == "coverage results"
+        assert manifest["corpus"] == "toy"
+        assert manifest["total"] == (
+            payload["manifest"]["total_injections"]
+        )
+        assert manifest["fingerprint"] == (
+            payload["manifest"]["fingerprint"]
+        )
+        # One renumbered shard sequence across every inner campaign.
+        shard_ids = [entry["shard"] for entry in metrics["shards"]]
+        assert shard_ids == list(range(len(shard_ids)))
+        assert sum(entry["records"] for entry in metrics["shards"]) == (
+            manifest["total"]
+        )
+        # Merged telemetry saw every inner campaign.
+        counters = metrics["telemetry"]["counters"]
+        assert counters["coverage.injections"] == manifest["total"]
+
+    def test_switch_off_suppresses_sibling_only(self, tmp_path):
+        on = tmp_path / "on.json"
+        off = tmp_path / "off.json"
+        run_toy(on, telemetry=True)
+        shutdown_pools()
+        run_toy(off, telemetry=False)
+        # Observer neutrality: identical payloads up to the wall-clock
+        # stamps (which differ run to run regardless of the switch).
+        payloads = []
+        for path in (on, off):
+            payload = json.loads(path.read_text())
+            payload["manifest"].pop("wall_seconds")
+            payload["manifest"].pop("created")
+            payloads.append(payload)
+        assert payloads[0] == payloads[1]
+        assert os.path.exists(metrics_path(on))
+        assert not os.path.exists(metrics_path(off))
+
+
+class TestCheckScanSkipsSiblings:
+    def test_directory_with_sibling_still_sound(self, tmp_path, capsys):
+        out = tmp_path / "toy.json"
+        run_toy(out, telemetry=True)
+        assert os.path.exists(metrics_path(out))
+        assert main(["coverage", "check", str(tmp_path)]) == 0
+        err = capsys.readouterr().err
+        assert "sound" in err
+        assert "metrics" not in err

@@ -1,0 +1,361 @@
+"""The live event log: crash-tolerant appends, tailing, kill→resume.
+
+Three layers under test:
+
+* :class:`~repro.obs.events.EventWriter` / :func:`read_events` — the
+  writer/reader halves of the torn-tail contract (a killed run leaves a
+  valid prefix; a resuming writer terminates the torn line, records a
+  ``torn-marker``, and keeps ``seq``/``t`` monotonic across sessions);
+* the harness emission seam — every ``--out`` run with telemetry on
+  streams a schema-valid ``*.events.jsonl`` whose counts reconcile with
+  the shard plan, including across kill→resume with a torn tail;
+* :func:`follow_events` / :func:`~repro.obs.stats.follow_path` — tailing
+  buffers incomplete lines (never crashes on truncation), survives a
+  stale mid-log ``run-finished``, and times out loudly.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.exec import CampaignRunner, CampaignSpec
+from repro.exec.pool import shutdown_pools
+from repro.obs import core as obs
+from repro.obs.events import (
+    EVENT_TYPES,
+    EventWriter,
+    events_path,
+    follow_events,
+    read_events,
+    resolve_events_path,
+)
+from repro.obs.schema import validate_events
+from repro.obs.stats import FollowView, follow_path
+
+SOURCE = """
+main:   li $t0, 5
+        li $s0, 0
+loop:   addu $s0, $s0, $t0
+        addi $t0, $t0, -1
+        bgtz $t0, loop
+        move $a0, $s0
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+"""
+
+SEED = 7
+FAULT_COUNT = 20
+CHUNK = 5  # 4 shards
+
+
+def run_campaign(out, *, workers=1, stop_after_shards=None, resume=False):
+    with obs.scoped(True):
+        runner = CampaignRunner(
+            CampaignSpec(
+                source=SOURCE, name="events-test", iht_size=4, backend="golden"
+            ),
+            workers=workers,
+            chunk_size=CHUNK,
+        )
+        faults = runner.campaign.random_single_bit(FAULT_COUNT, seed=SEED)
+        return runner.run(
+            faults, seed=SEED, out=out,
+            stop_after_shards=stop_after_shards, resume=resume,
+        )
+
+
+@pytest.fixture(autouse=True)
+def fresh_pools():
+    shutdown_pools()
+    yield
+    shutdown_pools()
+
+
+class TestPaths:
+    def test_events_path_replaces_extension(self):
+        assert events_path("runs/camp.jsonl") == "runs/camp.events.jsonl"
+
+    def test_resolve_accepts_all_three_siblings(self):
+        expected = "runs/camp.events.jsonl"
+        assert resolve_events_path("runs/camp.jsonl") == expected
+        assert resolve_events_path("runs/camp.metrics.json") == expected
+        assert resolve_events_path(expected) == expected
+
+
+class TestEventWriter:
+    def test_emit_stamps_monotonic_seq_and_t(self, tmp_path):
+        log = tmp_path / "x.events.jsonl"
+        with EventWriter(log, fresh=True) as writer:
+            first = writer.emit("run-started", kind="campaign", total=4)
+            second = writer.emit("shard-committed", shard=0)
+        assert first["type"] == "run-started"
+        assert first["kind"] == "campaign"  # own `kind` field survives
+        assert second["seq"] == first["seq"] + 1
+        assert second["t"] >= first["t"]
+        events = read_events(log)
+        assert [event["type"] for event in events] == [
+            "run-started", "shard-committed",
+        ]
+        assert validate_events(events) == []
+
+    def test_fresh_truncates_append_restores_highwater(self, tmp_path):
+        log = tmp_path / "x.events.jsonl"
+        with EventWriter(log, fresh=True) as writer:
+            for _ in range(3):
+                writer.emit("shard-committed")
+            last_t = writer.emit("run-finished")["t"]
+        with EventWriter(log) as writer:  # append: seq/t continue
+            event = writer.emit("run-started")
+        assert event["seq"] == 4
+        assert event["t"] >= last_t
+        assert validate_events(read_events(log)) == []
+        with EventWriter(log, fresh=True) as writer:  # fresh: start over
+            assert writer.emit("run-started")["seq"] == 0
+        assert len(read_events(log)) == 1
+
+    def test_torn_tail_terminated_and_marked(self, tmp_path):
+        log = tmp_path / "x.events.jsonl"
+        with EventWriter(log, fresh=True) as writer:
+            writer.emit("run-started", total=9)
+            writer.emit("shard-committed", shard=0)
+        with open(log, "ab") as handle:  # a kill mid-append
+            handle.write(b'{"type":"shard-committed","seq":2,"t":')
+        assert [e["type"] for e in read_events(log)] == [
+            "run-started", "shard-committed",
+        ]  # reader: valid prefix only
+        with EventWriter(log) as writer:  # writer: terminate + mark
+            writer.emit("resume", shards_done=1)
+        events = read_events(log)
+        assert [event["type"] for event in events] == [
+            "run-started", "shard-committed", "torn-marker", "resume",
+        ]
+        assert validate_events(events) == []
+
+    def test_reader_skips_blank_and_foreign_lines(self, tmp_path):
+        log = tmp_path / "x.events.jsonl"
+        log.write_bytes(
+            b'{"type":"run-started","seq":0,"t":1.0}\n'
+            b"\n"
+            b"not json at all\n"
+            b"[1,2,3]\n"
+            b'{"no_type_key":true}\n'
+            b'{"type":"run-finished","seq":1,"t":2.0}\n'
+        )
+        assert [event["type"] for event in read_events(log)] == [
+            "run-started", "run-finished",
+        ]
+
+    def test_schema_rejects_unknown_type(self):
+        errors = validate_events(
+            [{"type": "bogus-event", "seq": 0, "t": 1.0}]
+        )
+        assert errors
+        assert all(kind != "bogus-event" for kind in EVENT_TYPES)
+
+
+class TestHarnessEmission:
+    def test_serial_run_emits_reconciling_log(self, tmp_path):
+        out = tmp_path / "camp.jsonl"
+        run_campaign(out)
+        events = read_events(events_path(out))
+        assert validate_events(events) == []
+        kinds = [event["type"] for event in events]
+        assert kinds[0] == "run-started"
+        assert kinds[-1] == "run-finished"
+        shards = [e for e in events if e["type"] == "shard-committed"]
+        assert len(shards) == events[0]["shards_total"] == 4
+        assert shards[-1]["records_done"] == FAULT_COUNT
+        heartbeats = [e for e in events if e["type"] == "worker-heartbeat"]
+        assert len(heartbeats) == len(shards)
+        finished = events[-1]
+        assert finished["complete"] is True
+        assert finished["records_done"] == finished["total"] == FAULT_COUNT
+        assert finished["throughput"] > 0
+
+    def test_parallel_run_covers_every_shard(self, tmp_path):
+        out = tmp_path / "camp.jsonl"
+        run_campaign(out, workers=2)
+        events = read_events(events_path(out))
+        assert validate_events(events) == []
+        shards = [e for e in events if e["type"] == "shard-committed"]
+        assert sorted(e["shard"] for e in shards) == [0, 1, 2, 3]
+        assert events[-1]["type"] == "run-finished"
+        assert events[-1]["complete"] is True
+
+    def test_partial_session_finishes_incomplete(self, tmp_path):
+        out = tmp_path / "camp.jsonl"
+        result = run_campaign(out, stop_after_shards=2)
+        assert not result.complete
+        events = read_events(events_path(out))
+        assert events[-1]["type"] == "run-finished"
+        assert events[-1]["complete"] is False
+        assert events[-1]["records_done"] == 2 * CHUNK
+
+    def test_resume_appends_to_the_same_log(self, tmp_path):
+        out = tmp_path / "camp.jsonl"
+        run_campaign(out, stop_after_shards=2)
+        run_campaign(out, resume=True)
+        events = read_events(events_path(out))
+        assert validate_events(events) == []  # seq/t monotonic across both
+        starts = [e for e in events if e["type"] == "run-started"]
+        assert [e.get("resumed") for e in starts] == [False, True]
+        resumes = [e for e in events if e["type"] == "resume"]
+        assert len(resumes) == 1
+        assert resumes[0]["shards_done"] == 2
+        assert events[-1]["complete"] is True
+        assert events[-1]["records_done"] == FAULT_COUNT
+
+    def test_kill_with_torn_tail_then_resume(self, tmp_path):
+        """The satellite: a kill mid-append leaves a torn final line; the
+        reader tolerates it, the resumed session appends after it, and
+        the follow view never crashes on the result."""
+        out = tmp_path / "camp.jsonl"
+        run_campaign(out, stop_after_shards=2)
+        log = events_path(out)
+        with open(log, "rb") as handle:
+            content = handle.read()
+        with open(log, "wb") as handle:  # tear the final line in half
+            handle.write(content[:-20])
+        torn_prefix = read_events(log)
+        assert validate_events(torn_prefix) == []  # reader tolerates
+        run_campaign(out, resume=True)
+        events = read_events(log)
+        assert validate_events(events) == []
+        assert "torn-marker" in [event["type"] for event in events]
+        assert events[-1]["type"] == "run-finished"
+        assert events[-1]["complete"] is True
+        # The follow view renders both sessions without crashing.
+        lines: list[str] = []
+        assert follow_path(out, write=lines.append) == 0
+        assert "finished" in "\n".join(lines)
+
+
+class TestFollowEvents:
+    def test_backlog_then_live_appends(self, tmp_path):
+        log = tmp_path / "x.events.jsonl"
+        with EventWriter(log, fresh=True) as writer:
+            writer.emit("run-started", total=2)
+
+            def trailer():
+                writer.emit("shard-committed", shard=0)
+                writer.emit("run-finished", complete=True)
+
+            thread = threading.Thread(target=trailer)
+            thread.start()
+            try:
+                kinds = [
+                    event["type"]
+                    for event in follow_events(log, poll=0.01, timeout=10)
+                ]
+            finally:
+                thread.join()
+        assert kinds == ["run-started", "shard-committed", "run-finished"]
+
+    def test_torn_tail_stays_buffered(self, tmp_path):
+        log = tmp_path / "x.events.jsonl"
+        log.write_bytes(
+            b'{"type":"run-started","seq":0,"t":1.0}\n'
+            b'{"type":"run-finis'  # torn mid-append — never yielded
+        )
+        seen = []
+        with pytest.raises(TimeoutError):
+            for event in follow_events(log, poll=0.01, timeout=0.3):
+                seen.append(event["type"])
+        assert seen == ["run-started"]
+
+    def test_stale_run_finished_does_not_stop_the_tail(self, tmp_path):
+        log = tmp_path / "x.events.jsonl"
+        with EventWriter(log, fresh=True) as writer:
+            writer.emit("run-started", total=4)
+            writer.emit("run-finished", complete=False)
+            writer.emit("run-started", resumed=True)  # resumed session
+        seen = []
+        with pytest.raises(TimeoutError):
+            for event in follow_events(log, poll=0.01, timeout=0.3):
+                seen.append(event["type"])
+        assert seen == ["run-started", "run-finished", "run-started"]
+
+    def test_missing_log_times_out(self, tmp_path):
+        with pytest.raises(TimeoutError):
+            list(
+                follow_events(
+                    tmp_path / "never.events.jsonl", poll=0.01, timeout=0.2
+                )
+            )
+
+
+class TestFollowPath:
+    def test_finished_run_renders_summary_only(self, tmp_path):
+        out = tmp_path / "camp.jsonl"
+        run_campaign(out, workers=2)
+        lines: list[str] = []
+        assert follow_path(out, write=lines.append) == 0
+        text = "\n".join(lines)
+        assert "finished" in text
+        assert f"{FAULT_COUNT}/{FAULT_COUNT}" in text
+        assert "workers (shards, records, rec/s):" in text
+
+    def test_timeout_exits_one_with_partial_summary(self, tmp_path):
+        out = tmp_path / "camp.jsonl"
+        run_campaign(out, stop_after_shards=2)
+        lines: list[str] = []
+        status = follow_path(out, interval=0.01, timeout=0.3,
+                             write=lines.append)
+        # The partial session's run-finished is the newest event, so the
+        # backlog path summarizes it as stopped rather than tailing.
+        assert status == 0
+        assert "stopped (partial)" in "\n".join(lines)
+
+    def test_timeout_on_in_flight_log(self, tmp_path):
+        log = tmp_path / "x.events.jsonl"
+        with EventWriter(log, fresh=True) as writer:
+            writer.emit("run-started", kind="campaign", total=10,
+                        shards_total=2, workers=1, seed=1,
+                        records_done=0, resumed=False)
+            writer.emit("shard-committed", shard=0, worker=123, records=5,
+                        records_done=5, total=10, throughput=50.0,
+                        eta_seconds=0.1, cache_hits=3, cache_misses=2)
+        lines: list[str] = []
+        status = follow_path(log, interval=0.01, timeout=0.3,
+                             write=lines.append)
+        assert status == 1
+        text = "\n".join(lines)
+        assert "timed out" in text
+        assert "in flight" in text
+
+
+class TestFollowView:
+    def test_event_lines(self):
+        view = FollowView()
+        started = view.handle({
+            "type": "run-started", "kind": "campaign", "total": 10,
+            "shards_total": 2, "workers": 1, "seed": 9,
+            "records_done": 0, "resumed": True,
+        })
+        assert "campaign: 10 items in 2 shards" in started
+        assert "[resumed]" in started
+        assert "torn" in view.handle({"type": "torn-marker"})
+        shard = view.handle({
+            "type": "shard-committed", "shard": 0, "worker": 42,
+            "records": 5, "records_done": 5, "total": 10,
+            "throughput": 123.4, "eta_seconds": 90.0,
+            "cache_hits": 9, "cache_misses": 1,
+        })
+        assert "5/10" in shard
+        assert "123.4 rec/s" in shard
+        assert "eta 1.5m" in shard
+        assert "cache 90%" in shard
+
+    def test_heartbeats_feed_the_worker_table(self):
+        view = FollowView()
+        beat = {
+            "type": "worker-heartbeat", "worker": 42, "shards": 2,
+            "records": 10, "seconds": 0.5, "throughput": 20.0,
+        }
+        assert view.handle(beat) is None  # quiet unless verbose
+        assert FollowView(verbose=True).handle(beat) is not None
+        assert view.workers[42]["records"] == 10
+        assert "worker" in view.summary()

@@ -3,8 +3,9 @@
 The hard invariant of the observability PR: result artifacts (campaign
 and DSE JSONL files) are **byte-identical** with telemetry on, off, or
 at any verbosity, for any worker count, any batch plan, and across
-kill/resume.  Only the ``*.metrics.json`` sibling appears or disappears
-with the switch.
+kill/resume.  Only the observability siblings — ``*.metrics.json`` and
+the live ``*.events.jsonl`` stream — appear or disappear with the
+switch.
 
 Serial (1-worker) files are compared byte-for-byte; multi-worker files
 line-set-wise (shard completion order is scheduling, and the engines
@@ -19,6 +20,7 @@ import pytest
 from repro.exec import CampaignRunner, CampaignSpec
 from repro.exec.pool import shutdown_pools
 from repro.obs import core as obs
+from repro.obs.events import events_path
 from repro.obs.metrics import metrics_path
 
 SOURCE = """
@@ -83,9 +85,11 @@ class TestCampaignNeutrality:
         run_campaign(on, telemetry=True)
         run_campaign(off, telemetry=False)
         assert read_bytes(on) == read_bytes(off)
-        # The switch governs only the metrics sibling.
+        # The switch governs only the observability siblings.
         assert os.path.exists(metrics_path(on))
         assert not os.path.exists(metrics_path(off))
+        assert os.path.exists(events_path(on))
+        assert not os.path.exists(events_path(off))
 
     def test_parallel_artifact_identical(self, tmp_path):
         on = tmp_path / "on.jsonl"
@@ -96,6 +100,8 @@ class TestCampaignNeutrality:
         assert line_set(on) == line_set(off)
         assert os.path.exists(metrics_path(on))
         assert not os.path.exists(metrics_path(off))
+        assert os.path.exists(events_path(on))
+        assert not os.path.exists(events_path(off))
 
     def test_batch_plan_with_telemetry(self, tmp_path):
         reference = tmp_path / "ref.jsonl"
@@ -148,6 +154,8 @@ class TestDseNeutrality:
         assert read_bytes(on) == read_bytes(off)
         assert os.path.exists(metrics_path(on))
         assert not os.path.exists(metrics_path(off))
+        assert os.path.exists(events_path(on))
+        assert not os.path.exists(events_path(off))
 
     def test_parallel_sweep_identical(self, tmp_path):
         on = tmp_path / "on.jsonl"
@@ -173,6 +181,8 @@ class TestCliSwitch:
         assert read_bytes(on) == read_bytes(off)
         assert os.path.exists(metrics_path(on))
         assert not os.path.exists(metrics_path(off))
+        assert os.path.exists(events_path(on))
+        assert not os.path.exists(events_path(off))
 
     def test_quiet_silences_progress_but_not_results(self, tmp_path, capsys):
         from repro.cli import main
