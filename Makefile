@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-smoke perf-smoke campaign-smoke attack-smoke \
 	dse-smoke harness-smoke scaling-smoke obs-smoke coverage-smoke \
-	trace-smoke bench-gate clean
+	trace-smoke service-smoke bench-gate clean
 
 # Regression threshold (percent) for `make bench-gate`.
 BENCH_GATE ?= 25
@@ -123,6 +123,17 @@ trace-smoke:  ## background campaign -> live follow -> trace export -> self-diff
 	    --export-trace results/trace_smoke.trace.json
 	$(PYTHON) -m repro stats diff results/trace_smoke.metrics.json \
 	    results/trace_smoke.metrics.json --gate 5
+
+# service-smoke is the CI face of the repro.service tier, driven
+# entirely through subprocesses: a `repro serve` instance takes two
+# overlapping campaign submissions from separate tenants (the second
+# must lease the first's published checkpoint store — cache hit
+# asserted from `stats`), is killed with SIGKILL mid-job, and a
+# restarted server over the same state dir resumes both jobs from the
+# journal to results byte-identical to an uninterrupted serial
+# `repro campaign` run.  See docs/SERVICE.md.
+service-smoke:  ## serve -> two tenants -> cache hit -> kill -9 -> resume, byte-identical
+	$(PYTHON) -m pytest tests/service/test_smoke_cli.py -q
 
 # bench-gate compares every committed BENCH_*.json against the
 # PREV_BENCH_*.json stash the benchmark harness leaves behind when it

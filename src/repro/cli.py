@@ -94,7 +94,22 @@ Commands
     attack classes (repeatable; ``all``/``persistent``/``transient``),
     ``--per-class`` the scenarios sampled per class.  Sweeps shard across
     ``--workers``, stream to ``--out``, and ``--resume`` like campaigns;
-    the matrix is byte-identical for any worker count.
+    the matrix is byte-identical for any worker count.  ``TARGET=all``
+    (for both ``campaign`` and ``attack``) sweeps the whole nine-workload
+    suite, MiBench-class workloads included.
+
+``serve`` / ``submit`` / ``jobs``
+    The campaign-as-a-service tier (:mod:`repro.service`,
+    ``docs/SERVICE.md``).  ``serve`` runs the long-lived multi-tenant job
+    server: a unix-socket (optionally TCP) line-JSON protocol, a fair
+    per-client queue, a content-addressed cache of golden checkpoint
+    stores, and a crash-tolerant job journal — kill the server mid-job
+    and the next ``serve`` resumes it shard-exact.  ``submit
+    campaign|dse|attack|coverage`` validates and enqueues jobs
+    (``--wait`` blocks, ``--watch`` streams the live event/record lines);
+    ``jobs`` lists jobs, ``--stats`` shows queue depth and cache hit
+    rates, ``--cancel`` stops a job at its next shard-step boundary,
+    ``--shutdown`` stops the server gracefully.
 
 Exit codes are uniform across commands: ``0`` success, ``1`` usage or
 toolchain error (including assembly failures), ``2`` a
@@ -261,21 +276,37 @@ def _resolve_target(target: str) -> tuple[str | None, str | None, str | None]:
     return None, None, None
 
 
+def _campaign_roster(preset) -> tuple[str, ...]:
+    """The workload set ``TARGET=all`` expands to: the preset's roster
+    when it has one, the full nine-workload suite otherwise."""
+    from repro.workloads.suite import WORKLOAD_NAMES
+
+    if preset is not None and preset.workloads:
+        return tuple(preset.workloads)
+    return tuple(WORKLOAD_NAMES)
+
+
+def _suffixed_out(out: str | None, workload: str, default_ext: str) -> str | None:
+    if not out:
+        return None
+    root, ext = os.path.splitext(out)
+    return f"{root}-{workload}{ext or default_ext}"
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.exec import get_campaign_preset
 
     # A preset supplies scale/backend defaults and the fault plan; any
-    # flag given explicitly overrides the preset's value.  A preset with
-    # a workload roster (e.g. mibench-tiny) accepts the target ``all``
-    # and sweeps every workload in the set.
+    # flag given explicitly overrides the preset's value.  The target
+    # ``all`` sweeps a roster: the preset's workload set when it has one
+    # (e.g. mibench-tiny), the whole nine-workload suite otherwise.
     preset = get_campaign_preset(args.preset) if args.preset else None
-    if args.target == "all" and preset is not None and preset.workloads:
-        for workload in preset.workloads:
-            out = None
-            if args.out:
-                root, ext = os.path.splitext(args.out)
-                out = f"{root}-{workload}{ext or '.jsonl'}"
-            status = _run_campaign(args, preset, workload, out)
+    if args.target == "all":
+        for workload in _campaign_roster(preset):
+            status = _run_campaign(
+                args, preset, workload,
+                _suffixed_out(args.out, workload, ".jsonl"),
+            )
             if status != 0:
                 return status
         return 0
@@ -337,9 +368,30 @@ def _run_campaign(
 
 
 def cmd_attack(args: argparse.Namespace) -> int:
+    # ``attack all`` runs the detection matrix over the whole workload
+    # suite — the MiBench-class workloads included — one sweep each.
+    if args.target == "all":
+        from repro.workloads.suite import WORKLOAD_NAMES
+
+        for workload in WORKLOAD_NAMES:
+            status = _run_attack(
+                args, workload,
+                out=_suffixed_out(args.out, workload, ".jsonl"),
+                json_path=_suffixed_out(args.json, workload, ".json"),
+            )
+            if status != 0:
+                return status
+        return 0
+    return _run_attack(args, args.target, out=args.out, json_path=args.json)
+
+
+def _run_attack(
+    args: argparse.Namespace, target: str, out: str | None,
+    json_path: str | None,
+) -> int:
     from repro.eval.attack_coverage import run_attack_coverage
 
-    workload, source, name = _resolve_target(args.target)
+    workload, source, name = _resolve_target(target)
     if workload is None and source is None:
         return 1
     result = run_attack_coverage(
@@ -356,20 +408,278 @@ def cmd_attack(args: argparse.Namespace) -> int:
         seed=args.seed,
         workers=args.workers,
         chunk_size=args.chunk,
-        out=args.out,
+        out=out,
         resume=args.resume,
         backend=args.backend,
     )
     print(result.table().render())
-    if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
             handle.write(result.render_json())
-        log.info(f"detection matrix written to {args.json}")
+        log.info(f"detection matrix written to {json_path}")
     if result.out_files:
         log.info(
             f"per-scenario records in {', '.join(result.out_files)} "
             f"({args.workers} workers)"
         )
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.service.client import ServiceClient, default_socket_path
+
+    host = port = None
+    if getattr(args, "tcp", None):
+        host, port = args.tcp
+    socket_path = args.socket or default_socket_path(args.state_dir)
+    return ServiceClient(
+        socket_path=None if host else socket_path,
+        host=host,
+        port=port,
+        client=getattr(args, "client", "anonymous"),
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import ServiceConfig, run_server
+
+    host = port = None
+    if args.tcp:
+        host, port = args.tcp
+    return run_server(
+        ServiceConfig(
+            state_dir=args.state_dir,
+            socket_path=args.socket,
+            host=host,
+            port=port,
+            max_jobs=args.max_jobs,
+            per_client=args.per_client,
+            cache_capacity=args.cache_capacity,
+            step_shards=args.step_shards,
+        )
+    )
+
+
+def _job_line(status: dict) -> str:
+    progress = str(status["records_done"])
+    if status["total"] is not None:
+        progress += f"/{status['total']}"
+    line = (
+        f"{status['id']:8s} {status['client']:12s} {status['kind']:9s} "
+        f"{status['label']:24s} {status['state']:9s} {progress}"
+    )
+    if status["error"]:
+        line += f"  ! {status['error']}"
+    return line
+
+
+def _finish_submit(args: argparse.Namespace, client, submitted: list) -> int:
+    """Shared --wait/--watch tail of every ``repro submit`` variant."""
+    import json as json_module
+
+    for status in submitted:
+        print(_job_line(status))
+    if getattr(args, "watch", False):
+        status = 0
+        for job in submitted:
+            for line in client.watch(job["id"]):
+                if line.get("stream") == "end":
+                    final = line["job"]
+                    log.info(
+                        f"{final['id']} {final['state']} "
+                        f"({final['records_done']} records)"
+                    )
+                    if final["state"] != "done":
+                        status = 1
+                else:
+                    print(json_module.dumps(line, sort_keys=True))
+        return status
+    if getattr(args, "wait", False):
+        status = 0
+        for job in submitted:
+            final = client.wait(job["id"], timeout=args.timeout)
+            print(_job_line(final))
+            if final["state"] != "done":
+                status = 1
+        return status
+    return 0
+
+
+def cmd_submit_campaign(args: argparse.Namespace) -> int:
+    from repro.exec import CampaignSpec, get_campaign_preset
+
+    preset = get_campaign_preset(args.preset) if args.preset else None
+    scale = args.scale or (preset.scale if preset else "small")
+    backend = args.backend or (preset.backend if preset else "full")
+    targets = (
+        _campaign_roster(preset) if args.target == "all" else (args.target,)
+    )
+    client = _service_client(args)
+    submitted = []
+    for target in targets:
+        workload, source, name = _resolve_target(target)
+        if workload is None and source is None:
+            return 1
+        spec = CampaignSpec(
+            workload=workload,
+            scale=scale,
+            source=source,
+            name=name,
+            iht_size=args.iht,
+            hash_name=args.hash,
+            policy_name=args.policy,
+            backend=backend,
+        )
+        submitted.append(
+            client.submit(
+                {
+                    "kind": "campaign",
+                    "spec": spec.to_json(),
+                    # An explicit --faults overrides the preset's fault
+                    # plan, mirroring `repro campaign`.
+                    "preset": args.preset if args.faults is None else None,
+                    "faults": (
+                        args.faults if args.faults is not None else 200
+                    ),
+                    "seed": args.seed,
+                    "workers": args.workers,
+                    "chunk_size": args.chunk,
+                    "batch_size": args.batch_size,
+                },
+                priority=args.priority,
+            )
+        )
+        log.debug(f"submitted {submitted[-1]['id']} for {target}")
+    return _finish_submit(args, client, submitted)
+
+
+def cmd_submit_dse(args: argparse.Namespace) -> int:
+    payload = {"kind": "dse", "backend": args.backend, "seed": args.seed,
+               "workers": args.workers, "chunk_size": args.chunk}
+    if args.preset:
+        payload["preset"] = args.preset
+    else:
+        import dataclasses
+
+        from repro.dse import ConfigSpace
+
+        overrides = {
+            "hash_names": tuple(args.hash) if args.hash else None,
+            "iht_sizes": tuple(args.iht) if args.iht else None,
+            "policy_names": tuple(args.policy) if args.policy else None,
+            "workloads": tuple(args.workload) if args.workload else None,
+            "scale": args.scale,
+        }
+        overrides = {
+            key: value for key, value in overrides.items()
+            if value is not None
+        }
+        defaults = ConfigSpace(
+            hash_names=("xor",),
+            iht_sizes=(4, 8),
+            policy_names=("lru_half",),
+            miss_penalties=(100,),
+            workloads=("sha",),
+            scale="tiny",
+        )
+        payload["space"] = dataclasses.replace(defaults, **overrides).to_json()
+    client = _service_client(args)
+    return _finish_submit(args, client, [client.submit(payload, priority=args.priority)])
+
+
+def cmd_submit_attack(args: argparse.Namespace) -> int:
+    from repro.workloads.suite import WORKLOAD_NAMES
+
+    targets = (
+        tuple(WORKLOAD_NAMES) if args.target == "all" else (args.target,)
+    )
+    client = _service_client(args)
+    submitted = []
+    for target in targets:
+        submitted.append(
+            client.submit(
+                {
+                    "kind": "attack",
+                    "workload": target,
+                    "scale": args.scale,
+                    "classes": list(args.attack_class or ("all",)),
+                    "per_class": args.per_class,
+                    "hash_names": list(args.hash or ("xor",)),
+                    "policy_names": list(args.policy or ("lru_half",)),
+                    "iht_size": args.iht,
+                    "backend": args.backend,
+                    "seed": args.seed,
+                    "workers": args.workers,
+                    "chunk_size": args.chunk,
+                },
+                priority=args.priority,
+            )
+        )
+    return _finish_submit(args, client, submitted)
+
+
+def cmd_submit_coverage(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    return _finish_submit(
+        args,
+        client,
+        [
+            client.submit(
+                {
+                    "kind": "coverage",
+                    "corpus": args.corpus,
+                    "workers": args.workers,
+                    "chunk_size": args.chunk,
+                    "batch_size": args.batch_size,
+                },
+                priority=args.priority,
+            )
+        ],
+    )
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    client = _service_client(args)
+    if args.shutdown:
+        client.shutdown()
+        log.info("server asked to shut down")
+        return 0
+    if args.cancel:
+        response = client.cancel(args.cancel)
+        print(_job_line(response["job"]))
+        if response.get("cancel_pending"):
+            log.info("cancellation lands at the next shard-step boundary")
+        return 0
+    if args.watch:
+        for line in client.watch(args.watch):
+            print(json_module.dumps(line, sort_keys=True))
+        return 0
+    if args.stats:
+        stats = client.stats()
+        cache = stats["cache"]
+        print(f"uptime {stats['uptime']}s, "
+              f"{stats['running']} running / {stats['queued']} queued "
+              f"(max {stats['max_jobs']}, per-client {stats['per_client']})")
+        print(f"jobs by state: "
+              + (", ".join(f"{state}={count}"
+                           for state, count in sorted(stats["jobs"].items()))
+                 or "none"))
+        print(f"checkpoint cache: {cache['hits']} hits, "
+              f"{cache['misses']} misses, {cache['evictions']} evictions, "
+              f"{cache['entries']}/{cache['capacity']} stores, "
+              f"{cache['bytes']} bytes")
+        for store in cache["stores"]:
+            print(f"  {store['key']}  {store['label']:24s} "
+                  f"{store['hits']} hits, {store['bytes']} bytes")
+        return 0
+    jobs = client.jobs()
+    if not jobs:
+        log.info("no jobs")
+        return 0
+    for status in jobs:
+        print(_job_line(status))
     return 0
 
 
@@ -925,6 +1235,206 @@ def build_parser() -> argparse.ArgumentParser:
         help="IHT replacement policy column (repeatable; default lru_half)",
     )
     attack_command.set_defaults(handler=cmd_attack)
+
+    # ------------------------------------------------------------------
+    # The service tier: serve / submit / jobs (repro.service)
+    # ------------------------------------------------------------------
+
+    def _tcp_endpoint(value: str) -> tuple[str, int]:
+        host, _, port_text = value.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise argparse.ArgumentTypeError(
+                f"expected HOST:PORT, got {value!r}"
+            )
+        return host, int(port_text)
+
+    service_parent = argparse.ArgumentParser(add_help=False)
+    service_parent.add_argument(
+        "--state-dir", default=".repro-service", metavar="DIR",
+        help="service state directory: journal, socket, per-job results "
+             "(default .repro-service)",
+    )
+    service_parent.add_argument(
+        "--socket", metavar="PATH",
+        help="unix socket path (default <state-dir>/service.sock)",
+    )
+    service_parent.add_argument(
+        "--tcp", type=_tcp_endpoint, metavar="HOST:PORT",
+        help="talk TCP instead of the unix socket",
+    )
+
+    serve_command = commands.add_parser(
+        "serve",
+        help="run the long-lived multi-tenant job server (repro.service)",
+        parents=[observability, service_parent],
+    )
+    serve_command.add_argument(
+        "--max-jobs", type=int, default=2, metavar="N",
+        help="jobs executing concurrently (default 2)",
+    )
+    serve_command.add_argument(
+        "--per-client", type=int, default=2, metavar="N",
+        help="per-client concurrent-jobs cap (default 2)",
+    )
+    serve_command.add_argument(
+        "--cache-capacity", type=int, default=8, metavar="N",
+        help="checkpoint stores kept warm before LRU eviction (default 8)",
+    )
+    serve_command.add_argument(
+        "--step-shards", type=int, default=4, metavar="N",
+        help="shards per job step — the cancellation/drain granularity "
+             "(default 4)",
+    )
+    serve_command.set_defaults(handler=cmd_serve)
+
+    submit_parent = argparse.ArgumentParser(add_help=False)
+    submit_parent.add_argument(
+        "--client", default="anonymous", metavar="NAME",
+        help="tenant name for fair scheduling (default anonymous)",
+    )
+    submit_parent.add_argument(
+        "--priority", type=int, default=0, metavar="N",
+        help="scheduling priority (higher first; default 0)",
+    )
+    submit_parent.add_argument(
+        "--wait", action="store_true",
+        help="block until the job(s) finish; exit 1 unless all done",
+    )
+    submit_parent.add_argument(
+        "--watch", action="store_true",
+        help="stream the job's live event/record lines as JSON to stdout",
+    )
+    submit_parent.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="--wait gives up after this long (default 600)",
+    )
+    submit_parent.add_argument("--seed", type=int, default=42)
+    submit_parent.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes the job runs with (default 1)",
+    )
+
+    submit_command = commands.add_parser(
+        "submit",
+        help="submit a job to a running `repro serve`",
+    )
+    submit_commands = submit_command.add_subparsers(
+        dest="submit_command", required=True
+    )
+    submit_obs = [observability, service_parent, submit_parent]
+
+    submit_campaign = submit_commands.add_parser(
+        "campaign", help="submit a fault-injection campaign",
+        parents=submit_obs,
+    )
+    submit_campaign.add_argument(
+        "target",
+        help="workload name, assembly file, or `all` (one job per "
+             "workload — the preset's roster, or the whole suite)",
+    )
+    submit_campaign.add_argument(
+        "--preset", metavar="NAME", choices=CAMPAIGN_PRESET_CHOICES,
+        help="named campaign from repro.exec.presets",
+    )
+    submit_campaign.add_argument(
+        "--scale", choices=("tiny", "small", "default"), default=None,
+    )
+    submit_campaign.add_argument("--faults", type=int, default=None)
+    submit_campaign.add_argument("--chunk", type=int, default=16)
+    submit_campaign.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+    )
+    submit_campaign.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default=None,
+    )
+    submit_campaign.add_argument("--iht", type=int, default=8)
+    submit_campaign.add_argument("--hash", default="xor")
+    submit_campaign.add_argument("--policy", default="lru_half")
+    submit_campaign.set_defaults(handler=cmd_submit_campaign)
+
+    submit_dse = submit_commands.add_parser(
+        "dse", help="submit a design-space sweep", parents=submit_obs
+    )
+    submit_dse.add_argument(
+        "--preset", metavar="NAME",
+        help="named space from repro.dse.presets",
+    )
+    submit_dse.add_argument("--hash", action="append", metavar="NAME")
+    submit_dse.add_argument("--iht", type=int, action="append", metavar="N")
+    submit_dse.add_argument("--policy", action="append", metavar="NAME")
+    submit_dse.add_argument("--workload", action="append", metavar="NAME")
+    submit_dse.add_argument(
+        "--scale", choices=("tiny", "small", "default"), default=None,
+    )
+    submit_dse.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default="golden",
+    )
+    submit_dse.add_argument("--chunk", type=int, default=4)
+    submit_dse.set_defaults(handler=cmd_submit_dse)
+
+    submit_attack = submit_commands.add_parser(
+        "attack", help="submit an adversarial tampering sweep",
+        parents=submit_obs,
+    )
+    submit_attack.add_argument(
+        "target", help="workload name, or `all` (one job per workload)"
+    )
+    submit_attack.add_argument(
+        "--scale", choices=("tiny", "small", "default"), default="tiny",
+    )
+    submit_attack.add_argument(
+        "--class", dest="attack_class", action="append", metavar="NAME",
+    )
+    submit_attack.add_argument("--per-class", type=int, default=4)
+    submit_attack.add_argument("--chunk", type=int, default=16)
+    submit_attack.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default="golden",
+    )
+    submit_attack.add_argument("--iht", type=int, default=8)
+    submit_attack.add_argument("--hash", action="append", metavar="NAME")
+    submit_attack.add_argument("--policy", action="append", metavar="NAME")
+    submit_attack.set_defaults(handler=cmd_submit_attack)
+
+    submit_coverage = submit_commands.add_parser(
+        "coverage", help="submit a coverage corpus run", parents=submit_obs
+    )
+    submit_coverage.add_argument(
+        "corpus", choices=COVERAGE_CORPUS_CHOICES,
+    )
+    submit_coverage.add_argument("--chunk", type=int, default=64)
+    submit_coverage.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+    )
+    submit_coverage.set_defaults(handler=cmd_submit_coverage)
+
+    jobs_command = commands.add_parser(
+        "jobs",
+        help="list/inspect/cancel jobs on a running `repro serve`",
+        parents=[observability, service_parent],
+    )
+    jobs_command.add_argument(
+        "--client", default="anonymous", metavar="NAME",
+        help="tenant name to identify as (default anonymous)",
+    )
+    jobs_group = jobs_command.add_mutually_exclusive_group()
+    jobs_group.add_argument(
+        "--stats", action="store_true",
+        help="server statistics: queue depth, checkpoint-cache hit rates",
+    )
+    jobs_group.add_argument(
+        "--watch", metavar="ID",
+        help="stream one job's live event/record lines as JSON",
+    )
+    jobs_group.add_argument(
+        "--cancel", metavar="ID",
+        help="cancel a job (queued: immediately; running: at the next "
+             "shard-step boundary)",
+    )
+    jobs_group.add_argument(
+        "--shutdown", action="store_true",
+        help="gracefully stop the server (running jobs resume on restart)",
+    )
+    jobs_command.set_defaults(handler=cmd_jobs)
 
     dse_command = commands.add_parser(
         "dse", help="design-space exploration (sweep / frontier / report)"

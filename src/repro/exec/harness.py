@@ -81,7 +81,7 @@ from repro.obs.metrics import (
     metrics_path,
     write_metrics,
 )
-from repro.exec.records import dump_line, load_lines
+from repro.exec.records import dump_line, load_lines, truncate_uncommitted
 from repro.exec.sharing import SharedPayload, publish, release
 from repro.exec.spec import shard_seed
 
@@ -511,6 +511,7 @@ class HarnessRunner:
         with telem.span("run"):
             if resuming:
                 with telem.span("resume"):
+                    truncate_uncommitted(out_path)
                     loaded = self._load_resume(out_path)
                 if loaded is None:
                     resuming = False  # empty file: died before the header

@@ -141,6 +141,43 @@ def dump_line(data: dict) -> str:
     return json.dumps(data, sort_keys=True, separators=(",", ":")) + "\n"
 
 
+def truncate_uncommitted(path) -> int:
+    """Trim a results file back to its last committed line; return bytes cut.
+
+    The harness appends on resume, so anything after the final ``header``
+    or ``shard-done`` line — orphan records from a shard killed mid-write,
+    or a torn half-line — would otherwise survive into the resumed file
+    and break byte-identity with an uninterrupted run.  Single-writer
+    appends mean such debris can only live in the tail, so truncating to
+    the last commit marker is always safe.  A file with no recognizable
+    committed prefix is left untouched for resume validation to reject.
+    """
+    with open(path, "rb") as handle:
+        content = handle.read()
+    keep = 0
+    offset = 0
+    for raw in content.splitlines(keepends=True):
+        offset += len(raw)
+        if not raw.endswith(b"\n"):
+            break
+        try:
+            entry = json.loads(raw)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(entry, dict) and entry.get("type") in (
+            "header",
+            "shard-done",
+        ):
+            keep = offset
+    dropped = len(content) - keep
+    if keep and dropped:
+        with open(path, "r+b") as handle:
+            handle.truncate(keep)
+        obs.count("records.truncated_bytes", dropped)
+        return dropped
+    return 0
+
+
 def load_lines(path) -> list[dict]:
     """Parse every line of a JSONL file, skipping blank/truncated tails.
 

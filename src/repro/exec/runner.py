@@ -217,6 +217,7 @@ class CampaignRunner:
         share: bool = True,
         batch_size: int | None = None,
         persistent: bool = True,
+        workspace: Workspace | None = None,
     ):
         self.spec = spec
         self.workers = workers
@@ -230,9 +231,11 @@ class CampaignRunner:
         self.persistent = persistent
         # An optional pre-built parent-side campaign skips re-running the
         # golden simulation when the caller already has an equivalent
-        # context (e.g. a hash/policy sweep over one program).
+        # context (e.g. a hash/policy sweep over one program); an optional
+        # pre-built workspace additionally skips recording the checkpoint
+        # store (e.g. a service-tier checkpoint-cache lease).
         self._campaign = campaign
-        self._workspace: Workspace | None = None
+        self._workspace: Workspace | None = workspace
         self._factory = CampaignWorkspaceFactory(spec, batch_size=batch_size)
         validate_plan(workers=workers, chunk_size=chunk_size)
 

@@ -1,0 +1,187 @@
+"""Content-addressed cache of golden checkpoint stores.
+
+A campaign workspace — golden reference run, FHT, decode cache, and the
+backend's prepared checkpoint store — is the expensive, *deterministic*
+function of one :class:`~repro.exec.spec.CampaignSpec`: the (workload,
+monitor config, scale, backend) tuple fully determines every byte of it.
+That makes it content-addressable: the spec's fingerprint (a sha256 over
+its canonical JSON) **is** the cache key, and two tenants whose jobs
+agree on it need exactly one recording between them.
+
+This cache is the service-tier layer over the two existing seams:
+
+* :mod:`repro.exec.sharing` — each cached workspace is pickled once
+  into a named shared-memory segment (:func:`~repro.exec.sharing.
+  publish`); a cache hit *attaches* and unpickles a private copy, so
+  concurrent jobs never share mutable simulator state, and the warm
+  bytes are shipped, not rebuilt.  Platforms without shared memory
+  degrade to inline pickled bytes, same as the harness.
+* :class:`~repro.exec.harness.MeasureCache` — the same keyed
+  compute-once/replay-forever discipline, hoisted from worker scope to
+  server scope and made eviction-aware.
+
+Concurrency: misses on the *same* key are deduplicated — the second
+tenant blocks on the first build's completion and then hits — while
+misses on different keys build in parallel.  Entries are evicted
+least-recently-used beyond ``capacity``, releasing their shared-memory
+segments.  Every lease counts ``service.cache.hit`` / ``.miss``
+telemetry (:mod:`repro.obs`), and :meth:`CheckpointCache.stats` exposes
+the same numbers to the ``stats`` protocol op, so a benchmark or smoke
+test can assert the sharing actually happened.
+
+Warm leases are behaviourally invisible: a workspace unpickled from the
+cache classifies every injection exactly as a freshly recorded one —
+the sharing layer's existing guarantee, re-pinned at this layer by
+``tests/service/test_cache.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.exec.runner import Workspace
+from repro.exec.sharing import SharedPayload, publish, release
+from repro.exec.spec import CampaignSpec
+from repro.obs import core as obs
+
+#: Default number of cached checkpoint stores before LRU eviction.
+DEFAULT_CAPACITY = 8
+
+
+@dataclass(slots=True)
+class CacheEntry:
+    """One cached workspace: the published ticket plus bookkeeping."""
+
+    key: str
+    label: str
+    ticket: SharedPayload
+    bytes: int
+    build_seconds: float
+    hits: int = 0
+    created: float = field(default_factory=time.time)
+
+    def to_json(self) -> dict:
+        return {
+            "key": self.key,
+            "label": self.label,
+            "bytes": self.bytes,
+            "build_seconds": round(self.build_seconds, 6),
+            "hits": self.hits,
+        }
+
+
+class CheckpointCache:
+    """LRU cache of published campaign workspaces, keyed by spec fingerprint."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        #: Insertion-ordered; order doubles as the LRU list (oldest first).
+        self._entries: dict[str, CacheEntry] = {}
+        self._lock = threading.Lock()
+        #: Per-key build gates: concurrent misses on one key build once.
+        self._building: dict[str, threading.Lock] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def lease(self, spec: CampaignSpec) -> Workspace:
+        """The warm workspace for *spec* — attached on a hit, recorded on a miss.
+
+        Every caller gets a **private** workspace object (the miss gets
+        the freshly built one, hits get shared-memory attach copies), so
+        leased workspaces are safe to run concurrently.
+        """
+        key = spec.fingerprint()
+        entry = self._touch(key)
+        if entry is not None:
+            return self._attach(entry)
+        # Miss path: serialize builds per key so an overlapping tenant
+        # arriving mid-recording waits for the first build and then hits.
+        with self._lock:
+            gate = self._building.setdefault(key, threading.Lock())
+        with gate:
+            entry = self._touch(key)
+            if entry is not None:
+                return self._attach(entry)
+            self._misses += 1
+            obs.count("service.cache.miss")
+            started = time.perf_counter()
+            with obs.span("service.cache.build"):
+                workspace = Workspace.build(spec)
+            ticket = publish(workspace)
+            entry = CacheEntry(
+                key=key,
+                label=spec.label,
+                ticket=ticket,
+                bytes=ticket.size,
+                build_seconds=time.perf_counter() - started,
+            )
+            with self._lock:
+                self._entries[key] = entry
+                self._evict_over_capacity()
+                self._building.pop(key, None)
+            return workspace
+
+    def _touch(self, key: str) -> CacheEntry | None:
+        """Look *key* up and mark it most-recently-used."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return None
+            self._entries[key] = entry
+            entry.hits += 1
+            self._hits += 1
+        obs.count("service.cache.hit")
+        return entry
+
+    def _attach(self, entry: CacheEntry) -> Workspace:
+        """A private copy of a cached workspace, out of shared memory."""
+        with obs.span("service.cache.attach"):
+            return entry.ticket.attach()
+
+    def _evict_over_capacity(self) -> None:
+        """Drop least-recently-used entries beyond capacity (lock held)."""
+        while len(self._entries) > self.capacity:
+            _key, evicted = next(iter(self._entries.items()))
+            del self._entries[evicted.key]
+            release(evicted.ticket)
+            self._evictions += 1
+            obs.count("service.cache.evict")
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction counts and the resident entries, for ``stats``."""
+        with self._lock:
+            entries = [entry.to_json() for entry in self._entries.values()]
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "entries": len(entries),
+                "capacity": self.capacity,
+                "bytes": sum(entry["bytes"] for entry in entries),
+                "stores": entries,
+            }
+
+    def clear(self) -> None:
+        """Release every cached segment (server shutdown path)."""
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for entry in entries:
+            release(entry.ticket)

@@ -1,0 +1,406 @@
+"""The service job model: descriptors, validation, lifecycle, journal.
+
+A **job** is one harness experiment owned by one client (tenant): a
+fault campaign, a DSE sweep, an attack sweep, or a coverage corpus run.
+Its descriptor is plain JSON — the same picklable-spec discipline as the
+execution tier — and is validated at submit time by *constructing the
+real spec objects* (:class:`~repro.exec.spec.CampaignSpec`,
+:class:`~repro.dse.space.ConfigSpace`, :func:`~repro.coverage.spec.
+get_corpus`, ...): the schemas the execution layer already enforces are
+the schemas the service enforces, so a job that submits cleanly also
+runs cleanly.
+
+Lifecycle: ``queued`` → ``running`` → one of ``done`` / ``failed`` /
+``cancelled``.  Every transition is appended to the **journal** — an
+append-only JSONL file with the same one-flushed-line-per-entry crash
+tolerance as the event logs (:mod:`repro.obs.events`) — and the server
+replays it on startup: terminal jobs are remembered, queued jobs
+re-queue, and jobs that were ``running`` when the server died re-queue
+with ``resume=True``, re-entering the harness resume protocol from
+their results file's committed shards.  ``kill -9`` loses at most the
+shard in flight, exactly like killing a CLI campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: The four experiment kinds the service accepts.
+JOB_KINDS = ("campaign", "dse", "attack", "coverage")
+
+#: Lifecycle states; the last three are terminal.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+#: Journal entry vocabulary (pinned by ``repro.obs.schema.JOURNAL_SCHEMA``).
+JOURNAL_ENTRY_TYPES = ("service-started", "job-submitted", "job-state")
+
+#: Hard ceilings on per-job execution knobs, so one tenant cannot
+#: request a pool bigger than the host.
+MAX_JOB_WORKERS = 16
+
+
+@dataclass(slots=True)
+class ServiceJob:
+    """One submitted job: descriptor plus live lifecycle state."""
+
+    id: str
+    client: str
+    kind: str
+    seq: int
+    priority: int
+    payload: dict
+    out: str
+    state: str = "queued"
+    label: str = ""
+    resume: bool = False
+    records_done: int = 0
+    total: int | None = None
+    error: str | None = None
+    submitted_t: float = field(default_factory=time.time)
+    started_t: float | None = None
+    finished_t: float | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def status(self) -> dict:
+        """The JSON status clients see (``submit``/``jobs``/``status``)."""
+        return {
+            "id": self.id,
+            "client": self.client,
+            "kind": self.kind,
+            "label": self.label,
+            "state": self.state,
+            "priority": self.priority,
+            "records_done": self.records_done,
+            "total": self.total,
+            "out": self.out,
+            "error": self.error,
+            "submitted_t": round(self.submitted_t, 6),
+            "started_t": (
+                round(self.started_t, 6) if self.started_t is not None else None
+            ),
+            "finished_t": (
+                round(self.finished_t, 6)
+                if self.finished_t is not None
+                else None
+            ),
+        }
+
+    def descriptor(self) -> dict:
+        """The journal-side identity: everything replay needs to rebuild."""
+        return {
+            "id": self.id,
+            "client": self.client,
+            "kind": self.kind,
+            "seq": self.seq,
+            "priority": self.priority,
+            "payload": self.payload,
+            "out": self.out,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_descriptor(cls, data: dict) -> "ServiceJob":
+        return cls(
+            id=data["id"],
+            client=data["client"],
+            kind=data["kind"],
+            seq=data["seq"],
+            priority=data["priority"],
+            payload=data["payload"],
+            out=data["out"],
+            label=data.get("label", ""),
+        )
+
+
+# ----------------------------------------------------------------------
+# Validation: build the real spec objects, surface their errors
+# ----------------------------------------------------------------------
+
+
+def _require_int(payload: dict, key: str, default: int, minimum: int = 1,
+                 maximum: int | None = None) -> int:
+    value = payload.get(key, default)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ConfigurationError(f"job field {key!r} must be an integer")
+    if value < minimum:
+        raise ConfigurationError(f"job field {key!r} must be >= {minimum}")
+    if maximum is not None and value > maximum:
+        raise ConfigurationError(f"job field {key!r} must be <= {maximum}")
+    return value
+
+
+def _common_fields(payload: dict, chunk_default: int) -> dict:
+    return {
+        "seed": _require_int(payload, "seed", 42, minimum=0),
+        "workers": _require_int(
+            payload, "workers", 1, maximum=MAX_JOB_WORKERS
+        ),
+        "chunk_size": _require_int(payload, "chunk_size", chunk_default),
+    }
+
+
+def validate_job(payload: dict) -> dict:
+    """Normalize a submitted job payload, or raise :class:`ConfigurationError`.
+
+    Validation constructs the execution layer's own spec objects, so the
+    accepted grammar is exactly what the harness runs; the returned dict
+    is the canonical descriptor payload (defaults filled, unknown keys
+    dropped) that the journal records and the executor consumes.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigurationError("job payload must be a JSON object")
+    kind = payload.get("kind")
+    if kind not in JOB_KINDS:
+        raise ConfigurationError(
+            f"unknown job kind {kind!r}; one of: {', '.join(JOB_KINDS)}"
+        )
+    if kind == "campaign":
+        return _validate_campaign(payload)
+    if kind == "dse":
+        return _validate_dse(payload)
+    if kind == "attack":
+        return _validate_attack(payload)
+    return _validate_coverage(payload)
+
+
+def _validate_campaign(payload: dict) -> dict:
+    from repro.exec.spec import CampaignSpec
+
+    spec_data = payload.get("spec")
+    if not isinstance(spec_data, dict):
+        raise ConfigurationError("campaign job needs a 'spec' object")
+    try:
+        spec = CampaignSpec.from_json(spec_data)
+    except TypeError as error:
+        raise ConfigurationError(f"bad campaign spec: {error}") from error
+    preset = payload.get("preset")
+    if preset is not None:
+        from repro.exec.presets import get_campaign_preset
+
+        get_campaign_preset(preset)  # raises on unknown names
+    return {
+        "kind": "campaign",
+        "spec": spec.to_json(),
+        "faults": _require_int(payload, "faults", 64),
+        "preset": preset,
+        "batch_size": (
+            _require_int(payload, "batch_size", 1)
+            if payload.get("batch_size") is not None
+            else None
+        ),
+        **_common_fields(payload, chunk_default=16),
+    }
+
+
+def _validate_dse(payload: dict) -> dict:
+    from repro.dse import ConfigSpace, get_preset
+    from repro.exec.backends import get_backend
+
+    preset = payload.get("preset")
+    space_data = payload.get("space")
+    if preset is not None:
+        space = get_preset(preset)
+    elif isinstance(space_data, dict):
+        try:
+            space = ConfigSpace.from_json(space_data)
+        except TypeError as error:
+            raise ConfigurationError(f"bad DSE space: {error}") from error
+    else:
+        raise ConfigurationError("dse job needs a 'space' object or 'preset'")
+    backend = payload.get("backend", "golden")
+    get_backend(backend)  # raises on unknown names
+    return {
+        "kind": "dse",
+        "space": space.to_json(),
+        "backend": backend,
+        **_common_fields(payload, chunk_default=4),
+    }
+
+
+def _validate_attack(payload: dict) -> dict:
+    from repro.attacks.corpus import resolve_classes
+    from repro.exec.backends import get_backend
+    from repro.workloads.suite import WORKLOAD_NAMES
+
+    workload = payload.get("workload")
+    if workload not in WORKLOAD_NAMES:
+        raise ConfigurationError(
+            f"attack job needs workload= from: {', '.join(WORKLOAD_NAMES)}"
+        )
+    classes = tuple(payload.get("classes") or ("all",))
+    resolve_classes(classes)  # raises on unknown names
+    backend = payload.get("backend", "golden")
+    get_backend(backend)
+    scale = payload.get("scale", "tiny")
+    if scale not in ("tiny", "small", "default"):
+        raise ConfigurationError(f"unknown scale {scale!r}")
+    return {
+        "kind": "attack",
+        "workload": workload,
+        "scale": scale,
+        "classes": list(classes),
+        "per_class": _require_int(payload, "per_class", 4),
+        "hash_names": list(payload.get("hash_names") or ("xor",)),
+        "policy_names": list(payload.get("policy_names") or ("lru_half",)),
+        "iht_size": _require_int(payload, "iht_size", 8),
+        "backend": backend,
+        **_common_fields(payload, chunk_default=16),
+    }
+
+
+def _validate_coverage(payload: dict) -> dict:
+    from repro.coverage import get_corpus
+
+    corpus = payload.get("corpus")
+    if not isinstance(corpus, str):
+        raise ConfigurationError("coverage job needs a 'corpus' name")
+    get_corpus(corpus)  # raises on unknown names
+    return {
+        "kind": "coverage",
+        "corpus": corpus,
+        "batch_size": (
+            _require_int(payload, "batch_size", 1)
+            if payload.get("batch_size") is not None
+            else None
+        ),
+        **_common_fields(payload, chunk_default=64),
+    }
+
+
+def job_label(payload: dict) -> str:
+    """Human-readable label for listings (``sha-tiny``, ``dse:smoke`` ...)."""
+    kind = payload["kind"]
+    if kind == "campaign":
+        spec = payload["spec"]
+        target = spec.get("workload") or spec.get("name") or "inline"
+        return f"{target}-{spec.get('scale', '?')}"
+    if kind == "dse":
+        workloads = payload["space"].get("workloads", ())
+        return f"dse:{'+'.join(workloads)}"
+    if kind == "attack":
+        return f"attack:{payload['workload']}-{payload['scale']}"
+    return f"coverage:{payload['corpus']}"
+
+
+# ----------------------------------------------------------------------
+# The journal
+# ----------------------------------------------------------------------
+
+
+def _dump_line(data: dict) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def _parse_line(line: bytes) -> dict | None:
+    try:
+        text = line.decode("utf-8").strip()
+    except UnicodeDecodeError:
+        return None
+    if not text:
+        return None
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(data, dict) or "type" not in data:
+        return None
+    return data
+
+
+def read_journal(path: str | os.PathLike) -> list[dict]:
+    """Every parseable journal entry; torn/foreign lines skipped."""
+    entries: list[dict] = []
+    with open(os.fspath(path), "rb") as handle:
+        for line in handle:
+            entry = _parse_line(line)
+            if entry is not None:
+                entries.append(entry)
+    return entries
+
+
+class Journal:
+    """Append-only job journal: one flushed JSON line per entry.
+
+    The same crash-tolerance contract as :class:`repro.obs.events.
+    EventWriter`: a ``kill -9`` mid-append leaves a valid prefix plus at
+    most one torn line, which :func:`read_journal` skips.  The journal
+    is the server's *only* durable job state — results files are the
+    harness's, and the two reconcile through the resume protocol.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+        exists = os.path.exists(self.path)
+        # Terminate a torn tail before appending (same discipline as the
+        # event writer): our first entry must start a fresh line.
+        torn = False
+        if exists:
+            with open(self.path, "rb") as handle:
+                content = handle.read()
+            torn = bool(content) and not content.endswith(b"\n")
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if torn:
+            self._handle.write("\n")
+            self._handle.flush()
+
+    def append(self, entry_type: str, **fields) -> dict:
+        entry = {"type": entry_type, "t": round(time.time(), 6), **fields}
+        self._handle.write(_dump_line(entry))
+        self._handle.flush()
+        return entry
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+def replay_journal(path: str | os.PathLike) -> tuple[dict[str, ServiceJob], int]:
+    """Rebuild the job table from a journal; return ``(jobs, next_seq)``.
+
+    Jobs whose last recorded state is terminal stay terminal; everything
+    else re-queues — and a job that was ``running`` re-queues with
+    ``resume=True`` so its executor step re-enters the harness resume
+    protocol over the results file it already wrote.
+    """
+    jobs: dict[str, ServiceJob] = {}
+    next_seq = 0
+    if not os.path.exists(os.fspath(path)):
+        return jobs, next_seq
+    for entry in read_journal(path):
+        kind = entry.get("type")
+        if kind == "job-submitted" and isinstance(entry.get("job"), dict):
+            try:
+                job = ServiceJob.from_descriptor(entry["job"])
+            except KeyError:
+                continue
+            jobs[job.id] = job
+            next_seq = max(next_seq, job.seq + 1)
+        elif kind == "job-state":
+            job = jobs.get(entry.get("id"))
+            if job is None or entry.get("state") not in JOB_STATES:
+                continue
+            job.state = entry["state"]
+            if "records_done" in entry:
+                job.records_done = int(entry["records_done"])
+            if "total" in entry:
+                job.total = entry["total"]
+            if entry.get("error") is not None:
+                job.error = str(entry["error"])
+    for job in jobs.values():
+        if job.terminal:
+            continue
+        # Interrupted mid-run (or never started): back to the queue.  A
+        # results file on disk means committed shards exist to resume.
+        job.resume = job.state == "running" or os.path.exists(job.out)
+        job.state = "queued"
+        job.error = None
+    return jobs, next_seq

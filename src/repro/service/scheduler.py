@@ -1,0 +1,78 @@
+"""Fair multi-tenant job scheduling: priorities, per-client caps, FIFO.
+
+The queue answers one question — *which queued job should the next free
+execution slot take?* — under three rules, applied in order:
+
+1. **Per-client concurrency cap.**  A client already running
+   ``per_client`` jobs is ineligible, however high its priorities: one
+   tenant flooding the queue cannot monopolize the fleet.
+2. **Priority.**  Among eligible jobs, higher ``priority`` wins
+   (an integer, default 0; negative de-prioritizes).
+3. **Fairness, then FIFO.**  Among equal priorities, the client with
+   fewer jobs currently running wins (so a backlogged-but-idle tenant
+   gets a slot before a tenant that already holds one); remaining ties
+   break by submission order.
+
+The scheduler holds no threads and no clock — it is a pure data
+structure the server consults from its event loop, which keeps it
+trivially testable (``tests/service/test_scheduler.py``) and the
+scheduling policy auditable in one screen of code.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.service.jobs import ServiceJob
+
+#: Default concurrent-jobs-per-client cap.
+DEFAULT_PER_CLIENT = 2
+
+
+class FairQueue:
+    """Priority + fairness ordering over queued :class:`ServiceJob`\\ s."""
+
+    def __init__(self, per_client: int = DEFAULT_PER_CLIENT):
+        if per_client < 1:
+            raise ValueError(f"per_client must be >= 1, got {per_client}")
+        self.per_client = per_client
+        self._queued: dict[str, ServiceJob] = {}
+
+    def push(self, job: ServiceJob) -> None:
+        self._queued[job.id] = job
+
+    def remove(self, job_id: str) -> ServiceJob | None:
+        """Take a job out of the queue (cancellation); ``None`` if absent."""
+        return self._queued.pop(job_id, None)
+
+    def __len__(self) -> int:
+        return len(self._queued)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._queued
+
+    def jobs(self) -> list[ServiceJob]:
+        """Queued jobs in submission order."""
+        return sorted(self._queued.values(), key=lambda job: job.seq)
+
+    def next(self, running: Iterable[ServiceJob]) -> ServiceJob | None:
+        """Pop the job the next free slot should run, or ``None``.
+
+        *running* is the set of currently executing jobs; it drives both
+        the per-client cap and the fairness tiebreak.
+        """
+        load = Counter(job.client for job in running)
+        eligible = [
+            job
+            for job in self._queued.values()
+            if load[job.client] < self.per_client
+        ]
+        if not eligible:
+            return None
+        best = min(
+            eligible,
+            key=lambda job: (-job.priority, load[job.client], job.seq),
+        )
+        del self._queued[best.id]
+        return best

@@ -146,6 +146,26 @@ class TestResume:
         assert len(again.records) == FAULT_COUNT
         assert again.summary() == serial_result.summary()
 
+    def test_orphan_tail_resume_is_byte_identical(self, spec, faults, tmp_path):
+        """Orphan record lines and torn tails from a kill mid-commit are
+        truncated on resume, so the finished file is byte-for-byte the
+        file an uninterrupted run would have written."""
+        reference = tmp_path / "reference.jsonl"
+        runner = CampaignRunner(spec, chunk_size=CHUNK)
+        runner.run(faults, seed=SEED, out=reference)
+
+        out = tmp_path / "killed.jsonl"
+        runner.run(faults, seed=SEED, out=out, stop_after_shards=2)
+        lines = out.read_text().splitlines()
+        assert json.loads(lines[-1])["type"] == "shard-done"
+        # Kill -9 mid-commit: the marker never landed and the last
+        # record of the next shard is half-written.
+        torn = "\n".join(lines[:-1]) + "\n" + lines[1][: len(lines[1]) // 2]
+        out.write_text(torn)
+        resumed = runner.run(faults, seed=SEED, out=out, resume=True)
+        assert resumed.complete
+        assert out.read_bytes() == reference.read_bytes()
+
     def test_corrupted_committed_record_reruns_shard(self, spec, faults, tmp_path):
         """A committed shard with a garbled record line is not trusted:
         the shard re-runs instead of silently losing the fault."""

@@ -1,0 +1,159 @@
+"""Concurrent event-log readers: no torn lines, no duplicate seq.
+
+The event log's contract is single-writer, *any* number of readers:
+:class:`EventWriter` appends one flushed line per event and
+:func:`follow_events` consumes only complete lines.  These tests pin the
+multi-reader half — two clients tailing the same ``*.events.jsonl``
+during an active run (the `repro top` + `repro jobs --watch` scenario)
+must each see the exact committed event sequence: every ``seq`` once, in
+order, with no torn or interleaved reads — both on a synthetic
+high-frequency writer and on a real harness campaign.
+"""
+
+import threading
+
+import pytest
+
+from repro.exec.runner import CampaignRunner
+from repro.exec.spec import CampaignSpec
+from repro.obs.events import EventWriter, events_path, follow_events
+
+SOURCE = """
+main:   li $t0, 4
+        li $s0, 0
+loop:   addu $s0, $s0, $t0
+        addi $t0, $t0, -1
+        bgtz $t0, loop
+        li $v0, 10
+        syscall
+"""
+
+
+def follow_all(path, results, slot, timeout=60.0):
+    try:
+        results[slot] = list(follow_events(path, poll=0.001, timeout=timeout))
+    except Exception as error:  # pragma: no cover - diagnostic
+        results[slot] = error
+
+
+def assert_clean_sequence(events):
+    """Every line parsed whole, every seq exactly once, in order."""
+    assert events, "reader saw no events"
+    sequences = [event["seq"] for event in events]
+    assert sequences == sorted(sequences), "seq went backwards"
+    assert len(sequences) == len(set(sequences)), "duplicate seq observed"
+    times = [event["t"] for event in events]
+    assert times == sorted(times), "t went backwards"
+    # A torn read would have failed JSON parsing inside follow_events
+    # (and been skipped, breaking the seq completeness checked below).
+
+
+class TestSyntheticWriter:
+    def test_two_followers_see_identical_streams(self, tmp_path):
+        log_path = tmp_path / "run.events.jsonl"
+        results = [None, None]
+        readers = [
+            threading.Thread(target=follow_all, args=(log_path, results, slot))
+            for slot in range(2)
+        ]
+        for reader in readers:
+            reader.start()
+        total = 500
+        with EventWriter(log_path) as writer:
+            for index in range(total):
+                # Long payloads make torn reads likely if any reader ever
+                # consumed a partially flushed line.
+                writer.emit(
+                    "shard-committed",
+                    shard=index,
+                    records_done=index + 1,
+                    padding="x" * 200,
+                )
+            writer.emit("run-finished", records_done=total, complete=True)
+        for reader in readers:
+            reader.join(timeout=60)
+            assert not reader.is_alive()
+        for events in results:
+            assert not isinstance(events, Exception), events
+            assert_clean_sequence(events)
+            assert len(events) == total + 1, "reader missed committed lines"
+        assert results[0] == results[1], (
+            "two followers of one log must see the same stream"
+        )
+
+    def test_reader_joining_mid_stream_sees_consistent_suffix(self, tmp_path):
+        log_path = tmp_path / "run.events.jsonl"
+        with EventWriter(log_path) as writer:
+            for index in range(100):
+                writer.emit("shard-committed", shard=index)
+        results = [None]
+        reader = threading.Thread(
+            target=follow_all, args=(log_path, results, 0)
+        )
+        reader.start()
+        with EventWriter(log_path) as writer:  # resuming session appends
+            for index in range(100, 200):
+                writer.emit("shard-committed", shard=index)
+            writer.emit("run-finished", complete=True)
+        reader.join(timeout=60)
+        assert not reader.is_alive()
+        assert_clean_sequence(results[0])
+        assert len(results[0]) == 201
+
+    def test_torn_tail_never_reaches_followers(self, tmp_path):
+        log_path = tmp_path / "run.events.jsonl"
+        with EventWriter(log_path) as writer:
+            writer.emit("run-started", kind="campaign")
+        with open(log_path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "shard-committed", "seq": 99')  # kill -9
+        results = [None, None]
+        readers = [
+            threading.Thread(target=follow_all, args=(log_path, results, slot))
+            for slot in range(2)
+        ]
+        for reader in readers:
+            reader.start()
+        with EventWriter(log_path) as writer:  # terminates the torn tail
+            writer.emit("run-finished", complete=True)
+        for reader in readers:
+            reader.join(timeout=60)
+        for events in results:
+            assert_clean_sequence(events)
+            assert all(event["seq"] != 99 for event in events), (
+                "a torn line must never surface as an event"
+            )
+            assert {event["type"] for event in events} >= {
+                "run-started",
+                "run-finished",
+            }
+
+
+class TestRealRun:
+    def test_two_followers_of_a_live_campaign(self, tmp_path):
+        out = tmp_path / "campaign.jsonl"
+        spec = CampaignSpec(source=SOURCE, name="follow-test", iht_size=4)
+        runner = CampaignRunner(spec, workers=1, chunk_size=2)
+        faults = runner.campaign.random_single_bit(24, seed=3)
+        results = [None, None]
+        readers = [
+            threading.Thread(
+                target=follow_all, args=(events_path(out), results, slot)
+            )
+            for slot in range(2)
+        ]
+        for reader in readers:
+            reader.start()
+        result = runner.run(faults, seed=3, out=out)
+        assert result.complete
+        for reader in readers:
+            reader.join(timeout=60)
+            assert not reader.is_alive()
+        for events in results:
+            assert not isinstance(events, Exception), events
+            assert_clean_sequence(events)
+            committed = [
+                event for event in events if event["type"] == "shard-committed"
+            ]
+            assert len(committed) == 12  # 24 faults / chunk 2
+            assert events[-1]["type"] == "run-finished"
+        assert results[0] == results[1]

@@ -1,0 +1,81 @@
+"""FairQueue: per-client caps, priorities, fairness, FIFO."""
+
+import pytest
+
+from repro.service.jobs import ServiceJob
+from repro.service.scheduler import FairQueue
+
+
+def job(job_id, client="a", seq=None, priority=0):
+    return ServiceJob(
+        id=job_id,
+        client=client,
+        kind="campaign",
+        seq=seq if seq is not None else int(job_id[1:]),
+        priority=priority,
+        payload={},
+        out=f"/tmp/{job_id}.jsonl",
+    )
+
+
+class TestFairQueue:
+    def test_fifo_among_equals(self):
+        queue = FairQueue()
+        queue.push(job("j1"))
+        queue.push(job("j2"))
+        assert queue.next([]).id == "j1"
+        assert queue.next([]).id == "j2"
+        assert queue.next([]) is None
+
+    def test_priority_beats_fifo(self):
+        queue = FairQueue()
+        queue.push(job("j1", priority=0))
+        queue.push(job("j2", priority=5))
+        assert queue.next([]).id == "j2"
+
+    def test_per_client_cap_blocks_flooder(self):
+        queue = FairQueue(per_client=1)
+        queue.push(job("j2", client="flood"))
+        queue.push(job("j3", client="flood", priority=99))
+        running = [job("j1", client="flood")]
+        # Both queued jobs belong to a client already at its cap.
+        assert queue.next(running) is None
+        # A slot frees up: highest priority of the client's jobs runs.
+        assert queue.next([]).id == "j3"
+
+    def test_cap_prefers_other_tenant(self):
+        queue = FairQueue(per_client=1)
+        queue.push(job("j2", client="flood", priority=99))
+        queue.push(job("j3", client="idle"))
+        running = [job("j1", client="flood")]
+        assert queue.next(running).id == "j3"
+
+    def test_fairness_tiebreak_prefers_less_loaded(self):
+        queue = FairQueue(per_client=4)
+        queue.push(job("j3", client="busy"))
+        queue.push(job("j4", client="light"))
+        running = [job("j1", client="busy"), job("j2", client="busy")]
+        # Equal priority: the client with fewer running jobs wins even
+        # though the busy client submitted first.
+        assert queue.next(running).id == "j4"
+
+    def test_remove_and_membership(self):
+        queue = FairQueue()
+        queue.push(job("j1"))
+        queue.push(job("j2"))
+        assert "j1" in queue
+        assert len(queue) == 2
+        assert queue.remove("j1").id == "j1"
+        assert queue.remove("j1") is None
+        assert "j1" not in queue
+        assert [item.id for item in queue.jobs()] == ["j2"]
+
+    def test_jobs_listed_in_submission_order(self):
+        queue = FairQueue()
+        queue.push(job("j2", seq=2))
+        queue.push(job("j1", seq=1))
+        assert [item.id for item in queue.jobs()] == ["j1", "j2"]
+
+    def test_rejects_silly_cap(self):
+        with pytest.raises(ValueError):
+            FairQueue(per_client=0)

@@ -1,0 +1,174 @@
+"""The `make service-smoke` body: the service survives kill -9.
+
+Everything here runs through real subprocesses — ``repro serve`` and
+``repro submit`` exactly as a user would type them — because the claim
+under test is about *processes*, not objects: a server killed with
+SIGKILL mid-job must, on restart over the same state dir, resume every
+interrupted job from its journal and finish with results files
+byte-identical to an uninterrupted serial CLI run.  The checkpoint
+cache claim rides along: the second tenant's identical submission must
+lease the first tenant's published store, never rebuild it.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+
+SOURCE = """
+main:   li $t0, 6
+        li $s0, 0
+loop:   addu $s0, $s0, $t0
+        addi $t0, $t0, -1
+        bgtz $t0, loop
+        move $a0, $s0
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+"""
+
+SEED = 7
+FAULTS = 96
+CHUNK = 1  # 96 one-fault shards: a wide window to kill inside
+
+REPRO = (sys.executable, "-m", "repro")
+
+
+def cli_env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    return env
+
+
+def run_cli(*argv, timeout=300):
+    return subprocess.run(
+        [*REPRO, *argv],
+        capture_output=True,
+        text=True,
+        env=cli_env(),
+        timeout=timeout,
+    )
+
+
+def campaign_flags(target):
+    return (
+        target,
+        "--scale", "tiny",
+        "--backend", "golden",
+        "--faults", str(FAULTS),
+        "--chunk", str(CHUNK),
+        "--seed", str(SEED),
+        "--iht", "4",
+    )
+
+
+def wait_for_server(socket_path, timeout=15.0):
+    """A live server, not just a socket file: a stale path from a killed
+    predecessor exists on disk but refuses connections."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            client = ServiceClient(socket_path=socket_path, client="probe")
+            client.ping()
+            return
+        except (ServiceError, OSError):
+            time.sleep(0.05)
+    raise RuntimeError("server never answered ping")  # pragma: no cover
+
+
+@pytest.fixture
+def serve(tmp_path):
+    """Start ``repro serve`` subprocesses; always reap them at teardown."""
+    state_dir = tmp_path / "state"
+    servers = []
+
+    def start():
+        proc = subprocess.Popen(
+            [
+                *REPRO, "serve",
+                "--state-dir", str(state_dir),
+                "--max-jobs", "2",
+                "--step-shards", "1",
+            ],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            env=cli_env(),
+        )
+        servers.append(proc)
+        wait_for_server(str(state_dir / "service.sock"))
+        return proc
+
+    yield start, state_dir
+    for proc in servers:
+        if proc.poll() is None:  # pragma: no cover - teardown safety net
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+def test_kill_dash_nine_then_resume_byte_identical(serve, tmp_path):
+    start, state_dir = serve
+    target = tmp_path / "loop.s"
+    target.write_text(SOURCE)
+
+    # Ground truth: the same campaign, serial, no service in sight.
+    reference = tmp_path / "reference.jsonl"
+    completed = run_cli(
+        "campaign", *campaign_flags(str(target)), "--out", str(reference)
+    )
+    assert completed.returncode == 0, completed.stderr
+
+    first = start()
+    submitted = []
+    for tenant in ("alice", "bob"):
+        result = run_cli(
+            "submit", "campaign", *campaign_flags(str(target)),
+            "--state-dir", str(state_dir),
+            "--client", tenant,
+        )
+        assert result.returncode == 0, result.stderr
+        submitted.append(result.stdout.split()[0])
+    assert submitted[0] != submitted[1]
+
+    # Let both jobs make progress and the cache hit land, then kill -9.
+    client = ServiceClient(
+        socket_path=str(state_dir / "service.sock"), client="smoke"
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        stats = client.stats()
+        states = {job_id: client.status(job_id) for job_id in submitted}
+        if stats["cache"]["hits"] >= 1 and all(
+            status["records_done"] >= 2 for status in states.values()
+        ):
+            break
+        time.sleep(0.01)
+    else:  # pragma: no cover
+        pytest.fail("jobs never reached the kill window")
+    assert stats["cache"]["misses"] == 1, (
+        "the second tenant's identical spec must lease, not rebuild"
+    )
+    first.send_signal(signal.SIGKILL)
+    first.wait(timeout=10)
+
+    # A new server over the same state dir picks the journal up.
+    start()
+    client = ServiceClient(
+        socket_path=str(state_dir / "service.sock"), client="smoke"
+    )
+    finals = [client.wait(job_id, timeout=180) for job_id in submitted]
+    for final in finals:
+        assert final["state"] == "done", final
+        assert final["records_done"] == FAULTS
+        assert (
+            open(final["out"], "rb").read() == reference.read_bytes()
+        ), "kill -9 / restart / resume must not change a single byte"
+
+    shutdown = run_cli("jobs", "--state-dir", str(state_dir), "--shutdown")
+    assert shutdown.returncode == 0, shutdown.stderr
